@@ -1,0 +1,35 @@
+// Ablation: GVT interval (ROSS's g_tw_gvt_interval analogue) — the
+// frequency knob trading synchronization overhead against memory and
+// rollback depth. Short intervals bound optimism tightly (frequent barriers,
+// prompt fossil collection, small event pools); long intervals let PEs run
+// free between reductions.
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  hp::util::Cli cli(argc, argv, hp::bench::common_flags());
+  const bool full = cli.get_bool("full", false);
+  const std::int32_t n = full ? 64 : 32;
+
+  hp::util::Table table({"gvt_interval", "events_per_s", "gvt_rounds",
+                         "rolled_back", "pool_envelopes", "identical"});
+  hp::core::SimulationResult ref;
+  bool have_ref = false;
+  for (const std::uint32_t interval : {64u, 256u, 1024u, 4096u, 16384u}) {
+    auto o = hp::bench::tw_options(n, 0.5, 2, 64);
+    o.gvt_interval = interval;
+    const auto r = hp::core::run_hotpotato(o);
+    if (!have_ref) {
+      ref = r;
+      have_ref = true;
+    }
+    table.add_row({static_cast<std::int64_t>(interval), r.engine.event_rate(),
+                   r.engine.gvt_rounds, r.engine.rolled_back_events,
+                   r.engine.pool_envelopes,
+                   r.report == ref.report ? "yes" : "NO"});
+  }
+  hp::bench::finish(table, cli,
+                    "Ablation: GVT interval (frequent GVT = bounded memory + "
+                    "throttled optimism vs barrier overhead)");
+  return 0;
+}

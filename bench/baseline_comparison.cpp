@@ -1,0 +1,44 @@
+// Related-work comparison (report Section 2, after Bartzis et al. [5]):
+// hot-potato algorithm variants on 2-D tori of several sizes, dynamic and
+// static (one-shot) workloads.
+
+#include "baselines/deflection_policies.hpp"
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  hp::util::Cli cli(argc, argv, hp::bench::common_flags());
+  const bool full = cli.get_bool("full", false);
+  const std::vector<std::int32_t> sizes =
+      full ? std::vector<std::int32_t>{8, 16, 32, 64}
+           : std::vector<std::int32_t>{8, 16, 32};
+
+  hp::util::Table table({"N", "workload", "algorithm", "delivered",
+                         "avg_delivery", "stretch", "deflect_rate",
+                         "avg_wait"});
+  for (const std::int32_t n : sizes) {
+    hp::hotpotato::BhwPolicy bhw(n);
+    hp::baselines::GreedyPolicy greedy;
+    hp::baselines::DimOrderPolicy dim;
+    hp::baselines::OldestFirstPolicy oldest;
+    const hp::hotpotato::RoutingPolicy* policies[] = {&bhw, &greedy, &dim,
+                                                      &oldest};
+    for (const bool dynamic : {true, false}) {
+      for (const auto* p : policies) {
+        hp::core::SimulationOptions o;
+        o.model.n = n;
+        o.model.injector_fraction = dynamic ? 0.75 : 0.0;
+        o.model.steps = hp::bench::steps_for(n);
+        o.model.policy = p;
+        const auto r = hp::core::run_hotpotato(o).report;
+        table.add_row({static_cast<std::int64_t>(n),
+                       dynamic ? "dynamic" : "static", std::string(p->name()),
+                       r.delivered, r.avg_delivery_steps(), r.stretch(),
+                       r.deflection_rate(), r.avg_inject_wait()});
+      }
+    }
+  }
+  hp::bench::finish(table, cli,
+                    "Hot-potato algorithm comparison on 2-D tori "
+                    "(after the report's related work [5])");
+  return 0;
+}

@@ -1,0 +1,80 @@
+#pragma once
+
+// Shared scaffolding for the figure-reproduction harnesses. Every binary
+// prints the same rows the paper's figure plots, as an aligned table and
+// (with --csv=...) as CSV. Default "quick" scales run in seconds on a
+// laptop; --full reproduces the paper-scale sweeps (minutes to hours).
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace hp::bench {
+
+struct FigureScale {
+  std::vector<std::int32_t> sizes;        // torus dimensions N
+  std::vector<double> loads;              // injector fractions
+  std::vector<std::uint32_t> kp_counts;   // Fig 7/8 sweeps
+  std::vector<std::uint32_t> pe_counts;   // Fig 5/6 sweeps
+};
+
+inline FigureScale quick_scale() {
+  return {{8, 16, 24, 32, 48, 64},
+          {0.25, 0.50, 0.75, 1.00},
+          {4, 8, 16, 32, 64, 128},
+          {1, 2, 4}};
+}
+
+// The report's sweeps: N up to 256 (65,536 LPs), KPs 4..256, PEs 1/2/4.
+inline FigureScale full_scale() {
+  return {{8, 16, 32, 64, 96, 128, 192, 256},
+          {0.25, 0.50, 0.75, 1.00},
+          {4, 8, 16, 32, 64, 128, 256},
+          {1, 2, 4}};
+}
+
+// Steps scale with N so every configuration reaches delivery steady state
+// (delivery time is O(N)).
+inline std::uint32_t steps_for(std::int32_t n) {
+  return static_cast<std::uint32_t>(4 * n);
+}
+
+inline core::SimulationOptions tw_options(std::int32_t n, double load,
+                                          std::uint32_t pes,
+                                          std::uint32_t kps) {
+  core::SimulationOptions o;
+  o.model.n = n;
+  o.model.injector_fraction = load;
+  o.model.steps = static_cast<std::uint32_t>(2 * n);
+  o.kernel = core::Kernel::TimeWarp;
+  o.num_pes = pes;
+  o.num_kps = kps;
+  o.gvt_interval = 1024;
+  // Moving window keeps optimism sane when PEs outnumber cores; see
+  // EXPERIMENTS.md for the effect on absolute rates.
+  o.optimism_window = 30.0;
+  return o;
+}
+
+inline void finish(util::Table& table, const util::Cli& cli,
+                   const std::string& title) {
+  std::cout << title << "\n\n";
+  table.print(std::cout);
+  if (cli.has("csv")) {
+    table.write_csv_file(cli.get("csv", ""));
+    std::cout << "\ncsv written to " << cli.get("csv", "") << "\n";
+  }
+}
+
+inline std::map<std::string, std::string> common_flags() {
+  return {{"full", "paper-scale sweep (N up to 256; slow)"},
+          {"csv", "also write the table as CSV to this path"}};
+}
+
+}  // namespace hp::bench

@@ -1,0 +1,31 @@
+// Figure 4 — "Average Wait to Inject a Packet": average number of time
+// steps a packet waits before it can enter the network, versus N, one
+// series per injection load. The report shows ~linear growth in N *within*
+// each load, with the load having a strong effect (unlike Fig. 3).
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  hp::util::Cli cli(argc, argv, hp::bench::common_flags());
+  const auto scale =
+      cli.get_bool("full", false) ? hp::bench::full_scale()
+                                  : hp::bench::quick_scale();
+
+  hp::util::Table table({"N", "injectors_%", "avg_wait_steps",
+                         "max_wait_steps", "injected"});
+  for (const std::int32_t n : scale.sizes) {
+    for (const double load : scale.loads) {
+      hp::core::SimulationOptions o;
+      o.model.n = n;
+      o.model.injector_fraction = load;
+      o.model.steps = hp::bench::steps_for(n);
+      const auto r = hp::core::run_hotpotato(o).report;
+      table.add_row({static_cast<std::int64_t>(n), 100.0 * load,
+                     r.avg_inject_wait(), r.max_inject_wait, r.injected});
+    }
+  }
+  hp::bench::finish(table, cli,
+                    "Figure 4: average wait to inject vs network diameter "
+                    "(expect growth in N, strongly load-dependent)");
+  return 0;
+}

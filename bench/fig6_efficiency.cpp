@@ -1,0 +1,45 @@
+// Figure 6 — "Efficiency (Speed-Up / #PE)": the Fig. 5 sweep normalized by
+// PE count. The report shows near-linear efficiency (~1) for small networks
+// dropping to ~0.5 for the largest.
+
+#include <thread>
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  hp::util::Cli cli(argc, argv, hp::bench::common_flags());
+  const bool full = cli.get_bool("full", false);
+  const auto scale = full ? hp::bench::full_scale() : hp::bench::quick_scale();
+  std::vector<std::int32_t> sizes;
+  for (const std::int32_t n : scale.sizes) {
+    if (n >= 16) sizes.push_back(n);
+  }
+
+  hp::util::Table table({"N", "PEs", "speedup", "efficiency"});
+  for (const std::int32_t n : sizes) {
+    hp::core::SimulationOptions base;
+    base.model.n = n;
+    base.model.injector_fraction = 0.5;
+    base.model.steps = static_cast<std::uint32_t>(2 * n);
+    const double seq_rate = hp::core::run_hotpotato(base).engine.event_rate();
+    for (const std::uint32_t pes : scale.pe_counts) {
+      double rate;
+      if (pes == 1) {
+        rate = seq_rate;
+      } else {
+        rate = hp::core::run_hotpotato(hp::bench::tw_options(n, 0.5, pes, 64))
+                   .engine.event_rate();
+      }
+      const double speedup = rate / seq_rate;
+      table.add_row({static_cast<std::int64_t>(n),
+                     static_cast<std::int64_t>(pes), speedup,
+                     speedup / static_cast<double>(pes)});
+    }
+  }
+  hp::bench::finish(
+      table, cli,
+      "Figure 6: efficiency = speed-up / #PE vs N — host has " +
+          std::to_string(std::thread::hardware_concurrency()) +
+          " hardware thread(s); values are meaningful only when PEs <= cores");
+  return 0;
+}

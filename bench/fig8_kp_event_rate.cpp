@@ -1,0 +1,33 @@
+// Figure 8 — "Effect of Kernel Processes on Event Rate": committed event
+// rate versus KP count, one series per network size. The report shows more
+// KPs helping small networks and the benefit diminishing for large ones
+// (rollback containment vs fossil-collection overhead trade-off).
+
+#include "bench/common.hpp"
+
+int main(int argc, char** argv) {
+  hp::util::Cli cli(argc, argv, hp::bench::common_flags());
+  const bool full = cli.get_bool("full", false);
+  const auto scale = full ? hp::bench::full_scale() : hp::bench::quick_scale();
+  const std::vector<std::int32_t> sizes =
+      full ? std::vector<std::int32_t>{16, 32, 64, 128, 256}
+           : std::vector<std::int32_t>{16, 32};
+
+  hp::util::Table table({"N", "KPs", "events_per_s", "rolled_back"});
+  for (const std::int32_t n : sizes) {
+    for (const std::uint32_t kps : scale.kp_counts) {
+      if (kps > static_cast<std::uint32_t>(n) * static_cast<std::uint32_t>(n)) {
+        continue;
+      }
+      auto o = hp::bench::tw_options(n, 0.5, 2, kps);
+      const auto r = hp::core::run_hotpotato(o);
+      table.add_row({static_cast<std::int64_t>(n),
+                     static_cast<std::int64_t>(kps), r.engine.event_rate(),
+                     r.engine.rolled_back_events});
+    }
+  }
+  hp::bench::finish(table, cli,
+                    "Figure 8: event rate vs number of KPs (expect gains for "
+                    "small N, flat for large N)");
+  return 0;
+}

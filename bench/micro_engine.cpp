@@ -1,0 +1,113 @@
+// google-benchmark microbenches of the engine primitives: reversible RNG,
+// event pool recycling, torus routing arithmetic, BHW decisions, and whole-
+// kernel throughput on PHOLD-style and hot-potato workloads.
+
+#include <benchmark/benchmark.h>
+
+#include "core/simulation.hpp"
+#include "des/sequential.hpp"
+#include "hotpotato/policy.hpp"
+#include "net/torus.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_RngUniform(benchmark::State& state) {
+  hp::util::ReversibleRng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform());
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RngForwardReverse(benchmark::State& state) {
+  hp::util::ReversibleRng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform());
+    rng.reverse(1);
+  }
+}
+BENCHMARK(BM_RngForwardReverse);
+
+void BM_EventPoolRoundTrip(benchmark::State& state) {
+  hp::des::EventPool pool;
+  for (auto _ : state) {
+    hp::des::Event* ev = pool.allocate();
+    benchmark::DoNotOptimize(ev);
+    pool.free(ev);
+  }
+}
+BENCHMARK(BM_EventPoolRoundTrip);
+
+void BM_TorusGoodDirs(benchmark::State& state) {
+  const hp::net::Torus t(64);
+  std::uint32_t src = 0, dst = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.good_dirs(src, dst));
+    src = (src + 7) % t.num_nodes();
+    dst = (dst + 13) % t.num_nodes();
+  }
+}
+BENCHMARK(BM_TorusGoodDirs);
+
+void BM_BhwRouteDecision(benchmark::State& state) {
+  const hp::net::Torus t(64);
+  const hp::hotpotato::BhwPolicy policy(64);
+  hp::util::ReversibleRng rng(1);
+  hp::hotpotato::HpMsg m;
+  m.prio = hp::hotpotato::Priority::Sleeping;
+  m.dst_row = 13;
+  m.dst_col = 42;
+  hp::net::DirSet free;
+  for (hp::net::Dir d : hp::net::kAllDirs) free.add(d);
+  std::uint32_t here = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.route(t, m, here, free, rng));
+    here = (here + 11) % t.num_nodes();
+  }
+}
+BENCHMARK(BM_BhwRouteDecision);
+
+void BM_SequentialHotPotato(benchmark::State& state) {
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    hp::core::SimulationOptions o;
+    o.model.n = n;
+    o.model.injector_fraction = 0.5;
+    o.model.steps = 32;
+    const auto r = hp::core::run_hotpotato(o);
+    events += r.engine.committed_events;
+    benchmark::DoNotOptimize(r.report.delivered);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SequentialHotPotato)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TimeWarpHotPotato(benchmark::State& state) {
+  const auto pes = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    hp::core::SimulationOptions o;
+    o.model.n = 16;
+    o.model.injector_fraction = 0.5;
+    o.model.steps = 32;
+    o.kernel = hp::core::Kernel::TimeWarp;
+    o.num_pes = pes;
+    o.num_kps = 64;
+    o.optimism_window = 30.0;
+    const auto r = hp::core::run_hotpotato(o);
+    events += r.engine.committed_events;
+    benchmark::DoNotOptimize(r.report.delivered);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TimeWarpHotPotato)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// PHOLD kernel characterization (the standard PDES benchmark the ROSS
+// literature reports): committed event rate and rollback behaviour versus
+// the remote-traffic fraction and lookahead, independent of the hot-potato
+// application. Remote events are the straggler source; lookahead bounds how
+// far an early message can land in a peer's past.
+
+#include "bench/common.hpp"
+#include "des/phold.hpp"
+#include "des/sequential.hpp"
+#include "des/timewarp.hpp"
+
+int main(int argc, char** argv) {
+  hp::util::Cli cli(argc, argv, hp::bench::common_flags());
+  const bool full = cli.get_bool("full", false);
+  const std::uint32_t lps = full ? 1024 : 256;
+  const double end = full ? 200.0 : 100.0;
+
+  hp::util::Table table({"remote_%", "lookahead", "kernel", "events_per_s",
+                         "rolled_back", "efficiency"});
+  for (const double remote : {0.0, 0.1, 0.5, 1.0}) {
+    for (const double lookahead : {0.5, 0.05}) {
+      hp::des::PholdConfig pc;
+      pc.num_lps = lps;
+      pc.remote_fraction = remote;
+      pc.lookahead = lookahead;
+
+      hp::des::EngineConfig ec;
+      ec.num_lps = lps;
+      ec.end_time = end;
+      {
+        hp::des::PholdModel model(pc);
+        hp::des::SequentialEngine seq(model, ec);
+        const auto s = seq.run();
+        table.add_row({100.0 * remote, lookahead, "sequential",
+                       s.event_rate(), std::uint64_t{0}, 1.0});
+      }
+      {
+        auto tc = ec;
+        tc.num_pes = 2;
+        tc.num_kps = 32;
+        tc.gvt_interval_events = 1024;
+        tc.optimism_window = 10.0 * pc.mean_delay;
+        hp::des::PholdModel model(pc);
+        hp::des::TimeWarpEngine tw(model, tc);
+        const auto t = tw.run();
+        table.add_row({100.0 * remote, lookahead, "timewarp-2pe",
+                       t.event_rate(), t.rolled_back_events, t.efficiency()});
+      }
+    }
+  }
+  hp::bench::finish(table, cli,
+                    "PHOLD sweep: rollback pressure rises with remote "
+                    "fraction and falls with lookahead");
+  return 0;
+}

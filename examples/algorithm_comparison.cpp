@@ -1,0 +1,48 @@
+// Compare the BHW priority algorithm against the classic deflection-routing
+// baselines on identical workloads — the experiment family of the report's
+// related work ([5], Bartzis et al., hot-potato algorithms on 2-D arrays).
+//
+//   ./algorithm_comparison [--n=16] [--inject=0.75] [--steps=200]
+
+#include <iostream>
+
+#include "baselines/deflection_policies.hpp"
+#include "core/simulation.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  hp::util::Cli cli(argc, argv,
+                    {{"n", "torus dimension"},
+                     {"inject", "fraction of routers injecting"},
+                     {"steps", "simulated time steps"}});
+  const auto n = static_cast<std::int32_t>(cli.get_int("n", 16));
+  const double inject = cli.get_double("inject", 0.75);
+  const auto steps = static_cast<std::uint32_t>(cli.get_int("steps", 200));
+
+  hp::hotpotato::BhwPolicy bhw(n);
+  hp::baselines::GreedyPolicy greedy;
+  hp::baselines::DimOrderPolicy dim;
+  hp::baselines::OldestFirstPolicy oldest;
+  const hp::hotpotato::RoutingPolicy* policies[] = {&bhw, &greedy, &dim,
+                                                    &oldest};
+
+  hp::util::Table table({"algorithm", "delivered", "avg_delivery", "stretch",
+                         "deflect_rate", "avg_wait", "max_wait"});
+  for (const auto* p : policies) {
+    hp::core::SimulationOptions opts;
+    opts.model.n = n;
+    opts.model.injector_fraction = inject;
+    opts.model.steps = steps;
+    opts.model.policy = p;
+    const auto r = hp::core::run_hotpotato(opts).report;
+    table.add_row({std::string(p->name()), r.delivered,
+                   r.avg_delivery_steps(), r.stretch(), r.deflection_rate(),
+                   r.avg_inject_wait(), r.max_inject_wait});
+  }
+  std::cout << "deflection routing algorithms, " << n << "x" << n
+            << " torus, " << 100 * inject << "% injectors, " << steps
+            << " steps\n\n";
+  table.print(std::cout);
+  return 0;
+}

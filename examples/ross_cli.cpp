@@ -1,0 +1,91 @@
+// The report's Attachment 1 interface: a driver taking the original ROSS
+// application's parameters in order —
+//   N                       torus dimension (multiple of 8 in the report,
+//                           any >= 2 here)
+//   number_of_processors    PEs for the optimistic run (1 = sequential)
+//   SIMULATION_DURATION     virtual time (one step = 10 units)
+//   probability_i           percent of routers that inject (0..100)
+//   absorb_sleeping_packet  1 = practical mode, 0 = proof-verification
+//
+//   ./ross_cli --n=32 --processors=4 --duration=2560 --probability_i=50
+//              [--absorb_sleeping_packet=1]
+
+#include <cstdio>
+
+#include "core/simulation.hpp"
+#include "hotpotato/packet.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  hp::util::Cli cli(
+      argc, argv,
+      {{"n", "torus dimension N (N x N routers)"},
+       {"processors", "number of PEs (1 = sequential kernel)"},
+       {"duration", "simulation duration in virtual time (step = 10)"},
+       {"probability_i", "percent of routers injecting, 0..100"},
+       {"absorb_sleeping_packet", "1 practical / 0 proof-verification"},
+       {"kps", "number of kernel processes (report default 64)"},
+       {"seed", "RNG seed"}});
+
+  hp::core::SimulationOptions opts;
+  opts.model.n = static_cast<std::int32_t>(cli.get_int("n", 32));
+  const auto duration = cli.get_double("duration", 1280.0);
+  opts.model.steps =
+      static_cast<std::uint32_t>(duration / hp::hotpotato::kStep);
+  opts.model.injector_fraction = cli.get_double("probability_i", 50.0) / 100.0;
+  opts.model.absorb_sleeping = cli.get_bool("absorb_sleeping_packet", true);
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  const auto pes = static_cast<std::uint32_t>(cli.get_int("processors", 1));
+  if (pes > 1) {
+    opts.kernel = hp::core::Kernel::TimeWarp;
+    opts.num_pes = pes;
+    opts.num_kps = static_cast<std::uint32_t>(cli.get_int("kps", 64));
+    opts.optimism_window = 30.0;
+  }
+
+  const auto result = hp::core::run_hotpotato(opts);
+  const auto& r = result.report;
+
+  // Statistics block in the spirit of the report's sample output.
+  std::printf("hot-potato routing simulation\n");
+  std::printf("  network              : %d x %d torus (%u LPs)\n",
+              opts.model.n, opts.model.n, opts.model.num_lps());
+  std::printf("  kernel               : %s, %u PE(s), %u KP(s)\n",
+              hp::core::kernel_name(opts.kernel),
+              opts.kernel == hp::core::Kernel::Sequential ? 1 : opts.num_pes,
+              opts.kernel == hp::core::Kernel::Sequential ? 1 : opts.num_kps);
+  std::printf("  duration             : %.0f (%u steps)\n", duration,
+              opts.model.steps);
+  std::printf("  injecting routers    : %.0f%%\n",
+              100.0 * opts.model.injector_fraction);
+  std::printf("  absorb sleeping      : %s\n\n",
+              opts.model.absorb_sleeping ? "yes (practical)"
+                                         : "no (proof mode)");
+  std::printf("  packets delivered          : %llu\n",
+              static_cast<unsigned long long>(r.delivered));
+  std::printf("  total transit time (steps) : %.0f\n", r.delivery_steps_sum);
+  std::printf("  avg delivery time          : %.4f steps\n",
+              r.avg_delivery_steps());
+  std::printf("  packets injected           : %llu\n",
+              static_cast<unsigned long long>(r.injected));
+  std::printf("  avg wait to inject         : %.4f steps\n",
+              r.avg_inject_wait());
+  std::printf("  longest wait to inject     : %.0f steps\n",
+              r.max_inject_wait);
+  std::printf("\n  events committed           : %llu\n",
+              static_cast<unsigned long long>(result.engine.committed_events));
+  std::printf("  events rolled back         : %llu\n",
+              static_cast<unsigned long long>(
+                  result.engine.rolled_back_events));
+  std::printf("  event rate                 : %.0f events/s\n",
+              result.engine.event_rate());
+  for (std::size_t pe = 0; pe < result.engine.per_pe.size(); ++pe) {
+    const auto& p = result.engine.per_pe[pe];
+    std::printf("    PE %zu: processed=%llu committed=%llu rolled_back=%llu\n",
+                pe, static_cast<unsigned long long>(p.processed_events),
+                static_cast<unsigned long long>(p.committed_events),
+                static_cast<unsigned long long>(p.rolled_back_events));
+  }
+  return 0;
+}

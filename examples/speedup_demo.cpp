@@ -1,0 +1,59 @@
+// Parallel speed-up demo: the same simulation on the sequential kernel and
+// on Time Warp with increasing PE counts, reporting event rates, rollback
+// work, and the bit-identical statistics guarantee (report Sections 4.2.1
+// and 4.2.2 in miniature).
+//
+//   ./speedup_demo [--n=32] [--steps=64] [--max_pes=4]
+
+#include <iostream>
+#include <thread>
+
+#include "core/simulation.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  hp::util::Cli cli(argc, argv,
+                    {{"n", "torus dimension"},
+                     {"steps", "simulated time steps"},
+                     {"max_pes", "largest PE count to try"}});
+  const auto n = static_cast<std::int32_t>(cli.get_int("n", 32));
+  const auto steps = static_cast<std::uint32_t>(cli.get_int("steps", 64));
+  const auto max_pes = static_cast<std::uint32_t>(cli.get_int("max_pes", 4));
+
+  hp::core::SimulationOptions base;
+  base.model.n = n;
+  base.model.injector_fraction = 0.5;
+  base.model.steps = steps;
+
+  const auto seq = hp::core::run_hotpotato(base);
+
+  hp::util::Table table({"kernel", "pes", "events/s", "speedup", "efficiency",
+                         "rolled_back", "identical_stats"});
+  table.add_row({"sequential", std::int64_t{1}, seq.engine.event_rate(), 1.0,
+                 1.0, std::uint64_t{0}, "-"});
+  for (std::uint32_t pes = 1; pes <= max_pes; pes *= 2) {
+    auto opts = base;
+    opts.kernel = hp::core::Kernel::TimeWarp;
+    opts.num_pes = pes;
+    opts.num_kps = 64;
+    opts.gvt_interval = 1024;
+    opts.optimism_window = 30.0;
+    const auto tw = hp::core::run_hotpotato(opts);
+    const double speedup = tw.engine.event_rate() / seq.engine.event_rate();
+    table.add_row({"timewarp", static_cast<std::int64_t>(pes),
+                   tw.engine.event_rate(), speedup, speedup / pes,
+                   tw.engine.rolled_back_events,
+                   tw.report == seq.report ? "yes" : "NO (bug!)"});
+  }
+
+  std::cout << "parallel speed-up, " << n << "x" << n << " torus ("
+            << n * n << " LPs), " << steps << " steps — host has "
+            << std::thread::hardware_concurrency() << " hardware thread(s)\n\n";
+  table.print(std::cout);
+  std::cout << "\nNote: real speed-up needs real cores; on a single-core "
+               "host the Time Warp rows measure synchronization overhead, "
+               "while the identical_stats column demonstrates Attachment 3 "
+               "(repeatability) regardless.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Regenerate every figure/table of the reproduction. Quick scales by
+# default; pass --full for the paper-scale sweeps (much slower).
+#
+#   scripts/run_all_figures.sh [--full] [build_dir]
+set -euo pipefail
+
+FULL=""
+if [[ "${1:-}" == "--full" ]]; then
+  FULL="--full"
+  shift
+fi
+BUILD="${1:-build}"
+OUT="results"
+mkdir -p "$OUT"
+
+BENCHES=(
+  fig3_delivery_time
+  fig4_injection_wait
+  fig5_speedup
+  fig6_efficiency
+  fig7_rollbacks
+  fig8_kp_event_rate
+  determinism_check
+  baseline_comparison
+  flow_control_contrast
+  ablation_state_saving
+  ablation_mapping
+  ablation_event_queue
+  ablation_cancellation
+  ablation_gvt_interval
+  priority_census
+  mesh_vs_torus
+  traffic_patterns
+  phold_sweep
+  pcs_blocking
+  conservative_vs_optimistic
+)
+
+for b in "${BENCHES[@]}"; do
+  echo "=== $b ==="
+  "$BUILD/bench/$b" $FULL --csv="$OUT/$b.csv" | tee "$OUT/$b.txt"
+  echo
+done
+
+echo "=== micro_engine ==="
+"$BUILD/bench/micro_engine" --benchmark_min_time=0.05 | tee "$OUT/micro_engine.txt"
+
+echo
+echo "All outputs in $OUT/"

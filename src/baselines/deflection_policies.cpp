@@ -1,0 +1,74 @@
+#include "baselines/deflection_policies.hpp"
+
+namespace hp::baselines {
+
+using hotpotato::HpMsg;
+using hotpotato::RouteDecision;
+
+namespace {
+
+std::uint32_t dst_of(const net::Grid& t, const HpMsg& m) {
+  return t.id_of({static_cast<std::int32_t>(m.dst_row),
+                  static_cast<std::int32_t>(m.dst_col)});
+}
+
+RouteDecision greedy_route(const net::Grid& t, const HpMsg& m,
+                           std::uint32_t here, net::DirSet free,
+                           util::ReversibleRng& rng,
+                           net::DirSet (*desired_of)(const net::Grid&,
+                                                     std::uint32_t,
+                                                     std::uint32_t)) {
+  const std::uint32_t dst = dst_of(t, m);
+  const net::DirSet good = t.good_dirs(here, dst);
+  const net::DirSet desired = desired_of(t, here, dst);
+
+  RouteDecision d;
+  d.new_priority = m.prio;  // baselines keep the packet's priority fixed
+  net::DirSet candidates;
+  for (net::Dir dir : net::kAllDirs) {
+    if (desired.contains(dir) && free.contains(dir)) candidates.add(dir);
+  }
+  if (!candidates.empty()) {
+    d.dir = hotpotato::RoutingPolicy::pick_uniform(candidates, rng, d.rng_draws);
+    d.deflected = false;
+  } else {
+    d.dir = hotpotato::RoutingPolicy::pick_deflection(good, free, rng,
+                                                      d.rng_draws);
+    d.deflected = true;
+  }
+  return d;
+}
+
+net::DirSet desired_good(const net::Grid& t, std::uint32_t here,
+                         std::uint32_t dst) {
+  return t.good_dirs(here, dst);
+}
+
+net::DirSet desired_home_run(const net::Grid& t, std::uint32_t here,
+                             std::uint32_t dst) {
+  net::DirSet s;
+  if (here != dst) s.add(t.home_run_dir(here, dst));
+  return s;
+}
+
+}  // namespace
+
+RouteDecision GreedyPolicy::route(const net::Grid& t, const HpMsg& m,
+                                  std::uint32_t here, net::DirSet free,
+                                  util::ReversibleRng& rng) const {
+  return greedy_route(t, m, here, free, rng, desired_good);
+}
+
+RouteDecision DimOrderPolicy::route(const net::Grid& t, const HpMsg& m,
+                                    std::uint32_t here, net::DirSet free,
+                                    util::ReversibleRng& rng) const {
+  return greedy_route(t, m, here, free, rng, desired_home_run);
+}
+
+RouteDecision OldestFirstPolicy::route(const net::Grid& t, const HpMsg& m,
+                                       std::uint32_t here, net::DirSet free,
+                                       util::ReversibleRng& rng) const {
+  return greedy_route(t, m, here, free, rng, desired_good);
+}
+
+}  // namespace hp::baselines

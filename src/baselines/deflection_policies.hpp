@@ -1,0 +1,62 @@
+#pragma once
+
+// Baseline deflection-routing policies for the comparison experiments
+// (report Section 2 cites Bartzis et al. [5], which evaluates several
+// hot-potato algorithms on 2-D arrays; these are the classic family).
+// All run on the same bufferless-router substrate as the BHW policy.
+
+#include "hotpotato/policy.hpp"
+
+namespace hp::baselines {
+
+// Plain greedy hot-potato: no priorities, route to any free good link,
+// deflect uniformly otherwise. The simplest algorithm in the family and the
+// natural control for the BHW priority machinery.
+class GreedyPolicy final : public hotpotato::RoutingPolicy {
+ public:
+  const char* name() const noexcept override { return "greedy"; }
+  double route_offset(const hotpotato::HpMsg&, std::uint32_t) const override {
+    return 3.0;
+  }
+  hotpotato::RouteDecision route(const net::Grid& t,
+                                 const hotpotato::HpMsg& m, std::uint32_t here,
+                                 net::DirSet free,
+                                 util::ReversibleRng& rng) const override;
+};
+
+// Dimension-order preference: every packet always wants its one-bend
+// (row-then-column) link, like an XY-routed mesh; deflect when taken.
+// Contrasts a single fixed preferred path with the greedy set.
+class DimOrderPolicy final : public hotpotato::RoutingPolicy {
+ public:
+  const char* name() const noexcept override { return "dimorder"; }
+  double route_offset(const hotpotato::HpMsg&, std::uint32_t) const override {
+    return 3.0;
+  }
+  hotpotato::RouteDecision route(const net::Grid& t,
+                                 const hotpotato::HpMsg& m, std::uint32_t here,
+                                 net::DirSet free,
+                                 util::ReversibleRng& rng) const override;
+};
+
+// Oldest-first: age-based priority, the classic livelock-avoidance scheme —
+// older packets route earlier within the step and so win link conflicts.
+// Greedy link choice.
+class OldestFirstPolicy final : public hotpotato::RoutingPolicy {
+ public:
+  const char* name() const noexcept override { return "oldest_first"; }
+  // Offset decays from ~4.5 toward 1 as the packet ages, so age wins
+  // conflicts monotonically while staying inside the ROUTE window [1, 5).
+  double route_offset(const hotpotato::HpMsg& m,
+                      std::uint32_t step) const override {
+    const double age =
+        step >= m.birth_step ? static_cast<double>(step - m.birth_step) : 0.0;
+    return 1.0 + 3.5 / (1.0 + age);
+  }
+  hotpotato::RouteDecision route(const net::Grid& t,
+                                 const hotpotato::HpMsg& m, std::uint32_t here,
+                                 net::DirSet free,
+                                 util::ReversibleRng& rng) const override;
+};
+
+}  // namespace hp::baselines

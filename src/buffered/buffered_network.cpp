@@ -1,0 +1,172 @@
+#include "buffered/buffered_network.hpp"
+
+#include <algorithm>
+
+#include "util/hash.hpp"
+#include "util/macros.hpp"
+
+namespace hp::buffered {
+
+BufferedNetwork::BufferedNetwork(BufferedConfig cfg)
+    : cfg_(cfg), torus_(cfg.n), rng_(cfg.seed) {
+  HP_ASSERT(cfg_.queue_capacity >= 1, "need at least one queue slot");
+  routers_.resize(torus_.num_nodes());
+  for (std::uint32_t lp = 0; lp < torus_.num_nodes(); ++lp) {
+    if (cfg_.injector_fraction >= 1.0) {
+      routers_[lp].is_injector = true;
+    } else if (cfg_.injector_fraction > 0.0) {
+      const std::uint64_t h =
+          util::splitmix64(util::hash_combine(cfg_.selection_seed, lp));
+      const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+      routers_[lp].is_injector = u < cfg_.injector_fraction;
+    }
+  }
+}
+
+net::Dir BufferedNetwork::route_dir(std::uint32_t here,
+                                    std::uint32_t dst) const {
+  // Dimension order = the home-run (one-bend) path.
+  return torus_.home_run_dir(here, dst);
+}
+
+void BufferedNetwork::deliver(const Packet& p) {
+  ++report_.delivered;
+  report_.delivery_steps_sum += static_cast<double>(step_ - p.birth_step + 1);
+  report_.delivery_distance_sum += static_cast<double>(p.initial_distance);
+}
+
+void BufferedNetwork::step() {
+  ++step_;
+  const std::uint32_t nn = torus_.num_nodes();
+
+  // Phase 1: each queue head nominates a move based on start-of-step state.
+  struct Move {
+    std::uint32_t src;
+    net::Dir out;
+    std::uint32_t dst_router;
+  };
+  std::vector<Move> moves;
+  moves.reserve(nn);
+  // Occupancy snapshot and per-queue departure flags, so "space after this
+  // step's departure" is computable without order dependence.
+  std::vector<std::uint8_t> departs(nn * net::kNumDirs, 0);
+  for (std::uint32_t r = 0; r < nn; ++r) {
+    for (net::Dir d : net::kAllDirs) {
+      if (!routers_[r].q[net::dir_index(d)].empty()) {
+        moves.push_back(Move{r, d, torus_.neighbor(r, d)});
+      }
+    }
+  }
+
+  // Phase 2: admission. A move is accepted iff the packet is absorbed at the
+  // next router, or the downstream queue it needs has space counting this
+  // step's own departure. Accepted arrivals fill space in deterministic
+  // (router id, direction) order; the rest stall.
+  std::vector<std::uint32_t> incoming(nn * net::kNumDirs, 0);
+  // First pass: mark which queues depart (head accepted is decided by space
+  // downstream; to break the mutual-dependency cycle — a full queue whose
+  // head also leaves this step — we use start-of-step occupancy minus a
+  // guaranteed departure only for absorption moves, the conservative
+  // store-and-forward rule).
+  for (const Move& mv : moves) {
+    Router& src = routers_[mv.src];
+    auto& q = src.q[net::dir_index(mv.out)];
+    const Packet& p = q.front();
+    bool accepted;
+    if (p.dst == mv.dst_router) {
+      accepted = true;  // absorption never needs buffer space
+    } else {
+      const net::Dir next_out = route_dir(mv.dst_router, p.dst);
+      const auto slot =
+          mv.dst_router * net::kNumDirs +
+          static_cast<std::uint32_t>(net::dir_index(next_out));
+      const auto& nq = routers_[mv.dst_router].q[net::dir_index(next_out)];
+      if (nq.size() + incoming[slot] < cfg_.queue_capacity) {
+        accepted = true;
+        ++incoming[slot];
+      } else {
+        accepted = false;
+      }
+    }
+    if (accepted) {
+      departs[mv.src * net::kNumDirs +
+              static_cast<std::uint32_t>(net::dir_index(mv.out))] = 1;
+    } else {
+      ++report_.stalls;
+    }
+  }
+
+  // Apply accepted moves: pop sources, then push destinations (absorptions
+  // recorded immediately).
+  std::vector<std::pair<std::uint32_t, Packet>> pushes;  // (queue slot, pkt)
+  pushes.reserve(moves.size());
+  for (const Move& mv : moves) {
+    const auto s = mv.src * net::kNumDirs +
+                   static_cast<std::uint32_t>(net::dir_index(mv.out));
+    if (!departs[s]) continue;
+    Router& src = routers_[mv.src];
+    Packet p = src.q[net::dir_index(mv.out)].front();
+    src.q[net::dir_index(mv.out)].pop_front();
+    ++report_.moves;
+    if (p.dst == mv.dst_router) {
+      deliver(p);
+    } else {
+      const net::Dir next_out = route_dir(mv.dst_router, p.dst);
+      pushes.emplace_back(mv.dst_router * net::kNumDirs +
+                              static_cast<std::uint32_t>(
+                                  net::dir_index(next_out)),
+                          p);
+    }
+  }
+  for (auto& [slot, p] : pushes) {
+    auto& q = routers_[slot / net::kNumDirs].q[slot % net::kNumDirs];
+    q.push_back(p);
+    HP_ASSERT(q.size() <= cfg_.queue_capacity, "queue overflow");
+    report_.max_queue_depth = std::max<std::uint64_t>(report_.max_queue_depth,
+                                                      q.size());
+  }
+
+  // Phase 3: injection under flow control — admit only into a non-full
+  // local queue.
+  for (std::uint32_t r = 0; r < nn; ++r) {
+    Router& rt = routers_[r];
+    if (!rt.is_injector) continue;
+    if (!rt.has_pending) {
+      auto idx = static_cast<std::uint32_t>(rng_.integer(0, nn - 2));
+      if (idx >= r) ++idx;
+      rt.pending = Packet{idx, 0,
+                          static_cast<std::uint16_t>(torus_.distance(r, idx))};
+      rt.has_pending = true;
+      rt.pending_since = step_;
+    }
+    const net::Dir out = route_dir(r, rt.pending.dst);
+    auto& q = rt.q[net::dir_index(out)];
+    if (q.size() < cfg_.queue_capacity) {
+      rt.pending.birth_step = step_;
+      q.push_back(rt.pending);
+      report_.max_queue_depth = std::max<std::uint64_t>(
+          report_.max_queue_depth, q.size());
+      const double wait = static_cast<double>(step_ - rt.pending_since);
+      ++report_.injected;
+      report_.inject_wait_sum += wait;
+      report_.max_inject_wait = std::max(report_.max_inject_wait, wait);
+      rt.has_pending = false;
+    }
+  }
+}
+
+std::uint64_t BufferedNetwork::packets_queued() const noexcept {
+  std::uint64_t total = 0;
+  for (const Router& r : routers_) {
+    for (const auto& q : r.q) total += q.size();
+  }
+  return total;
+}
+
+BufferedReport BufferedNetwork::run() {
+  for (std::uint32_t s = 0; s < cfg_.steps; ++s) step();
+  report_.in_flight_end = packets_queued();
+  return report_;
+}
+
+}  // namespace hp::buffered

@@ -1,0 +1,108 @@
+#pragma once
+
+// The "with flow control" contrast system: a store-and-forward torus router
+// with finite output FIFOs and credit-style backpressure. This is the class
+// of network the paper's title argues against — sources must throttle to the
+// network's buffer state, which under-utilizes links, while hot-potato keeps
+// packets moving with no flow control at all (report Section 1.2.3).
+//
+// Packets are dimension-order routed (row first, then column — the same
+// one-bend paths the BHW home-run rule uses). Each step, every queue head
+// moves one hop iff the downstream queue it needs has a free slot after this
+// step's departures; otherwise it stalls (backpressure). Injection enqueues
+// at the source only when the source's own queue has space: that admission
+// gate *is* the flow control.
+//
+// This model is a synchronous two-phase simulator rather than a DES model:
+// move decisions need neighbor queue occupancy, which logical processes
+// cannot inspect — and as a baseline comparator it needs no Time Warp.
+// Determinism comes from fixed iteration order and a seeded RNG.
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/torus.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace hp::buffered {
+
+struct BufferedConfig {
+  std::int32_t n = 8;
+  double injector_fraction = 0.5;
+  std::uint32_t steps = 100;
+  std::uint32_t queue_capacity = 4;  // per output FIFO
+  std::uint64_t seed = 1;
+  std::uint64_t selection_seed = 0x5eedU;
+};
+
+struct BufferedReport {
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t moves = 0;           // link traversals
+  std::uint64_t stalls = 0;          // queue heads blocked by backpressure
+  double delivery_steps_sum = 0.0;   // injection -> absorption, incl. queueing
+  double delivery_distance_sum = 0.0;
+  double inject_wait_sum = 0.0;
+  double max_inject_wait = 0.0;
+  std::uint64_t max_queue_depth = 0;
+  std::uint64_t in_flight_end = 0;
+
+  double avg_delivery_steps() const noexcept {
+    return delivered ? delivery_steps_sum / static_cast<double>(delivered) : 0.0;
+  }
+  double stretch() const noexcept {
+    return delivery_distance_sum > 0 ? delivery_steps_sum / delivery_distance_sum
+                                     : 0.0;
+  }
+  double avg_inject_wait() const noexcept {
+    return injected ? inject_wait_sum / static_cast<double>(injected) : 0.0;
+  }
+  double link_utilization(std::uint32_t num_routers,
+                          std::uint32_t steps) const noexcept {
+    const double slots =
+        4.0 * static_cast<double>(num_routers) * static_cast<double>(steps);
+    return slots ? static_cast<double>(moves) / slots : 0.0;
+  }
+};
+
+class BufferedNetwork {
+ public:
+  explicit BufferedNetwork(BufferedConfig cfg);
+
+  // Advance one synchronous step.
+  void step();
+  // Run the configured number of steps and return the report.
+  BufferedReport run();
+
+  const BufferedReport& report() const noexcept { return report_; }
+  std::uint32_t current_step() const noexcept { return step_; }
+  std::uint64_t packets_queued() const noexcept;
+
+ private:
+  struct Packet {
+    std::uint32_t dst = 0;
+    std::uint32_t birth_step = 0;
+    std::uint16_t initial_distance = 0;
+  };
+  struct Router {
+    std::deque<Packet> q[net::kNumDirs];
+    bool is_injector = false;
+    bool has_pending = false;
+    Packet pending;
+    std::uint32_t pending_since = 0;
+  };
+
+  net::Dir route_dir(std::uint32_t here, std::uint32_t dst) const;
+  void deliver(const Packet& p);
+
+  BufferedConfig cfg_;
+  net::Torus torus_;
+  std::vector<Router> routers_;
+  util::ReversibleRng rng_;
+  BufferedReport report_;
+  std::uint32_t step_ = 0;
+};
+
+}  // namespace hp::buffered

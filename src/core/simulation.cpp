@@ -1,0 +1,63 @@
+#include "core/simulation.hpp"
+
+#include "des/conservative.hpp"
+#include "des/sequential.hpp"
+#include "des/timewarp.hpp"
+#include "net/mapping.hpp"
+
+namespace hp::core {
+
+SimulationResult run_hotpotato(const SimulationOptions& opts) {
+  hotpotato::HotPotatoConfig mcfg = opts.model;
+  std::unique_ptr<hotpotato::BhwPolicy> default_policy;
+  if (mcfg.policy == nullptr) {
+    default_policy = std::make_unique<hotpotato::BhwPolicy>(mcfg.n);
+    mcfg.policy = default_policy.get();
+  }
+  hotpotato::HotPotatoModel model(mcfg);
+
+  des::EngineConfig ecfg;
+  ecfg.num_lps = mcfg.num_lps();
+  ecfg.end_time = mcfg.end_time();
+  ecfg.seed = opts.seed;
+
+  SimulationResult result;
+  if (opts.kernel == Kernel::Sequential) {
+    des::SequentialEngine eng(model, ecfg);
+    result.engine = eng.run();
+    result.report = hotpotato::collect_report(eng);
+    return result;
+  }
+  if (opts.kernel == Kernel::Conservative) {
+    ecfg.num_pes = opts.num_pes;
+    ecfg.num_kps = std::max(opts.num_kps, opts.num_pes);
+    des::ConservativeEngine eng(model, ecfg,
+                                hotpotato::kCrossLpLookahead);
+    result.engine = eng.run();
+    result.report = hotpotato::collect_report(eng);
+    return result;
+  }
+
+  ecfg.num_pes = opts.num_pes;
+  ecfg.num_kps = opts.num_kps;
+  ecfg.gvt_interval_events = opts.gvt_interval;
+  ecfg.state_saving = opts.state_saving;
+  ecfg.optimism_window = opts.optimism_window;
+  ecfg.queue_kind = opts.queue_kind;
+  ecfg.cancellation = opts.cancellation;
+  std::unique_ptr<net::Mapping> mapping;
+  if (opts.block_mapping) {
+    mapping = std::make_unique<net::BlockMapping>(mcfg.n, opts.num_kps,
+                                                  opts.num_pes);
+  } else {
+    mapping = std::make_unique<net::LinearMapping>(ecfg.num_lps, opts.num_kps,
+                                                   opts.num_pes);
+  }
+  ecfg.mapping = mapping.get();
+  des::TimeWarpEngine eng(model, ecfg);
+  result.engine = eng.run();
+  result.report = hotpotato::collect_report(eng);
+  return result;
+}
+
+}  // namespace hp::core

@@ -1,0 +1,59 @@
+#pragma once
+
+// Public facade: configure and run a hot-potato torus simulation on either
+// kernel with one call. This is the API the examples and the figure
+// harnesses use; the underlying pieces (des::*, hotpotato::*) remain public
+// for callers that need custom models or policies.
+
+#include <cstdint>
+#include <memory>
+
+#include "des/engine.hpp"
+#include "hotpotato/model.hpp"
+#include "hotpotato/stats.hpp"
+
+namespace hp::core {
+
+enum class Kernel { Sequential, TimeWarp, Conservative };
+
+constexpr const char* kernel_name(Kernel k) noexcept {
+  switch (k) {
+    case Kernel::Sequential: return "sequential";
+    case Kernel::TimeWarp: return "timewarp";
+    case Kernel::Conservative: return "conservative";
+  }
+  return "?";
+}
+
+struct SimulationOptions {
+  hotpotato::HotPotatoConfig model;  // policy may be null => BHW default
+  Kernel kernel = Kernel::Sequential;
+  std::uint64_t seed = 1;
+
+  // Time Warp parameters (report defaults: 64 KPs, block mapping).
+  std::uint32_t num_pes = 1;
+  std::uint32_t num_kps = 64;
+  std::uint32_t gvt_interval = 4096;
+  bool state_saving = false;
+  bool block_mapping = true;  // false => linear stripes (ablation)
+  // Moving-window optimism throttle in virtual time units (see
+  // des::EngineConfig::optimism_window); infinite = pure Time Warp.
+  des::Time optimism_window = des::kTimeInf;
+  // Pending-queue backend (splay tree = ROSS default).
+  des::EngineConfig::QueueKind queue_kind = des::EngineConfig::QueueKind::Splay;
+  // Cancellation strategy (aggressive = ROSS default; lazy reuses identical
+  // re-sends so unchanged subtrees survive rollbacks).
+  des::EngineConfig::Cancellation cancellation =
+      des::EngineConfig::Cancellation::Aggressive;
+};
+
+struct SimulationResult {
+  hotpotato::HpReport report;  // model-level statistics
+  des::RunStats engine;        // kernel-level statistics
+};
+
+// Run one simulation to completion. Deterministic: the same options produce
+// bit-identical reports on both kernels at any PE/KP count.
+SimulationResult run_hotpotato(const SimulationOptions& opts);
+
+}  // namespace hp::core

@@ -1,0 +1,210 @@
+#include "des/conservative.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "util/hash.hpp"
+
+namespace hp::des {
+
+// Send context: same-PE sends insert straight into the pending set (they may
+// still fall inside the current window — key-ordered popping handles that);
+// cross-PE sends are verified against the lookahead and parked in the
+// destination inbox until the end-of-window barrier.
+class ConservativeEngine::Ctx final : public Context {
+ public:
+  Ctx(ConservativeEngine& e, PeData& pe) : e_(e), pe_(pe) {}
+
+  void begin_event(Event* ev) {
+    cur_ = ev;
+    rng_ = &e_.rngs_[ev->key.dst_lp];
+    send_seq_ = 0;
+    reversing_ = false;
+    ev->cv = 0;
+  }
+
+ protected:
+  Event* prepare_send_(std::uint32_t dst_lp, Time ts) override {
+    HP_ASSERT(dst_lp < e_.cfg_.num_lps, "send to out-of-range LP %u", dst_lp);
+    Event* ev = pe_.pool.allocate();
+    ev->key = EventKey{ts, util::hash_combine(cur_->key.tie, send_seq_),
+                       cur_->key.dst_lp, dst_lp, send_seq_};
+    ++send_seq_;
+    ev->send_ts = cur_->key.ts;
+    ev->status = EventStatus::Pending;
+    ev->cv = 0;
+    return ev;
+  }
+
+  void commit_send_(Event* ev) override {
+    if (ev->key.dst_lp != cur_->key.dst_lp) {
+      // The conservative contract: cross-LP messages respect the lookahead.
+      HP_ASSERT(ev->key.ts >= cur_->key.ts + e_.lookahead_ - 1e-12,
+                "cross-LP send with delay %f below the declared lookahead %f",
+                ev->key.ts - cur_->key.ts, e_.lookahead_);
+    }
+    const std::uint32_t dst_pe = e_.lp_pe_[ev->key.dst_lp];
+    if (dst_pe == pe_.id) {
+      pe_.pending.insert(ev);
+    } else {
+      PeData& dst = *e_.pes_[dst_pe];
+      std::scoped_lock lock(dst.inbox_mu);
+      dst.inbox.push_back(ev);
+    }
+  }
+
+ private:
+  ConservativeEngine& e_;
+  PeData& pe_;
+};
+
+class ConsInitCtx final : public InitContext {
+ public:
+  ConsInitCtx(ConservativeEngine& e, std::uint64_t seed) : e_(e), seed_(seed) {}
+
+  void begin_lp(std::uint32_t lp) {
+    lp_ = lp;
+    rng_ = &e_.rngs_[lp];
+    idx_ = 0;
+  }
+
+ protected:
+  Event* prepare_schedule_(std::uint32_t dst_lp, Time ts) override {
+    HP_ASSERT(dst_lp < e_.cfg_.num_lps, "schedule to out-of-range LP %u",
+              dst_lp);
+    ConservativeEngine::PeData& pe = *e_.pes_[e_.lp_pe_[dst_lp]];
+    Event* ev = pe.pool.allocate();
+    const std::uint64_t root = util::hash_combine(seed_, lp_);
+    ev->key = EventKey{ts, util::hash_combine(root, idx_), lp_, dst_lp, idx_};
+    ++idx_;
+    ev->send_ts = 0.0;
+    ev->status = EventStatus::Pending;
+    ev->cv = 0;
+    return ev;
+  }
+  void commit_schedule_(Event* ev) override {
+    e_.pes_[e_.lp_pe_[ev->key.dst_lp]]->pending.insert(ev);
+  }
+
+ private:
+  ConservativeEngine& e_;
+  std::uint64_t seed_;
+  std::uint32_t idx_ = 0;
+};
+
+ConservativeEngine::ConservativeEngine(Model& model, EngineConfig cfg,
+                                       Time lookahead)
+    : model_(model),
+      cfg_(cfg),
+      lookahead_(lookahead),
+      barrier_(static_cast<std::ptrdiff_t>(cfg.num_pes)) {
+  HP_ASSERT(cfg_.num_lps > 0, "num_lps must be positive");
+  HP_ASSERT(cfg_.num_pes >= 1, "need at least one PE");
+  HP_ASSERT(lookahead_ > 0.0, "conservative execution needs lookahead > 0");
+
+  if (cfg_.mapping != nullptr) {
+    mapping_ = cfg_.mapping;
+  } else {
+    owned_mapping_ = std::make_unique<net::LinearMapping>(
+        cfg_.num_lps, std::max(cfg_.num_pes, cfg_.num_kps), cfg_.num_pes);
+    mapping_ = owned_mapping_.get();
+  }
+
+  states_.reserve(cfg_.num_lps);
+  rngs_.reserve(cfg_.num_lps);
+  lp_pe_.resize(cfg_.num_lps);
+  for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) {
+    states_.push_back(model_.make_state(lp));
+    rngs_.emplace_back(util::hash_combine(cfg_.seed, lp));
+    lp_pe_[lp] = mapping_->pe_of(lp);
+    HP_ASSERT(lp_pe_[lp] < cfg_.num_pes, "mapping returned PE out of range");
+  }
+  pes_.reserve(cfg_.num_pes);
+  for (std::uint32_t pe = 0; pe < cfg_.num_pes; ++pe) {
+    pes_.push_back(std::make_unique<PeData>());
+    pes_.back()->id = pe;
+  }
+  local_min_.resize(cfg_.num_pes, kTimeInf);
+}
+
+ConservativeEngine::~ConservativeEngine() = default;
+
+void ConservativeEngine::run_pe(PeData& pe) {
+  Ctx ctx(*this, pe);
+  for (;;) {
+    // Publish the local floor; PE 0 computes the window.
+    local_min_[pe.id] =
+        pe.pending.empty() ? kTimeInf : (*pe.pending.begin())->key.ts;
+    barrier_.arrive_and_wait();
+    if (pe.id == 0) {
+      Time floor = kTimeInf;
+      for (const Time m : local_min_) floor = std::min(floor, m);
+      if (floor > cfg_.end_time) {
+        done_.store(true, std::memory_order_relaxed);
+      } else {
+        window_end_.store(floor + lookahead_, std::memory_order_relaxed);
+        windows_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    barrier_.arrive_and_wait();
+    if (done_.load(std::memory_order_relaxed)) return;
+
+    // Process everything inside the window (key order; same-PE insertions
+    // during processing are picked up by the min-pop).
+    const Time wend = window_end_.load(std::memory_order_relaxed);
+    while (!pe.pending.empty()) {
+      Event* ev = *pe.pending.begin();
+      if (ev->key.ts >= wend || ev->key.ts > cfg_.end_time) break;
+      pe.pending.erase(pe.pending.begin());
+      ev->status = EventStatus::Processed;
+      ctx.begin_event(ev);
+      model_.forward(*states_[ev->key.dst_lp], *ev, ctx);
+      model_.commit(*states_[ev->key.dst_lp], *ev);
+      ++pe.processed;
+      pe.pool.free(ev);
+    }
+
+    // End-of-window barrier: all sends are parked; drain the inbox.
+    barrier_.arrive_and_wait();
+    {
+      std::scoped_lock lock(pe.inbox_mu);
+      for (Event* ev : pe.inbox) pe.pending.insert(ev);
+      pe.inbox.clear();
+    }
+  }
+}
+
+RunStats ConservativeEngine::run() {
+  ConsInitCtx ictx(*this, cfg_.seed);
+  for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) {
+    ictx.begin_lp(lp);
+    model_.init_lp(lp, ictx);
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (cfg_.num_pes == 1) {
+    run_pe(*pes_[0]);
+  } else {
+    std::vector<std::jthread> threads;
+    threads.reserve(cfg_.num_pes);
+    for (std::uint32_t pe = 0; pe < cfg_.num_pes; ++pe) {
+      threads.emplace_back([this, pe] { run_pe(*pes_[pe]); });
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunStats stats;
+  for (const auto& pe : pes_) {
+    stats.processed_events += pe->processed;
+    stats.pool_envelopes += pe->pool.allocated();
+    stats.per_pe.push_back(PeRunStats{pe->processed, pe->processed, 0, 0, 0,
+                                      pe->pool.allocated()});
+  }
+  stats.committed_events = stats.processed_events;
+  stats.gvt_rounds = windows_.load();
+  stats.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  stats.final_gvt = cfg_.end_time;
+  return stats;
+}
+
+}  // namespace hp::des

@@ -1,0 +1,104 @@
+#pragma once
+
+// Conservative parallel kernel (bounded-window / YAWNS style) — the classic
+// alternative to Time Warp that the ROSS line of work positions against.
+//
+// Requires a model property Time Warp does not: a global **lookahead** L —
+// every message sent to a *different* LP must arrive at least L after the
+// sender's current time (same-LP self-sends may be arbitrarily close). Then
+// events inside the window [floor, floor + L) are causally independent
+// across PEs and can run in parallel with no rollback machinery at all:
+//
+//   loop:
+//     barrier; floor = global min pending timestamp; barrier
+//     every PE processes its events with ts < floor + L (in key order;
+//       same-PE sends insert directly, cross-PE sends go to inboxes)
+//     barrier; drain inboxes
+//
+// Strengths: zero wasted work, no reverse handlers needed. Weakness: the
+// window — and therefore the parallelism per synchronization — is capped by
+// the model's lookahead, which is exactly the limitation optimistic
+// execution removes. The conservative_vs_optimistic bench quantifies both
+// sides on the same models.
+//
+// Determinism: events are processed in the same deterministic key order as
+// the other kernels, so results are bit-identical to SequentialEngine.
+
+#include <atomic>
+#include <barrier>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "des/event.hpp"
+#include "des/model.hpp"
+#include "net/mapping.hpp"
+
+namespace hp::des {
+
+class ConsInitCtx;
+
+class ConservativeEngine {
+  friend class ConsInitCtx;
+
+ public:
+  // `lookahead` must be a lower bound on every cross-LP send delay the
+  // model performs; the engine verifies each send against it.
+  ConservativeEngine(Model& model, EngineConfig cfg, Time lookahead);
+  ~ConservativeEngine();
+
+  ConservativeEngine(const ConservativeEngine&) = delete;
+  ConservativeEngine& operator=(const ConservativeEngine&) = delete;
+
+  RunStats run();
+
+  LpState& state(std::uint32_t lp) noexcept { return *states_[lp]; }
+  const LpState& state(std::uint32_t lp) const noexcept { return *states_[lp]; }
+  std::uint32_t num_lps() const noexcept { return cfg_.num_lps; }
+
+  template <typename Fn>
+  void for_each_state(Fn&& fn) const {
+    for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) fn(lp, *states_[lp]);
+  }
+
+ private:
+  struct KeyLess {
+    bool operator()(const Event* a, const Event* b) const noexcept {
+      return a->key < b->key;
+    }
+  };
+
+  struct alignas(64) PeData {
+    std::uint32_t id = 0;
+    std::multiset<Event*, KeyLess> pending;
+    std::mutex inbox_mu;
+    std::vector<Event*> inbox;
+    EventPool pool;
+    std::uint64_t processed = 0;
+  };
+
+  class Ctx;
+
+  void run_pe(PeData& pe);
+
+  Model& model_;
+  EngineConfig cfg_;
+  Time lookahead_;
+  std::unique_ptr<net::Mapping> owned_mapping_;
+  const net::Mapping* mapping_ = nullptr;
+
+  std::vector<std::unique_ptr<LpState>> states_;
+  std::vector<util::ReversibleRng> rngs_;
+  std::vector<std::uint32_t> lp_pe_;
+  std::vector<std::unique_ptr<PeData>> pes_;
+
+  std::barrier<> barrier_;
+  std::vector<Time> local_min_;
+  std::atomic<Time> window_end_{0.0};
+  std::atomic<bool> done_{false};
+  std::atomic<std::uint64_t> windows_{0};
+};
+
+}  // namespace hp::des

@@ -1,0 +1,85 @@
+#pragma once
+
+// Shared engine configuration and run statistics.
+
+#include <cstdint>
+#include <vector>
+
+#include "des/time.hpp"
+#include "net/mapping.hpp"
+
+namespace hp::des {
+
+struct EngineConfig {
+  std::uint32_t num_lps = 0;
+  Time end_time = 0.0;
+  std::uint64_t seed = 1;
+
+  // Time Warp kernel only.
+  std::uint32_t num_pes = 1;
+  std::uint32_t num_kps = 1;  // total KPs across all PEs (report Fig. 7/8 x-axis)
+  // Optional externally supplied LP->KP->PE mapping (e.g. the torus block
+  // mapping); if null a LinearMapping is built. Not owned.
+  const net::Mapping* mapping = nullptr;
+  // Per-PE processed events between GVT rounds. Also bounds memory: events
+  // can only be fossil-collected at GVT.
+  std::uint32_t gvt_interval_events = 4096;
+  // Ablation: roll back by restoring pre-event state snapshots instead of
+  // reverse computation (report Section 3.2.1 contrasts these).
+  bool state_saving = false;
+  // Cancellation strategy. Aggressive (default, and what ROSS defaults to):
+  // a rollback sends anti-messages for all children immediately. Lazy: keep
+  // the children; if re-execution sends a bit-identical child (same derived
+  // key and payload), reuse it — its whole downstream subtree survives the
+  // rollback. Only exact matches are reused, so results stay bit-identical.
+  enum class Cancellation : std::uint8_t { Aggressive, Lazy };
+  Cancellation cancellation = Cancellation::Aggressive;
+  // Pending-queue implementation: the splay tree is what ROSS uses; the
+  // multiset is the STL reference. Identical semantics (the queue ablation
+  // bench compares their performance).
+  enum class QueueKind : std::uint8_t { Multiset, Splay };
+  QueueKind queue_kind = QueueKind::Splay;
+  // Optimism throttle (moving time window): a PE only executes events with
+  // ts <= GVT + window. Infinite reproduces pure Time Warp; a few model time
+  // steps tames rollback thrash when PEs are badly co-paced (e.g. more PEs
+  // than cores, so one thread races ahead while others are descheduled).
+  Time optimism_window = kTimeInf;
+};
+
+// Per-PE breakdown (ROSS prints these per-processor tables at exit).
+struct PeRunStats {
+  std::uint64_t processed_events = 0;
+  std::uint64_t committed_events = 0;
+  std::uint64_t rolled_back_events = 0;
+  std::uint64_t primary_rollbacks = 0;
+  std::uint64_t anti_messages = 0;
+  std::uint64_t pool_envelopes = 0;  // event envelopes ever allocated
+};
+
+struct RunStats {
+  std::uint64_t committed_events = 0;   // events that survived to commit
+  std::uint64_t processed_events = 0;   // forward executions incl. re-execution
+  std::uint64_t rolled_back_events = 0; // events undone ("total events rolled back")
+  std::uint64_t primary_rollbacks = 0;  // rollback episodes (straggler/anti)
+  std::uint64_t anti_messages = 0;      // remote cancellations sent
+  std::uint64_t lazy_reused = 0;        // children reused by lazy cancellation
+  std::uint64_t gvt_rounds = 0;
+  std::uint64_t pool_envelopes = 0;     // total envelopes allocated (memory proxy)
+  double wall_seconds = 0.0;
+  double final_gvt = 0.0;
+  std::vector<PeRunStats> per_pe;       // one entry per PE (empty: sequential)
+
+  double event_rate() const noexcept {
+    return wall_seconds > 0 ? static_cast<double>(committed_events) / wall_seconds
+                            : 0.0;
+  }
+  // Fraction of forward executions that were useful work.
+  double efficiency() const noexcept {
+    return processed_events > 0
+               ? static_cast<double>(committed_events) /
+                     static_cast<double>(processed_events)
+               : 1.0;
+  }
+};
+
+}  // namespace hp::des

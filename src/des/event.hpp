@@ -1,0 +1,129 @@
+#pragma once
+
+// Event envelope and per-PE pool.
+//
+// Envelopes are fixed-size: a key, engine bookkeeping, the model's control
+// bitfield (tw_bf analogue), the child list used for anti-message
+// cancellation, and a POD payload buffer the model reinterprets as its
+// message struct (the ROSS Msg_Data idiom). Envelopes move between PEs by
+// pointer; ownership transfers on enqueue and the receiving PE eventually
+// frees them into its own pool.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+#include <type_traits>
+#include <vector>
+
+#include "des/lp_state.hpp"
+#include "des/time.hpp"
+#include "util/macros.hpp"
+#include "util/small_vec.hpp"
+
+namespace hp::des {
+
+inline constexpr std::size_t kMaxPayload = 96;
+
+enum class EventStatus : std::uint8_t { Free, Pending, Processed };
+
+struct Event;
+
+// Reference to a child event for cancellation. Identity (uid) — not the
+// ordering key — matches anti-messages to positives: after a rollback, a
+// re-executed parent may send a *different* child that legitimately reuses
+// the old child's ordering key (same parent tie, same send index), and the
+// dying lineage coexists with the new one until the cancellation chain
+// catches up. The uid is unique per envelope send, so cancellation never
+// kills the wrong twin. Everything is stored by value so cancellation never
+// dereferences an envelope owned by another PE.
+struct ChildRef {
+  EventKey key;  // for the GVT inbox minimum and diagnostics
+  std::uint64_t uid;
+  // Hash of (payload bytes, size): lazy cancellation may only reuse a stale
+  // child when both the derived key AND the content match, otherwise
+  // determinism would break (same key can carry different payloads after a
+  // changed decision upstream).
+  std::uint64_t payload_hash;
+  std::uint32_t dst_pe;
+};
+static_assert(std::is_trivially_copyable_v<ChildRef>);
+
+struct Event {
+  EventKey key;
+  std::uint64_t uid = 0;  // unique send instance id (anti-message identity)
+  std::uint64_t parent_uid = 0;   // uid of the sending event (0 for roots)
+  std::uint64_t rng_before = 0;   // LP stream position before execution
+  Time send_ts = 0.0;
+  std::uint32_t kp = 0;  // destination KP, cached at send time
+  EventStatus status = EventStatus::Free;
+  std::uint16_t payload_size = 0;
+  std::uint32_t cv = 0;  // model control bits, reset before each forward
+  util::SmallVec<ChildRef, 4> children;
+  // Lazy cancellation: children of the last rolled-back execution, kept
+  // alive until re-execution either re-sends them identically (reuse) or
+  // finishes without them (cancel). Empty outside lazy mode.
+  std::vector<ChildRef> stale_children;
+
+  // State-saving ablation mode only: pre-execution snapshot of the
+  // destination LP's state, the RNG, and the message payload (forward
+  // handlers mutate their own message under the ROSS save-into-the-message
+  // idiom, so re-execution must start from the original bytes).
+  std::unique_ptr<LpState> snapshot;
+  std::unique_ptr<std::byte[]> payload_snapshot;
+  std::uint64_t saved_rng_state = 0;
+  std::uint64_t saved_rng_draws = 0;
+
+  alignas(8) std::byte payload[kMaxPayload];
+
+  template <typename M>
+  M& msg() noexcept {
+    static_assert(std::is_trivially_copyable_v<M> && sizeof(M) <= kMaxPayload);
+    return *std::launder(reinterpret_cast<M*>(payload));
+  }
+  template <typename M>
+  const M& msg() const noexcept {
+    static_assert(std::is_trivially_copyable_v<M> && sizeof(M) <= kMaxPayload);
+    return *std::launder(reinterpret_cast<const M*>(payload));
+  }
+};
+
+// Free-list recycler. Not thread-safe by design: one pool per PE, and
+// cross-PE envelopes are freed into the *receiving* PE's pool (the free list
+// holds non-owning pointers; storage is owned by the allocating pool, and
+// the engine destroys all pools together after the PE threads have joined).
+class EventPool {
+ public:
+  EventPool() = default;
+  EventPool(const EventPool&) = delete;
+  EventPool& operator=(const EventPool&) = delete;
+
+  Event* allocate() {
+    if (free_.empty()) {
+      all_.push_back(std::make_unique<Event>());
+      return all_.back().get();
+    }
+    Event* ev = free_.back();
+    free_.pop_back();
+    return ev;
+  }
+
+  void free(Event* ev) noexcept {
+    ev->status = EventStatus::Free;
+    ev->children.clear();
+    ev->stale_children.clear();
+    ev->snapshot.reset();
+    ev->payload_snapshot.reset();
+    free_.push_back(ev);
+  }
+
+  std::size_t allocated() const noexcept { return all_.size(); }
+  std::size_t free_count() const noexcept { return free_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Event>> all_;
+  std::vector<Event*> free_;
+};
+
+}  // namespace hp::des

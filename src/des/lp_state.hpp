@@ -1,0 +1,32 @@
+#pragma once
+
+// LP state base class (ROSS SV analogue). Lives in its own header because
+// the event envelope holds a snapshot pointer (state-saving ablation mode)
+// and needs the complete type.
+
+#include <memory>
+
+#include "util/macros.hpp"
+
+namespace hp::des {
+
+class LpState {
+ public:
+  virtual ~LpState() = default;
+
+  // Deep copy, used only by the state-saving ablation mode. Models that
+  // never run in that mode may keep the default (which aborts).
+  virtual std::unique_ptr<LpState> clone() const {
+    HP_ASSERT(false, "LpState::clone not implemented for this model");
+    return nullptr;
+  }
+
+  // Deep equality, used by the engine's paranoid verification mode to check
+  // that reverse handlers restore state exactly. Optional like clone().
+  virtual bool equals(const LpState&) const {
+    HP_ASSERT(false, "LpState::equals not implemented for this model");
+    return false;
+  }
+};
+
+}  // namespace hp::des

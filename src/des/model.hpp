@@ -1,0 +1,114 @@
+#pragma once
+
+// The model interface: what a simulation application implements to run on
+// either kernel (sequential or Time Warp). Mirrors the ROSS LP contract:
+//
+//   * make_state  — allocate one LP's state (ROSS SV).
+//   * init_lp     — schedule the LP's initial events (ROSS startup).
+//   * forward     — the event handler. May mutate the LP state, draw from
+//                   the LP's reversible RNG, send new events, stash saved
+//                   values in the event's message payload, and record
+//                   control bits in ctx.bits() (the tw_bf analogue).
+//   * reverse     — undo forward exactly: restore state mutations, rewind
+//                   the RNG one step per forward draw (guided by the control
+//                   bits / saved fields). Child events are cancelled by the
+//                   engine via anti-messages; reverse must not send.
+//   * commit      — optional hook fired once per event when it can no
+//                   longer roll back (immediately in the sequential kernel,
+//                   at fossil collection under Time Warp).
+//
+// Determinism contract: forward must be a pure function of (state, event,
+// rng stream); any violation breaks both rollback and the sequential ==
+// parallel equivalence the report demonstrates in Attachment 3.
+
+#include <cstdint>
+#include <memory>
+
+#include "des/event.hpp"
+#include "des/lp_state.hpp"
+#include "des/time.hpp"
+#include "util/macros.hpp"
+#include "util/rng.hpp"
+
+namespace hp::des {
+
+// Send-side interface handed to forward handlers. Engines subclass it; the
+// two virtual hooks keep payload filling race-free: the envelope is fully
+// written before commit_send_ makes it visible to another PE.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  Time now() const noexcept { return cur_->key.ts; }
+  std::uint32_t self() const noexcept { return cur_->key.dst_lp; }
+  util::ReversibleRng& rng() noexcept { return *rng_; }
+  std::uint32_t& bits() noexcept { return cur_->cv; }
+  bool reversing() const noexcept { return reversing_; }
+
+  template <typename M>
+  void send(std::uint32_t dst_lp, Time delay, const M& m) {
+    static_assert(std::is_trivially_copyable_v<M> && sizeof(M) <= kMaxPayload,
+                  "message must be a POD that fits the payload buffer");
+    HP_ASSERT(!reversing_, "send() called from a reverse handler");
+    HP_ASSERT(delay > 0.0, "send() needs a strictly positive delay, got %f",
+              delay);
+    Event* ev = prepare_send_(dst_lp, now() + delay);
+    std::memcpy(ev->payload, &m, sizeof(M));
+    ev->payload_size = sizeof(M);
+    commit_send_(ev);
+  }
+
+ protected:
+  // Allocate an envelope and fill key/kp: ts as given, src = self(),
+  // send_index = running per-handler counter, tie derived from cur_.
+  virtual Event* prepare_send_(std::uint32_t dst_lp, Time ts) = 0;
+  // Insert into pending structures / route to the destination PE.
+  virtual void commit_send_(Event* ev) = 0;
+
+  Event* cur_ = nullptr;
+  util::ReversibleRng* rng_ = nullptr;
+  std::uint32_t send_seq_ = 0;
+  bool reversing_ = false;
+};
+
+// Initial-event scheduling interface (pre-run, single-threaded, never rolled
+// back). Root event ties hash (seed, lp, call index) so initial ordering is
+// deterministic too.
+class InitContext {
+ public:
+  virtual ~InitContext() = default;
+
+  std::uint32_t self() const noexcept { return lp_; }
+  util::ReversibleRng& rng() noexcept { return *rng_; }
+
+  template <typename M>
+  void schedule(std::uint32_t dst_lp, Time ts, const M& m) {
+    static_assert(std::is_trivially_copyable_v<M> && sizeof(M) <= kMaxPayload,
+                  "message must be a POD that fits the payload buffer");
+    HP_ASSERT(ts >= 0.0, "initial events must have ts >= 0, got %f", ts);
+    Event* ev = prepare_schedule_(dst_lp, ts);
+    std::memcpy(ev->payload, &m, sizeof(M));
+    ev->payload_size = sizeof(M);
+    commit_schedule_(ev);
+  }
+
+ protected:
+  virtual Event* prepare_schedule_(std::uint32_t dst_lp, Time ts) = 0;
+  virtual void commit_schedule_(Event* ev) = 0;
+
+  std::uint32_t lp_ = 0;
+  util::ReversibleRng* rng_ = nullptr;
+};
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  virtual std::unique_ptr<LpState> make_state(std::uint32_t lp) = 0;
+  virtual void init_lp(std::uint32_t lp, InitContext& ctx) = 0;
+  virtual void forward(LpState& state, Event& ev, Context& ctx) = 0;
+  virtual void reverse(LpState& state, Event& ev, Context& ctx) = 0;
+  virtual void commit(LpState& /*state*/, const Event& /*ev*/) {}
+};
+
+}  // namespace hp::des

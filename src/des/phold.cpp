@@ -1,0 +1,66 @@
+#include "des/phold.hpp"
+
+#include "util/hash.hpp"
+
+namespace hp::des {
+
+PholdModel::PholdModel(PholdConfig cfg) : cfg_(cfg) {
+  HP_ASSERT(cfg_.num_lps >= 1, "PHOLD needs LPs");
+  HP_ASSERT(cfg_.remote_fraction >= 0.0 && cfg_.remote_fraction <= 1.0,
+            "remote_fraction out of range");
+  HP_ASSERT(cfg_.lookahead > 0.0, "delays must be strictly positive");
+}
+
+std::unique_ptr<LpState> PholdModel::make_state(std::uint32_t) {
+  return std::make_unique<PholdState>();
+}
+
+void PholdModel::init_lp(std::uint32_t lp, InitContext& ctx) {
+  for (std::uint32_t j = 0; j < cfg_.population_per_lp; ++j) {
+    PholdMsg m{};
+    // Spread the initial population across the first mean delay window.
+    const double ts =
+        cfg_.lookahead + cfg_.mean_delay * ctx.rng().uniform();
+    ctx.schedule(lp, ts, m);
+  }
+}
+
+void PholdModel::forward(LpState& state, Event& ev, Context& ctx) {
+  auto& s = static_cast<PholdState&>(state);
+  auto& m = ev.msg<PholdMsg>();
+  ++s.events;
+  m.saved_order_hash = s.order_hash;
+  s.order_hash = util::hash_combine(s.order_hash, ev.key.tie);
+
+  // Draw 1: destination (remote with probability remote_fraction; the same
+  // unit draw selects which remote LP, so the draw count stays fixed).
+  const double u = ctx.rng().uniform();
+  std::uint32_t dst = ctx.self();
+  m.saved_remote = 0;
+  if (u < cfg_.remote_fraction && cfg_.num_lps > 1) {
+    const double v = u / cfg_.remote_fraction;  // re-uniformized
+    auto idx = static_cast<std::uint32_t>(
+        v * static_cast<double>(cfg_.num_lps - 1));
+    if (idx >= cfg_.num_lps - 1) idx = cfg_.num_lps - 2;
+    dst = idx >= ctx.self() ? idx + 1 : idx;
+    m.saved_remote = 1;
+    ++s.remote_sends;
+  }
+  // Draw 2: service delay.
+  const double delay =
+      cfg_.lookahead + 2.0 * cfg_.mean_delay * ctx.rng().uniform();
+
+  PholdMsg next{};
+  ctx.send(dst, delay, next);
+}
+
+void PholdModel::reverse(LpState& state, Event& ev, Context& ctx) {
+  auto& s = static_cast<PholdState&>(state);
+  auto& m = ev.msg<PholdMsg>();
+  ctx.rng().reverse(2);
+  if (m.saved_remote) --s.remote_sends;
+  s.order_hash = m.saved_order_hash;
+  --s.events;
+}
+
+}  // namespace hp::des

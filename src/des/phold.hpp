@@ -1,0 +1,76 @@
+#pragma once
+
+// PHOLD — the standard synthetic benchmark for parallel DES kernels
+// (Fujimoto's parallel HOLD model): a fixed population of jobs circulates
+// among LPs; each event draws a destination (remote with configurable
+// probability, otherwise self) and a service delay, then schedules one
+// successor. Used here to characterize the Time Warp kernel independently
+// of the hot-potato application (rollback sensitivity to remote fraction
+// and lookahead), exactly as the ROSS literature does.
+//
+// Fully reverse-computable: two RNG draws per event, counters and an
+// order-sensitive hash maintained with the save-into-the-message idiom.
+
+#include <cstdint>
+#include <memory>
+
+#include "des/model.hpp"
+
+namespace hp::des {
+
+struct PholdConfig {
+  std::uint32_t num_lps = 64;
+  std::uint32_t population_per_lp = 4;  // jobs seeded per LP
+  double remote_fraction = 0.5;         // probability a successor is remote
+  double mean_delay = 1.0;              // uniform(0, 2*mean) service time
+  double lookahead = 0.1;               // minimum delay (0 breaks no rules,
+                                        // but tiny values maximize rollbacks)
+};
+
+struct PholdState final : LpState {
+  std::uint64_t events = 0;
+  std::uint64_t remote_sends = 0;
+  std::uint64_t order_hash = 0;
+
+  std::unique_ptr<LpState> clone() const override {
+    return std::make_unique<PholdState>(*this);
+  }
+  bool equals(const LpState& o) const override {
+    const auto& s = static_cast<const PholdState&>(o);
+    return events == s.events && remote_sends == s.remote_sends &&
+           order_hash == s.order_hash;
+  }
+};
+
+struct PholdMsg {
+  std::uint64_t saved_order_hash = 0;  // reverse scratch
+  std::uint8_t saved_remote = 0;
+};
+
+class PholdModel final : public Model {
+ public:
+  explicit PholdModel(PholdConfig cfg);
+
+  std::unique_ptr<LpState> make_state(std::uint32_t lp) override;
+  void init_lp(std::uint32_t lp, InitContext& ctx) override;
+  void forward(LpState& state, Event& ev, Context& ctx) override;
+  void reverse(LpState& state, Event& ev, Context& ctx) override;
+
+  const PholdConfig& config() const noexcept { return cfg_; }
+
+  // Aggregate digest for equivalence checks across kernels.
+  template <typename Engine>
+  static std::uint64_t digest(Engine& eng) {
+    std::uint64_t h = 0;
+    for (std::uint32_t lp = 0; lp < eng.num_lps(); ++lp) {
+      const auto& s = static_cast<const PholdState&>(eng.state(lp));
+      h ^= s.order_hash + 0x9e3779b97f4a7c15ULL * (s.events + 1);
+    }
+    return h;
+  }
+
+ private:
+  PholdConfig cfg_;
+};
+
+}  // namespace hp::des

@@ -1,0 +1,59 @@
+#pragma once
+
+// Sequential reference kernel. Processes events in global key order with no
+// rollback machinery; used for 1-PE measurements, as the golden baseline for
+// the Time Warp equivalence tests, and by models that are not reverse-
+// computable (the buffered flow-control baseline).
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "des/event.hpp"
+#include "des/model.hpp"
+
+namespace hp::des {
+
+class SequentialEngine {
+ public:
+  SequentialEngine(Model& model, EngineConfig cfg);
+  ~SequentialEngine();
+
+  SequentialEngine(const SequentialEngine&) = delete;
+  SequentialEngine& operator=(const SequentialEngine&) = delete;
+
+  RunStats run();
+
+  // Post-run access for statistics aggregation.
+  LpState& state(std::uint32_t lp) noexcept { return *states_[lp]; }
+  const LpState& state(std::uint32_t lp) const noexcept { return *states_[lp]; }
+  std::uint32_t num_lps() const noexcept { return cfg_.num_lps; }
+
+  // ROSS-style statistics collection: invoke `fn(lp, state)` once per LP
+  // (the report's "adaptable construct ... implemented in much the same way
+  // that a C++ visitor functor is implemented", Section 3.1.5).
+  template <typename Fn>
+  void for_each_state(Fn&& fn) const {
+    for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) fn(lp, *states_[lp]);
+  }
+
+ private:
+  struct KeyLess {
+    bool operator()(const Event* a, const Event* b) const noexcept {
+      return a->key < b->key;
+    }
+  };
+
+  class Ctx;
+  class ICtx;
+
+  Model& model_;
+  EngineConfig cfg_;
+  EventPool pool_;
+  std::multiset<Event*, KeyLess> pending_;
+  std::vector<std::unique_ptr<LpState>> states_;
+  std::vector<util::ReversibleRng> rngs_;
+};
+
+}  // namespace hp::des

@@ -1,0 +1,247 @@
+#pragma once
+
+// Splay-tree pending-event queue — the event queue ROSS itself uses.
+// Self-adjusting binary search tree over Event* keyed by EventKey, with the
+// three operations Time Warp needs:
+//   * insert       — new/rolled-back/straggler events;
+//   * pop_min      — next event to execute (amortized O(log n), and O(1)-ish
+//                    under the skewed access patterns DES produces, which is
+//                    why splay trees beat balanced trees here);
+//   * erase(ev)    — anti-message annihilation of a pending positive.
+//
+// Duplicate keys are permitted (transient cancelled/re-sent twins, see
+// DESIGN.md); equal keys are threaded through a per-node same-key chain so
+// erase(ev) can remove the exact envelope: a key descent locates the chain,
+// a pointer match picks the node. Tree nodes are recycled through an
+// internal free list.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "des/event.hpp"
+#include "util/macros.hpp"
+
+namespace hp::des {
+
+class SplayQueue {
+ public:
+  SplayQueue() = default;
+  SplayQueue(const SplayQueue&) = delete;
+  SplayQueue& operator=(const SplayQueue&) = delete;
+  ~SplayQueue() {
+    clear();
+    Node* f = free_;
+    while (f != nullptr) {
+      Node* next = f->right;
+      delete f;
+      f = next;
+    }
+  }
+
+  bool empty() const noexcept { return root_ == nullptr; }
+  std::size_t size() const noexcept { return size_; }
+
+  void insert(Event* ev) {
+    Node* node = alloc_node(ev);
+    ++size_;
+    if (root_ == nullptr) {
+      root_ = node;
+      return;
+    }
+    splay_closest(ev->key);
+    if (ev->key == root_->ev->key) {
+      // Duplicate key: thread onto the root's chain.
+      node->next_dup = root_->next_dup;
+      root_->next_dup = node;
+      return;
+    }
+    if (ev->key < root_->ev->key) {
+      node->left = root_->left;
+      node->right = root_;
+      root_->left = nullptr;
+    } else {
+      node->right = root_->right;
+      node->left = root_;
+      root_->right = nullptr;
+    }
+    root_ = node;
+  }
+
+  // Smallest-key event without removing it.
+  Event* peek_min() {
+    if (root_ == nullptr) return nullptr;
+    splay_min();
+    return root_->ev;
+  }
+
+  Event* pop_min() {
+    if (root_ == nullptr) return nullptr;
+    splay_min();
+    Node* node = root_;
+    Event* ev = node->ev;
+    if (node->next_dup != nullptr) {
+      // Keep the tree node, hand out a duplicate-chain entry.
+      Node* dup = node->next_dup;
+      node->next_dup = dup->next_dup;
+      Event* dup_ev = dup->ev;
+      free_node(dup);
+      --size_;
+      return dup_ev;
+    }
+    root_ = node->right;  // min node has no left child after splay_min
+    free_node(node);
+    --size_;
+    return ev;
+  }
+
+  // Remove a specific pending envelope. Returns false if absent.
+  bool erase(Event* ev) {
+    if (root_ == nullptr) return false;
+    splay_closest(ev->key);
+    if (!(root_->ev->key == ev->key)) return false;
+    // Exact pointer may be the tree node or on its duplicate chain.
+    if (root_->ev == ev) {
+      Node* node = root_;
+      if (node->next_dup != nullptr) {
+        Node* dup = node->next_dup;
+        node->ev = dup->ev;
+        node->next_dup = dup->next_dup;
+        free_node(dup);
+      } else {
+        root_ = join(node->left, node->right);
+        free_node(node);
+      }
+      --size_;
+      return true;
+    }
+    for (Node* prev = root_, *cur = root_->next_dup; cur != nullptr;
+         prev = cur, cur = cur->next_dup) {
+      if (cur->ev == ev) {
+        prev->next_dup = cur->next_dup;
+        free_node(cur);
+        --size_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void clear() noexcept {
+    // Iterative post-order teardown into the free list.
+    std::vector<Node*> stack;
+    if (root_ != nullptr) stack.push_back(root_);
+    while (!stack.empty()) {
+      Node* n = stack.back();
+      stack.pop_back();
+      if (n->left != nullptr) stack.push_back(n->left);
+      if (n->right != nullptr) stack.push_back(n->right);
+      for (Node* d = n->next_dup; d != nullptr;) {
+        Node* next = d->next_dup;
+        free_node(d);
+        d = next;
+      }
+      n->next_dup = nullptr;
+      free_node(n);
+    }
+    root_ = nullptr;
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    Event* ev = nullptr;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    Node* next_dup = nullptr;  // same-key chain
+  };
+
+  Node* alloc_node(Event* ev) {
+    Node* n;
+    if (free_ != nullptr) {
+      n = free_;
+      free_ = free_->right;
+    } else {
+      n = new Node();
+    }
+    n->ev = ev;
+    n->left = n->right = n->next_dup = nullptr;
+    return n;
+  }
+  void free_node(Node* n) noexcept {
+    n->right = free_;
+    free_ = n;
+  }
+
+  // Top-down splay (Sleator & Tarjan): after the call, the node with the
+  // closest key to `key` is at the root.
+  void splay_closest(const EventKey& key) {
+    if (root_ == nullptr) return;
+    Node header;
+    Node* left_max = &header;
+    Node* right_min = &header;
+    Node* t = root_;
+    for (;;) {
+      if (key < t->ev->key) {
+        if (t->left == nullptr) break;
+        if (key < t->left->ev->key) {  // zig-zig: rotate right
+          Node* y = t->left;
+          t->left = y->right;
+          y->right = t;
+          t = y;
+          if (t->left == nullptr) break;
+        }
+        right_min->left = t;  // link right
+        right_min = t;
+        t = t->left;
+      } else if (t->ev->key < key) {
+        if (t->right == nullptr) break;
+        if (t->right->ev->key < key) {  // zag-zag: rotate left
+          Node* y = t->right;
+          t->right = y->left;
+          y->left = t;
+          t = y;
+          if (t->right == nullptr) break;
+        }
+        left_max->right = t;  // link left
+        left_max = t;
+        t = t->right;
+      } else {
+        break;
+      }
+    }
+    left_max->right = t->left;
+    right_min->left = t->right;
+    t->left = header.right;
+    t->right = header.left;
+    root_ = t;
+  }
+
+  void splay_min() { splay_closest(kMinKey); }
+
+  static Node* join(Node* left, Node* right) {
+    if (left == nullptr) return right;
+    if (right == nullptr) return left;
+    // Rotate the maximum of the left subtree to its root, then attach.
+    Node* t = left;
+    std::vector<Node*> path;
+    while (t->right != nullptr) {
+      path.push_back(t);
+      t = t->right;
+    }
+    // Detach max node `t` by simple re-parenting (no splay needed; join is
+    // only called from erase, which is rare relative to insert/pop).
+    if (!path.empty()) {
+      path.back()->right = t->left;
+      t->left = left;
+    }
+    t->right = right;
+    return t;
+  }
+
+  Node* root_ = nullptr;
+  Node* free_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hp::des

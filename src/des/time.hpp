@@ -1,0 +1,67 @@
+#pragma once
+
+// Virtual time and the deterministic event ordering key.
+//
+// Events are totally ordered by (ts, tie, src_lp, send_index, dst_lp).
+// `tie` is derived deterministically from the causal chain:
+//     child.tie = hash_combine(parent.tie, child_send_index)
+// with root events hashed from (seed, lp, index). Because the derivation
+// depends only on the causal structure — not on execution interleaving —
+// the total order is identical under the sequential kernel and under Time
+// Warp at any PE count. This is what makes the report's Attachment 3
+// (sequential == parallel statistics) hold by construction.
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "util/hash.hpp"
+
+namespace hp::des {
+
+using Time = double;
+inline constexpr Time kTimeInf = std::numeric_limits<Time>::infinity();
+inline constexpr Time kTimeNegInf = -std::numeric_limits<Time>::infinity();
+
+struct EventKey {
+  Time ts = 0.0;
+  std::uint64_t tie = 0;
+  std::uint32_t src_lp = 0;
+  std::uint32_t dst_lp = 0;
+  std::uint32_t send_index = 0;
+
+  friend constexpr bool operator==(const EventKey&, const EventKey&) = default;
+
+  friend constexpr bool operator<(const EventKey& a, const EventKey& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    if (a.tie != b.tie) return a.tie < b.tie;
+    if (a.src_lp != b.src_lp) return a.src_lp < b.src_lp;
+    if (a.send_index != b.send_index) return a.send_index < b.send_index;
+    return a.dst_lp < b.dst_lp;
+  }
+  friend constexpr bool operator>(const EventKey& a, const EventKey& b) {
+    return b < a;
+  }
+  friend constexpr bool operator<=(const EventKey& a, const EventKey& b) {
+    return !(b < a);
+  }
+  friend constexpr bool operator>=(const EventKey& a, const EventKey& b) {
+    return !(a < b);
+  }
+};
+
+struct EventKeyHash {
+  std::size_t operator()(const EventKey& k) const noexcept {
+    std::uint64_t h = util::splitmix64(std::bit_cast<std::uint64_t>(k.ts) ^ k.tie);
+    h = util::hash_combine(h, (static_cast<std::uint64_t>(k.src_lp) << 32) |
+                                  k.dst_lp);
+    h = util::hash_combine(h, k.send_index);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+// Sentinel key ordering before every real event.
+inline constexpr EventKey kMinKey{kTimeNegInf, 0, 0, 0, 0};
+
+}  // namespace hp::des

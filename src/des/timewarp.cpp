@@ -1,0 +1,490 @@
+#include "des/timewarp.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "util/hash.hpp"
+
+namespace hp::des {
+
+namespace {
+constexpr std::uint32_t kIdleItersBeforeGvt = 256;
+
+}
+
+// Per-PE send context. A PE owns two instances: one for forward execution
+// and one for reverse handlers during rollback, because a rollback can fire
+// in the middle of a forward handler's send() (local straggler delivery to a
+// KP that ran ahead) and must not clobber the forward context.
+class TimeWarpEngine::TwCtx final : public Context {
+ public:
+  TwCtx(TimeWarpEngine& e, PeData& pe) : e_(e), pe_(pe) {}
+
+  void begin_forward(Event* ev) {
+    cur_ = ev;
+    rng_ = &e_.rngs_[ev->key.dst_lp];
+    send_seq_ = 0;
+    reversing_ = false;
+    ev->cv = 0;
+  }
+
+  void begin_reverse(Event* ev) {
+    cur_ = ev;
+    rng_ = &e_.rngs_[ev->key.dst_lp];
+    send_seq_ = 0;
+    reversing_ = true;
+  }
+
+ protected:
+  Event* prepare_send_(std::uint32_t dst_lp, Time ts) override {
+    HP_ASSERT(dst_lp < e_.cfg_.num_lps, "send to out-of-range LP %u", dst_lp);
+    Event* ev = pe_.pool.allocate();
+    ev->key = EventKey{ts, util::hash_combine(cur_->key.tie, send_seq_),
+                       cur_->key.dst_lp, dst_lp, send_seq_};
+    ev->uid = (static_cast<std::uint64_t>(pe_.id + 1) << 40) | ++pe_.uid_counter;
+    ev->parent_uid = cur_->uid;
+    ++send_seq_;
+    ev->send_ts = cur_->key.ts;
+    ev->kp = e_.lp_kp_[dst_lp];
+    ev->status = EventStatus::Pending;
+    ev->cv = 0;
+    return ev;
+  }
+
+  // Word-wise content hash; only needed by lazy cancellation's exact-match
+  // reuse, so aggressive mode never pays for it.
+  static std::uint64_t payload_hash(const Event& ev) {
+    std::uint64_t h = util::splitmix64(ev.payload_size);
+    std::uint16_t i = 0;
+    for (; i + 8 <= ev.payload_size; i += 8) {
+      std::uint64_t w;
+      std::memcpy(&w, ev.payload + i, 8);
+      h = util::hash_combine(h, w);
+    }
+    if (i < ev.payload_size) {
+      std::uint64_t w = 0;
+      std::memcpy(&w, ev.payload + i,
+                  static_cast<std::size_t>(ev.payload_size - i));
+      h = util::hash_combine(h, w);
+    }
+    return h;
+  }
+
+  void commit_send_(Event* ev) override {
+    const bool lazy =
+        e_.cfg_.cancellation == EngineConfig::Cancellation::Lazy;
+    const std::uint64_t ph = lazy ? payload_hash(*ev) : 0;
+    if (lazy && !cur_->stale_children.empty()) {
+      // Lazy cancellation: a bit-identical child from the rolled-back
+      // execution is still alive — adopt it instead of resending.
+      auto& stale = cur_->stale_children;
+      for (std::size_t i = 0; i < stale.size(); ++i) {
+        if (stale[i].key == ev->key && stale[i].payload_hash == ph) {
+          cur_->children.push_back(stale[i]);
+          stale.erase(stale.begin() + static_cast<std::ptrdiff_t>(i));
+          pe_.pool.free(ev);  // the fresh envelope was never published
+          ++pe_.lazy_reused;
+          return;
+        }
+      }
+    }
+    const std::uint32_t dst_pe = e_.lp_pe_[ev->key.dst_lp];
+    cur_->children.push_back(ChildRef{ev->key, ev->uid, ph, dst_pe});
+    if (dst_pe == pe_.id) {
+      // Local delivery may roll back a sibling KP that ran ahead; see the
+      // header notes. Never touches the currently executing KP because the
+      // child's key exceeds the current event's key.
+      e_.deliver(pe_, ev);
+    } else {
+      e_.pes_[dst_pe]->inbox.push(InboxItem{ev, ev->uid, ev->key});
+    }
+  }
+
+ private:
+  TimeWarpEngine& e_;
+  PeData& pe_;
+};
+
+// Init context: single-threaded, pre-run; routes root events straight into
+// the owning PE's pending set.
+class TwEngineInitCtx final : public InitContext {
+ public:
+  TwEngineInitCtx(TimeWarpEngine& e, std::uint64_t seed) : e_(e), seed_(seed) {}
+
+  void begin_lp(std::uint32_t lp) {
+    lp_ = lp;
+    rng_ = &e_.rngs_[lp];
+    idx_ = 0;
+  }
+
+ protected:
+  Event* prepare_schedule_(std::uint32_t dst_lp, Time ts) override;
+  void commit_schedule_(Event* ev) override;
+
+ private:
+  TimeWarpEngine& e_;
+  std::uint64_t seed_;
+  std::uint32_t idx_ = 0;
+  std::uint64_t init_uid_ = 0;
+};
+
+TimeWarpEngine::TimeWarpEngine(Model& model, EngineConfig cfg)
+    : model_(model),
+      cfg_(cfg),
+      bar_a_(static_cast<std::ptrdiff_t>(cfg.num_pes)),
+      bar_b_(static_cast<std::ptrdiff_t>(cfg.num_pes)) {
+  HP_ASSERT(cfg_.num_lps > 0, "num_lps must be positive");
+  HP_ASSERT(cfg_.num_pes >= 1, "need at least one PE");
+  HP_ASSERT(cfg_.num_kps >= cfg_.num_pes, "need at least one KP per PE");
+
+  if (cfg_.mapping != nullptr) {
+    mapping_ = cfg_.mapping;
+    HP_ASSERT(mapping_->num_lps() == cfg_.num_lps &&
+                  mapping_->num_kps() == cfg_.num_kps &&
+                  mapping_->num_pes() == cfg_.num_pes,
+              "mapping shape disagrees with engine config");
+  } else {
+    owned_mapping_ = std::make_unique<net::LinearMapping>(
+        cfg_.num_lps, cfg_.num_kps, cfg_.num_pes);
+    mapping_ = owned_mapping_.get();
+  }
+
+  states_.reserve(cfg_.num_lps);
+  rngs_.reserve(cfg_.num_lps);
+  lp_kp_.resize(cfg_.num_lps);
+  lp_pe_.resize(cfg_.num_lps);
+  for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) {
+    states_.push_back(model_.make_state(lp));
+    rngs_.emplace_back(util::hash_combine(cfg_.seed, lp));
+    lp_kp_[lp] = mapping_->kp_of(lp);
+    HP_ASSERT(lp_kp_[lp] < cfg_.num_kps, "mapping returned KP out of range");
+  }
+
+  kps_.resize(cfg_.num_kps);
+  kp_pe_.resize(cfg_.num_kps);
+  pes_.reserve(cfg_.num_pes);
+  for (std::uint32_t pe = 0; pe < cfg_.num_pes; ++pe) {
+    pes_.push_back(std::make_unique<PeData>());
+    pes_.back()->id = pe;
+    pes_.back()->pending.configure(cfg_.queue_kind);
+  }
+  for (std::uint32_t kp = 0; kp < cfg_.num_kps; ++kp) {
+    kp_pe_[kp] = mapping_->pe_of_kp(kp);
+    HP_ASSERT(kp_pe_[kp] < cfg_.num_pes, "mapping returned PE out of range");
+    pes_[kp_pe_[kp]]->kps.push_back(kp);
+  }
+  for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) {
+    lp_pe_[lp] = kp_pe_[lp_kp_[lp]];
+  }
+
+  for (std::uint32_t pe = 0; pe < cfg_.num_pes; ++pe) {
+    fwd_ctx_.push_back(std::make_unique<TwCtx>(*this, *pes_[pe]));
+    rev_ctx_.push_back(std::make_unique<TwCtx>(*this, *pes_[pe]));
+  }
+  local_min_.resize(cfg_.num_pes, kTimeInf);
+}
+
+TimeWarpEngine::~TimeWarpEngine() = default;
+
+Event* TwEngineInitCtx::prepare_schedule_(std::uint32_t dst_lp, Time ts) {
+  HP_ASSERT(dst_lp < e_.cfg_.num_lps, "schedule to out-of-range LP %u", dst_lp);
+  // Root events are allocated from the destination PE's pool: pre-run is
+  // single-threaded, so this is safe and keeps pool ownership tidy.
+  TimeWarpEngine::PeData& pe = *e_.pes_[e_.lp_pe_[dst_lp]];
+  Event* ev = pe.pool.allocate();
+  const std::uint64_t root = util::hash_combine(seed_, lp_);
+  ev->key = EventKey{ts, util::hash_combine(root, idx_), lp_, dst_lp, idx_};
+  ev->uid = ++init_uid_;  // init space: high bits zero, disjoint from PE uids
+  ++idx_;
+  ev->send_ts = 0.0;
+  ev->kp = e_.lp_kp_[dst_lp];
+  ev->status = EventStatus::Pending;
+  ev->cv = 0;
+  return ev;
+}
+
+void TwEngineInitCtx::commit_schedule_(Event* ev) {
+  TimeWarpEngine::PeData& pe = *e_.pes_[e_.lp_pe_[ev->key.dst_lp]];
+  pe.pending.insert(ev);
+  auto [it, ok] = pe.index.emplace(ev->uid, ev);
+  HP_ASSERT(ok, "duplicate initial event uid");
+  (void)it;
+}
+
+void TimeWarpEngine::seed_initial_events() {
+  TwEngineInitCtx ictx(*this, cfg_.seed);
+  for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) {
+    ictx.begin_lp(lp);
+    model_.init_lp(lp, ictx);
+  }
+}
+
+void TimeWarpEngine::deliver(PeData& pe, Event* ev) {
+  KpData& kp = kps_[ev->kp];
+  if (!kp.processed.empty() && ev->key < kp.processed.back()->key) {
+    rollback(pe, ev->kp, ev->key);
+  }
+  ev->status = EventStatus::Pending;
+  pe.pending.insert(ev);
+  auto [it, ok] = pe.index.emplace(ev->uid, ev);
+  HP_ASSERT(ok, "duplicate event uid delivered");
+  (void)it;
+}
+
+void TimeWarpEngine::annihilate(PeData& pe, std::uint64_t uid) {
+  auto it = pe.index.find(uid);
+  // FIFO inboxes guarantee a positive always precedes its anti; see header.
+  HP_ASSERT(it != pe.index.end(), "anti-message found no matching positive");
+  Event* ev = it->second;
+  if (ev->status == EventStatus::Processed) {
+    rollback(pe, ev->kp, ev->key);
+    HP_ASSERT(ev->status == EventStatus::Pending, "rollback left event processed");
+  }
+  // A pending event killed before re-execution drags its lazily-kept
+  // children down with it.
+  if (!ev->stale_children.empty()) cancel_stale(pe, ev);
+  HP_ASSERT(pe.pending.erase(ev), "event missing from pending set");
+  pe.index.erase(it);
+  pe.pool.free(ev);
+}
+
+void TimeWarpEngine::cancel_stale(PeData& pe, Event* ev) {
+  for (const ChildRef& c : ev->stale_children) {
+    if (c.dst_pe == pe.id) {
+      annihilate(pe, c.uid);
+    } else {
+      pes_[c.dst_pe]->inbox.push(InboxItem{nullptr, c.uid, c.key});
+      ++pe.anti_messages;
+    }
+  }
+  ev->stale_children.clear();
+}
+
+void TimeWarpEngine::cancel_children(PeData& pe, Event* ev) {
+  for (const ChildRef& c : ev->children) {
+    if (c.dst_pe == pe.id) {
+      annihilate(pe, c.uid);
+    } else {
+      pes_[c.dst_pe]->inbox.push(InboxItem{nullptr, c.uid, c.key});
+      ++pe.anti_messages;
+    }
+  }
+  ev->children.clear();
+}
+
+void TimeWarpEngine::undo_event(PeData& pe, Event* ev) {
+  const std::uint32_t lp = ev->key.dst_lp;
+  if (cfg_.state_saving) {
+    HP_ASSERT(ev->snapshot != nullptr, "missing snapshot in state-saving mode");
+    states_[lp] = std::move(ev->snapshot);
+    std::memcpy(ev->payload, ev->payload_snapshot.get(), kMaxPayload);
+    rngs_[lp].restore(ev->saved_rng_state, ev->saved_rng_draws);
+  } else {
+    TwCtx& ctx = *rev_ctx_[pe.id];
+    ctx.begin_reverse(ev);
+    model_.reverse(*states_[lp], *ev, ctx);
+    HP_ASSERT(rngs_[lp].draw_count() == ev->rng_before,
+              "reverse handler rewound %llu draws short/extra at lp %u "
+              "(before=%llu now=%llu)",
+              static_cast<unsigned long long>(
+                  rngs_[lp].draw_count() > ev->rng_before
+                      ? rngs_[lp].draw_count() - ev->rng_before
+                      : ev->rng_before - rngs_[lp].draw_count()),
+              lp, static_cast<unsigned long long>(ev->rng_before),
+              static_cast<unsigned long long>(rngs_[lp].draw_count()));
+#ifdef HP_TW_PARANOID
+    HP_ASSERT(ev->snapshot && states_[lp]->equals(*ev->snapshot),
+              "reverse handler did not restore lp %u state exactly", lp);
+    ev->snapshot.reset();
+#endif
+  }
+}
+
+void TimeWarpEngine::rollback(PeData& pe, std::uint32_t kp_id,
+                              const EventKey& key) {
+  KpData& kp = kps_[kp_id];
+  ++pe.primary_rollbacks;
+  while (!kp.processed.empty() && kp.processed.back()->key >= key) {
+    Event* ev = kp.processed.back();
+    kp.processed.pop_back();
+    if (cfg_.cancellation == EngineConfig::Cancellation::Lazy) {
+      // Keep the children alive; re-execution may reuse them verbatim.
+      // Earlier stale leftovers (possible when the event was rolled back,
+      // partially re-executed via reuse, and is rolled back again) are
+      // already in stale_children; append the current generation.
+      for (const ChildRef& c : ev->children) ev->stale_children.push_back(c);
+      ev->children.clear();
+    } else {
+      cancel_children(pe, ev);
+    }
+    undo_event(pe, ev);
+    ev->status = EventStatus::Pending;
+    pe.pending.insert(ev);
+    ++pe.rolled_back;
+  }
+}
+
+void TimeWarpEngine::drain_inbox(PeData& pe) {
+  if (pe.inbox.empty_hint()) return;
+  pe.scratch.clear();
+  pe.inbox.take_all(pe.scratch);
+  for (const InboxItem& item : pe.scratch) {
+    if (item.ev != nullptr) {
+      deliver(pe, item.ev);
+    } else {
+      annihilate(pe, item.uid);
+    }
+  }
+  pe.scratch.clear();
+}
+
+Event* TimeWarpEngine::next_event(PeData& pe) {
+  Event* ev = pe.pending.peek_min();
+  if (ev == nullptr) return nullptr;
+  if (ev->key.ts > cfg_.end_time) return nullptr;
+  if (cfg_.optimism_window < kTimeInf &&
+      ev->key.ts > shared_gvt_.load(std::memory_order_relaxed) +
+                       cfg_.optimism_window) {
+    return nullptr;  // beyond the moving window; wait for GVT to advance
+  }
+  return pe.pending.pop_min();
+}
+
+void TimeWarpEngine::process_one(PeData& pe, Event* ev) {
+  const std::uint32_t lp = ev->key.dst_lp;
+  HP_ASSERT(kps_[ev->kp].processed.empty() ||
+                !(ev->key < kps_[ev->kp].processed.back()->key),
+            "KP processed deque would become unsorted");
+  ev->rng_before = rngs_[lp].draw_count();
+  ev->status = EventStatus::Processed;
+  kps_[ev->kp].processed.push_back(ev);
+#ifdef HP_TW_PARANOID
+  if (!cfg_.state_saving) ev->snapshot = states_[lp]->clone();
+#endif
+  if (cfg_.state_saving) {
+    ev->snapshot = states_[lp]->clone();
+    if (!ev->payload_snapshot) {
+      ev->payload_snapshot = std::make_unique<std::byte[]>(kMaxPayload);
+    }
+    std::memcpy(ev->payload_snapshot.get(), ev->payload, kMaxPayload);
+    ev->saved_rng_state = rngs_[lp].raw_state();
+    ev->saved_rng_draws = rngs_[lp].draw_count();
+  }
+  TwCtx& ctx = *fwd_ctx_[pe.id];
+  ctx.begin_forward(ev);
+  model_.forward(*states_[lp], *ev, ctx);
+  // Lazy cancellation: stale children the re-execution did not reproduce
+  // are dead for real now.
+  if (!ev->stale_children.empty()) cancel_stale(pe, ev);
+  ++pe.processed_events;
+  ++pe.processed_since_gvt;
+}
+
+void TimeWarpEngine::fossil_collect(PeData& pe, Time gvt) {
+  for (std::uint32_t kp_id : pe.kps) {
+    auto& dq = kps_[kp_id].processed;
+    while (!dq.empty() && dq.front()->key.ts < gvt) {
+      Event* ev = dq.front();
+      dq.pop_front();
+      model_.commit(*states_[ev->key.dst_lp], *ev);
+      pe.index.erase(ev->uid);
+      pe.pool.free(ev);
+      ++pe.committed_events;
+    }
+  }
+}
+
+bool TimeWarpEngine::gvt_round(PeData& pe) {
+  // Barrier A: everybody stops sending/processing.
+  bar_a_.arrive_and_wait();
+  if (pe.id == 0) {
+    gvt_request_.store(false, std::memory_order_relaxed);
+  }
+  // With all PEs quiescent, every sent message is visible in some inbox, so
+  // min(pending, inbox) over all PEs is a valid GVT (no transient messages).
+  Event* pmin = pe.pending.peek_min();
+  Time local = pmin == nullptr ? kTimeInf : pmin->key.ts;
+  local = std::min(local, pe.inbox.peek_min_ts());
+  local_min_[pe.id] = local;
+  // Barrier B: minima published; everybody computes the same global min.
+  bar_b_.arrive_and_wait();
+  Time gvt = kTimeInf;
+  for (Time m : local_min_) gvt = std::min(gvt, m);
+  if (pe.id == 0) {
+    gvt_rounds_.fetch_add(1, std::memory_order_relaxed);
+    shared_gvt_.store(gvt, std::memory_order_relaxed);
+  }
+  fossil_collect(pe, gvt);
+  pe.processed_since_gvt = 0;
+  pe.idle_iters = 0;
+  return gvt > cfg_.end_time;
+}
+
+void TimeWarpEngine::run_pe(PeData& pe) {
+  while (true) {
+    drain_inbox(pe);
+    if (gvt_request_.load(std::memory_order_relaxed)) {
+      if (gvt_round(pe)) break;
+      continue;
+    }
+    Event* ev = next_event(pe);
+    if (ev == nullptr) {
+      if (++pe.idle_iters >= kIdleItersBeforeGvt) {
+        gvt_request_.store(true, std::memory_order_relaxed);
+        pe.idle_iters = 0;
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    pe.idle_iters = 0;
+    process_one(pe, ev);
+    if (pe.processed_since_gvt >= cfg_.gvt_interval_events) {
+      gvt_request_.store(true, std::memory_order_relaxed);
+    }
+  }
+  // Commit everything still on the processed deques (all have ts <= end).
+  fossil_collect(pe, kTimeInf);
+}
+
+RunStats TimeWarpEngine::run() {
+  seed_initial_events();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (cfg_.num_pes == 1) {
+    run_pe(*pes_[0]);
+  } else {
+    std::vector<std::jthread> threads;
+    threads.reserve(cfg_.num_pes);
+    for (std::uint32_t pe = 0; pe < cfg_.num_pes; ++pe) {
+      threads.emplace_back([this, pe] { run_pe(*pes_[pe]); });
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunStats stats;
+  for (const auto& pe : pes_) {
+    stats.committed_events += pe->committed_events;
+    stats.processed_events += pe->processed_events;
+    stats.rolled_back_events += pe->rolled_back;
+    stats.primary_rollbacks += pe->primary_rollbacks;
+    stats.anti_messages += pe->anti_messages;
+    stats.lazy_reused += pe->lazy_reused;
+    stats.pool_envelopes += pe->pool.allocated();
+    stats.per_pe.push_back(PeRunStats{pe->processed_events,
+                                      pe->committed_events, pe->rolled_back,
+                                      pe->primary_rollbacks,
+                                      pe->anti_messages, pe->pool.allocated()});
+  }
+  HP_ASSERT(stats.committed_events ==
+                stats.processed_events - stats.rolled_back_events,
+            "event accounting mismatch: committed=%llu processed=%llu rb=%llu",
+            static_cast<unsigned long long>(stats.committed_events),
+            static_cast<unsigned long long>(stats.processed_events),
+            static_cast<unsigned long long>(stats.rolled_back_events));
+  stats.gvt_rounds = gvt_rounds_.load();
+  stats.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  stats.final_gvt = shared_gvt_.load();
+  return stats;
+}
+
+}  // namespace hp::des

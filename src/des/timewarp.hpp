@@ -1,0 +1,217 @@
+#pragma once
+
+// Optimistic (Time Warp) kernel with reverse computation — the ROSS
+// equivalent this reproduction builds (DESIGN.md "Engine design notes").
+//
+// Threading model: one PE per std::jthread over shared memory. Each PE owns
+//   * a pending event set ordered by the deterministic EventKey,
+//   * the processed-event deques of its KPs (rollback granularity),
+//   * an index from EventKey to live envelope (for anti-message matching),
+//   * a mutex-guarded inbox other PEs push positive events / anti tokens to,
+//   * an event pool.
+// LP states and RNG streams are globally indexed but only ever touched by
+// the owning PE during the run.
+//
+// Rollback is KP-granular: a straggler or anti-message whose key precedes
+// the KP's last processed key pops events in reverse order, cancelling their
+// children (same-PE synchronously, remote via anti tokens) and invoking the
+// model's reverse handler (or restoring snapshots in the state-saving
+// ablation mode).
+//
+// GVT is barrier-synchronized: a request flag gathers all PEs at barrier A
+// (after which nobody sends), each publishes min(pending, inbox) and meets
+// barrier B, after which everybody knows the global minimum, fossil-collects
+// its own KPs and resumes. Termination when GVT exceeds the end time.
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "des/engine.hpp"
+#include "des/event.hpp"
+#include "des/model.hpp"
+#include "des/splay_queue.hpp"
+#include "net/mapping.hpp"
+
+namespace hp::des {
+
+class TwEngineInitCtx;
+
+class TimeWarpEngine {
+  friend class TwEngineInitCtx;
+ public:
+  TimeWarpEngine(Model& model, EngineConfig cfg);
+  ~TimeWarpEngine();
+
+  TimeWarpEngine(const TimeWarpEngine&) = delete;
+  TimeWarpEngine& operator=(const TimeWarpEngine&) = delete;
+
+  RunStats run();
+
+  LpState& state(std::uint32_t lp) noexcept { return *states_[lp]; }
+  const LpState& state(std::uint32_t lp) const noexcept { return *states_[lp]; }
+  std::uint32_t num_lps() const noexcept { return cfg_.num_lps; }
+
+  // ROSS-style statistics collection visitor; call only after run().
+  template <typename Fn>
+  void for_each_state(Fn&& fn) const {
+    for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) fn(lp, *states_[lp]);
+  }
+
+ private:
+  struct KeyLess {
+    bool operator()(const Event* a, const Event* b) const noexcept {
+      return a->key < b->key;
+    }
+  };
+
+  // Pending set with a switchable backend (EngineConfig::QueueKind).
+  class PendingQueue {
+   public:
+    void configure(EngineConfig::QueueKind kind) { use_splay_ = kind == EngineConfig::QueueKind::Splay; }
+    bool empty() const noexcept {
+      return use_splay_ ? splay_.empty() : set_.empty();
+    }
+    void insert(Event* ev) {
+      if (use_splay_) splay_.insert(ev);
+      else set_.insert(ev);
+    }
+    Event* peek_min() {
+      if (use_splay_) return splay_.peek_min();
+      return set_.empty() ? nullptr : *set_.begin();
+    }
+    Event* pop_min() {
+      if (use_splay_) return splay_.pop_min();
+      if (set_.empty()) return nullptr;
+      Event* ev = *set_.begin();
+      set_.erase(set_.begin());
+      return ev;
+    }
+    bool erase(Event* ev) {
+      if (use_splay_) return splay_.erase(ev);
+      auto [lo, hi] = set_.equal_range(ev);
+      for (auto it = lo; it != hi; ++it) {
+        if (*it == ev) {
+          set_.erase(it);
+          return true;
+        }
+      }
+      return false;
+    }
+
+   private:
+    bool use_splay_ = true;
+    SplayQueue splay_;
+    std::multiset<Event*, KeyLess> set_;
+  };
+
+  struct InboxItem {
+    Event* ev;          // nullptr for anti tokens
+    std::uint64_t uid;  // identity for anti matching
+    EventKey key;       // valid for both positives and antis (GVT minimum)
+  };
+
+  class Inbox {
+   public:
+    void push(InboxItem item) {
+      std::scoped_lock lock(mu_);
+      items_.push_back(item);
+      size_.store(items_.size(), std::memory_order_release);
+    }
+    void take_all(std::vector<InboxItem>& out) {
+      std::scoped_lock lock(mu_);
+      out.insert(out.end(), items_.begin(), items_.end());
+      items_.clear();
+      size_.store(0, std::memory_order_release);
+    }
+    // Cheap emptiness probe for the hot loop; a stale "empty" only delays
+    // the drain by one iteration.
+    bool empty_hint() const noexcept {
+      return size_.load(std::memory_order_acquire) == 0;
+    }
+    Time peek_min_ts() {
+      std::scoped_lock lock(mu_);
+      Time m = kTimeInf;
+      for (const auto& it : items_) m = std::min(m, it.key.ts);
+      return m;
+    }
+
+   private:
+    std::mutex mu_;
+    std::vector<InboxItem> items_;
+    std::atomic<std::size_t> size_{0};
+  };
+
+  struct KpData {
+    std::deque<Event*> processed;  // committed-prefix popped at fossil time
+  };
+
+  struct alignas(64) PeData {
+    std::uint32_t id = 0;
+    std::vector<std::uint32_t> kps;
+    PendingQueue pending;
+    // uid -> live envelope (pending or processed) for anti-message matching.
+    std::unordered_map<std::uint64_t, Event*> index;
+    Inbox inbox;
+    EventPool pool;
+    std::vector<InboxItem> scratch;
+    std::uint64_t uid_counter = 0;
+
+    std::uint64_t processed_events = 0;
+    std::uint64_t committed_events = 0;
+    std::uint64_t rolled_back = 0;
+    std::uint64_t primary_rollbacks = 0;
+    std::uint64_t anti_messages = 0;
+    std::uint64_t lazy_reused = 0;
+    std::uint64_t processed_since_gvt = 0;
+    std::uint32_t idle_iters = 0;
+  };
+
+  class TwCtx;
+
+  void run_pe(PeData& pe);
+  void drain_inbox(PeData& pe);
+  void deliver(PeData& pe, Event* ev);
+  void annihilate(PeData& pe, std::uint64_t uid);
+  void rollback(PeData& pe, std::uint32_t kp, const EventKey& key);
+  void cancel_children(PeData& pe, Event* ev);
+  void cancel_stale(PeData& pe, Event* ev);
+  void undo_event(PeData& pe, Event* ev);
+  void process_one(PeData& pe, Event* ev);
+  // Returns true when the run is complete (GVT beyond end time).
+  bool gvt_round(PeData& pe);
+  void fossil_collect(PeData& pe, Time gvt);
+  Event* next_event(PeData& pe);
+  void seed_initial_events();
+
+  Model& model_;
+  EngineConfig cfg_;
+  std::unique_ptr<net::Mapping> owned_mapping_;
+  const net::Mapping* mapping_ = nullptr;
+
+  std::vector<std::unique_ptr<LpState>> states_;
+  std::vector<util::ReversibleRng> rngs_;
+  std::vector<std::uint32_t> lp_kp_;
+  std::vector<std::uint32_t> lp_pe_;
+  std::vector<std::uint32_t> kp_pe_;
+
+  std::vector<KpData> kps_;
+  std::vector<std::unique_ptr<PeData>> pes_;
+  std::vector<std::unique_ptr<TwCtx>> fwd_ctx_;
+  std::vector<std::unique_ptr<TwCtx>> rev_ctx_;
+
+  std::barrier<> bar_a_;
+  std::barrier<> bar_b_;
+  std::atomic<bool> gvt_request_{false};
+  std::vector<Time> local_min_;  // indexed by PE, padded writes are fine here
+  std::atomic<std::uint64_t> gvt_rounds_{0};
+  std::atomic<Time> shared_gvt_{0.0};
+};
+
+}  // namespace hp::des

@@ -1,0 +1,331 @@
+#include "hotpotato/model.hpp"
+
+#include "util/hash.hpp"
+
+namespace hp::hotpotato {
+
+HotPotatoModel::HotPotatoModel(HotPotatoConfig cfg)
+    : cfg_(cfg), grid_(cfg.n, cfg.topology) {
+  HP_ASSERT(cfg_.policy != nullptr, "HotPotatoConfig.policy is required");
+  HP_ASSERT(cfg_.injector_fraction >= 0.0 && cfg_.injector_fraction <= 1.0,
+            "injector_fraction out of [0,1]: %f", cfg_.injector_fraction);
+  HP_ASSERT(cfg_.steps >= 1, "need at least one step");
+}
+
+bool HotPotatoModel::lp_is_injector(std::uint32_t lp) const {
+  if (cfg_.injector_fraction <= 0.0) return false;
+  if (cfg_.injector_fraction >= 1.0) return true;
+  // Deterministic per-LP coin independent of the event stream: the report's
+  // probability_i semantics (each router is an injector with probability
+  // X/100).
+  const std::uint64_t h = util::splitmix64(
+      util::hash_combine(cfg_.selection_seed, lp));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < cfg_.injector_fraction;
+}
+
+std::unique_ptr<des::LpState> HotPotatoModel::make_state(std::uint32_t lp) {
+  auto s = std::make_unique<RouterState>();
+  s->is_injector = lp_is_injector(lp);
+  // 1-step bins out to 4x the diameter; deflection tails land in the
+  // clamped last bin.
+  s->delivery_hist = util::Histogram(
+      0.0, 1.0, static_cast<std::size_t>(4 * grid_.diameter()) + 2);
+  return s;
+}
+
+void HotPotatoModel::init_lp(std::uint32_t lp, des::InitContext& ctx) {
+  if (cfg_.full_init) {
+    // Report 3.3.1: the network starts full — one packet leaving on each
+    // out-link, so every router's in-links are saturated at step 1 (four on
+    // a torus; fewer for mesh boundary routers).
+    const net::DirSet avail = grid_.available_dirs(lp);
+    for (net::Dir d : net::kAllDirs) {
+      if (!avail.contains(d)) continue;
+      const std::uint32_t dst =
+          draw_traffic_destination(grid_, cfg_.traffic, lp, ctx.rng()).dst;
+      const auto dst_c = grid_.coord_of(dst);
+      HpMsg m;
+      m.type = HpEvent::Arrive;
+      m.prio = cfg_.policy->initial_priority();
+      m.jitter_idx = static_cast<std::uint8_t>(ctx.rng().integer(1, 5));
+      m.dst_row = static_cast<std::uint16_t>(dst_c.row);
+      m.dst_col = static_cast<std::uint16_t>(dst_c.col);
+      m.birth_step = 1;
+      m.hops = 1;
+      m.initial_distance = static_cast<std::uint16_t>(grid_.distance(lp, dst));
+      ctx.schedule(grid_.neighbor(lp, d), kStep + m.jitter(), m);
+    }
+  }
+  if (lp_is_injector(lp)) {
+    HpMsg m;
+    m.type = HpEvent::Inject;
+    ctx.schedule(lp, kStep + kInjectOffset, m);
+  }
+}
+
+net::DirSet HotPotatoModel::free_links(const RouterState& s,
+                                       std::uint32_t step,
+                                       std::uint32_t lp) const {
+  // Physically present links not yet claimed this step.
+  net::DirSet free;
+  const net::DirSet avail = grid_.available_dirs(lp);
+  for (net::Dir d : net::kAllDirs) {
+    if (avail.contains(d) && s.link_claim_step[net::dir_index(d)] != step) {
+      free.add(d);
+    }
+  }
+  return free;
+}
+
+void HotPotatoModel::forward(des::LpState& state, des::Event& ev,
+                             des::Context& ctx) {
+  auto& s = static_cast<RouterState&>(state);
+  switch (ev.msg<HpMsg>().type) {
+    case HpEvent::Arrive: handle_arrive(s, ev, ctx); break;
+    case HpEvent::Route: handle_route(s, ev, ctx); break;
+    case HpEvent::Inject: handle_inject(s, ev, ctx); break;
+    case HpEvent::Heartbeat: {
+      // Administrative pulse (report 3.1.4); our bookkeeping needs none, so
+      // the handler only keeps the pulse alive for configurations that
+      // schedule one.
+      HpMsg next = ev.msg<HpMsg>();
+      ctx.send(ctx.self(), kStep, next);
+      break;
+    }
+  }
+}
+
+void HotPotatoModel::reverse(des::LpState& state, des::Event& ev,
+                             des::Context& ctx) {
+  auto& s = static_cast<RouterState&>(state);
+  switch (ev.msg<HpMsg>().type) {
+    case HpEvent::Arrive: reverse_arrive(s, ev, ctx); break;
+    case HpEvent::Route: reverse_route(s, ev, ctx); break;
+    case HpEvent::Inject: reverse_inject(s, ev, ctx); break;
+    case HpEvent::Heartbeat: break;  // child cancelled by the engine
+  }
+}
+
+void HotPotatoModel::handle_arrive(RouterState& s, des::Event& ev,
+                                   des::Context& ctx) {
+  auto& m = ev.msg<HpMsg>();
+  ++s.arrivals;
+  const std::uint32_t here = ctx.self();
+  const std::uint32_t dst =
+      grid_.id_of({static_cast<std::int32_t>(m.dst_row),
+                    static_cast<std::int32_t>(m.dst_col)});
+  const bool absorb =
+      dst == here && (cfg_.absorb_sleeping || m.prio != Priority::Sleeping);
+  if (absorb) {
+    // Delivery: record and drop (bufferless absorption).
+    ++s.delivered;
+    s.delivery_steps.add(static_cast<double>(m.hops));
+    s.delivery_distance.add(static_cast<double>(m.initial_distance));
+    s.delivery_hist.add(static_cast<double>(m.hops));
+    return;
+  }
+  const std::uint32_t step = step_of(ev.key.ts);
+  HpMsg r = m;
+  r.type = HpEvent::Route;
+  const double route_ts =
+      step_start(step) + cfg_.policy->route_offset(m, step) + m.jitter() / 10.0;
+  ctx.send(here, route_ts - ev.key.ts, r);
+}
+
+void HotPotatoModel::reverse_arrive(RouterState& s, des::Event& ev,
+                                    des::Context&) {
+  const auto& m = ev.msg<HpMsg>();
+  const std::uint32_t here = ev.key.dst_lp;
+  const std::uint32_t dst =
+      grid_.id_of({static_cast<std::int32_t>(m.dst_row),
+                    static_cast<std::int32_t>(m.dst_col)});
+  const bool absorb =
+      dst == here && (cfg_.absorb_sleeping || m.prio != Priority::Sleeping);
+  if (absorb) {
+    s.delivery_hist.remove(static_cast<double>(m.hops));
+    s.delivery_distance.remove(static_cast<double>(m.initial_distance));
+    s.delivery_steps.remove(static_cast<double>(m.hops));
+    --s.delivered;
+  }
+  --s.arrivals;
+}
+
+void HotPotatoModel::handle_route(RouterState& s, des::Event& ev,
+                                  des::Context& ctx) {
+  auto& m = ev.msg<HpMsg>();
+  const std::uint32_t here = ctx.self();
+  const std::uint32_t step = step_of(ev.key.ts);
+  net::DirSet free = free_links(s, step, here);
+  if (HP_UNLIKELY(free.empty())) {
+    // In any causally consistent execution at most 4 packets route per step
+    // over 4 links, so a free link always exists. Under lazy cancellation,
+    // however, a stale (not-yet-cancelled) sibling can transiently occupy a
+    // link alongside its replacement; such an execution is doomed to roll
+    // back, and the handler must merely stay well-defined and reversible:
+    // route over any physically present link (the double claim is undone
+    // exactly by the saved link state).
+    free = grid_.available_dirs(here);
+  }
+
+  const RouteDecision d =
+      cfg_.policy->route(grid_, m, here, free, ctx.rng());
+
+  m.saved_rng_draws = d.rng_draws;
+  m.saved_prio = static_cast<std::uint8_t>(m.prio);
+  m.saved_deflected = d.deflected ? 1 : 0;
+  m.saved_dir = static_cast<std::int8_t>(net::dir_index(d.dir));
+  m.saved_link_step = s.link_claim_step[net::dir_index(d.dir)];
+
+  s.link_claim_step[net::dir_index(d.dir)] = step;
+  ++s.link_claims;
+  ++s.routed;
+  if (d.deflected) ++s.deflections;
+  ++s.routed_by_prio[static_cast<std::size_t>(m.prio)];
+  // Transition census, fully recomputable in reverse from (saved_prio, prio).
+  if (m.prio != d.new_priority) {
+    switch (d.new_priority) {
+      case Priority::Active:
+        if (m.prio == Priority::Sleeping) ++s.upgrades_to_active;
+        else ++s.demotions_to_active;
+        break;
+      case Priority::Excited: ++s.upgrades_to_excited; break;
+      case Priority::Running: ++s.promotions_to_running; break;
+      case Priority::Sleeping: break;  // no transition lowers to sleeping
+    }
+  }
+
+  m.prio = d.new_priority;
+  ++m.hops;
+
+  HpMsg a = m;
+  a.type = HpEvent::Arrive;
+  const double arrive_ts = step_start(step + 1) + m.jitter();
+  ctx.send(grid_.neighbor(here, d.dir), arrive_ts - ev.key.ts, a);
+}
+
+void HotPotatoModel::reverse_route(RouterState& s, des::Event& ev,
+                                   des::Context& ctx) {
+  auto& m = ev.msg<HpMsg>();
+  ctx.rng().reverse(m.saved_rng_draws);
+  --m.hops;
+  const auto old_prio = static_cast<Priority>(m.saved_prio);
+  if (old_prio != m.prio) {
+    switch (m.prio) {  // m.prio still holds the forward's new priority
+      case Priority::Active:
+        if (old_prio == Priority::Sleeping) --s.upgrades_to_active;
+        else --s.demotions_to_active;
+        break;
+      case Priority::Excited: --s.upgrades_to_excited; break;
+      case Priority::Running: --s.promotions_to_running; break;
+      case Priority::Sleeping: break;
+    }
+  }
+  --s.routed_by_prio[static_cast<std::size_t>(old_prio)];
+  m.prio = old_prio;
+  s.link_claim_step[m.saved_dir] = m.saved_link_step;
+  --s.link_claims;
+  --s.routed;
+  if (m.saved_deflected) --s.deflections;
+}
+
+void HotPotatoModel::handle_inject(RouterState& s, des::Event& ev,
+                                   des::Context& ctx) {
+  auto& m = ev.msg<HpMsg>();
+  const std::uint32_t here = ctx.self();
+  const std::uint32_t step = step_of(ev.key.ts);
+  std::uint8_t draws = 0;
+  m.saved_created = 0;
+  m.saved_injected = 0;
+
+  if (!s.has_pending) {
+    // The injection application wants one packet per step: materialize the
+    // next packet (destination drawn now; its wait starts now).
+    const TrafficDraw td =
+        draw_traffic_destination(grid_, cfg_.traffic, here, ctx.rng());
+    const std::uint32_t dst = td.dst;
+    draws = static_cast<std::uint8_t>(draws + td.rng_draws);
+    const auto c = grid_.coord_of(dst);
+    m.saved_pend_row = s.pend_dst_row;
+    m.saved_pend_col = s.pend_dst_col;
+    s.pend_dst_row = static_cast<std::uint16_t>(c.row);
+    s.pend_dst_col = static_cast<std::uint16_t>(c.col);
+    s.has_pending = true;
+    s.pending_since_step = step;
+    m.saved_created = 1;
+  }
+
+  const net::DirSet free = free_links(s, step, here);
+  if (!free.empty()) {
+    m.saved_injected = 1;
+    int k = 0;
+    if (free.size() > 1) {
+      k = static_cast<int>(ctx.rng().integer(
+          0, static_cast<std::uint64_t>(free.size()) - 1));
+      ++draws;
+    }
+    const net::Dir dir = free.nth(k);
+    const auto jitter_idx =
+        static_cast<std::uint8_t>(ctx.rng().integer(1, 5));
+    ++draws;
+
+    m.saved_dir = static_cast<std::int8_t>(net::dir_index(dir));
+    m.saved_link_step = s.link_claim_step[net::dir_index(dir)];
+    s.link_claim_step[net::dir_index(dir)] = step;
+    ++s.link_claims;
+
+    const auto wait = static_cast<double>(step - s.pending_since_step);
+    ++s.injected;
+    s.inject_wait.add(wait);
+    m.saved_stat = s.max_inject_wait.push(wait);
+    m.saved_u32 = s.pending_since_step;
+    s.has_pending = false;
+
+    const std::uint32_t dst =
+        grid_.id_of({static_cast<std::int32_t>(s.pend_dst_row),
+                      static_cast<std::int32_t>(s.pend_dst_col)});
+    HpMsg p;
+    p.type = HpEvent::Arrive;
+    p.prio = cfg_.policy->initial_priority();
+    p.jitter_idx = jitter_idx;
+    p.dst_row = s.pend_dst_row;
+    p.dst_col = s.pend_dst_col;
+    p.birth_step = step + 1;
+    p.hops = 1;
+    p.initial_distance =
+        static_cast<std::uint16_t>(grid_.distance(here, dst));
+    const double arrive_ts = step_start(step + 1) + p.jitter();
+    ctx.send(grid_.neighbor(here, dir), arrive_ts - ev.key.ts, p);
+  }
+  m.saved_rng_draws = draws;
+
+  // Keep attempting every step; the engine drops events beyond end_time.
+  HpMsg next;
+  next.type = HpEvent::Inject;
+  ctx.send(here, kStep, next);
+}
+
+void HotPotatoModel::reverse_inject(RouterState& s, des::Event& ev,
+                                    des::Context& ctx) {
+  auto& m = ev.msg<HpMsg>();
+  const std::uint32_t step = step_of(ev.key.ts);
+  ctx.rng().reverse(m.saved_rng_draws);
+  if (m.saved_injected) {
+    s.has_pending = true;
+    s.pending_since_step = m.saved_u32;
+    s.max_inject_wait.pop(m.saved_stat);
+    s.inject_wait.remove(static_cast<double>(step - m.saved_u32));
+    --s.injected;
+    s.link_claim_step[m.saved_dir] = m.saved_link_step;
+    --s.link_claims;
+  }
+  if (m.saved_created) {
+    s.has_pending = false;
+    // Restore the displaced previous destination: an earlier inject's
+    // reverse may resurrect the packet these fields described.
+    s.pend_dst_row = m.saved_pend_row;
+    s.pend_dst_col = m.saved_pend_col;
+  }
+}
+
+}  // namespace hp::hotpotato

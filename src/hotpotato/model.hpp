@@ -1,0 +1,85 @@
+#pragma once
+
+// The hot-potato routing model: an N x N torus of bufferless routers running
+// a deflection-routing policy under dynamic packet injection (report
+// Sections 1 and 3).
+//
+// Event flow within one time step s (virtual time [10s, 10(s+1))):
+//   10s + jitter            ARRIVE  packets land from neighbors (jitter in
+//                                   {0.1..0.5}, per packet, fixed at birth)
+//   10s + offset + jitter/10 ROUTE  staggered by priority: the router claims
+//                                   an out-link per packet, highest priority
+//                                   first, and forwards an ARRIVE at s+1
+//   10s + 6                  INJECT injector routers attempt one packet per
+//                                   step; succeeds iff a link is still free
+//
+// The network is initialized full (four packets per router, report 3.3.1);
+// with injector_fraction == 0 this is the one-shot / static configuration.
+
+#include <cstdint>
+#include <memory>
+
+#include "des/model.hpp"
+#include "hotpotato/packet.hpp"
+#include "hotpotato/policy.hpp"
+#include "hotpotato/router_state.hpp"
+#include "hotpotato/traffic.hpp"
+#include "net/torus.hpp"
+
+namespace hp::hotpotato {
+
+struct HotPotatoConfig {
+  std::int32_t n = 8;              // grid dimension (N x N routers)
+  // Torus (the report's simulation) or Mesh (the BHW analysis topology).
+  net::GridKind topology = net::GridKind::Torus;
+  double injector_fraction = 0.5;  // report's probability_i (0..1)
+  // Destination pattern for injected (and initial) packets.
+  TrafficPattern traffic = TrafficPattern::Uniform;
+  bool absorb_sleeping = true;     // false = proof-verification mode (3.3.1)
+  // Seed the network full at startup (one packet per directed link — the
+  // physical maximum for a bufferless network; report 3.3.1). With
+  // injector_fraction == 0 this is the one-shot / static configuration.
+  bool full_init = true;
+  std::uint32_t steps = 100;       // simulation duration in time steps
+  // Seed for structural choices (which routers inject); separate from the
+  // engine seed so the same topology can run under different event streams.
+  std::uint64_t selection_seed = 0x5eedU;
+  const RoutingPolicy* policy = nullptr;  // required; not owned
+
+  double end_time() const noexcept {
+    return static_cast<double>(steps) * kStep + kStep - 1.0;
+  }
+  std::uint32_t num_lps() const noexcept {
+    return static_cast<std::uint32_t>(n) * static_cast<std::uint32_t>(n);
+  }
+};
+
+class HotPotatoModel final : public des::Model {
+ public:
+  explicit HotPotatoModel(HotPotatoConfig cfg);
+
+  std::unique_ptr<des::LpState> make_state(std::uint32_t lp) override;
+  void init_lp(std::uint32_t lp, des::InitContext& ctx) override;
+  void forward(des::LpState& state, des::Event& ev, des::Context& ctx) override;
+  void reverse(des::LpState& state, des::Event& ev, des::Context& ctx) override;
+
+  const HotPotatoConfig& config() const noexcept { return cfg_; }
+  const net::Grid& grid() const noexcept { return grid_; }
+  bool lp_is_injector(std::uint32_t lp) const;
+
+ private:
+  void handle_arrive(RouterState& s, des::Event& ev, des::Context& ctx);
+  void reverse_arrive(RouterState& s, des::Event& ev, des::Context& ctx);
+  void handle_route(RouterState& s, des::Event& ev, des::Context& ctx);
+  void reverse_route(RouterState& s, des::Event& ev, des::Context& ctx);
+  void handle_inject(RouterState& s, des::Event& ev, des::Context& ctx);
+  void reverse_inject(RouterState& s, des::Event& ev, des::Context& ctx);
+
+  net::DirSet free_links(const RouterState& s, std::uint32_t step,
+                          std::uint32_t lp) const;
+
+  HotPotatoConfig cfg_;
+  net::Grid grid_;
+};
+
+}  // namespace hp::hotpotato

@@ -1,0 +1,91 @@
+#pragma once
+
+// Packet representation for the hot-potato routing model.
+//
+// As in the report (Section 3.1.2), a packet exists only inside messages:
+// routers are bufferless, so the "network" is the set of in-flight ARRIVE
+// events plus per-router link claims. The message struct carries the optical
+// label (destination + priority), per-packet jitter, bookkeeping for
+// statistics, and the ROSS-style "Saved_" scratch fields reverse handlers
+// restore from.
+
+#include <cstdint>
+
+#include "des/event.hpp"
+
+namespace hp::hotpotato {
+
+// One synchronous network time step spans 10 virtual time units, matching
+// the report's code (ts = 10 + jitter). Sub-step offsets order ARRIVE (<1),
+// ROUTE (1..5, staggered by priority), and INJECT (6) within a step.
+inline constexpr double kStep = 10.0;
+inline constexpr double kInjectOffset = 6.0;
+// Minimum delay of any cross-LP message the model sends (the conservative
+// kernel's lookahead): an injected packet's first ARRIVE departs at offset 6
+// and lands at the next step's start, 4 + jitter time units later; routed
+// ARRIVEs have >= 5.2. A bound of 4.0 is safe for every path.
+inline constexpr double kCrossLpLookahead = 4.0;
+
+enum class HpEvent : std::uint8_t { Arrive, Route, Inject, Heartbeat };
+
+// BHW priority states, lowest to highest (report Section 1.2.4).
+enum class Priority : std::uint8_t {
+  Sleeping = 0,
+  Active = 1,
+  Excited = 2,
+  Running = 3,
+};
+
+constexpr const char* priority_name(Priority p) noexcept {
+  switch (p) {
+    case Priority::Sleeping: return "Sleeping";
+    case Priority::Active: return "Active";
+    case Priority::Excited: return "Excited";
+    case Priority::Running: return "Running";
+  }
+  return "?";
+}
+
+struct HpMsg {
+  HpEvent type = HpEvent::Arrive;
+  Priority prio = Priority::Sleeping;
+  // Randomized arrival offset in tenths of a time unit (1..5), drawn at
+  // injection and carried for the packet's lifetime — the report's
+  // determinism device (Section 3.2.2).
+  std::uint8_t jitter_idx = 1;
+  std::uint16_t dst_row = 0;
+  std::uint16_t dst_col = 0;
+  std::uint32_t birth_step = 0;        // first step the packet is in the network
+  std::uint32_t hops = 0;              // links traversed so far
+  std::uint16_t initial_distance = 0;  // torus distance source -> destination
+
+  // --- reverse-computation scratch (the ROSS Saved_* idiom) ---
+  std::uint8_t saved_rng_draws = 0;   // stream draws this event consumed
+  std::uint8_t saved_prio = 0;        // priority before this ROUTE
+  std::int8_t saved_dir = -1;         // link claimed by this event
+  std::uint8_t saved_created = 0;     // INJECT: new pending packet was created
+  std::uint8_t saved_injected = 0;    // INJECT: the packet entered the network
+  std::uint8_t saved_deflected = 0;   // ROUTE: the decision was a deflection
+  std::uint32_t saved_link_step = 0;  // displaced link_claim_step value
+  std::uint32_t saved_u32 = 0;        // INJECT: displaced pending_since_step
+  // INJECT create path: destination of the *previous* pending packet. Those
+  // fields look dead once that packet injected, but the injecting event's
+  // reverse resurrects the packet, so the displaced values must survive a
+  // later create's overwrite.
+  std::uint16_t saved_pend_row = 0;
+  std::uint16_t saved_pend_col = 0;
+  double saved_stat = 0.0;            // displaced RunningMax value
+
+  double jitter() const noexcept { return 0.1 * jitter_idx; }
+};
+static_assert(sizeof(HpMsg) <= des::kMaxPayload);
+static_assert(std::is_trivially_copyable_v<HpMsg>);
+
+constexpr std::uint32_t step_of(double ts) noexcept {
+  return static_cast<std::uint32_t>(ts / kStep);
+}
+constexpr double step_start(std::uint32_t step) noexcept {
+  return static_cast<double>(step) * kStep;
+}
+
+}  // namespace hp::hotpotato

@@ -1,0 +1,69 @@
+#include "hotpotato/policy.hpp"
+
+namespace hp::hotpotato {
+
+RouteDecision BhwPolicy::route(const net::Grid& t, const HpMsg& m,
+                               std::uint32_t here, net::DirSet free,
+                               util::ReversibleRng& rng) const {
+  const std::uint32_t dst =
+      t.id_of({static_cast<std::int32_t>(m.dst_row),
+               static_cast<std::int32_t>(m.dst_col)});
+  const net::DirSet good = t.good_dirs(here, dst);
+
+  RouteDecision d;
+  d.rng_draws = 0;
+
+  // Desired links: the greedy set for Sleeping/Active, the single home-run
+  // link for Excited/Running.
+  net::DirSet desired;
+  if (m.prio >= Priority::Excited) {
+    HP_ASSERT(here != dst, "excited/running packet routed at its destination");
+    desired.add(t.home_run_dir(here, dst));
+  } else {
+    desired = good;
+  }
+
+  net::DirSet candidates;
+  for (net::Dir dir : net::kAllDirs) {
+    if (desired.contains(dir) && free.contains(dir)) candidates.add(dir);
+  }
+
+  if (!candidates.empty()) {
+    d.dir = pick_uniform(candidates, rng, d.rng_draws);
+    d.deflected = false;
+  } else {
+    d.dir = pick_deflection(good, free, rng, d.rng_draws);
+    d.deflected = true;
+  }
+
+  // Priority transitions (report Section 1.2.4).
+  d.new_priority = m.prio;
+  switch (m.prio) {
+    case Priority::Sleeping:
+      // "When a sleeping packet is routed, it is given a chance ... to
+      // upgrade" — on every routing, deflected or not.
+      if (rng.uniform() < p_sleep_up_) d.new_priority = Priority::Active;
+      ++d.rng_draws;
+      break;
+    case Priority::Active:
+      if (d.deflected) {
+        if (rng.uniform() < p_active_up_) d.new_priority = Priority::Excited;
+        ++d.rng_draws;
+      }
+      break;
+    case Priority::Excited:
+      // At most one step excited: home-run success promotes, deflection
+      // demotes.
+      d.new_priority = d.deflected ? Priority::Active : Priority::Running;
+      break;
+    case Priority::Running:
+      // The algorithm guarantees a running packet is only ever deflected
+      // while turning (by another running packet); mechanically we demote on
+      // any deflection.
+      if (d.deflected) d.new_priority = Priority::Active;
+      break;
+  }
+  return d;
+}
+
+}  // namespace hp::hotpotato

@@ -1,0 +1,115 @@
+#pragma once
+
+// Routing policy interface and the paper's BHW priority policy.
+//
+// A policy is pure: given the packet, the router position, and the set of
+// out-links still free this step, it picks a direction and the packet's next
+// priority, consuming a recorded number of RNG draws (the model stashes the
+// count in the message so reverse handlers can rewind the stream exactly).
+// Baseline policies from the comparison literature live in src/baselines/.
+
+#include <cstdint>
+
+#include "hotpotato/packet.hpp"
+#include "net/torus.hpp"
+#include "util/rng.hpp"
+
+namespace hp::hotpotato {
+
+struct RouteDecision {
+  net::Dir dir = net::Dir::North;
+  bool deflected = false;       // packet did not get a desired link
+  Priority new_priority = Priority::Sleeping;
+  std::uint8_t rng_draws = 0;   // stream draws consumed by this decision
+};
+
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  virtual const char* name() const noexcept = 0;
+
+  virtual Priority initial_priority() const noexcept {
+    return Priority::Sleeping;
+  }
+
+  // Sub-step offset of the packet's ROUTE event; smaller routes earlier and
+  // therefore claims links first. Must stay within [1, 5) so routing happens
+  // after every ARRIVE (< 1) and before INJECT (6). `step` allows age-based
+  // policies.
+  virtual double route_offset(const HpMsg& m, std::uint32_t step) const = 0;
+
+  // Decide the out-link and next priority. `free` is nonempty (bufferless
+  // capacity argument: at most 4 packets route per step over 4 links).
+  virtual RouteDecision route(const net::Grid& t, const HpMsg& m,
+                              std::uint32_t here, net::DirSet free,
+                              util::ReversibleRng& rng) const = 0;
+
+  // Shared helper: pick uniformly among a candidate set, recording draws.
+  static net::Dir pick_uniform(net::DirSet set, util::ReversibleRng& rng,
+                               std::uint8_t& draws) {
+    HP_ASSERT(!set.empty(), "cannot pick from an empty direction set");
+    if (set.size() == 1) return set.nth(0);
+    const auto k = static_cast<int>(
+        rng.integer(0, static_cast<std::uint64_t>(set.size()) - 1));
+    ++draws;
+    return set.nth(k);
+  }
+
+  // Deflection target: prefer a free good link (still progress), otherwise
+  // any free link.
+  static net::Dir pick_deflection(net::DirSet good, net::DirSet free,
+                                  util::ReversibleRng& rng,
+                                  std::uint8_t& draws) {
+    net::DirSet good_free;
+    for (net::Dir d : net::kAllDirs) {
+      if (good.contains(d) && free.contains(d)) good_free.add(d);
+    }
+    return pick_uniform(good_free.empty() ? free : good_free, rng, draws);
+  }
+};
+
+// The SPAA 2001 Busch–Herlihy–Wattenhofer algorithm as specified in the
+// report's Section 1.2.4:
+//   Sleeping: any good link; every time it is routed, upgrade to Active with
+//             probability 1/(24N).
+//   Active:   any good link; when deflected, upgrade to Excited with
+//             probability 1/(16N).
+//   Excited:  must take its home-run (one-bend, row-then-column) link; on
+//             success becomes Running, on deflection falls back to Active.
+//             (Excited lasts at most one time step.)
+//   Running:  follows the home-run path; deflection — possible only while
+//             turning, by another running packet — demotes to Active.
+// Higher priorities route earlier in the step and therefore claim links
+// first; ties are broken by the per-packet jitter and, residually, by the
+// engine's deterministic event ordering.
+class BhwPolicy final : public RoutingPolicy {
+ public:
+  explicit BhwPolicy(std::int32_t n)
+      : p_sleep_up_(1.0 / (24.0 * static_cast<double>(n))),
+        p_active_up_(1.0 / (16.0 * static_cast<double>(n))) {}
+
+  const char* name() const noexcept override { return "bhw"; }
+
+  double route_offset(const HpMsg& m, std::uint32_t) const override {
+    switch (m.prio) {
+      case Priority::Running: return 1.0;
+      case Priority::Excited: return 2.0;
+      case Priority::Active: return 3.0;
+      case Priority::Sleeping: return 4.0;
+    }
+    return 4.0;
+  }
+
+  RouteDecision route(const net::Grid& t, const HpMsg& m, std::uint32_t here,
+                      net::DirSet free, util::ReversibleRng& rng) const override;
+
+  double p_sleep_upgrade() const noexcept { return p_sleep_up_; }
+  double p_active_upgrade() const noexcept { return p_active_up_; }
+
+ private:
+  double p_sleep_up_;
+  double p_active_up_;
+};
+
+}  // namespace hp::hotpotato

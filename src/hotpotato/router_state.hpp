@@ -1,0 +1,92 @@
+#pragma once
+
+// Router LP state (ROSS SV analogue). Bufferless: no packet storage — only
+// per-step link claims, the injection application, and reversible statistics.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "des/lp_state.hpp"
+#include "net/direction.hpp"
+#include "util/stats.hpp"
+
+namespace hp::hotpotato {
+
+inline constexpr std::uint32_t kLinkFreeSentinel = 0xffffffffu;
+
+struct RouterState final : des::LpState {
+  // Last step each outgoing link was claimed; a link is free at step s iff
+  // link_claim_step[d] != s. Replaces the report's HEARTBEAT-driven resets
+  // with a reverse-computable comparison (DESIGN.md "Model fidelity notes").
+  std::array<std::uint32_t, net::kNumDirs> link_claim_step{
+      kLinkFreeSentinel, kLinkFreeSentinel, kLinkFreeSentinel,
+      kLinkFreeSentinel};
+
+  // Injection application (present on injector routers only).
+  bool is_injector = false;
+  bool has_pending = false;
+  std::uint32_t pending_since_step = 0;
+  std::uint16_t pend_dst_row = 0;
+  std::uint16_t pend_dst_col = 0;
+
+  // Reversible statistics. Delivery tallies are indexed by the destination
+  // router (packets delivered *to* this LP), injection tallies by the source.
+  util::Tally delivery_steps;     // transit time in steps (== hops)
+  util::Tally delivery_distance;  // torus distance source->destination
+  // Per-delivery transit-time distribution (1-step bins, clamped tail);
+  // sized by the model at make_state from the grid diameter.
+  util::Histogram delivery_hist;
+  util::Tally inject_wait;        // steps a packet waited to enter
+  util::RunningMax max_inject_wait;
+  std::uint64_t arrivals = 0;
+  std::uint64_t routed = 0;
+  std::uint64_t deflections = 0;
+  // Priority census: routed events by the packet's priority at routing time,
+  // and state-machine transition counts (the report attributes the Fig. 3
+  // trajectory change at large N to packets reaching higher states).
+  std::array<std::uint64_t, 4> routed_by_prio{0, 0, 0, 0};
+  std::uint64_t upgrades_to_active = 0;
+  std::uint64_t upgrades_to_excited = 0;
+  std::uint64_t promotions_to_running = 0;
+  std::uint64_t demotions_to_active = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t link_claims = 0;
+
+  std::unique_ptr<des::LpState> clone() const override {
+    return std::make_unique<RouterState>(*this);
+  }
+
+  bool equals(const des::LpState& o) const override {
+    return *this == static_cast<const RouterState&>(o);
+  }
+
+  // pend_dst_* / pending_since_step are only meaningful while has_pending:
+  // the injection application overwrites them at the next creation, and
+  // reverse handlers deliberately do not restore don't-care leftovers.
+  bool operator==(const RouterState& o) const {
+    const bool pending_fields_equal =
+        !has_pending || (pending_since_step == o.pending_since_step &&
+                         pend_dst_row == o.pend_dst_row &&
+                         pend_dst_col == o.pend_dst_col);
+    return link_claim_step == o.link_claim_step &&
+           is_injector == o.is_injector && has_pending == o.has_pending &&
+           pending_fields_equal &&
+           delivery_steps == o.delivery_steps &&
+           delivery_distance == o.delivery_distance &&
+           delivery_hist == o.delivery_hist &&
+           routed_by_prio == o.routed_by_prio &&
+           upgrades_to_active == o.upgrades_to_active &&
+           upgrades_to_excited == o.upgrades_to_excited &&
+           promotions_to_running == o.promotions_to_running &&
+           demotions_to_active == o.demotions_to_active &&
+           inject_wait == o.inject_wait &&
+           max_inject_wait == o.max_inject_wait && arrivals == o.arrivals &&
+           routed == o.routed && deflections == o.deflections &&
+           injected == o.injected && delivered == o.delivered &&
+           link_claims == o.link_claims;
+  }
+};
+
+}  // namespace hp::hotpotato

@@ -1,0 +1,34 @@
+#include "hotpotato/stats.hpp"
+
+#include <cstdio>
+
+namespace hp::hotpotato {
+
+double HpReport::delivery_percentile(double q) const noexcept {
+  const auto& counts = delivery_hist.counts();
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cum += counts[i];
+    if (cum > target) return delivery_hist.bin_lo(i);
+  }
+  return delivery_hist.bin_lo(counts.size() - 1);
+}
+
+std::string HpReport::summary_line() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "delivered=%llu injected=%llu avg_delivery=%.3f "
+                "avg_wait=%.3f max_wait=%.0f stretch=%.3f deflect=%.4f",
+                static_cast<unsigned long long>(delivered),
+                static_cast<unsigned long long>(injected),
+                avg_delivery_steps(), avg_inject_wait(), max_inject_wait,
+                stretch(), deflection_rate());
+  return buf;
+}
+
+}  // namespace hp::hotpotato

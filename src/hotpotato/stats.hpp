@@ -1,0 +1,116 @@
+#pragma once
+
+// System-wide statistics aggregation — the ROSS "statistics collection
+// function" analogue (report Section 3.1.5): after the run, fold every
+// router's counters into one report.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "hotpotato/router_state.hpp"
+
+namespace hp::hotpotato {
+
+struct HpReport {
+  std::uint64_t arrivals = 0;
+  std::uint64_t routed = 0;
+  std::uint64_t deflections = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t link_claims = 0;
+  std::uint64_t pending_waiting = 0;  // injectors with a packet still queued
+
+  double delivery_steps_sum = 0.0;
+  double delivery_distance_sum = 0.0;
+  double inject_wait_sum = 0.0;
+  double max_inject_wait = 0.0;
+  util::Histogram delivery_hist;  // merged per-router transit distributions
+
+  // Priority census (report: higher states change routing at large N).
+  std::array<std::uint64_t, 4> routed_by_prio{0, 0, 0, 0};
+  std::uint64_t upgrades_to_active = 0;
+  std::uint64_t upgrades_to_excited = 0;
+  std::uint64_t promotions_to_running = 0;
+  std::uint64_t demotions_to_active = 0;
+
+  // Exact comparison (integers and double sums bit-for-bit): this is the
+  // report's Attachment 3 repeatability check.
+  bool operator==(const HpReport&) const = default;
+
+  double avg_delivery_steps() const noexcept {
+    return delivered == 0 ? 0.0
+                          : delivery_steps_sum / static_cast<double>(delivered);
+  }
+  double avg_distance() const noexcept {
+    return delivered == 0
+               ? 0.0
+               : delivery_distance_sum / static_cast<double>(delivered);
+  }
+  // Mean path inflation relative to the shortest path (>= 1 when packets
+  // deflect).
+  double stretch() const noexcept {
+    return delivery_distance_sum == 0.0
+               ? 0.0
+               : delivery_steps_sum / delivery_distance_sum;
+  }
+  double avg_inject_wait() const noexcept {
+    return injected == 0 ? 0.0
+                         : inject_wait_sum / static_cast<double>(injected);
+  }
+  double deflection_rate() const noexcept {
+    return routed == 0
+               ? 0.0
+               : static_cast<double>(deflections) / static_cast<double>(routed);
+  }
+  // Fraction of link-step slots actually used.
+  double link_utilization(std::uint32_t num_routers,
+                          std::uint32_t steps) const noexcept {
+    const double slots = 4.0 * static_cast<double>(num_routers) *
+                         static_cast<double>(steps);
+    return slots == 0.0 ? 0.0 : static_cast<double>(link_claims) / slots;
+  }
+
+  // q-quantile of the delivery-time distribution (q in [0,1]); returns the
+  // lower edge of the bin containing the quantile.
+  double delivery_percentile(double q) const noexcept;
+
+  std::string summary_line() const;
+};
+
+// Aggregate from any engine exposing state(lp) / num_lps() (both kernels do).
+template <typename Engine>
+HpReport collect_report(Engine& eng) {
+  HpReport r;
+  r.max_inject_wait = -std::numeric_limits<double>::infinity();
+  bool any_injected = false;
+  for (std::uint32_t lp = 0; lp < eng.num_lps(); ++lp) {
+    const auto& s = static_cast<const RouterState&>(eng.state(lp));
+    if (lp == 0) r.delivery_hist = s.delivery_hist;  // adopt bin layout
+    else r.delivery_hist.merge(s.delivery_hist);
+    r.arrivals += s.arrivals;
+    r.routed += s.routed;
+    r.deflections += s.deflections;
+    r.injected += s.injected;
+    r.delivered += s.delivered;
+    r.link_claims += s.link_claims;
+    r.pending_waiting += s.has_pending ? 1 : 0;
+    for (std::size_t i = 0; i < 4; ++i) r.routed_by_prio[i] += s.routed_by_prio[i];
+    r.upgrades_to_active += s.upgrades_to_active;
+    r.upgrades_to_excited += s.upgrades_to_excited;
+    r.promotions_to_running += s.promotions_to_running;
+    r.demotions_to_active += s.demotions_to_active;
+    r.delivery_steps_sum += s.delivery_steps.sum();
+    r.delivery_distance_sum += s.delivery_distance.sum();
+    r.inject_wait_sum += s.inject_wait.sum();
+    if (s.injected > 0) {
+      any_injected = true;
+      r.max_inject_wait = std::max(r.max_inject_wait, s.max_inject_wait.value());
+    }
+  }
+  if (!any_injected) r.max_inject_wait = 0.0;
+  return r;
+}
+
+}  // namespace hp::hotpotato

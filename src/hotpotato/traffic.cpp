@@ -1,0 +1,83 @@
+#include "hotpotato/traffic.hpp"
+
+#include "util/hash.hpp"
+
+namespace hp::hotpotato {
+
+namespace {
+
+TrafficDraw uniform_other(const net::Grid& g, std::uint32_t src,
+                          util::ReversibleRng& rng) {
+  // Uniform over the other N^2-1 routers in a single stream draw.
+  const std::uint32_t nn = g.num_nodes();
+  auto idx = static_cast<std::uint32_t>(rng.integer(0, nn - 2));
+  if (idx >= src) ++idx;
+  return {idx, 1};
+}
+
+// Hotspot routers: spread across the grid deterministically (quarter
+// points), so they are not adjacent.
+std::uint32_t hotspot_node(const net::Grid& g, std::uint32_t k) {
+  const std::int32_t n = g.n();
+  const std::int32_t q = n / 4;
+  const net::Coord spots[kNumHotspots] = {
+      {q, q}, {q, 3 * q}, {3 * q, q}, {3 * q, 3 * q}};
+  return g.id_of(spots[k % kNumHotspots]);
+}
+
+}  // namespace
+
+TrafficDraw draw_traffic_destination(const net::Grid& g, TrafficPattern p,
+                                     std::uint32_t src,
+                                     util::ReversibleRng& rng) {
+  const net::Coord c = g.coord_of(src);
+  const std::int32_t n = g.n();
+  switch (p) {
+    case TrafficPattern::Uniform:
+      return uniform_other(g, src, rng);
+
+    case TrafficPattern::Transpose: {
+      if (c.row == c.col) return uniform_other(g, src, rng);
+      return {g.id_of({c.col, c.row}), 0};
+    }
+
+    case TrafficPattern::BitComplement: {
+      const net::Coord d{n - 1 - c.row, n - 1 - c.col};
+      if (d == c) return uniform_other(g, src, rng);  // odd-n center
+      return {g.id_of(d), 0};
+    }
+
+    case TrafficPattern::Hotspot: {
+      // One draw decides hotspot-vs-background AND selects the hotspot: the
+      // unit draw u < kHotspotFraction picks hotspot floor(u / (f/k)).
+      const double u = rng.uniform();
+      if (u < kHotspotFraction) {
+        const auto k = static_cast<std::uint32_t>(
+            u / (kHotspotFraction / kNumHotspots));
+        const std::uint32_t spot = hotspot_node(g, k);
+        if (spot != src) return {spot, 1};
+        // Source *is* the hotspot: fall through to a uniform draw.
+        TrafficDraw t = uniform_other(g, src, rng);
+        t.rng_draws = 2;
+        return t;
+      }
+      TrafficDraw t = uniform_other(g, src, rng);
+      t.rng_draws = 2;
+      return t;
+    }
+
+    case TrafficPattern::NearestNeighbor: {
+      // One hop along the first available direction in E,S,W,N order
+      // (always East except on a mesh east edge). Deterministic, no draws.
+      for (net::Dir d : {net::Dir::East, net::Dir::South, net::Dir::West,
+                         net::Dir::North}) {
+        if (g.has_link(src, d)) return {g.neighbor(src, d), 0};
+      }
+      break;  // unreachable: every node has >= 2 links
+    }
+  }
+  HP_ASSERT(false, "unhandled traffic pattern");
+  return {0, 0};
+}
+
+}  // namespace hp::hotpotato

@@ -1,0 +1,52 @@
+#pragma once
+
+// Traffic patterns for the injection applications. The report's experiments
+// use uniformly random destinations; the classic interconnection-network
+// evaluation patterns are provided as extensions, since deflection routing
+// behaves very differently under adversarial permutations and hotspots.
+//
+// Every draw function reports exactly how many RNG draws it consumed so the
+// inject handler's reverse can rewind the stream precisely.
+
+#include <cstdint>
+
+#include "net/grid.hpp"
+#include "util/rng.hpp"
+
+namespace hp::hotpotato {
+
+enum class TrafficPattern : std::uint8_t {
+  Uniform = 0,        // report default: uniform over the other N^2-1 nodes
+  Transpose,          // (r,c) -> (c,r); diagonal sources fall back to uniform
+  BitComplement,      // (r,c) -> (n-1-r, n-1-c); center falls back to uniform
+  Hotspot,            // 25% of traffic to a small set of hotspot routers
+  NearestNeighbor,    // one hop East (adversarially benign: minimal load)
+};
+
+constexpr const char* traffic_pattern_name(TrafficPattern p) noexcept {
+  switch (p) {
+    case TrafficPattern::Uniform: return "uniform";
+    case TrafficPattern::Transpose: return "transpose";
+    case TrafficPattern::BitComplement: return "bit_complement";
+    case TrafficPattern::Hotspot: return "hotspot";
+    case TrafficPattern::NearestNeighbor: return "nearest_neighbor";
+  }
+  return "?";
+}
+
+struct TrafficDraw {
+  std::uint32_t dst = 0;
+  std::uint8_t rng_draws = 0;
+};
+
+// Fraction of hotspot traffic aimed at the hotspot set, and the set size
+// (the classic 4-hotspot 25% configuration).
+inline constexpr double kHotspotFraction = 0.25;
+inline constexpr std::uint32_t kNumHotspots = 4;
+
+// Draw a destination != src for a packet injected at `src`.
+TrafficDraw draw_traffic_destination(const net::Grid& g, TrafficPattern p,
+                                     std::uint32_t src,
+                                     util::ReversibleRng& rng);
+
+}  // namespace hp::hotpotato

@@ -1,0 +1,76 @@
+#pragma once
+
+// The four torus link directions. Row/column convention: North/South move
+// along the column dimension (row index -1/+1), East/West along the row
+// dimension (column index +1/-1), matching the report's LP numbering where
+// "East" from LP x is LP x+1 with wraparound inside the row.
+
+#include <array>
+#include <cstdint>
+
+namespace hp::net {
+
+enum class Dir : std::uint8_t { North = 0, South = 1, East = 2, West = 3 };
+
+inline constexpr std::array<Dir, 4> kAllDirs = {Dir::North, Dir::South,
+                                                Dir::East, Dir::West};
+inline constexpr int kNumDirs = 4;
+
+constexpr Dir opposite(Dir d) noexcept {
+  switch (d) {
+    case Dir::North: return Dir::South;
+    case Dir::South: return Dir::North;
+    case Dir::East: return Dir::West;
+    case Dir::West: return Dir::East;
+  }
+  return Dir::North;  // unreachable
+}
+
+constexpr const char* dir_name(Dir d) noexcept {
+  switch (d) {
+    case Dir::North: return "N";
+    case Dir::South: return "S";
+    case Dir::East: return "E";
+    case Dir::West: return "W";
+  }
+  return "?";
+}
+
+constexpr int dir_index(Dir d) noexcept { return static_cast<int>(d); }
+
+// Compact direction set (bitmask over the 4 directions).
+class DirSet {
+ public:
+  constexpr DirSet() noexcept = default;
+
+  constexpr void add(Dir d) noexcept {
+    bits_ |= static_cast<std::uint8_t>(1u << dir_index(d));
+  }
+  constexpr void remove(Dir d) noexcept {
+    bits_ &= static_cast<std::uint8_t>(~(1u << dir_index(d)));
+  }
+  constexpr bool contains(Dir d) const noexcept {
+    return (bits_ >> dir_index(d)) & 1u;
+  }
+  constexpr bool empty() const noexcept { return bits_ == 0; }
+  constexpr int size() const noexcept { return __builtin_popcount(bits_); }
+  constexpr std::uint8_t bits() const noexcept { return bits_; }
+
+  // k-th set direction in N,S,E,W order; k < size().
+  constexpr Dir nth(int k) const noexcept {
+    for (Dir d : kAllDirs) {
+      if (contains(d)) {
+        if (k == 0) return d;
+        --k;
+      }
+    }
+    return Dir::North;  // unreachable for valid k
+  }
+
+  constexpr bool operator==(const DirSet&) const noexcept = default;
+
+ private:
+  std::uint8_t bits_ = 0;
+};
+
+}  // namespace hp::net

@@ -1,0 +1,169 @@
+#pragma once
+
+// N-by-N grid topology in both variants the paper discusses (Section 1.1):
+//  * Mesh  — the rectangular mesh the BHW theoretical analysis uses;
+//    boundary routers have 2 or 3 links and the maximum distance is 2(N-1).
+//  * Torus — the wraparound variant the simulation uses ("a more practical
+//    implementation of essentially the same topology"); every router has 4
+//    links and the maximum distance is 2*floor(N/2).
+//
+// Node ids are row-major like ROSS LP numbering: id = row * n + col; "East"
+// from id is id+1 within the row (wrapping only on the torus).
+
+#include <cstdint>
+
+#include "net/direction.hpp"
+#include "util/macros.hpp"
+
+namespace hp::net {
+
+struct Coord {
+  std::int32_t row = 0;
+  std::int32_t col = 0;
+  constexpr bool operator==(const Coord&) const noexcept = default;
+};
+
+enum class GridKind : std::uint8_t { Torus, Mesh };
+
+constexpr const char* grid_kind_name(GridKind k) noexcept {
+  return k == GridKind::Torus ? "torus" : "mesh";
+}
+
+class Grid {
+ public:
+  constexpr Grid(std::int32_t n, GridKind kind) : n_(n), kind_(kind) {
+    HP_ASSERT(n >= 2, "grid dimension must be >= 2, got %d", n);
+  }
+
+  constexpr std::int32_t n() const noexcept { return n_; }
+  constexpr GridKind kind() const noexcept { return kind_; }
+  constexpr bool wraps() const noexcept { return kind_ == GridKind::Torus; }
+  constexpr std::uint32_t num_nodes() const noexcept {
+    return static_cast<std::uint32_t>(n_) * static_cast<std::uint32_t>(n_);
+  }
+
+  constexpr std::uint32_t id_of(Coord c) const noexcept {
+    return static_cast<std::uint32_t>(c.row) * static_cast<std::uint32_t>(n_) +
+           static_cast<std::uint32_t>(c.col);
+  }
+  constexpr Coord coord_of(std::uint32_t id) const noexcept {
+    return Coord{static_cast<std::int32_t>(id) / n_,
+                 static_cast<std::int32_t>(id) % n_};
+  }
+
+  // Links that physically exist at `id` (all four on a torus; edge/corner
+  // mesh routers have fewer).
+  constexpr DirSet available_dirs(std::uint32_t id) const noexcept {
+    DirSet s;
+    if (wraps()) {
+      for (Dir d : kAllDirs) s.add(d);
+      return s;
+    }
+    const Coord c = coord_of(id);
+    if (c.row > 0) s.add(Dir::North);
+    if (c.row < n_ - 1) s.add(Dir::South);
+    if (c.col < n_ - 1) s.add(Dir::East);
+    if (c.col > 0) s.add(Dir::West);
+    return s;
+  }
+
+  constexpr bool has_link(std::uint32_t id, Dir d) const noexcept {
+    return available_dirs(id).contains(d);
+  }
+
+  // Neighbor across link `d`; the link must exist (see available_dirs).
+  constexpr std::uint32_t neighbor(std::uint32_t id, Dir d) const noexcept {
+    Coord c = coord_of(id);
+    switch (d) {
+      case Dir::North: c.row = wrap_or_clamp(c.row - 1); break;
+      case Dir::South: c.row = wrap_or_clamp(c.row + 1); break;
+      case Dir::East: c.col = wrap_or_clamp(c.col + 1); break;
+      case Dir::West: c.col = wrap_or_clamp(c.col - 1); break;
+    }
+    return id_of(c);
+  }
+
+  // Shortest distance along one dimension.
+  constexpr std::int32_t axis_distance(std::int32_t from,
+                                       std::int32_t to) const noexcept {
+    if (!wraps()) return to >= from ? to - from : from - to;
+    const std::int32_t fwd = wrap(to - from);
+    return fwd <= n_ - fwd ? fwd : n_ - fwd;
+  }
+
+  // Manhattan distance (shortest-path hop count).
+  constexpr std::int32_t distance(std::uint32_t a, std::uint32_t b) const noexcept {
+    const Coord ca = coord_of(a), cb = coord_of(b);
+    return axis_distance(ca.row, cb.row) + axis_distance(ca.col, cb.col);
+  }
+
+  constexpr std::int32_t diameter() const noexcept {
+    return wraps() ? 2 * (n_ / 2) : 2 * (n_ - 1);
+  }
+
+  // Directions that strictly reduce distance to `dst` ("good links"). On a
+  // torus a coordinate difference of exactly n/2 makes both directions along
+  // that axis good.
+  constexpr DirSet good_dirs(std::uint32_t src, std::uint32_t dst) const noexcept {
+    DirSet s;
+    const Coord cs = coord_of(src), cd = coord_of(dst);
+    if (wraps()) {
+      const std::int32_t cf = wrap(cd.col - cs.col);  // steps going East
+      if (cf != 0) {
+        if (cf <= n_ - cf) s.add(Dir::East);
+        if (n_ - cf <= cf) s.add(Dir::West);
+      }
+      const std::int32_t rf = wrap(cd.row - cs.row);  // steps going South
+      if (rf != 0) {
+        if (rf <= n_ - rf) s.add(Dir::South);
+        if (n_ - rf <= rf) s.add(Dir::North);
+      }
+    } else {
+      if (cd.col > cs.col) s.add(Dir::East);
+      if (cd.col < cs.col) s.add(Dir::West);
+      if (cd.row > cs.row) s.add(Dir::South);
+      if (cd.row < cs.row) s.add(Dir::North);
+    }
+    return s;
+  }
+
+  // Home-run ("one-bend") path preference: follow the row first (move along
+  // the column axis toward the destination column), then the column. Torus
+  // ties at distance n/2 resolve East / South so each packet's home-run path
+  // is a fixed path, as the algorithm requires.
+  constexpr Dir home_run_dir(std::uint32_t src, std::uint32_t dst) const noexcept {
+    const Coord cs = coord_of(src), cd = coord_of(dst);
+    if (cs.col != cd.col) {
+      if (!wraps()) return cd.col > cs.col ? Dir::East : Dir::West;
+      const std::int32_t cf = wrap(cd.col - cs.col);
+      return cf <= n_ - cf ? Dir::East : Dir::West;
+    }
+    if (!wraps()) return cd.row > cs.row ? Dir::South : Dir::North;
+    const std::int32_t rf = wrap(cd.row - cs.row);
+    return rf <= n_ - rf ? Dir::South : Dir::North;
+  }
+
+  // True when the packet at `src` heading to `dst` is at its home-run turn:
+  // column aligned but row not yet. A Running packet is deflectable only
+  // here.
+  constexpr bool at_home_run_turn(std::uint32_t src, std::uint32_t dst) const noexcept {
+    const Coord cs = coord_of(src), cd = coord_of(dst);
+    return cs.col == cd.col && cs.row != cd.row;
+  }
+
+ private:
+  constexpr std::int32_t wrap(std::int32_t v) const noexcept {
+    v %= n_;
+    return v < 0 ? v + n_ : v;
+  }
+  constexpr std::int32_t wrap_or_clamp(std::int32_t v) const noexcept {
+    if (wraps()) return wrap(v);
+    HP_ASSERT(v >= 0 && v < n_, "mesh neighbor across a missing link");
+    return v;
+  }
+
+  std::int32_t n_;
+  GridKind kind_;
+};
+
+}  // namespace hp::net

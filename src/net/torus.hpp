@@ -1,0 +1,20 @@
+#pragma once
+
+// Torus convenience wrapper over the general Grid (see grid.hpp): the
+// wraparound N-by-N topology the report's simulation uses.
+
+#include "net/grid.hpp"
+
+namespace hp::net {
+
+class Torus : public Grid {
+ public:
+  explicit constexpr Torus(std::int32_t n) : Grid(n, GridKind::Torus) {}
+};
+
+class Mesh : public Grid {
+ public:
+  explicit constexpr Mesh(std::int32_t n) : Grid(n, GridKind::Mesh) {}
+};
+
+}  // namespace hp::net

@@ -1,0 +1,216 @@
+#include "pcs/pcs_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hp::pcs {
+
+namespace {
+
+// Flag bits recorded for reverse computation.
+constexpr std::uint8_t kAllocated = 1;   // call setup / handoff got a channel
+constexpr std::uint8_t kHandoff = 2;     // a handoff leg was scheduled
+constexpr std::uint8_t kReleased = 4;    // CallEnd decremented busy_channels
+// Latency of the radio handoff itself (release here -> arrival there).
+constexpr double kHandoffLatency = 0.5;
+
+}  // namespace
+
+PcsModel::PcsModel(PcsConfig cfg)
+    : cfg_(cfg), grid_(cfg.n, net::GridKind::Torus) {
+  HP_ASSERT(cfg_.channels_per_cell >= 1, "cells need at least one channel");
+  HP_ASSERT(cfg_.mean_call > 0 && cfg_.mean_idle > 0, "means must be positive");
+}
+
+std::unique_ptr<des::LpState> PcsModel::make_state(std::uint32_t) {
+  return std::make_unique<CellState>();
+}
+
+double PcsModel::draw_duration(double mean, util::ReversibleRng& rng) {
+  // Inverse-CDF exponential from one uniform draw, clamped away from 0.
+  const double u = rng.uniform();
+  return std::max(0.01, -mean * std::log1p(-std::min(u, 0.999999)));
+}
+
+void PcsModel::init_lp(std::uint32_t lp, des::InitContext& ctx) {
+  for (std::uint32_t p = 0; p < cfg_.portables_per_cell; ++p) {
+    PcsMsg m;
+    m.type = PcsEvent::NextCall;
+    ctx.schedule(lp, draw_duration(cfg_.mean_idle, ctx.rng()), m);
+  }
+}
+
+void PcsModel::forward(des::LpState& state, des::Event& ev,
+                       des::Context& ctx) {
+  auto& s = static_cast<CellState&>(state);
+  switch (ev.msg<PcsMsg>().type) {
+    case PcsEvent::NextCall: next_call(s, ev, ctx); break;
+    case PcsEvent::CallEnd: call_end(s, ev, ctx); break;
+    case PcsEvent::HandoffArrive: handoff_arrive(s, ev, ctx); break;
+  }
+}
+
+void PcsModel::reverse(des::LpState& state, des::Event& ev,
+                       des::Context& ctx) {
+  auto& s = static_cast<CellState&>(state);
+  switch (ev.msg<PcsMsg>().type) {
+    case PcsEvent::NextCall: reverse_next_call(s, ev, ctx); break;
+    case PcsEvent::CallEnd: reverse_call_end(s, ev, ctx); break;
+    case PcsEvent::HandoffArrive: reverse_handoff_arrive(s, ev, ctx); break;
+  }
+}
+
+void PcsModel::next_call(CellState& s, des::Event& ev, des::Context& ctx) {
+  auto& m = ev.msg<PcsMsg>();
+  std::uint8_t draws = 0;
+  m.saved_flag = 0;
+
+  if (s.busy_channels >= cfg_.channels_per_cell) {
+    // Blocked at setup: the subscriber retries after another idle period.
+    ++s.calls_blocked;
+    PcsMsg retry;
+    retry.type = PcsEvent::NextCall;
+    ctx.send(ctx.self(), draw_duration(cfg_.mean_idle, ctx.rng()), retry);
+    ++draws;
+    m.saved_rng_draws = draws;
+    return;
+  }
+
+  m.saved_flag |= kAllocated;
+  ++s.busy_channels;
+  ++s.calls_started;
+  const double duration = draw_duration(cfg_.mean_call, ctx.rng());
+  ++draws;
+  const double u = ctx.rng().uniform();
+  ++draws;
+  const double p_handoff =
+      std::min(0.8, cfg_.handoff_rate * cfg_.mean_call);
+
+  PcsMsg end;
+  end.type = PcsEvent::CallEnd;
+  end.call_started = ev.key.ts;
+  if (u < p_handoff) {
+    m.saved_flag |= kHandoff;
+    // The same draw re-uniformizes into the handoff instant within the call.
+    const double frac = std::clamp(u / p_handoff, 0.01, 0.99);
+    end.call_remaining = duration * (1.0 - frac);
+    ctx.send(ctx.self(), duration * frac, end);
+  } else {
+    end.call_remaining = 0.0;
+    ctx.send(ctx.self(), duration, end);
+  }
+  m.saved_rng_draws = draws;
+}
+
+void PcsModel::reverse_next_call(CellState& s, des::Event& ev,
+                                 des::Context& ctx) {
+  auto& m = ev.msg<PcsMsg>();
+  ctx.rng().reverse(m.saved_rng_draws);
+  if (m.saved_flag & kAllocated) {
+    --s.calls_started;
+    --s.busy_channels;
+  } else {
+    --s.calls_blocked;
+  }
+}
+
+void PcsModel::call_end(CellState& s, des::Event& ev, des::Context& ctx) {
+  auto& m = ev.msg<PcsMsg>();
+  std::uint8_t draws = 0;
+  m.saved_flag = 0;
+
+  // Release the channel. Under lazy cancellation a doomed transient can
+  // double-release; stay well-defined and record what happened for reverse.
+  if (s.busy_channels > 0) {
+    --s.busy_channels;
+    m.saved_flag |= kReleased;
+  }
+
+  if (m.call_remaining > 0.0) {
+    // The portable moves: the remaining call arrives at a random neighbor.
+    const auto k = static_cast<int>(ctx.rng().integer(0, 3));
+    ++draws;
+    const net::Dir dir = net::kAllDirs[static_cast<std::size_t>(k)];
+    PcsMsg hand;
+    hand.type = PcsEvent::HandoffArrive;
+    hand.call_started = m.call_started;
+    hand.call_remaining = m.call_remaining;
+    ctx.send(grid_.neighbor(ctx.self(), dir), kHandoffLatency, hand);
+  } else {
+    ++s.calls_completed;
+    // Real-valued durations need the exact-reversal tally API (see
+    // util::Tally); subtraction would drift.
+    m.saved_sum = s.call_time.push(ev.key.ts - m.call_started);
+    PcsMsg next;
+    next.type = PcsEvent::NextCall;
+    ctx.send(ctx.self(), draw_duration(cfg_.mean_idle, ctx.rng()), next);
+    ++draws;
+  }
+  m.saved_rng_draws = draws;
+}
+
+void PcsModel::reverse_call_end(CellState& s, des::Event& ev,
+                                des::Context& ctx) {
+  auto& m = ev.msg<PcsMsg>();
+  ctx.rng().reverse(m.saved_rng_draws);
+  if (m.call_remaining <= 0.0) {
+    s.call_time.pop(m.saved_sum);
+    --s.calls_completed;
+  }
+  if (m.saved_flag & kReleased) ++s.busy_channels;
+}
+
+void PcsModel::handoff_arrive(CellState& s, des::Event& ev,
+                              des::Context& ctx) {
+  auto& m = ev.msg<PcsMsg>();
+  std::uint8_t draws = 0;
+  m.saved_flag = 0;
+
+  if (s.busy_channels >= cfg_.channels_per_cell) {
+    // Handoff blocked: the call is dropped mid-flight; the subscriber goes
+    // idle in this cell.
+    ++s.handoffs_dropped;
+    PcsMsg next;
+    next.type = PcsEvent::NextCall;
+    ctx.send(ctx.self(), draw_duration(cfg_.mean_idle, ctx.rng()), next);
+    ++draws;
+    m.saved_rng_draws = draws;
+    return;
+  }
+
+  m.saved_flag |= kAllocated;
+  ++s.busy_channels;
+  ++s.handoffs_in;
+  const double u = ctx.rng().uniform();
+  ++draws;
+  const double p_again =
+      std::min(0.8, cfg_.handoff_rate * m.call_remaining);
+
+  PcsMsg end;
+  end.type = PcsEvent::CallEnd;
+  end.call_started = m.call_started;
+  if (u < p_again) {
+    m.saved_flag |= kHandoff;
+    const double frac = std::clamp(u / p_again, 0.01, 0.99);
+    end.call_remaining = m.call_remaining * (1.0 - frac);
+    ctx.send(ctx.self(), m.call_remaining * frac, end);
+  } else {
+    end.call_remaining = 0.0;
+    ctx.send(ctx.self(), m.call_remaining, end);
+  }
+  m.saved_rng_draws = draws;
+}
+
+void PcsModel::reverse_handoff_arrive(CellState& s, des::Event& ev,
+                                      des::Context& ctx) {
+  auto& m = ev.msg<PcsMsg>();
+  ctx.rng().reverse(m.saved_rng_draws);
+  if (m.saved_flag & kAllocated) {
+    --s.handoffs_in;
+    --s.busy_channels;
+  } else {
+    --s.handoffs_dropped;
+  }
+}
+
+}  // namespace hp::pcs

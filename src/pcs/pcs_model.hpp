@@ -1,0 +1,158 @@
+#pragma once
+
+// PCS — Personal Communication Service network model.
+//
+// The report's methodology descends from Carothers/Fujimoto/Lin's PCS
+// simulation (report reference [4]/[6]): a grid of radio cells, each with a
+// fixed channel pool; subscribers place calls of exponential-ish duration
+// and move between adjacent cells mid-call (handoff), blocking when the
+// destination cell has no free channel. It is the canonical ROSS companion
+// model and exercises a different engine profile than hot-potato routing:
+// low fan-out, heavy self-traffic, state contention on a counter rather
+// than on links.
+//
+// Event flow per portable (subscriber):
+//   NextCall   — after an idle period, try to start a call: if the cell has
+//                a free channel, allocate it and schedule CallEnd; else the
+//                call is blocked and the portable retries later.
+//   CallEnd    — release the channel, schedule the next call.
+//   Handoff    — during a call, the portable moves to a random neighbor
+//                cell: release here, then an arrival event at the neighbor
+//                either re-allocates (success) or drops the call (handoff
+//                block — the metric PCS studies care about most).
+//
+// Every handler is exactly reverse-computable; the per-cell state is a
+// channel counter plus reversible tallies.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "des/model.hpp"
+#include "net/grid.hpp"
+#include "util/stats.hpp"
+
+namespace hp::pcs {
+
+struct PcsConfig {
+  std::int32_t n = 8;                   // n x n cells (torus wrap, like [4])
+  std::uint32_t portables_per_cell = 8; // subscribers per cell at start
+  std::uint32_t channels_per_cell = 4;  // radio channel pool
+  double mean_call = 30.0;              // mean call duration
+  double mean_idle = 60.0;              // mean gap between call attempts
+  double handoff_rate = 0.02;           // per-time-unit chance a call moves
+  // Derived: probability that a given call experiences a handoff before it
+  // ends is roughly handoff_rate * mean_call.
+
+  std::uint32_t num_cells() const noexcept {
+    return static_cast<std::uint32_t>(n) * static_cast<std::uint32_t>(n);
+  }
+};
+
+struct CellState final : des::LpState {
+  std::uint32_t busy_channels = 0;
+
+  // Reversible statistics.
+  std::uint64_t calls_started = 0;
+  std::uint64_t calls_completed = 0;
+  std::uint64_t calls_blocked = 0;    // no channel at call setup
+  std::uint64_t handoffs_in = 0;
+  std::uint64_t handoffs_dropped = 0; // no channel at handoff arrival
+  util::Tally call_time;              // completed-call durations
+
+  std::unique_ptr<des::LpState> clone() const override {
+    return std::make_unique<CellState>(*this);
+  }
+  bool equals(const des::LpState& o) const override {
+    const auto& s = static_cast<const CellState&>(o);
+    return busy_channels == s.busy_channels &&
+           calls_started == s.calls_started &&
+           calls_completed == s.calls_completed &&
+           calls_blocked == s.calls_blocked && handoffs_in == s.handoffs_in &&
+           handoffs_dropped == s.handoffs_dropped && call_time == s.call_time;
+  }
+};
+
+enum class PcsEvent : std::uint8_t { NextCall, CallEnd, HandoffArrive };
+
+struct PcsMsg {
+  PcsEvent type = PcsEvent::NextCall;
+  double call_started = 0.0;   // setup time of the in-progress call
+  double call_remaining = 0.0; // remaining duration at handoff
+  // reverse scratch
+  double saved_sum = 0.0;  // displaced call_time sum (exact double reversal)
+  std::uint8_t saved_rng_draws = 0;
+  std::uint8_t saved_flag = 0;
+};
+
+struct PcsReport {
+  std::uint64_t calls_started = 0;
+  std::uint64_t calls_completed = 0;
+  std::uint64_t calls_blocked = 0;
+  std::uint64_t handoffs_in = 0;
+  std::uint64_t handoffs_dropped = 0;
+  double call_time_sum = 0.0;
+
+  bool operator==(const PcsReport&) const = default;
+
+  double blocking_probability() const noexcept {
+    const auto attempts = calls_started + calls_blocked;
+    return attempts ? static_cast<double>(calls_blocked) /
+                          static_cast<double>(attempts)
+                    : 0.0;
+  }
+  double handoff_drop_probability() const noexcept {
+    const auto arrivals = handoffs_in + handoffs_dropped;
+    return arrivals ? static_cast<double>(handoffs_dropped) /
+                          static_cast<double>(arrivals)
+                    : 0.0;
+  }
+  double mean_call_time() const noexcept {
+    return calls_completed ? call_time_sum /
+                                 static_cast<double>(calls_completed)
+                           : 0.0;
+  }
+};
+
+class PcsModel final : public des::Model {
+ public:
+  explicit PcsModel(PcsConfig cfg);
+
+  std::unique_ptr<des::LpState> make_state(std::uint32_t lp) override;
+  void init_lp(std::uint32_t lp, des::InitContext& ctx) override;
+  void forward(des::LpState& state, des::Event& ev, des::Context& ctx) override;
+  void reverse(des::LpState& state, des::Event& ev, des::Context& ctx) override;
+
+  const PcsConfig& config() const noexcept { return cfg_; }
+
+  template <typename Engine>
+  static PcsReport collect(Engine& eng) {
+    PcsReport r;
+    for (std::uint32_t lp = 0; lp < eng.num_lps(); ++lp) {
+      const auto& s = static_cast<const CellState&>(eng.state(lp));
+      r.calls_started += s.calls_started;
+      r.calls_completed += s.calls_completed;
+      r.calls_blocked += s.calls_blocked;
+      r.handoffs_in += s.handoffs_in;
+      r.handoffs_dropped += s.handoffs_dropped;
+      r.call_time_sum += s.call_time.sum();
+    }
+    return r;
+  }
+
+ private:
+  void next_call(CellState& s, des::Event& ev, des::Context& ctx);
+  void reverse_next_call(CellState& s, des::Event& ev, des::Context& ctx);
+  void call_end(CellState& s, des::Event& ev, des::Context& ctx);
+  void reverse_call_end(CellState& s, des::Event& ev, des::Context& ctx);
+  void handoff_arrive(CellState& s, des::Event& ev, des::Context& ctx);
+  void reverse_handoff_arrive(CellState& s, des::Event& ev, des::Context& ctx);
+
+  // One draw; exponential-shaped via inverse CDF on a uniform.
+  static double draw_duration(double mean, util::ReversibleRng& rng);
+
+  PcsConfig cfg_;
+  net::Grid grid_;
+};
+
+}  // namespace hp::pcs

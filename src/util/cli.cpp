@@ -1,0 +1,70 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace hp::util {
+
+Cli::Cli(int argc, char** argv, std::map<std::string, std::string> spec)
+    : program_(argc > 0 ? argv[0] : "?"), spec_(std::move(spec)) {
+  spec_.emplace("help", "print this help");
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", argv[i]);
+      print_help();
+      std::exit(2);
+    }
+    arg.remove_prefix(2);
+    std::string name, value = "1";
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+    }
+    if (!spec_.contains(name)) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      print_help();
+      std::exit(2);
+    }
+    values_[name] = value;
+  }
+  if (values_.contains("help")) {
+    print_help();
+    std::exit(0);
+  }
+}
+
+bool Cli::has(const std::string& name) const { return values_.contains(name); }
+
+std::string Cli::get(const std::string& name, const std::string& dflt) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? dflt : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t dflt) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? dflt : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double dflt) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool dflt) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  return it->second != "0" && it->second != "false" && it->second != "no";
+}
+
+void Cli::print_help() const {
+  std::fprintf(stderr, "usage: %s [--flag=value ...]\n", program_.c_str());
+  for (const auto& [name, help] : spec_) {
+    std::fprintf(stderr, "  --%-24s %s\n", name.c_str(), help.c_str());
+  }
+}
+
+}  // namespace hp::util

@@ -1,0 +1,34 @@
+#pragma once
+
+// Minimal flag parser shared by bench/example binaries.
+// Accepts --name=value and bare --name (boolean true). Unknown flags abort
+// with a usage message so typos in sweep scripts fail loudly.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hp::util {
+
+class Cli {
+ public:
+  // `spec` maps flag name -> help text; used for --help and typo detection.
+  Cli(int argc, char** argv, std::map<std::string, std::string> spec);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& dflt) const;
+  std::int64_t get_int(const std::string& name, std::int64_t dflt) const;
+  double get_double(const std::string& name, double dflt) const;
+  bool get_bool(const std::string& name, bool dflt) const;
+
+  void print_help() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> spec_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace hp::util

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+namespace hp::util {
+
+// SplitMix64 finalizer (Steele, Lea, Flood 2014). Used for deterministic
+// event tiebreak derivation and for seeding per-LP RNG streams. It is a
+// bijection on 64-bit words, which matters for tiebreak quality: distinct
+// inputs never collapse before the final mix.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x = x ^ (x >> 31);
+  return x;
+}
+
+// Combine two words into one well-mixed word. Not a bijection of the pair
+// (impossible), but collisions among (parent_tiebreak, child_index) pairs
+// are what a birthday bound governs; see DESIGN.md "Deterministic event
+// ordering".
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return splitmix64(a ^ (0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2)));
+}
+
+}  // namespace hp::util

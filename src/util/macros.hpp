@@ -1,0 +1,25 @@
+#pragma once
+
+// Small set of project-wide macros. Kept deliberately tiny: assertions that
+// stay on in release builds (simulation correctness bugs are silent data
+// corruption otherwise) and branch hints for the engine hot path.
+
+#include <cstdio>
+#include <cstdlib>
+
+#define HP_LIKELY(x) __builtin_expect(!!(x), 1)
+#define HP_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+// Always-on assertion. The DES engine relies on invariants (event ordering,
+// annihilation matching, pool discipline) whose violation must abort rather
+// than produce plausible-but-wrong statistics.
+#define HP_ASSERT(cond, ...)                                               \
+  do {                                                                     \
+    if (HP_UNLIKELY(!(cond))) {                                            \
+      std::fprintf(stderr, "HP_ASSERT failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                       \
+      std::fprintf(stderr, "  " __VA_ARGS__);                              \
+      std::fprintf(stderr, "\n");                                          \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)

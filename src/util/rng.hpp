@@ -1,0 +1,118 @@
+#pragma once
+
+// Reversible pseudo-random number generation for reverse computation.
+//
+// ROSS pairs every tw_rand_* draw with tw_rand_reverse_unif() so a rolled
+// back event can rewind its LP's stream exactly. We provide the same
+// contract with a 64-bit LCG: the state update s' = a*s + c (mod 2^64) is a
+// bijection, so stepping backwards is s = a_inv * (s' - c) (mod 2^64) where
+// a_inv is the multiplicative inverse of a modulo 2^64 (a is odd, so the
+// inverse exists and is computed at compile time by Newton iteration).
+//
+// One LP owns one stream; seeds are derived from (global_seed, lp_id) via
+// splitmix64, so streams are decorrelated and a run is reproducible from a
+// single seed.
+
+#include <cstdint>
+
+#include "util/hash.hpp"
+#include "util/macros.hpp"
+
+namespace hp::util {
+
+// Multiplicative inverse of an odd 64-bit number mod 2^64 via Newton
+// iteration: x_{k+1} = x_k * (2 - a * x_k) doubles correct low bits each step.
+constexpr std::uint64_t inverse_mod_2_64(std::uint64_t a) noexcept {
+  std::uint64_t x = a;  // correct to 3 bits for odd a
+  for (int i = 0; i < 6; ++i) x *= 2ULL - a * x;
+  return x;
+}
+
+class ReversibleRng {
+ public:
+  // Knuth MMIX constants.
+  static constexpr std::uint64_t kMul = 6364136223846793005ULL;
+  static constexpr std::uint64_t kInc = 1442695040888963407ULL;
+  static constexpr std::uint64_t kMulInv = inverse_mod_2_64(kMul);
+  static_assert(kMul * kMulInv == 1ULL, "inverse computation is wrong");
+
+  ReversibleRng() noexcept : state_(splitmix64(0)) {}
+  explicit ReversibleRng(std::uint64_t seed) noexcept
+      : state_(splitmix64(seed)) {}
+
+  // Advance the stream and return a double uniform in [0, 1).
+  double uniform() noexcept {
+    step_forward();
+    return to_unit_double(output());
+  }
+
+  // Advance and return an integer uniform in [lo, hi] (inclusive), lo <= hi.
+  // One stream step regardless of the range, so reverse() stays one-to-one
+  // with draws.
+  std::uint64_t integer(std::uint64_t lo, std::uint64_t hi) noexcept {
+    HP_ASSERT(lo <= hi, "integer(lo=%llu, hi=%llu)",
+              static_cast<unsigned long long>(lo),
+              static_cast<unsigned long long>(hi));
+    step_forward();
+    const std::uint64_t span = hi - lo + 1;  // span==0 means full 2^64 range
+    const std::uint64_t r = output();
+    return span == 0 ? r : lo + mul_shift(r, span);
+  }
+
+  // Advance and return true with probability p (one draw).
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  // Rewind the stream by `draws` steps. Must match forward draws exactly.
+  void reverse(std::uint64_t draws = 1) noexcept {
+    for (std::uint64_t i = 0; i < draws; ++i) {
+      state_ = kMulInv * (state_ - kInc);
+      HP_ASSERT(draw_count_ > 0, "reverse() past the seed state");
+      --draw_count_;
+    }
+  }
+
+  // Number of forward draws minus reversed draws since construction.
+  // Used by tests and by the engine's rollback sanity checks.
+  std::uint64_t draw_count() const noexcept { return draw_count_; }
+
+  std::uint64_t raw_state() const noexcept { return state_; }
+
+  // Snapshot/restore for the state-saving ablation mode, which rolls back by
+  // restoring pre-event snapshots instead of calling reverse().
+  void restore(std::uint64_t state, std::uint64_t draws) noexcept {
+    state_ = state;
+    draw_count_ = draws;
+  }
+
+ private:
+  void step_forward() noexcept {
+    state_ = kMul * state_ + kInc;
+    ++draw_count_;
+  }
+
+  // LCGs have weak low bits; output the xorshifted high part (PCG-XSH-style)
+  // so uniform() and integer() see well-mixed bits.
+  std::uint64_t output() const noexcept {
+    std::uint64_t x = state_;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return x;
+  }
+
+  static double to_unit_double(std::uint64_t r) noexcept {
+    return static_cast<double>(r >> 11) * 0x1.0p-53;
+  }
+
+  // Lemire's multiply-shift range reduction (slight bias is irrelevant at
+  // 64-bit width; what matters here is one step per draw).
+  static std::uint64_t mul_shift(std::uint64_t r, std::uint64_t span) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(r) * span) >> 64);
+  }
+
+  std::uint64_t state_;
+  std::uint64_t draw_count_ = 0;
+};
+
+}  // namespace hp::util

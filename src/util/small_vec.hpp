@@ -1,0 +1,71 @@
+#pragma once
+
+// Inline-capacity vector for the event envelope's child list. Events send a
+// handful of children (the hot-potato model sends at most two per handler);
+// keeping them inline avoids a heap allocation per processed event on the
+// Time Warp hot path. Spills to the heap if a model sends more.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/macros.hpp"
+
+namespace hp::util {
+
+template <typename T, std::size_t InlineCap>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is for POD-ish payloads only");
+
+ public:
+  SmallVec() noexcept = default;
+  SmallVec(const SmallVec&) = delete;
+  SmallVec& operator=(const SmallVec&) = delete;
+
+  ~SmallVec() { delete[] heap_; }
+
+  void push_back(const T& v) {
+    if (HP_UNLIKELY(size_ == cap_)) grow();
+    data()[size_++] = v;
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T* begin() noexcept { return data(); }
+  T* end() noexcept { return data() + size_; }
+  const T* begin() const noexcept { return data(); }
+  const T* end() const noexcept { return data() + size_; }
+
+  T& operator[](std::size_t i) noexcept { return data()[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data()[i]; }
+
+ private:
+  T* data() noexcept { return heap_ ? heap_ : inline_data(); }
+  const T* data() const noexcept { return heap_ ? heap_ : inline_data(); }
+  T* inline_data() noexcept { return std::launder(reinterpret_cast<T*>(buf_)); }
+  const T* inline_data() const noexcept {
+    return std::launder(reinterpret_cast<const T*>(buf_));
+  }
+
+  void grow() {
+    const std::size_t new_cap = cap_ * 2;
+    T* fresh = new T[new_cap];
+    for (std::size_t i = 0; i < size_; ++i) fresh[i] = data()[i];
+    delete[] heap_;
+    heap_ = fresh;
+    cap_ = new_cap;
+  }
+
+  alignas(T) std::byte buf_[sizeof(T) * InlineCap];
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = InlineCap;
+};
+
+}  // namespace hp::util

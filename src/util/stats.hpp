@@ -1,0 +1,144 @@
+#pragma once
+
+// Statistics accumulators used inside LP state.
+//
+// Under reverse computation every forward mutation must have an inverse, so
+// the accumulators here come in two flavours:
+//  * count/sum style (Tally) — reversible by subtraction;
+//  * max style (RunningMax) — NOT invertible from the accumulator alone;
+//    push() returns the displaced value, which the model stashes in the
+//    event's scratch area and hands back to pop() on rollback (the ROSS
+//    "swap into the message" idiom).
+// Summary (Welford) is for end-of-run aggregation only and never reversed.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace hp::util {
+
+// Reversible count + sum accumulator.
+//
+// Two reversal styles:
+//  * add/remove — reverse by subtraction. Bit-exact ONLY when every value is
+//    an integer-valued double and the sum stays below 2^53 (true for the
+//    hop/step/wait tallies of the routing model). For general reals,
+//    (sum + x) - x need not equal sum, which breaks reverse computation.
+//  * push/pop — the displaced sum is returned for the caller to stash in the
+//    event's scratch area (the RunningMax idiom); exact for any doubles.
+class Tally {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    sum_ += x;
+  }
+  void remove(double x) noexcept {
+    --count_;
+    sum_ -= x;
+  }
+  // Exact-reversal variant: returns the pre-add sum to stash for pop().
+  double push(double x) noexcept {
+    const double prev = sum_;
+    ++count_;
+    sum_ += x;
+    return prev;
+  }
+  void pop(double stashed_prev_sum) noexcept {
+    --count_;
+    sum_ = stashed_prev_sum;
+  }
+  void merge(const Tally& o) noexcept {
+    count_ += o.count_;
+    sum_ += o.sum_;
+  }
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  bool operator==(const Tally&) const = default;
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+// Reversible maximum: push returns the previous maximum, pop restores it.
+class RunningMax {
+ public:
+  // Returns the value to stash for reversal.
+  double push(double x) noexcept {
+    const double prev = max_;
+    max_ = std::max(max_, x);
+    return prev;
+  }
+  void pop(double stashed_prev) noexcept { max_ = stashed_prev; }
+  void merge(const RunningMax& o) noexcept { max_ = std::max(max_, o.max_); }
+  double value() const noexcept { return max_; }
+  bool operator==(const RunningMax&) const = default;
+
+ private:
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-width histogram with clamped overflow bin; add/remove reversible.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(double lo, double bin_width, std::size_t bins)
+      : lo_(lo), width_(bin_width), counts_(bins, 0) {}
+
+  void add(double x) noexcept { ++counts_[bin_of(x)]; }
+  void remove(double x) noexcept { --counts_[bin_of(x)]; }
+  void merge(const Histogram& o) noexcept {
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+  }
+  const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+  double bin_lo(std::size_t i) const noexcept {
+    return lo_ + static_cast<double>(i) * width_;
+  }
+  bool operator==(const Histogram&) const = default;
+
+ private:
+  std::size_t bin_of(double x) const noexcept {
+    if (x < lo_) return 0;
+    const auto i = static_cast<std::size_t>((x - lo_) / width_);
+    return std::min(i, counts_.size() - 1);
+  }
+  double lo_ = 0.0;
+  double width_ = 1.0;
+  std::vector<std::uint64_t> counts_;
+};
+
+// One-pass mean/variance/min/max for end-of-run reporting (Welford).
+class Summary {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  std::uint64_t n() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace hp::util

@@ -1,0 +1,81 @@
+#include "util/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/macros.hpp"
+
+namespace hp::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<Cell> cells) {
+  HP_ASSERT(cells.size() == headers_.size(),
+            "row has %zu cells, table has %zu columns", cells.size(),
+            headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::render(const Cell& c) {
+  std::ostringstream os;
+  std::visit(
+      [&os](const auto& v) {
+        using V = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<V, double>) {
+          os << std::fixed << std::setprecision(3) << v;
+        } else {
+          os << v;
+        }
+      },
+      c);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      r.push_back(render(row[i]));
+      widths[i] = std::max(widths[i], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << std::setw(static_cast<int>(widths[i]) + 2) << cells[i];
+    }
+    os << '\n';
+  };
+  line(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rendered) line(r);
+}
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    os << headers_[i] << (i + 1 < headers_.size() ? "," : "\n");
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << render(row[i]) << (i + 1 < row.size() ? "," : "\n");
+    }
+  }
+}
+
+void Table::write_csv_file(const std::string& path) const {
+  std::ofstream f(path);
+  HP_ASSERT(f.good(), "cannot open %s", path.c_str());
+  write_csv(f);
+}
+
+}  // namespace hp::util

@@ -1,0 +1,37 @@
+#pragma once
+
+// Plain-text table / CSV emission for the benchmark harnesses. Every figure
+// binary prints the same rows the paper plots, as an aligned table on stdout
+// and optionally as CSV for replotting.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace hp::util {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, std::int64_t, std::uint64_t>;
+
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<Cell> cells);
+
+  // Aligned fixed-width rendering for terminals.
+  void print(std::ostream& os) const;
+  // RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void write_csv(std::ostream& os) const;
+  void write_csv_file(const std::string& path) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  static std::string render(const Cell& c);
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace hp::util

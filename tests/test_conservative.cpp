@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "des/conservative.hpp"
+#include "des/phold.hpp"
+#include "des/sequential.hpp"
+#include "pcs/pcs_model.hpp"
+
+namespace hp::des {
+namespace {
+
+TEST(ConservativeEngine, PholdMatchesSequentialAtEveryPeCount) {
+  PholdConfig pc;
+  pc.num_lps = 48;
+  pc.remote_fraction = 0.7;
+  pc.lookahead = 0.2;
+  EngineConfig ec;
+  ec.num_lps = pc.num_lps;
+  ec.end_time = 80.0;
+  ec.seed = 5;
+
+  PholdModel m1(pc);
+  SequentialEngine seq(m1, ec);
+  const auto sstats = seq.run();
+
+  for (const std::uint32_t pes : {1u, 2u, 4u}) {
+    auto cc = ec;
+    cc.num_pes = pes;
+    PholdModel m2(pc);
+    ConservativeEngine cons(m2, cc, pc.lookahead);
+    const auto cstats = cons.run();
+    EXPECT_EQ(cstats.committed_events, sstats.committed_events) << pes;
+    EXPECT_EQ(PholdModel::digest(cons), PholdModel::digest(seq)) << pes;
+    EXPECT_EQ(cstats.rolled_back_events, 0u) << "conservative never rolls back";
+  }
+}
+
+TEST(ConservativeEngine, HotPotatoMatchesSequential) {
+  core::SimulationOptions o;
+  o.model.n = 8;
+  o.model.injector_fraction = 0.75;
+  o.model.steps = 80;
+  o.kernel = core::Kernel::Sequential;
+  const auto seq = core::run_hotpotato(o);
+
+  for (const std::uint32_t pes : {2u, 4u}) {
+    auto c = o;
+    c.kernel = core::Kernel::Conservative;
+    c.num_pes = pes;
+    const auto cons = core::run_hotpotato(c);
+    EXPECT_EQ(seq.report, cons.report) << pes << " PEs";
+    EXPECT_EQ(seq.engine.committed_events, cons.engine.committed_events);
+  }
+}
+
+TEST(ConservativeEngine, PcsMatchesSequential) {
+  pcs::PcsConfig pc;
+  pc.n = 8;
+  pc.mean_idle = 20.0;
+  EngineConfig ec;
+  ec.num_lps = pc.num_cells();
+  ec.end_time = 1000.0;
+  pcs::PcsModel m1(pc);
+  SequentialEngine seq(m1, ec);
+  (void)seq.run();
+  const auto sr = pcs::PcsModel::collect(seq);
+
+  auto cc = ec;
+  cc.num_pes = 2;
+  pcs::PcsModel m2(pc);
+  // PCS cross-LP messages are handoffs with a 0.5 radio latency.
+  ConservativeEngine cons(m2, cc, 0.5);
+  (void)cons.run();
+  EXPECT_EQ(sr, pcs::PcsModel::collect(cons));
+}
+
+TEST(ConservativeEngine, WindowCountReflectsLookahead) {
+  // Halving the lookahead roughly doubles the number of windows.
+  PholdConfig pc;
+  pc.num_lps = 32;
+  pc.remote_fraction = 0.5;
+  pc.lookahead = 0.4;
+  EngineConfig ec;
+  ec.num_lps = pc.num_lps;
+  ec.end_time = 100.0;
+  ec.num_pes = 2;
+
+  PholdModel m1(pc);
+  ConservativeEngine wide(m1, ec, 0.4);
+  const auto w = wide.run();
+
+  PholdModel m2(pc);
+  ConservativeEngine narrow(m2, ec, 0.1);
+  const auto n = narrow.run();
+
+  EXPECT_EQ(w.committed_events, n.committed_events);
+  EXPECT_GT(n.gvt_rounds, 2 * w.gvt_rounds);
+}
+
+TEST(ConservativeEngineDeath, RejectsLookaheadViolations) {
+  // Declaring a lookahead larger than the model's actual minimum delay must
+  // be caught at the first offending send.
+  PholdConfig pc;
+  pc.num_lps = 16;
+  pc.remote_fraction = 1.0;
+  pc.lookahead = 0.05;
+  EngineConfig ec;
+  ec.num_lps = pc.num_lps;
+  ec.end_time = 50.0;
+  PholdModel model(pc);
+  ConservativeEngine cons(model, ec, 5.0);  // lie about the lookahead
+  EXPECT_DEATH({ (void)cons.run(); }, "lookahead");
+}
+
+TEST(ConservativeEngine, EmptyTerminates) {
+  PholdConfig pc;
+  pc.num_lps = 8;
+  EngineConfig ec;
+  ec.num_lps = pc.num_lps;
+  ec.end_time = 0.005;  // below the earliest seeded event
+  ec.num_pes = 2;
+  PholdModel model(pc);
+  ConservativeEngine cons(model, ec, 0.1);
+  const auto stats = cons.run();
+  EXPECT_EQ(stats.committed_events, 0u);
+}
+
+}  // namespace
+}  // namespace hp::des

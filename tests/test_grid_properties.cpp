@@ -1,0 +1,125 @@
+// Parameterized property sweep over grid sizes and both topologies: the
+// routing-arithmetic invariants every policy depends on, checked
+// exhaustively over all (src, dst) pairs per configuration.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "net/grid.hpp"
+
+namespace hp::net {
+namespace {
+
+class GridProperties
+    : public ::testing::TestWithParam<std::tuple<std::int32_t, GridKind>> {
+ protected:
+  Grid grid() const {
+    return Grid(std::get<0>(GetParam()), std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(GridProperties, NeighborsAreInvolutionsOverAvailableLinks) {
+  const Grid g = grid();
+  for (std::uint32_t id = 0; id < g.num_nodes(); ++id) {
+    const DirSet avail = g.available_dirs(id);
+    for (Dir d : kAllDirs) {
+      if (!avail.contains(d)) continue;
+      const std::uint32_t nb = g.neighbor(id, d);
+      ASSERT_TRUE(g.available_dirs(nb).contains(opposite(d)));
+      ASSERT_EQ(g.neighbor(nb, opposite(d)), id);
+    }
+  }
+}
+
+TEST_P(GridProperties, DistanceIsAMetric) {
+  const Grid g = grid();
+  // Identity + symmetry over all pairs; triangle inequality over a sample.
+  for (std::uint32_t a = 0; a < g.num_nodes(); ++a) {
+    ASSERT_EQ(g.distance(a, a), 0);
+    for (std::uint32_t b = a + 1; b < g.num_nodes(); ++b) {
+      ASSERT_EQ(g.distance(a, b), g.distance(b, a));
+      ASSERT_GE(g.distance(a, b), 1);
+      ASSERT_LE(g.distance(a, b), g.diameter());
+    }
+  }
+  const std::uint32_t probes[] = {0, g.num_nodes() / 3, g.num_nodes() - 1};
+  for (std::uint32_t a : probes) {
+    for (std::uint32_t b : probes) {
+      for (std::uint32_t c : probes) {
+        ASSERT_LE(g.distance(a, c), g.distance(a, b) + g.distance(b, c));
+      }
+    }
+  }
+}
+
+TEST_P(GridProperties, GoodDirsExactlyTheDistanceReducers) {
+  const Grid g = grid();
+  for (std::uint32_t src = 0; src < g.num_nodes(); ++src) {
+    const DirSet avail = g.available_dirs(src);
+    for (std::uint32_t dst = 0; dst < g.num_nodes(); ++dst) {
+      const DirSet good = g.good_dirs(src, dst);
+      const auto d0 = g.distance(src, dst);
+      for (Dir d : kAllDirs) {
+        if (!avail.contains(d)) {
+          ASSERT_FALSE(good.contains(d)) << "good link off the grid";
+          continue;
+        }
+        const auto d1 = g.distance(g.neighbor(src, d), dst);
+        ASSERT_EQ(good.contains(d), d1 == d0 - 1)
+            << "src=" << src << " dst=" << dst << " dir=" << dir_name(d);
+      }
+    }
+  }
+}
+
+TEST_P(GridProperties, HomeRunIsAShortestOneBendPath) {
+  const Grid g = grid();
+  const std::uint32_t probes[] = {0, g.num_nodes() / 2, g.num_nodes() - 1,
+                                  g.num_nodes() / 3};
+  for (std::uint32_t src = 0; src < g.num_nodes(); ++src) {
+    for (std::uint32_t dst : probes) {
+      if (src == dst) continue;
+      std::uint32_t cur = src;
+      int steps = 0, bends = 0;
+      bool was_col = false;
+      while (cur != dst) {
+        const Dir d = g.home_run_dir(cur, dst);
+        ASSERT_TRUE(g.available_dirs(cur).contains(d));
+        ASSERT_TRUE(g.good_dirs(cur, dst).contains(d))
+            << "home-run must always progress";
+        const bool col = d == Dir::North || d == Dir::South;
+        if (steps > 0 && col != was_col) ++bends;
+        was_col = col;
+        cur = g.neighbor(cur, d);
+        ASSERT_LE(++steps, g.diameter());
+      }
+      ASSERT_EQ(steps, g.distance(src, dst));
+      ASSERT_LE(bends, 1);
+    }
+  }
+}
+
+TEST_P(GridProperties, IdCoordBijection) {
+  const Grid g = grid();
+  for (std::uint32_t id = 0; id < g.num_nodes(); ++id) {
+    const Coord c = g.coord_of(id);
+    ASSERT_EQ(g.id_of(c), id);
+    ASSERT_GE(c.row, 0);
+    ASSERT_LT(c.row, g.n());
+    ASSERT_GE(c.col, 0);
+    ASSERT_LT(c.col, g.n());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndKinds, GridProperties,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 8, 9, 13),
+                       ::testing::Values(GridKind::Torus, GridKind::Mesh)),
+    [](const auto& info) {
+      return std::string(grid_kind_name(std::get<1>(info.param))) + "_n" +
+             std::to_string(std::get<0>(info.param));
+    });
+
+}  // namespace
+}  // namespace hp::net

@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/deflection_policies.hpp"
+#include "core/simulation.hpp"
+#include "des/sequential.hpp"
+
+namespace hp::core {
+namespace {
+
+using hotpotato::HpReport;
+
+SimulationOptions base_opts(std::int32_t n, double inject, std::uint32_t steps) {
+  SimulationOptions o;
+  o.model.n = n;
+  o.model.injector_fraction = inject;
+  o.model.steps = steps;
+  o.seed = 1;
+  return o;
+}
+
+TEST(HotPotatoModel, ConservationOfPackets) {
+  auto o = base_opts(8, 0.5, 120);
+  const auto r = run_hotpotato(o);
+  const std::uint64_t initial = 4ull * o.model.num_lps();
+  // Every packet is initial or injected; it is delivered or still in flight
+  // (an ARRIVE/ROUTE event beyond the horizon). In-flight = total - delivered.
+  EXPECT_LE(r.report.delivered, initial + r.report.injected);
+  const std::uint64_t in_flight = initial + r.report.injected - r.report.delivered;
+  // The network can hold at most 4 packets per router.
+  EXPECT_LE(in_flight, 4ull * o.model.num_lps());
+}
+
+TEST(HotPotatoModel, DeliveryTimeAtLeastDistance) {
+  auto o = base_opts(8, 0.5, 120);
+  const auto r = run_hotpotato(o);
+  EXPECT_GT(r.report.delivered, 0u);
+  EXPECT_GE(r.report.stretch(), 1.0)
+      << "a packet cannot beat its shortest path";
+  EXPECT_GE(r.report.avg_delivery_steps(), r.report.avg_distance());
+}
+
+TEST(HotPotatoModel, StaticModeDrainsAllPackets) {
+  // injector_fraction = 0 => the report's one-shot/static configuration:
+  // only the initial 4 packets per router; long horizon drains them all.
+  auto o = base_opts(4, 0.0, 400);
+  const auto r = run_hotpotato(o);
+  EXPECT_EQ(r.report.injected, 0u);
+  EXPECT_EQ(r.report.delivered, 4ull * o.model.num_lps());
+}
+
+TEST(HotPotatoModel, StaticModeDrainsUnderEveryPolicy) {
+  baselines::GreedyPolicy greedy;
+  baselines::DimOrderPolicy dim;
+  baselines::OldestFirstPolicy oldest;
+  for (const hotpotato::RoutingPolicy* p :
+       {static_cast<const hotpotato::RoutingPolicy*>(&greedy),
+        static_cast<const hotpotato::RoutingPolicy*>(&dim),
+        static_cast<const hotpotato::RoutingPolicy*>(&oldest)}) {
+    auto o = base_opts(4, 0.0, 400);
+    o.model.policy = p;
+    const auto r = run_hotpotato(o);
+    EXPECT_EQ(r.report.delivered, 4ull * o.model.num_lps()) << p->name();
+  }
+}
+
+TEST(HotPotatoModel, ProofModeDelaysSleepingAbsorption) {
+  auto fast = base_opts(6, 0.0, 300);
+  fast.model.absorb_sleeping = true;
+  const auto r_fast = run_hotpotato(fast);
+  auto proof = base_opts(6, 0.0, 300);
+  proof.model.absorb_sleeping = false;
+  const auto r_proof = run_hotpotato(proof);
+  // In proof-verification mode sleeping packets pass through their
+  // destination, so delivery takes strictly more hops on aggregate.
+  EXPECT_GE(r_proof.report.avg_delivery_steps(),
+            r_fast.report.avg_delivery_steps());
+  EXPECT_LE(r_proof.report.delivered, r_fast.report.delivered);
+}
+
+TEST(HotPotatoModel, PriorityCensusIsConsistent) {
+  auto o = base_opts(12, 1.0, 200);
+  const auto r = run_hotpotato(o).report;
+  // Every routed event is attributed to exactly one priority.
+  EXPECT_EQ(r.routed_by_prio[0] + r.routed_by_prio[1] + r.routed_by_prio[2] +
+                r.routed_by_prio[3],
+            r.routed);
+  // At these scales the sleeping->active upgrade fires; higher transitions
+  // are rare because higher-priority packets route first and rarely deflect.
+  EXPECT_GT(r.upgrades_to_active, 0u);
+  EXPECT_GT(r.routed_by_prio[1], 0u) << "some packets route as Active";
+  // Conservation within the state machine: a packet can only route as
+  // Excited after an upgrade, and as Running after a promotion.
+  EXPECT_LE(r.promotions_to_running, r.upgrades_to_excited + 1);
+}
+
+TEST(HotPotatoModel, LinkCapacityNeverExceeded) {
+  auto o = base_opts(6, 1.0, 100);
+  const auto r = run_hotpotato(o);
+  // 4 out-links per router per step is a hard physical bound.
+  EXPECT_LE(r.report.link_utilization(o.model.num_lps(), o.model.steps), 1.0);
+  EXPECT_GT(r.report.link_utilization(o.model.num_lps(), o.model.steps), 0.1);
+}
+
+TEST(HotPotatoModel, InjectionWaitGrowsWithLoad) {
+  auto lo = base_opts(8, 0.25, 150);
+  auto hi = base_opts(8, 1.0, 150);
+  const auto r_lo = run_hotpotato(lo);
+  const auto r_hi = run_hotpotato(hi);
+  // The report's Fig. 4 shape: wait-to-inject strongly load-dependent.
+  EXPECT_LE(r_lo.report.avg_inject_wait(), r_hi.report.avg_inject_wait());
+  EXPECT_GT(r_hi.report.injected, r_lo.report.injected);
+}
+
+TEST(HotPotatoModel, InjectorFractionSelectsRoughlyThatShare) {
+  hotpotato::HotPotatoConfig mc;
+  mc.n = 32;
+  mc.injector_fraction = 0.25;
+  hotpotato::BhwPolicy pol(mc.n);
+  mc.policy = &pol;
+  hotpotato::HotPotatoModel model(mc);
+  std::uint32_t count = 0;
+  for (std::uint32_t lp = 0; lp < mc.num_lps(); ++lp) {
+    count += model.lp_is_injector(lp) ? 1 : 0;
+  }
+  const double frac = static_cast<double>(count) / mc.num_lps();
+  EXPECT_NEAR(frac, 0.25, 0.05);
+}
+
+TEST(HotPotatoModel, ZeroAndFullInjectorFractions) {
+  hotpotato::HotPotatoConfig mc;
+  mc.n = 8;
+  hotpotato::BhwPolicy pol(mc.n);
+  mc.policy = &pol;
+  mc.injector_fraction = 0.0;
+  hotpotato::HotPotatoModel none(mc);
+  mc.injector_fraction = 1.0;
+  hotpotato::HotPotatoModel all(mc);
+  for (std::uint32_t lp = 0; lp < mc.num_lps(); ++lp) {
+    EXPECT_FALSE(none.lp_is_injector(lp));
+    EXPECT_TRUE(all.lp_is_injector(lp));
+  }
+}
+
+// Attachment 3 of the report: sequential and parallel executions produce
+// identical statistics — here checked bit-for-bit over every counter and
+// double-sum, across PE/KP configurations and both rollback mechanisms.
+class Attachment3Determinism
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(Attachment3Determinism, ParallelEqualsSequential) {
+  const auto [pes, kps, state_saving] = GetParam();
+  auto o = base_opts(8, 0.75, 80);
+  o.kernel = Kernel::Sequential;
+  const auto seq = run_hotpotato(o);
+
+  auto t = o;
+  t.kernel = Kernel::TimeWarp;
+  t.num_pes = static_cast<std::uint32_t>(pes);
+  t.num_kps = static_cast<std::uint32_t>(kps);
+  t.gvt_interval = 256;
+  t.state_saving = state_saving;
+  const auto tw = run_hotpotato(t);
+
+  EXPECT_EQ(seq.report, tw.report);
+  EXPECT_EQ(seq.engine.committed_events, tw.engine.committed_events);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PeKpSweep, Attachment3Determinism,
+    ::testing::Values(std::make_tuple(1, 64, false),
+                      std::make_tuple(2, 16, false),
+                      std::make_tuple(2, 64, false),
+                      std::make_tuple(4, 64, false),
+                      std::make_tuple(4, 16, true),
+                      std::make_tuple(3, 9, false)),
+    [](const auto& info) {
+      return "pe" + std::to_string(std::get<0>(info.param)) + "_kp" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_statesave" : "_revcomp");
+    });
+
+TEST(HotPotatoModel, OptimismWindowPreservesDeterminism) {
+  auto o = base_opts(8, 0.5, 60);
+  o.kernel = Kernel::Sequential;
+  const auto seq = run_hotpotato(o);
+  for (double window : {10.0, 30.0, 100.0}) {
+    auto t = o;
+    t.kernel = Kernel::TimeWarp;
+    t.num_pes = 4;
+    t.num_kps = 16;
+    t.gvt_interval = 256;
+    t.optimism_window = window;
+    const auto tw = run_hotpotato(t);
+    EXPECT_EQ(seq.report, tw.report) << "window=" << window;
+  }
+}
+
+TEST(HotPotatoModel, FullInitIsThePhysicalMaximum) {
+  // One packet per directed link is all a bufferless network can hold; the
+  // capacity assertion inside the router enforces it, and a full-init
+  // static run must hit exactly that load at step 1.
+  auto o = base_opts(4, 0.0, 10);
+  const auto r = run_hotpotato(o);
+  // Step-1 arrivals: every in-link of every router occupied.
+  EXPECT_GE(r.report.arrivals, 4ull * o.model.num_lps());
+}
+
+TEST(HotPotatoModel, PerPeStatsSumToTotals) {
+  auto o = base_opts(8, 0.5, 60);
+  o.kernel = Kernel::TimeWarp;
+  o.num_pes = 4;
+  o.num_kps = 16;
+  o.gvt_interval = 256;
+  const auto r = run_hotpotato(o);
+  ASSERT_EQ(r.engine.per_pe.size(), 4u);
+  std::uint64_t processed = 0, committed = 0, rolled = 0;
+  for (const auto& pe : r.engine.per_pe) {
+    processed += pe.processed_events;
+    committed += pe.committed_events;
+    rolled += pe.rolled_back_events;
+  }
+  EXPECT_EQ(processed, r.engine.processed_events);
+  EXPECT_EQ(committed, r.engine.committed_events);
+  EXPECT_EQ(rolled, r.engine.rolled_back_events);
+  EXPECT_GT(r.engine.pool_envelopes, 0u);
+}
+
+TEST(HotPotatoModel, VisitorCoversEveryLp) {
+  hotpotato::HotPotatoConfig mc;
+  mc.n = 4;
+  mc.steps = 20;
+  hotpotato::BhwPolicy pol(mc.n);
+  mc.policy = &pol;
+  hotpotato::HotPotatoModel model(mc);
+  des::EngineConfig ec;
+  ec.num_lps = mc.num_lps();
+  ec.end_time = mc.end_time();
+  des::SequentialEngine eng(model, ec);
+  (void)eng.run();
+  std::uint32_t visits = 0;
+  std::uint64_t arrivals = 0;
+  eng.for_each_state([&](std::uint32_t lp, const des::LpState& s) {
+    EXPECT_LT(lp, mc.num_lps());
+    arrivals += static_cast<const hotpotato::RouterState&>(s).arrivals;
+    ++visits;
+  });
+  EXPECT_EQ(visits, mc.num_lps());
+  EXPECT_GT(arrivals, 0u);
+}
+
+TEST(HotPotatoModel, LazyCancellationPreservesDeterminism) {
+  auto o = base_opts(8, 0.75, 80);
+  o.kernel = Kernel::Sequential;
+  const auto seq = run_hotpotato(o);
+  for (const std::uint32_t pes : {2u, 4u}) {
+    auto t = o;
+    t.kernel = Kernel::TimeWarp;
+    t.num_pes = pes;
+    t.num_kps = 16;
+    t.gvt_interval = 128;
+    t.cancellation = des::EngineConfig::Cancellation::Lazy;
+    const auto tw = run_hotpotato(t);
+    EXPECT_EQ(seq.report, tw.report) << pes << " PEs";
+    EXPECT_EQ(seq.engine.committed_events, tw.engine.committed_events);
+  }
+}
+
+TEST(HotPotatoModel, LazyCancellationActuallyReusesChildren) {
+  auto t = base_opts(8, 0.75, 80);
+  t.kernel = Kernel::TimeWarp;
+  t.num_pes = 4;
+  t.num_kps = 16;
+  t.gvt_interval = 64;
+  t.cancellation = des::EngineConfig::Cancellation::Lazy;
+  const auto tw = run_hotpotato(t);
+  EXPECT_GT(tw.engine.rolled_back_events, 0u) << "config must roll back";
+  EXPECT_GT(tw.engine.lazy_reused, 0u)
+      << "lazy mode should find identical re-sends to adopt";
+}
+
+TEST(HotPotatoModel, QueueBackendsProduceIdenticalResults) {
+  auto o = base_opts(8, 0.5, 60);
+  o.kernel = Kernel::TimeWarp;
+  o.num_pes = 2;
+  o.num_kps = 16;
+  o.gvt_interval = 256;
+  o.queue_kind = des::EngineConfig::QueueKind::Splay;
+  const auto splay = run_hotpotato(o);
+  o.queue_kind = des::EngineConfig::QueueKind::Multiset;
+  const auto mset = run_hotpotato(o);
+  EXPECT_EQ(splay.report, mset.report);
+  EXPECT_EQ(splay.engine.committed_events, mset.engine.committed_events);
+}
+
+TEST(HotPotatoModel, LinearMappingAlsoDeterministic) {
+  auto o = base_opts(8, 0.5, 60);
+  o.kernel = Kernel::Sequential;
+  const auto seq = run_hotpotato(o);
+  auto t = o;
+  t.kernel = Kernel::TimeWarp;
+  t.num_pes = 4;
+  t.num_kps = 16;
+  t.block_mapping = false;
+  const auto tw = run_hotpotato(t);
+  EXPECT_EQ(seq.report, tw.report);
+}
+
+TEST(HotPotatoModel, DifferentSeedsDifferentTraffic) {
+  auto a = base_opts(8, 0.5, 60);
+  auto b = base_opts(8, 0.5, 60);
+  b.seed = 2;
+  const auto ra = run_hotpotato(a);
+  const auto rb = run_hotpotato(b);
+  EXPECT_NE(ra.report, rb.report);
+}
+
+TEST(HotPotatoModel, BaselinePoliciesRunUnderTimeWarp) {
+  // Baselines must satisfy the reverse-computation contract too.
+  baselines::GreedyPolicy greedy;
+  baselines::DimOrderPolicy dim;
+  baselines::OldestFirstPolicy oldest;
+  for (const hotpotato::RoutingPolicy* p :
+       {static_cast<const hotpotato::RoutingPolicy*>(&greedy),
+        static_cast<const hotpotato::RoutingPolicy*>(&dim),
+        static_cast<const hotpotato::RoutingPolicy*>(&oldest)}) {
+    auto o = base_opts(6, 0.5, 60);
+    o.model.policy = p;
+    o.kernel = Kernel::Sequential;
+    const auto seq = run_hotpotato(o);
+    auto t = o;
+    t.kernel = Kernel::TimeWarp;
+    t.num_pes = 4;
+    t.num_kps = 36;
+    t.gvt_interval = 128;
+    const auto tw = run_hotpotato(t);
+    EXPECT_EQ(seq.report, tw.report) << p->name();
+  }
+}
+
+TEST(HotPotatoModel, DeliveryTimeGrowsWithN) {
+  // Fig. 3 shape probe at test scale: larger torus, longer delivery.
+  auto small = base_opts(4, 0.5, 100);
+  auto big = base_opts(12, 0.5, 100);
+  const auto rs = run_hotpotato(small);
+  const auto rb = run_hotpotato(big);
+  EXPECT_LT(rs.report.avg_delivery_steps(), rb.report.avg_delivery_steps());
+}
+
+}  // namespace
+}  // namespace hp::core

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "net/mapping.hpp"
+#include "net/torus.hpp"
+
+namespace hp::net {
+namespace {
+
+void expect_partition_complete_and_balanced(const Mapping& m,
+                                            double balance_slack) {
+  std::vector<std::uint64_t> per_kp(m.num_kps(), 0);
+  for (std::uint32_t lp = 0; lp < m.num_lps(); ++lp) {
+    const auto kp = m.kp_of(lp);
+    ASSERT_LT(kp, m.num_kps());
+    ++per_kp[kp];
+  }
+  const double ideal =
+      static_cast<double>(m.num_lps()) / static_cast<double>(m.num_kps());
+  for (std::uint32_t kp = 0; kp < m.num_kps(); ++kp) {
+    EXPECT_GT(per_kp[kp], 0u) << "KP " << kp << " owns no LPs";
+    EXPECT_LE(static_cast<double>(per_kp[kp]), ideal * balance_slack)
+        << "KP " << kp << " overloaded";
+  }
+  std::vector<std::uint64_t> per_pe(m.num_pes(), 0);
+  for (std::uint32_t kp = 0; kp < m.num_kps(); ++kp) {
+    const auto pe = m.pe_of_kp(kp);
+    ASSERT_LT(pe, m.num_pes());
+    ++per_pe[kp == 0 ? pe : pe];  // count KPs per PE
+  }
+  for (std::uint32_t pe = 0; pe < m.num_pes(); ++pe) {
+    std::uint32_t kp_count = 0;
+    for (std::uint32_t kp = 0; kp < m.num_kps(); ++kp) {
+      if (m.pe_of_kp(kp) == pe) ++kp_count;
+    }
+    EXPECT_GT(kp_count, 0u) << "PE " << pe << " owns no KPs";
+  }
+}
+
+TEST(SquareFactor, PicksNearSquare) {
+  EXPECT_EQ(square_factor(64), std::make_pair(8u, 8u));
+  EXPECT_EQ(square_factor(32), std::make_pair(4u, 8u));
+  EXPECT_EQ(square_factor(12), std::make_pair(3u, 4u));
+  EXPECT_EQ(square_factor(7), std::make_pair(1u, 7u));
+  EXPECT_EQ(square_factor(1), std::make_pair(1u, 1u));
+}
+
+TEST(BlockMapping, ReportConfiguration64Kps) {
+  // The report's configuration: N multiple of 8, 64 KPs in an 8x8 grid.
+  const BlockMapping m(16, 64, 4);
+  EXPECT_EQ(m.kp_rows(), 8u);
+  EXPECT_EQ(m.kp_cols(), 8u);
+  expect_partition_complete_and_balanced(m, 1.5);
+}
+
+TEST(BlockMapping, BlocksAreContiguousRectangles) {
+  const BlockMapping m(16, 16, 4);
+  const Torus t(16);
+  // Every KP's LP set must form a rectangle: row range x col range.
+  for (std::uint32_t kp = 0; kp < m.num_kps(); ++kp) {
+    std::int32_t rmin = 99, rmax = -1, cmin = 99, cmax = -1;
+    std::uint32_t count = 0;
+    for (std::uint32_t lp = 0; lp < m.num_lps(); ++lp) {
+      if (m.kp_of(lp) != kp) continue;
+      const Coord c = t.coord_of(lp);
+      rmin = std::min(rmin, c.row);
+      rmax = std::max(rmax, c.row);
+      cmin = std::min(cmin, c.col);
+      cmax = std::max(cmax, c.col);
+      ++count;
+    }
+    EXPECT_EQ(count, static_cast<std::uint32_t>((rmax - rmin + 1) *
+                                                (cmax - cmin + 1)))
+        << "KP " << kp << " is not a solid rectangle";
+  }
+}
+
+TEST(BlockMapping, NonDivisibleSizesStillPartition) {
+  const BlockMapping m(10, 9, 3);
+  expect_partition_complete_and_balanced(m, 2.0);
+}
+
+TEST(BlockMapping, SinglePeSingleKp) {
+  const BlockMapping m(8, 1, 1);
+  for (std::uint32_t lp = 0; lp < m.num_lps(); ++lp) {
+    EXPECT_EQ(m.kp_of(lp), 0u);
+    EXPECT_EQ(m.pe_of(lp), 0u);
+  }
+}
+
+TEST(LinearMapping, PartitionsContiguously) {
+  const LinearMapping m(100, 10, 2);
+  expect_partition_complete_and_balanced(m, 1.5);
+  // Contiguity: kp_of is monotone in lp.
+  for (std::uint32_t lp = 1; lp < 100; ++lp) {
+    EXPECT_GE(m.kp_of(lp), m.kp_of(lp - 1));
+  }
+}
+
+TEST(RandomMapping, BalancedAndSeedStable) {
+  const RandomMapping a(256, 16, 4, 7);
+  const RandomMapping b(256, 16, 4, 7);
+  const RandomMapping c(256, 16, 4, 8);
+  expect_partition_complete_and_balanced(a, 1.01);
+  int diffs = 0;
+  for (std::uint32_t lp = 0; lp < 256; ++lp) {
+    EXPECT_EQ(a.kp_of(lp), b.kp_of(lp));
+    if (a.kp_of(lp) != c.kp_of(lp)) ++diffs;
+  }
+  EXPECT_GT(diffs, 0) << "different seeds should shuffle differently";
+}
+
+TEST(InterPeLinkFraction, BlockBeatsRandom) {
+  // The report's locality argument: the block mapping minimizes inter-PE
+  // communication; a random mapping nearly maximizes it.
+  const std::int32_t n = 16;
+  const BlockMapping block(n, 16, 4);
+  const RandomMapping random(static_cast<std::uint32_t>(n * n), 16, 4, 3);
+  const double f_block = inter_pe_link_fraction(block, n);
+  const double f_random = inter_pe_link_fraction(random, n);
+  EXPECT_LT(f_block, 0.30);
+  EXPECT_GT(f_random, 0.5);
+  EXPECT_LT(f_block, f_random);
+}
+
+TEST(InterPeLinkFraction, SinglePeHasNoCrossLinks) {
+  const BlockMapping m(8, 4, 1);
+  EXPECT_DOUBLE_EQ(inter_pe_link_fraction(m, 8), 0.0);
+}
+
+}  // namespace
+}  // namespace hp::net

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "net/torus.hpp"
+
+namespace hp::net {
+namespace {
+
+TEST(Mesh, BoundaryDegrees) {
+  const Mesh m(4);
+  // Corners have 2 links, edges 3, interior 4.
+  EXPECT_EQ(m.available_dirs(m.id_of({0, 0})).size(), 2);
+  EXPECT_EQ(m.available_dirs(m.id_of({0, 3})).size(), 2);
+  EXPECT_EQ(m.available_dirs(m.id_of({3, 0})).size(), 2);
+  EXPECT_EQ(m.available_dirs(m.id_of({3, 3})).size(), 2);
+  EXPECT_EQ(m.available_dirs(m.id_of({0, 1})).size(), 3);
+  EXPECT_EQ(m.available_dirs(m.id_of({2, 0})).size(), 3);
+  EXPECT_EQ(m.available_dirs(m.id_of({1, 1})).size(), 4);
+}
+
+TEST(Mesh, NoWraparound) {
+  const Mesh m(5);
+  EXPECT_FALSE(m.has_link(m.id_of({0, 4}), Dir::East));
+  EXPECT_FALSE(m.has_link(m.id_of({0, 0}), Dir::West));
+  EXPECT_FALSE(m.has_link(m.id_of({0, 2}), Dir::North));
+  EXPECT_FALSE(m.has_link(m.id_of({4, 2}), Dir::South));
+  EXPECT_TRUE(m.has_link(m.id_of({0, 0}), Dir::East));
+  EXPECT_TRUE(m.has_link(m.id_of({0, 0}), Dir::South));
+}
+
+TEST(Mesh, DistanceIsPlainManhattan) {
+  const Mesh m(8);
+  EXPECT_EQ(m.distance(m.id_of({0, 0}), m.id_of({7, 7})), 14);
+  EXPECT_EQ(m.distance(m.id_of({0, 7}), m.id_of({0, 0})), 7);
+  EXPECT_EQ(m.diameter(), 14);
+  // Report Section 1.1: the torus halves the maximum distance.
+  const Torus t(8);
+  EXPECT_EQ(t.diameter(), 8);
+  EXPECT_LT(t.diameter(), m.diameter());
+}
+
+TEST(Mesh, GoodDirsReduceDistanceAndStayOnGrid) {
+  const Mesh m(6);
+  for (std::uint32_t src = 0; src < m.num_nodes(); ++src) {
+    const DirSet avail = m.available_dirs(src);
+    for (std::uint32_t dst = 0; dst < m.num_nodes(); ++dst) {
+      const DirSet good = m.good_dirs(src, dst);
+      if (src == dst) {
+        EXPECT_TRUE(good.empty());
+        continue;
+      }
+      EXPECT_FALSE(good.empty());
+      const auto d0 = m.distance(src, dst);
+      for (Dir d : kAllDirs) {
+        if (good.contains(d)) {
+          ASSERT_TRUE(avail.contains(d))
+              << "good link off the grid at " << src;
+          EXPECT_EQ(m.distance(m.neighbor(src, d), dst), d0 - 1);
+        }
+      }
+    }
+  }
+}
+
+TEST(Mesh, HomeRunPathTerminatesWithOneBend) {
+  const Mesh m(7);
+  for (std::uint32_t src = 0; src < m.num_nodes(); ++src) {
+    for (std::uint32_t dst : {0u, 24u, 48u, 13u}) {
+      if (src == dst) continue;
+      std::uint32_t cur = src;
+      int steps = 0;
+      int axis_changes = 0;
+      bool was_column = false;
+      while (cur != dst) {
+        const Dir d = m.home_run_dir(cur, dst);
+        ASSERT_TRUE(m.available_dirs(cur).contains(d));
+        const bool column = (d == Dir::North || d == Dir::South);
+        if (steps > 0 && column != was_column) ++axis_changes;
+        was_column = column;
+        cur = m.neighbor(cur, d);
+        ++steps;
+        ASSERT_LE(steps, 2 * 7);
+      }
+      EXPECT_EQ(steps, m.distance(src, dst));
+      EXPECT_LE(axis_changes, 1);
+    }
+  }
+}
+
+TEST(MeshModel, StaticModeDrains) {
+  core::SimulationOptions o;
+  o.model.n = 4;
+  o.model.topology = GridKind::Mesh;
+  o.model.injector_fraction = 0.0;
+  o.model.steps = 500;
+  const auto r = core::run_hotpotato(o);
+  // Full init seeds one packet per *available* link: corners 2, edges 3,
+  // interior 4 => total = directed link count.
+  std::uint64_t links = 0;
+  const Mesh m(4);
+  for (std::uint32_t lp = 0; lp < m.num_nodes(); ++lp) {
+    links += static_cast<std::uint64_t>(m.available_dirs(lp).size());
+  }
+  EXPECT_EQ(r.report.delivered, links);
+}
+
+TEST(MeshModel, DynamicRunAndDeterminism) {
+  core::SimulationOptions o;
+  o.model.n = 8;
+  o.model.topology = GridKind::Mesh;
+  o.model.injector_fraction = 0.5;
+  o.model.steps = 80;
+  const auto seq = core::run_hotpotato(o);
+  EXPECT_GT(seq.report.delivered, 0u);
+  EXPECT_GE(seq.report.stretch(), 1.0);
+
+  auto t = o;
+  t.kernel = core::Kernel::TimeWarp;
+  t.num_pes = 4;
+  t.num_kps = 16;
+  t.gvt_interval = 256;
+  const auto tw = core::run_hotpotato(t);
+  EXPECT_EQ(seq.report, tw.report);
+}
+
+TEST(MeshModel, MeshDeliveryslowerThanTorus) {
+  core::SimulationOptions mesh;
+  mesh.model.n = 12;
+  mesh.model.topology = GridKind::Mesh;
+  mesh.model.injector_fraction = 0.5;
+  mesh.model.steps = 150;
+  core::SimulationOptions torus = mesh;
+  torus.model.topology = GridKind::Torus;
+  const auto rm = core::run_hotpotato(mesh);
+  const auto rt = core::run_hotpotato(torus);
+  // Mean shortest path is ~2x on the mesh (report Section 1.1 motivation).
+  EXPECT_GT(rm.report.avg_distance(), rt.report.avg_distance());
+  EXPECT_GT(rm.report.avg_delivery_steps(), rt.report.avg_delivery_steps());
+}
+
+}  // namespace
+}  // namespace hp::net

@@ -1,0 +1,264 @@
+// Direct unit tests of the hot-potato event handlers, using a mock context
+// that records sends instead of running an engine. Complements the
+// integration tests in test_hotpotato_model.cpp with precise assertions
+// about timing offsets, link claims and reverse exactness per handler.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hotpotato/model.hpp"
+
+namespace hp::hotpotato {
+namespace {
+
+struct SentRecord {
+  std::uint32_t dst;
+  double ts;
+  HpMsg msg;
+};
+
+// Minimal Context: allocates events locally and logs commits.
+class MockContext final : public des::Context {
+ public:
+  MockContext(std::uint32_t self, double now, util::ReversibleRng& rng) {
+    host_.key = des::EventKey{now, 0x1234, self, self, 0};
+    cur_ = &host_;
+    rng_ = &rng;
+  }
+
+  // Run a handler on `ev` as if the engine dispatched it.
+  void attach(des::Event& ev, util::ReversibleRng& rng, bool reversing) {
+    cur_ = &ev;
+    rng_ = &rng;
+    reversing_ = reversing;
+    send_seq_ = 0;
+    if (!reversing) ev.cv = 0;
+  }
+
+  std::vector<SentRecord> sent;
+
+ protected:
+  des::Event* prepare_send_(std::uint32_t dst_lp, des::Time ts) override {
+    auto ev = std::make_unique<des::Event>();
+    ev->key = des::EventKey{ts, 0, cur_->key.dst_lp, dst_lp, send_seq_++};
+    storage_.push_back(std::move(ev));
+    return storage_.back().get();
+  }
+  void commit_send_(des::Event* ev) override {
+    sent.push_back({ev->key.dst_lp, ev->key.ts, ev->msg<HpMsg>()});
+  }
+
+ private:
+  des::Event host_;
+  std::vector<std::unique_ptr<des::Event>> storage_;
+};
+
+class HandlerTest : public ::testing::Test {
+ protected:
+  HandlerTest() {
+    cfg_.n = 8;
+    cfg_.injector_fraction = 1.0;
+    cfg_.steps = 100;
+    policy_ = std::make_unique<BhwPolicy>(cfg_.n);
+    cfg_.policy = policy_.get();
+    model_ = std::make_unique<HotPotatoModel>(cfg_);
+    state_ = model_->make_state(5);
+    rng_ = util::ReversibleRng(7);
+  }
+
+  RouterState& router() { return static_cast<RouterState&>(*state_); }
+
+  // Events are pool objects (non-movable); fill one in place.
+  void fill_event(des::Event& ev, HpEvent type, double ts,
+                  std::uint32_t dst_lp, Priority prio = Priority::Sleeping,
+                  std::uint8_t jitter = 2) {
+    ev.key = des::EventKey{ts, 99, 4, dst_lp, 0};
+    HpMsg m;
+    m.type = type;
+    m.prio = prio;
+    m.jitter_idx = jitter;
+    m.dst_row = 3;
+    m.dst_col = 3;
+    m.birth_step = 1;
+    m.hops = 2;
+    m.initial_distance = 4;
+    ev.msg<HpMsg>() = m;
+  }
+
+  HotPotatoConfig cfg_;
+  std::unique_ptr<BhwPolicy> policy_;
+  std::unique_ptr<HotPotatoModel> model_;
+  std::unique_ptr<des::LpState> state_;
+  util::ReversibleRng rng_{7};
+};
+
+TEST_F(HandlerTest, ArriveAtTransitRouterSchedulesRoute) {
+  // Router 5 is not (3,3): the packet must be routed, not absorbed.
+  MockContext ctx(5, 20.2, rng_);
+  des::Event ev;
+  fill_event(ev, HpEvent::Arrive, 20.2, 5);
+  ctx.attach(ev, rng_, false);
+  model_->forward(*state_, ev, ctx);
+
+  ASSERT_EQ(ctx.sent.size(), 1u);
+  EXPECT_EQ(ctx.sent[0].dst, 5u) << "ROUTE is a self-send";
+  EXPECT_EQ(ctx.sent[0].msg.type, HpEvent::Route);
+  // Sleeping offset 4 plus jitter/10: 20 + 4 + 0.02.
+  EXPECT_NEAR(ctx.sent[0].ts, 24.02, 1e-9);
+  EXPECT_EQ(router().arrivals, 1u);
+  EXPECT_EQ(router().delivered, 0u);
+}
+
+TEST_F(HandlerTest, ArriveAtDestinationAbsorbs) {
+  const auto dst_lp = net::Torus(8).id_of({3, 3});
+  auto dst_state = model_->make_state(dst_lp);
+  MockContext ctx(dst_lp, 20.2, rng_);
+  des::Event ev;
+  fill_event(ev, HpEvent::Arrive, 20.2, dst_lp);
+  ctx.attach(ev, rng_, false);
+  model_->forward(*dst_state, ev, ctx);
+
+  EXPECT_TRUE(ctx.sent.empty()) << "absorbed packets create no events";
+  auto& s = static_cast<RouterState&>(*dst_state);
+  EXPECT_EQ(s.delivered, 1u);
+  EXPECT_DOUBLE_EQ(s.delivery_steps.sum(), 2.0);     // hops
+  EXPECT_DOUBLE_EQ(s.delivery_distance.sum(), 4.0);  // initial distance
+
+  // Reverse restores everything.
+  ctx.attach(ev, rng_, true);
+  model_->reverse(*dst_state, ev, ctx);
+  auto fresh = model_->make_state(dst_lp);
+  EXPECT_TRUE(dst_state->equals(*fresh));
+}
+
+TEST_F(HandlerTest, SleepingPacketAtDestinationNotAbsorbedInProofMode) {
+  cfg_.absorb_sleeping = false;
+  model_ = std::make_unique<HotPotatoModel>(cfg_);
+  const auto dst_lp = net::Torus(8).id_of({3, 3});
+  auto dst_state = model_->make_state(dst_lp);
+  MockContext ctx(dst_lp, 20.2, rng_);
+  des::Event ev;
+  fill_event(ev, HpEvent::Arrive, 20.2, dst_lp, Priority::Sleeping);
+  ctx.attach(ev, rng_, false);
+  model_->forward(*dst_state, ev, ctx);
+  EXPECT_EQ(ctx.sent.size(), 1u) << "sleeping packet keeps routing";
+  EXPECT_EQ(static_cast<RouterState&>(*dst_state).delivered, 0u);
+
+  // An Active packet is absorbed even in proof mode.
+  auto dst_state2 = model_->make_state(dst_lp);
+  MockContext ctx2(dst_lp, 20.2, rng_);
+  des::Event ev2;
+  fill_event(ev2, HpEvent::Arrive, 20.2, dst_lp, Priority::Active);
+  ctx2.attach(ev2, rng_, false);
+  model_->forward(*dst_state2, ev2, ctx2);
+  EXPECT_TRUE(ctx2.sent.empty());
+}
+
+TEST_F(HandlerTest, RouteClaimsLinkAndForwardsNextStep) {
+  MockContext ctx(5, 24.02, rng_);
+  des::Event ev;
+  fill_event(ev, HpEvent::Route, 24.02, 5);
+  ctx.attach(ev, rng_, false);
+  model_->forward(*state_, ev, ctx);
+
+  ASSERT_EQ(ctx.sent.size(), 1u);
+  EXPECT_EQ(ctx.sent[0].msg.type, HpEvent::Arrive);
+  EXPECT_NEAR(ctx.sent[0].ts, 30.2, 1e-9) << "next step plus packet jitter";
+  EXPECT_EQ(ctx.sent[0].msg.hops, 3u);
+  EXPECT_EQ(router().routed, 1u);
+  EXPECT_EQ(router().link_claims, 1u);
+  // Exactly one link claimed at step 2.
+  int claimed = 0;
+  for (const auto v : router().link_claim_step) claimed += (v == 2) ? 1 : 0;
+  EXPECT_EQ(claimed, 1);
+
+  // Reverse restores the pristine router (and the message fields).
+  const HpMsg before = ev.msg<HpMsg>();
+  ctx.attach(ev, rng_, true);
+  model_->reverse(*state_, ev, ctx);
+  auto fresh = model_->make_state(5);
+  static_cast<RouterState&>(*fresh).is_injector = router().is_injector;
+  EXPECT_TRUE(state_->equals(*fresh));
+  EXPECT_EQ(ev.msg<HpMsg>().hops, 2u);
+  EXPECT_EQ(ev.msg<HpMsg>().prio, Priority::Sleeping);
+  (void)before;
+}
+
+TEST_F(HandlerTest, RouteDeflectsWhenAllGoodLinksTaken) {
+  // Packet at (0,5) heading to (3,3): good = {South, West}. Claim both.
+  const std::uint32_t step = 2;
+  router().link_claim_step[net::dir_index(net::Dir::South)] = step;
+  router().link_claim_step[net::dir_index(net::Dir::West)] = step;
+  router().link_claims = 2;
+
+  MockContext ctx(5, 24.02, rng_);
+  des::Event ev;
+  fill_event(ev, HpEvent::Route, 24.02, 5);
+  ctx.attach(ev, rng_, false);
+  model_->forward(*state_, ev, ctx);
+  EXPECT_EQ(router().deflections, 1u);
+  ASSERT_EQ(ctx.sent.size(), 1u);
+  const net::Torus t(8);
+  const auto out = ctx.sent[0].dst;
+  EXPECT_TRUE(out == t.neighbor(5, net::Dir::North) ||
+              out == t.neighbor(5, net::Dir::East))
+      << "deflection must use a free (bad) link";
+}
+
+TEST_F(HandlerTest, InjectCreatesAndInjectsWhenLinkFree) {
+  MockContext ctx(5, 26.0, rng_);
+  des::Event ev;
+  fill_event(ev, HpEvent::Inject, 26.0, 5);
+  ev.msg<HpMsg>().type = HpEvent::Inject;
+  ctx.attach(ev, rng_, false);
+  model_->forward(*state_, ev, ctx);
+
+  // Two sends: the packet's first ARRIVE and the next INJECT attempt.
+  ASSERT_EQ(ctx.sent.size(), 2u);
+  EXPECT_EQ(ctx.sent[0].msg.type, HpEvent::Arrive);
+  EXPECT_EQ(ctx.sent[0].msg.prio, Priority::Sleeping);
+  EXPECT_EQ(ctx.sent[0].msg.hops, 1u);
+  EXPECT_EQ(ctx.sent[1].msg.type, HpEvent::Inject);
+  EXPECT_NEAR(ctx.sent[1].ts, 36.0, 1e-9);
+  EXPECT_EQ(router().injected, 1u);
+  EXPECT_FALSE(router().has_pending);
+  EXPECT_DOUBLE_EQ(router().inject_wait.sum(), 0.0) << "no wait on success";
+
+  // Reverse.
+  ctx.attach(ev, rng_, true);
+  model_->reverse(*state_, ev, ctx);
+  EXPECT_EQ(router().injected, 0u);
+  EXPECT_EQ(router().link_claims, 0u);
+}
+
+TEST_F(HandlerTest, InjectWaitsWhenAllLinksClaimed) {
+  for (auto& v : router().link_claim_step) v = 2;  // step of ts=26.0
+  MockContext ctx(5, 26.0, rng_);
+  des::Event ev;
+  fill_event(ev, HpEvent::Inject, 26.0, 5);
+  ev.msg<HpMsg>().type = HpEvent::Inject;
+  ctx.attach(ev, rng_, false);
+  model_->forward(*state_, ev, ctx);
+
+  ASSERT_EQ(ctx.sent.size(), 1u) << "only the next INJECT attempt";
+  EXPECT_EQ(ctx.sent[0].msg.type, HpEvent::Inject);
+  EXPECT_EQ(router().injected, 0u);
+  EXPECT_TRUE(router().has_pending);
+  EXPECT_EQ(router().pending_since_step, 2u);
+}
+
+TEST_F(HandlerTest, HeartbeatKeepsPulsing) {
+  MockContext ctx(5, 20.0, rng_);
+  des::Event ev;
+  fill_event(ev, HpEvent::Heartbeat, 20.0, 5);
+  ev.msg<HpMsg>().type = HpEvent::Heartbeat;
+  ctx.attach(ev, rng_, false);
+  model_->forward(*state_, ev, ctx);
+  ASSERT_EQ(ctx.sent.size(), 1u);
+  EXPECT_EQ(ctx.sent[0].msg.type, HpEvent::Heartbeat);
+  EXPECT_NEAR(ctx.sent[0].ts, 30.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hp::hotpotato

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "des/sequential.hpp"
+#include "des/timewarp.hpp"
+#include "pcs/pcs_model.hpp"
+
+namespace hp::pcs {
+namespace {
+
+des::EngineConfig engine_cfg(const PcsConfig& pc, double end) {
+  des::EngineConfig ec;
+  ec.num_lps = pc.num_cells();
+  ec.end_time = end;
+  ec.seed = 3;
+  return ec;
+}
+
+TEST(Pcs, CallsCompleteAndChannelsStayBounded) {
+  PcsConfig pc;
+  pc.n = 8;
+  PcsModel model(pc);
+  auto ec = engine_cfg(pc, 2000.0);
+  des::SequentialEngine eng(model, ec);
+  (void)eng.run();
+  const PcsReport r = PcsModel::collect(eng);
+  EXPECT_GT(r.calls_started, 0u);
+  EXPECT_GT(r.calls_completed, 0u);
+  EXPECT_LE(r.calls_completed, r.calls_started);
+  for (std::uint32_t lp = 0; lp < pc.num_cells(); ++lp) {
+    EXPECT_LE(static_cast<CellState&>(eng.state(lp)).busy_channels,
+              pc.channels_per_cell);
+  }
+}
+
+TEST(Pcs, CallDurationsAreReasonable) {
+  PcsConfig pc;
+  pc.n = 8;
+  pc.handoff_rate = 0.0;  // pure birth-death: durations = drawn durations
+  PcsModel model(pc);
+  auto ec = engine_cfg(pc, 5000.0);
+  des::SequentialEngine eng(model, ec);
+  (void)eng.run();
+  const PcsReport r = PcsModel::collect(eng);
+  ASSERT_GT(r.calls_completed, 100u);
+  // Exponential with mean 30, so the sample mean should be near 30.
+  EXPECT_NEAR(r.mean_call_time(), pc.mean_call, pc.mean_call * 0.2);
+  EXPECT_EQ(r.handoffs_in, 0u);
+  EXPECT_EQ(r.handoffs_dropped, 0u);
+}
+
+TEST(Pcs, FewerChannelsMeansMoreBlocking) {
+  auto run_blocking = [](std::uint32_t channels) {
+    PcsConfig pc;
+    pc.n = 8;
+    pc.channels_per_cell = channels;
+    pc.mean_idle = 20.0;  // heavy offered load
+    PcsModel model(pc);
+    auto ec = engine_cfg(pc, 3000.0);
+    des::SequentialEngine eng(model, ec);
+    (void)eng.run();
+    return PcsModel::collect(eng).blocking_probability();
+  };
+  const double tight = run_blocking(2);
+  const double roomy = run_blocking(12);
+  EXPECT_GT(tight, roomy);
+  EXPECT_GT(tight, 0.05);
+  EXPECT_GE(roomy, 0.0);
+}
+
+TEST(Pcs, HandoffsHappenAndCanDrop) {
+  PcsConfig pc;
+  pc.n = 8;
+  pc.channels_per_cell = 2;
+  pc.mean_idle = 15.0;
+  pc.handoff_rate = 0.02;
+  PcsModel model(pc);
+  auto ec = engine_cfg(pc, 4000.0);
+  des::SequentialEngine eng(model, ec);
+  (void)eng.run();
+  const PcsReport r = PcsModel::collect(eng);
+  EXPECT_GT(r.handoffs_in + r.handoffs_dropped, 50u);
+  EXPECT_GT(r.handoff_drop_probability(), 0.0);
+  EXPECT_LT(r.handoff_drop_probability(), 1.0);
+}
+
+TEST(Pcs, TimeWarpMatchesSequential) {
+  PcsConfig pc;
+  pc.n = 8;
+  pc.mean_idle = 20.0;
+  PcsModel m1(pc);
+  auto ec = engine_cfg(pc, 1500.0);
+  des::SequentialEngine seq(m1, ec);
+  const auto sstats = seq.run();
+  const PcsReport sr = PcsModel::collect(seq);
+
+  for (const std::uint32_t pes : {2u, 4u}) {
+    auto tc = ec;
+    tc.num_pes = pes;
+    tc.num_kps = 16;
+    tc.gvt_interval_events = 256;
+    PcsModel m2(pc);
+    des::TimeWarpEngine tw(m2, tc);
+    const auto tstats = tw.run();
+    EXPECT_EQ(sstats.committed_events, tstats.committed_events) << pes;
+    EXPECT_EQ(sr, PcsModel::collect(tw)) << pes;
+  }
+}
+
+TEST(Pcs, LazyCancellationAlsoExact) {
+  PcsConfig pc;
+  pc.n = 8;
+  pc.mean_idle = 20.0;
+  PcsModel m1(pc);
+  auto ec = engine_cfg(pc, 1500.0);
+  des::SequentialEngine seq(m1, ec);
+  (void)seq.run();
+  const PcsReport sr = PcsModel::collect(seq);
+
+  auto tc = ec;
+  tc.num_pes = 4;
+  tc.num_kps = 16;
+  tc.gvt_interval_events = 128;
+  tc.cancellation = des::EngineConfig::Cancellation::Lazy;
+  PcsModel m2(pc);
+  des::TimeWarpEngine tw(m2, tc);
+  (void)tw.run();
+  EXPECT_EQ(sr, PcsModel::collect(tw));
+}
+
+}  // namespace
+}  // namespace hp::pcs

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "des/phold.hpp"
+#include "des/sequential.hpp"
+#include "des/timewarp.hpp"
+
+namespace hp::des {
+namespace {
+
+TEST(Phold, PopulationIsConserved) {
+  // Each event sends exactly one successor, so the number of jobs in flight
+  // never changes: processed events = sum of per-LP event counts.
+  PholdConfig pc;
+  pc.num_lps = 32;
+  pc.population_per_lp = 4;
+  PholdModel model(pc);
+  EngineConfig ec;
+  ec.num_lps = pc.num_lps;
+  ec.end_time = 100.0;
+  SequentialEngine eng(model, ec);
+  const auto stats = eng.run();
+  std::uint64_t total = 0;
+  for (std::uint32_t lp = 0; lp < pc.num_lps; ++lp) {
+    total += static_cast<PholdState&>(eng.state(lp)).events;
+  }
+  EXPECT_EQ(total, stats.processed_events);
+  EXPECT_GT(total, 0u);
+}
+
+TEST(Phold, RemoteFractionIsRespected) {
+  PholdConfig pc;
+  pc.num_lps = 16;
+  pc.remote_fraction = 0.3;
+  PholdModel model(pc);
+  EngineConfig ec;
+  ec.num_lps = pc.num_lps;
+  ec.end_time = 2000.0;
+  SequentialEngine eng(model, ec);
+  const auto stats = eng.run();
+  std::uint64_t remote = 0;
+  for (std::uint32_t lp = 0; lp < pc.num_lps; ++lp) {
+    remote += static_cast<PholdState&>(eng.state(lp)).remote_sends;
+  }
+  const double frac =
+      static_cast<double>(remote) / static_cast<double>(stats.processed_events);
+  EXPECT_NEAR(frac, 0.3, 0.02);
+}
+
+TEST(Phold, ZeroRemoteFractionNeverLeavesLp) {
+  PholdConfig pc;
+  pc.num_lps = 8;
+  pc.remote_fraction = 0.0;
+  PholdModel model(pc);
+  EngineConfig ec;
+  ec.num_lps = pc.num_lps;
+  ec.end_time = 200.0;
+  SequentialEngine eng(model, ec);
+  (void)eng.run();
+  for (std::uint32_t lp = 0; lp < pc.num_lps; ++lp) {
+    EXPECT_EQ(static_cast<PholdState&>(eng.state(lp)).remote_sends, 0u);
+  }
+}
+
+class PholdEquivalence
+    : public ::testing::TestWithParam<std::tuple<double, int, double>> {};
+
+TEST_P(PholdEquivalence, TimeWarpMatchesSequential) {
+  const auto [remote, pes, lookahead] = GetParam();
+  PholdConfig pc;
+  pc.num_lps = 48;
+  pc.remote_fraction = remote;
+  pc.lookahead = lookahead;
+  EngineConfig ec;
+  ec.num_lps = pc.num_lps;
+  ec.end_time = 60.0;
+  ec.seed = 9;
+
+  PholdModel m1(pc);
+  SequentialEngine seq(m1, ec);
+  const auto sstats = seq.run();
+
+  ec.num_pes = static_cast<std::uint32_t>(pes);
+  ec.num_kps = 16;
+  ec.gvt_interval_events = 128;
+  PholdModel m2(pc);
+  TimeWarpEngine tw(m2, ec);
+  const auto tstats = tw.run();
+
+  EXPECT_EQ(sstats.committed_events, tstats.committed_events);
+  EXPECT_EQ(PholdModel::digest(seq), PholdModel::digest(tw));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RemoteSweep, PholdEquivalence,
+    ::testing::Values(std::make_tuple(0.1, 2, 0.1),
+                      std::make_tuple(0.5, 2, 0.01),
+                      std::make_tuple(0.9, 4, 0.1),
+                      std::make_tuple(1.0, 4, 0.01),
+                      std::make_tuple(0.5, 3, 0.5)),
+    [](const auto& info) {
+      return "remote" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 100)) +
+             "_pe" + std::to_string(std::get<1>(info.param)) + "_look" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 100));
+    });
+
+TEST(Phold, LazyCancellationReusesAlmostEverything) {
+  // PHOLD decisions depend only on the RNG stream, which rewinds exactly on
+  // rollback — re-executions are bit-identical, so lazy cancellation should
+  // adopt nearly every child instead of resending.
+  PholdConfig pc;
+  pc.num_lps = 64;
+  pc.remote_fraction = 0.9;
+  pc.lookahead = 0.05;
+  EngineConfig ec;
+  ec.num_lps = pc.num_lps;
+  ec.end_time = 120.0;
+  ec.num_pes = 2;
+  ec.num_kps = 16;
+  ec.gvt_interval_events = 128;
+
+  PholdModel m1(pc);
+  TimeWarpEngine aggressive(m1, ec);
+  const auto astats = aggressive.run();
+
+  ec.cancellation = EngineConfig::Cancellation::Lazy;
+  PholdModel m2(pc);
+  TimeWarpEngine lazy(m2, ec);
+  const auto lstats = lazy.run();
+
+  EXPECT_EQ(astats.committed_events, lstats.committed_events);
+  EXPECT_EQ(PholdModel::digest(aggressive), PholdModel::digest(lazy));
+  // Only events that re-execute while holding stale children can reuse them
+  // (cascaded annihilations cancel outright), so expect meaningful — not
+  // total — adoption.
+  if (lstats.rolled_back_events > 1000) {
+    EXPECT_GT(lstats.lazy_reused, 0u);
+    EXPECT_GT(lstats.lazy_reused, lstats.rolled_back_events / 20);
+  }
+}
+
+TEST(Phold, HigherRemoteFractionMeansMoreRollbacks) {
+  auto run_rb = [](double remote) {
+    PholdConfig pc;
+    pc.num_lps = 64;
+    pc.remote_fraction = remote;
+    pc.lookahead = 0.05;
+    EngineConfig ec;
+    ec.num_lps = pc.num_lps;
+    ec.end_time = 150.0;
+    ec.num_pes = 2;
+    ec.num_kps = 16;
+    ec.gvt_interval_events = 256;
+    PholdModel model(pc);
+    TimeWarpEngine tw(model, ec);
+    return tw.run().rolled_back_events;
+  };
+  // Self-traffic cannot produce cross-PE stragglers.
+  EXPECT_EQ(run_rb(0.0), 0u);
+  EXPECT_GT(run_rb(0.9), 0u);
+}
+
+}  // namespace
+}  // namespace hp::des

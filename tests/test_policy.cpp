@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "baselines/deflection_policies.hpp"
+#include "hotpotato/policy.hpp"
+
+namespace hp::hotpotato {
+namespace {
+
+net::DirSet all_free() {
+  net::DirSet s;
+  for (net::Dir d : net::kAllDirs) s.add(d);
+  return s;
+}
+
+HpMsg packet_to(const net::Torus& t, std::uint32_t dst, Priority p) {
+  HpMsg m;
+  m.prio = p;
+  const net::Coord c = t.coord_of(dst);
+  m.dst_row = static_cast<std::uint16_t>(c.row);
+  m.dst_col = static_cast<std::uint16_t>(c.col);
+  return m;
+}
+
+TEST(BhwPolicy, RouteOffsetsOrderPriorities) {
+  const BhwPolicy p(8);
+  HpMsg m;
+  m.prio = Priority::Running;
+  const double r = p.route_offset(m, 0);
+  m.prio = Priority::Excited;
+  const double e = p.route_offset(m, 0);
+  m.prio = Priority::Active;
+  const double a = p.route_offset(m, 0);
+  m.prio = Priority::Sleeping;
+  const double s = p.route_offset(m, 0);
+  EXPECT_LT(r, e);
+  EXPECT_LT(e, a);
+  EXPECT_LT(a, s);
+  EXPECT_GE(r, 1.0);
+  EXPECT_LT(s, 5.0);
+}
+
+TEST(BhwPolicy, UpgradeProbabilitiesMatchPaper) {
+  const BhwPolicy p(8);
+  EXPECT_DOUBLE_EQ(p.p_sleep_upgrade(), 1.0 / (24.0 * 8.0));
+  EXPECT_DOUBLE_EQ(p.p_active_upgrade(), 1.0 / (16.0 * 8.0));
+}
+
+TEST(BhwPolicy, SleepingTakesGoodLinkWhenFree) {
+  const net::Torus t(8);
+  const BhwPolicy p(8);
+  util::ReversibleRng rng(1);
+  // Packet at 0 heading to (0,3): only East is good.
+  const HpMsg m = packet_to(t, t.id_of({0, 3}), Priority::Sleeping);
+  for (int i = 0; i < 20; ++i) {
+    const RouteDecision d = p.route(t, m, 0, all_free(), rng);
+    EXPECT_EQ(d.dir, net::Dir::East);
+    EXPECT_FALSE(d.deflected);
+  }
+}
+
+TEST(BhwPolicy, SleepingDeflectsWhenNoGoodLinkFree) {
+  const net::Torus t(8);
+  const BhwPolicy p(8);
+  util::ReversibleRng rng(1);
+  const HpMsg m = packet_to(t, t.id_of({0, 3}), Priority::Sleeping);
+  net::DirSet free;  // only North free; East (the good link) is taken
+  free.add(net::Dir::North);
+  const RouteDecision d = p.route(t, m, 0, free, rng);
+  EXPECT_EQ(d.dir, net::Dir::North);
+  EXPECT_TRUE(d.deflected);
+}
+
+TEST(BhwPolicy, DeflectionPrefersFreeGoodLink) {
+  const net::Torus t(8);
+  const BhwPolicy p(8);
+  util::ReversibleRng rng(1);
+  // Excited packet wants its home-run link (East); East taken but South is
+  // good (dst (3,3) from (0,0)) and free -> deflection should still make
+  // progress via South.
+  const HpMsg m = packet_to(t, t.id_of({3, 3}), Priority::Excited);
+  net::DirSet free;
+  free.add(net::Dir::South);
+  free.add(net::Dir::North);
+  const RouteDecision d = p.route(t, m, 0, free, rng);
+  EXPECT_TRUE(d.deflected);
+  EXPECT_EQ(d.dir, net::Dir::South);
+  EXPECT_EQ(d.new_priority, Priority::Active) << "deflected excited -> active";
+}
+
+TEST(BhwPolicy, ExcitedPromotesToRunningOnHomeRunLink) {
+  const net::Torus t(8);
+  const BhwPolicy p(8);
+  util::ReversibleRng rng(1);
+  const HpMsg m = packet_to(t, t.id_of({3, 3}), Priority::Excited);
+  const RouteDecision d = p.route(t, m, 0, all_free(), rng);
+  EXPECT_EQ(d.dir, net::Dir::East) << "home-run follows the row first";
+  EXPECT_FALSE(d.deflected);
+  EXPECT_EQ(d.new_priority, Priority::Running);
+  EXPECT_EQ(d.rng_draws, 0u) << "single candidate, no transition draw";
+}
+
+TEST(BhwPolicy, RunningKeepsPriorityOnHomeRunAndDemotesOnDeflection) {
+  const net::Torus t(8);
+  const BhwPolicy p(8);
+  util::ReversibleRng rng(1);
+  // Turning point: column aligned, must go South.
+  const HpMsg m = packet_to(t, t.id_of({3, 0}), Priority::Running);
+  EXPECT_TRUE(t.at_home_run_turn(0, t.id_of({3, 0})));
+  const RouteDecision ok = p.route(t, m, 0, all_free(), rng);
+  EXPECT_EQ(ok.dir, net::Dir::South);
+  EXPECT_EQ(ok.new_priority, Priority::Running);
+
+  net::DirSet free;  // South taken (by another running packet): deflect
+  free.add(net::Dir::West);
+  const RouteDecision defl = p.route(t, m, 0, free, rng);
+  EXPECT_TRUE(defl.deflected);
+  EXPECT_EQ(defl.new_priority, Priority::Active);
+}
+
+TEST(BhwPolicy, SleepingUpgradeRateIsStatisticallyRight) {
+  const std::int32_t n = 8;
+  const net::Torus t(n);
+  const BhwPolicy p(n);
+  util::ReversibleRng rng(7);
+  const HpMsg m = packet_to(t, t.id_of({0, 3}), Priority::Sleeping);
+  int upgrades = 0;
+  constexpr int kTrials = 200000;
+  for (int i = 0; i < kTrials; ++i) {
+    const RouteDecision d = p.route(t, m, 0, all_free(), rng);
+    if (d.new_priority == Priority::Active) ++upgrades;
+  }
+  const double rate = static_cast<double>(upgrades) / kTrials;
+  EXPECT_NEAR(rate, 1.0 / (24.0 * n), 0.001);
+}
+
+TEST(BhwPolicy, ActiveUpgradesOnlyWhenDeflected) {
+  const std::int32_t n = 8;
+  const net::Torus t(n);
+  const BhwPolicy p(n);
+  util::ReversibleRng rng(9);
+  const HpMsg m = packet_to(t, t.id_of({0, 3}), Priority::Active);
+  // Never deflected with all links free: never upgrades, zero draws beyond
+  // the pick.
+  for (int i = 0; i < 1000; ++i) {
+    const RouteDecision d = p.route(t, m, 0, all_free(), rng);
+    EXPECT_EQ(d.new_priority, Priority::Active);
+  }
+  // Always deflected: upgrades at rate 1/(16n).
+  net::DirSet bad_only;
+  bad_only.add(net::Dir::West);
+  int upgrades = 0;
+  constexpr int kTrials = 200000;
+  for (int i = 0; i < kTrials; ++i) {
+    const RouteDecision d = p.route(t, m, 0, bad_only, rng);
+    EXPECT_TRUE(d.deflected);
+    if (d.new_priority == Priority::Excited) ++upgrades;
+  }
+  EXPECT_NEAR(static_cast<double>(upgrades) / kTrials, 1.0 / (16.0 * n), 0.002);
+}
+
+TEST(BhwPolicy, RngDrawCountMatchesReportedDraws) {
+  // The reverse-computation contract: the decision's rng_draws must equal
+  // the actual stream advancement.
+  const net::Torus t(8);
+  const BhwPolicy p(8);
+  util::ReversibleRng rng(3);
+  for (std::uint32_t dst : {1u, 9u, 36u, 63u}) {
+    for (Priority prio : {Priority::Sleeping, Priority::Active,
+                          Priority::Excited, Priority::Running}) {
+      const HpMsg m = packet_to(t, dst, prio);
+      const auto before = rng.draw_count();
+      const RouteDecision d = p.route(t, m, 0, all_free(), rng);
+      EXPECT_EQ(rng.draw_count() - before, d.rng_draws);
+    }
+  }
+}
+
+TEST(BaselinePolicies, AllPickGoodLinksWhenFree) {
+  const net::Torus t(8);
+  baselines::GreedyPolicy greedy;
+  baselines::DimOrderPolicy dim;
+  baselines::OldestFirstPolicy oldest;
+  util::ReversibleRng rng(5);
+  const std::uint32_t dst = t.id_of({2, 3});
+  const HpMsg m = packet_to(t, dst, Priority::Sleeping);
+  const net::DirSet good = t.good_dirs(0, dst);
+  for (const RoutingPolicy* p :
+       {static_cast<const RoutingPolicy*>(&greedy),
+        static_cast<const RoutingPolicy*>(&dim),
+        static_cast<const RoutingPolicy*>(&oldest)}) {
+    const RouteDecision d = p->route(t, m, 0, all_free(), rng);
+    EXPECT_TRUE(good.contains(d.dir)) << p->name();
+    EXPECT_FALSE(d.deflected) << p->name();
+    EXPECT_EQ(d.new_priority, m.prio) << p->name() << " must not change priority";
+  }
+}
+
+TEST(BaselinePolicies, DimOrderWantsExactlyHomeRun) {
+  const net::Torus t(8);
+  baselines::DimOrderPolicy dim;
+  util::ReversibleRng rng(5);
+  const std::uint32_t dst = t.id_of({2, 3});
+  const HpMsg m = packet_to(t, dst, Priority::Sleeping);
+  const RouteDecision d = dim.route(t, m, 0, all_free(), rng);
+  EXPECT_EQ(d.dir, t.home_run_dir(0, dst));
+  EXPECT_EQ(d.rng_draws, 0u);
+}
+
+TEST(BaselinePolicies, OldestFirstOffsetDecreasesWithAge) {
+  baselines::OldestFirstPolicy p;
+  HpMsg m;
+  m.birth_step = 10;
+  const double young = p.route_offset(m, 10);
+  const double mid = p.route_offset(m, 20);
+  const double old = p.route_offset(m, 200);
+  EXPECT_GT(young, mid);
+  EXPECT_GT(mid, old);
+  EXPECT_GE(old, 1.0);
+  EXPECT_LT(young, 5.0);
+}
+
+}  // namespace
+}  // namespace hp::hotpotato

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hp::util {
+namespace {
+
+TEST(ReversibleRng, InverseConstantIsCorrect) {
+  static_assert(ReversibleRng::kMul * ReversibleRng::kMulInv == 1ULL);
+  SUCCEED();
+}
+
+TEST(ReversibleRng, ReverseUndoesUniformDraws) {
+  ReversibleRng rng(42);
+  const std::uint64_t s0 = rng.raw_state();
+  std::vector<double> first;
+  for (int i = 0; i < 100; ++i) first.push_back(rng.uniform());
+  rng.reverse(100);
+  EXPECT_EQ(rng.raw_state(), s0);
+  EXPECT_EQ(rng.draw_count(), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(), first[i]);
+}
+
+TEST(ReversibleRng, ReverseUndoesMixedDraws) {
+  ReversibleRng rng(7);
+  const std::uint64_t s0 = rng.raw_state();
+  (void)rng.uniform();
+  (void)rng.integer(3, 17);
+  (void)rng.bernoulli(0.3);
+  EXPECT_EQ(rng.draw_count(), 3u);
+  rng.reverse(3);
+  EXPECT_EQ(rng.raw_state(), s0);
+}
+
+TEST(ReversibleRng, InterleavedReverseReplaysIdentically) {
+  ReversibleRng a(99), b(99);
+  // a: draw 5, reverse 2, draw 2 => same final state as b: draw 5.
+  for (int i = 0; i < 5; ++i) (void)a.uniform();
+  a.reverse(2);
+  (void)a.uniform();
+  (void)a.uniform();
+  for (int i = 0; i < 5; ++i) (void)b.uniform();
+  EXPECT_EQ(a.raw_state(), b.raw_state());
+  EXPECT_EQ(a.draw_count(), b.draw_count());
+}
+
+TEST(ReversibleRng, UniformRangeAndMean) {
+  ReversibleRng rng(1);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(ReversibleRng, IntegerRangeInclusiveAndCoversAll) {
+  ReversibleRng rng(5);
+  std::vector<int> seen(6, 0);
+  for (int i = 0; i < 6000; ++i) {
+    const auto v = rng.integer(10, 15);
+    ASSERT_GE(v, 10u);
+    ASSERT_LE(v, 15u);
+    ++seen[v - 10];
+  }
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_GT(seen[i], 700) << "value " << 10 + i << " under-sampled";
+  }
+}
+
+TEST(ReversibleRng, SingleValueRange) {
+  ReversibleRng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.integer(7, 7), 7u);
+}
+
+TEST(ReversibleRng, StreamsWithDifferentSeedsDiffer) {
+  ReversibleRng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(ReversibleRng, BernoulliProbabilityRoughlyCorrect) {
+  ReversibleRng rng(11);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.125) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.125, 0.01);
+}
+
+TEST(ReversibleRng, RestoreRoundTrips) {
+  ReversibleRng rng(3);
+  for (int i = 0; i < 10; ++i) (void)rng.uniform();
+  const auto s = rng.raw_state();
+  const auto d = rng.draw_count();
+  const double next = rng.uniform();
+  for (int i = 0; i < 5; ++i) (void)rng.uniform();
+  rng.restore(s, d);
+  EXPECT_EQ(rng.draw_count(), d);
+  EXPECT_EQ(rng.uniform(), next);
+}
+
+}  // namespace
+}  // namespace hp::util

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "des/sequential.hpp"
+#include "tests/toy_models.hpp"
+
+namespace hp::des {
+namespace {
+
+using testing::PholdModel;
+using testing::RingModel;
+using testing::ToyState;
+
+TEST(SequentialEngine, RingProcessesExactEventCount) {
+  // One token circulating a 4-LP ring with delay 1.0 until end_time 100:
+  // events at t=1..100 => 100 events, 25 per LP.
+  RingModel model(4, 1.0);
+  EngineConfig cfg;
+  cfg.num_lps = 4;
+  cfg.end_time = 100.0;
+  SequentialEngine eng(model, cfg);
+  const RunStats stats = eng.run();
+  EXPECT_EQ(stats.processed_events, 100u);
+  EXPECT_EQ(stats.committed_events, 100u);
+  for (std::uint32_t lp = 0; lp < 4; ++lp) {
+    EXPECT_EQ(static_cast<ToyState&>(eng.state(lp)).count, 25u);
+  }
+}
+
+TEST(SequentialEngine, EndTimeIsInclusive) {
+  RingModel model(1, 1.0);
+  EngineConfig cfg;
+  cfg.num_lps = 1;
+  cfg.end_time = 5.0;
+  SequentialEngine eng(model, cfg);
+  const RunStats stats = eng.run();
+  // Events at t = 1,2,3,4,5.
+  EXPECT_EQ(stats.processed_events, 5u);
+}
+
+TEST(SequentialEngine, NoEventsTerminatesImmediately) {
+  // RingModel only seeds LP 0; a model over LPs that never seeds would hang
+  // if termination were wrong. Simulate via end_time 0 (no event <= 0).
+  RingModel model(2, 1.0);
+  EngineConfig cfg;
+  cfg.num_lps = 2;
+  cfg.end_time = 0.5;
+  SequentialEngine eng(model, cfg);
+  const RunStats stats = eng.run();
+  EXPECT_EQ(stats.processed_events, 0u);
+  EXPECT_DOUBLE_EQ(stats.final_gvt, 1.0);
+}
+
+TEST(SequentialEngine, PholdConservesEvents) {
+  // Each event sends exactly one successor, so the count processed is the
+  // number of events with ts <= end_time; each LP's count sums to total.
+  PholdModel model(16, 1.0, 0.1);
+  EngineConfig cfg;
+  cfg.num_lps = 16;
+  cfg.end_time = 50.0;
+  cfg.seed = 3;
+  SequentialEngine eng(model, cfg);
+  const RunStats stats = eng.run();
+  EXPECT_GT(stats.processed_events, 0u);
+  std::uint64_t total = 0;
+  for (std::uint32_t lp = 0; lp < 16; ++lp) {
+    total += static_cast<ToyState&>(eng.state(lp)).count;
+  }
+  EXPECT_EQ(total, stats.processed_events);
+}
+
+TEST(SequentialEngine, SameSeedSameResults) {
+  auto run_hash = [](std::uint64_t seed) {
+    PholdModel model(8, 1.0, 0.1);
+    EngineConfig cfg;
+    cfg.num_lps = 8;
+    cfg.end_time = 30.0;
+    cfg.seed = seed;
+    SequentialEngine eng(model, cfg);
+    (void)eng.run();
+    std::uint64_t h = 0;
+    for (std::uint32_t lp = 0; lp < 8; ++lp) {
+      h ^= static_cast<ToyState&>(eng.state(lp)).ordered_hash;
+    }
+    return h;
+  };
+  EXPECT_EQ(run_hash(1), run_hash(1));
+  EXPECT_NE(run_hash(1), run_hash(2));
+}
+
+TEST(SequentialEngine, RngStreamsArePerLp) {
+  PholdModel model(4, 1.0, 0.1);
+  EngineConfig cfg;
+  cfg.num_lps = 4;
+  cfg.end_time = 20.0;
+  SequentialEngine eng(model, cfg);
+  (void)eng.run();
+  // Each LP drew twice per event it processed (checked by the model's own
+  // bookkeeping against per-event draws).
+  for (std::uint32_t lp = 0; lp < 4; ++lp) {
+    auto& s = static_cast<ToyState&>(eng.state(lp));
+    EXPECT_EQ(s.rng_draws_seen, 2 * s.count);
+  }
+}
+
+}  // namespace
+}  // namespace hp::des

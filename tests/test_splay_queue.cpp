@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "des/splay_queue.hpp"
+#include "util/rng.hpp"
+
+namespace hp::des {
+namespace {
+
+EventKey key_of(double ts, std::uint64_t tie, std::uint32_t dst = 0) {
+  return EventKey{ts, tie, 0, dst, 0};
+}
+
+TEST(SplayQueue, EmptyBehaviour) {
+  SplayQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.peek_min(), nullptr);
+  EXPECT_EQ(q.pop_min(), nullptr);
+}
+
+TEST(SplayQueue, PopsInKeyOrder) {
+  std::vector<std::unique_ptr<Event>> events;
+  events.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    events.push_back(std::make_unique<Event>());
+    events.back()->key = key_of(((i * 37) % 100) * 1.5,
+                                static_cast<std::uint64_t>(i));
+  }
+  SplayQueue q;
+  for (auto& ev : events) q.insert(ev.get());
+  EXPECT_EQ(q.size(), 100u);
+  EventKey last = kMinKey;
+  for (int i = 0; i < 100; ++i) {
+    Event* ev = q.pop_min();
+    ASSERT_NE(ev, nullptr);
+    EXPECT_TRUE(last < ev->key || last == ev->key);
+    last = ev->key;
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SplayQueue, DuplicateKeysAllRetrievable) {
+  Event a, b, c, d;
+  a.key = key_of(5.0, 7);
+  b.key = key_of(5.0, 7);
+  c.key = key_of(5.0, 7);
+  d.key = key_of(1.0, 1);
+  SplayQueue q;
+  q.insert(&a);
+  q.insert(&b);
+  q.insert(&c);
+  q.insert(&d);
+  EXPECT_EQ(q.pop_min(), &d);
+  std::set<Event*> twins;
+  twins.insert(q.pop_min());
+  twins.insert(q.pop_min());
+  twins.insert(q.pop_min());
+  EXPECT_EQ(twins, (std::set<Event*>{&a, &b, &c}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SplayQueue, EraseExactPointerAmongTwins) {
+  Event a, b, c;
+  a.key = key_of(5.0, 7);
+  b.key = key_of(5.0, 7);
+  c.key = key_of(9.0, 1);
+  SplayQueue q;
+  q.insert(&a);
+  q.insert(&b);
+  q.insert(&c);
+  EXPECT_TRUE(q.erase(&b));
+  EXPECT_FALSE(q.erase(&b)) << "double erase must fail";
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop_min(), &a);
+  EXPECT_EQ(q.pop_min(), &c);
+}
+
+TEST(SplayQueue, EraseMissingKeyReturnsFalse) {
+  Event a, ghost;
+  a.key = key_of(5.0, 7);
+  ghost.key = key_of(6.0, 8);
+  SplayQueue q;
+  q.insert(&a);
+  EXPECT_FALSE(q.erase(&ghost));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(SplayQueue, ClearResets) {
+  std::vector<std::unique_ptr<Event>> events;
+  for (int i = 0; i < 20; ++i) {
+    events.push_back(std::make_unique<Event>());
+    events.back()->key = key_of(i, static_cast<std::uint64_t>(i));
+  }
+  SplayQueue q;
+  for (auto& ev : events) q.insert(ev.get());
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  q.insert(events[3].get());
+  EXPECT_EQ(q.pop_min(), events[3].get());
+}
+
+// Randomized differential test against std::multiset as the oracle.
+class SplayQueueFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SplayQueueFuzz, MatchesMultisetOracle) {
+  struct KeyLess {
+    bool operator()(const Event* a, const Event* b) const {
+      return a->key < b->key;
+    }
+  };
+  util::ReversibleRng rng(GetParam());
+  std::vector<std::unique_ptr<Event>> storage;
+  SplayQueue q;
+  std::multiset<Event*, KeyLess> oracle;
+  std::vector<Event*> live;
+
+  for (int op = 0; op < 20000; ++op) {
+    const auto action = rng.integer(0, 9);
+    if (action <= 4 || live.empty()) {  // insert (biased)
+      // Coarse timestamps force frequent duplicate keys.
+      const double ts = static_cast<double>(rng.integer(0, 40));
+      const std::uint64_t tie = rng.integer(0, 6);
+      storage.push_back(std::make_unique<Event>());
+      storage.back()->key = key_of(ts, tie);
+      Event* ev = storage.back().get();
+      q.insert(ev);
+      oracle.insert(ev);
+      live.push_back(ev);
+    } else if (action <= 7) {  // pop_min
+      Event* got = q.pop_min();
+      ASSERT_FALSE(oracle.empty());
+      ASSERT_NE(got, nullptr);
+      // Any event with the minimal key is acceptable.
+      EXPECT_EQ(got->key, (*oracle.begin())->key);
+      auto [lo, hi] = oracle.equal_range(got);
+      bool found = false;
+      for (auto it = lo; it != hi; ++it) {
+        if (*it == got) {
+          oracle.erase(it);
+          found = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(found);
+      live.erase(std::find(live.begin(), live.end(), got));
+    } else {  // erase random live event
+      const auto idx = rng.integer(0, live.size() - 1);
+      Event* victim = live[idx];
+      EXPECT_TRUE(q.erase(victim));
+      auto [lo, hi] = oracle.equal_range(victim);
+      for (auto it = lo; it != hi; ++it) {
+        if (*it == victim) {
+          oracle.erase(it);
+          break;
+        }
+      }
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    ASSERT_EQ(q.size(), oracle.size());
+    ASSERT_EQ(q.empty(), oracle.empty());
+    if (!oracle.empty()) {
+      ASSERT_EQ(q.peek_min()->key, (*oracle.begin())->key);
+    }
+  }
+  // Drain and verify full ordering.
+  while (!oracle.empty()) {
+    Event* got = q.pop_min();
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->key, (*oracle.begin())->key);
+    auto [lo, hi] = oracle.equal_range(got);
+    for (auto it = lo; it != hi; ++it) {
+      if (*it == got) {
+        oracle.erase(it);
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplayQueueFuzz,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+}  // namespace
+}  // namespace hp::des

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "net/torus.hpp"
+
+namespace hp::net {
+namespace {
+
+TEST(Torus, IdCoordRoundTrip) {
+  const Torus t(8);
+  for (std::uint32_t id = 0; id < t.num_nodes(); ++id) {
+    EXPECT_EQ(t.id_of(t.coord_of(id)), id);
+  }
+}
+
+TEST(Torus, ReportLpNumberingConvention) {
+  // The report: a 32x32 torus has LPs 0..1023 row-major; East from x is x+1
+  // wrapping within the row.
+  const Torus t(32);
+  EXPECT_EQ(t.neighbor(0, Dir::East), 1u);
+  EXPECT_EQ(t.neighbor(31, Dir::East), 0u);     // east edge wraps
+  EXPECT_EQ(t.neighbor(32, Dir::West), 63u);    // west edge wraps in row 1
+  EXPECT_EQ(t.neighbor(0, Dir::South), 32u);
+  EXPECT_EQ(t.neighbor(0, Dir::North), 992u);   // wraps to last row
+}
+
+TEST(Torus, NeighborsAreInvolutions) {
+  const Torus t(5);
+  for (std::uint32_t id = 0; id < t.num_nodes(); ++id) {
+    for (Dir d : kAllDirs) {
+      EXPECT_EQ(t.neighbor(t.neighbor(id, d), opposite(d)), id);
+    }
+  }
+}
+
+TEST(Torus, DistanceSymmetricAndBounded) {
+  const Torus t(6);
+  for (std::uint32_t a = 0; a < t.num_nodes(); ++a) {
+    for (std::uint32_t b = 0; b < t.num_nodes(); ++b) {
+      EXPECT_EQ(t.distance(a, b), t.distance(b, a));
+      EXPECT_LE(t.distance(a, b), 6);  // torus diameter is N (=2*floor(N/2))
+      EXPECT_GE(t.distance(a, b), 0);
+      if (a == b) {
+        EXPECT_EQ(t.distance(a, b), 0);
+      }
+    }
+  }
+}
+
+TEST(Torus, TorusMaxDistanceBeatsMesh) {
+  // The report motivates the torus: max distance N-1 per axis is wrong for a
+  // torus — it is floor(N/2) per axis vs N-1 for the mesh.
+  const Torus t(9);
+  std::int32_t max_d = 0;
+  for (std::uint32_t a = 0; a < t.num_nodes(); ++a) {
+    max_d = std::max(max_d, t.distance(0, a));
+  }
+  EXPECT_EQ(max_d, 8);  // 2 * floor(9/2)
+}
+
+TEST(Torus, GoodDirsReduceDistanceExactlyByOne) {
+  // Property over all pairs: following any good link reduces distance by 1,
+  // and every non-good link does not reduce it.
+  const Torus t(7);
+  for (std::uint32_t src = 0; src < t.num_nodes(); ++src) {
+    for (std::uint32_t dst = 0; dst < t.num_nodes(); ++dst) {
+      if (src == dst) {
+        EXPECT_TRUE(t.good_dirs(src, dst).empty());
+        continue;
+      }
+      const DirSet good = t.good_dirs(src, dst);
+      EXPECT_FALSE(good.empty());
+      const auto d0 = t.distance(src, dst);
+      for (Dir d : kAllDirs) {
+        const auto d1 = t.distance(t.neighbor(src, d), dst);
+        if (good.contains(d)) {
+          EXPECT_EQ(d1, d0 - 1) << "src=" << src << " dst=" << dst
+                                << " dir=" << dir_name(d);
+        } else {
+          EXPECT_GE(d1, d0) << "src=" << src << " dst=" << dst
+                            << " dir=" << dir_name(d);
+        }
+      }
+    }
+  }
+}
+
+TEST(Torus, HalfwayPointHasBothDirectionsGood) {
+  const Torus t(8);
+  // src (0,0), dst (0,4): column offset exactly n/2, so East and West both
+  // reduce the distance.
+  const auto src = t.id_of({0, 0});
+  const auto dst = t.id_of({0, 4});
+  const DirSet g = t.good_dirs(src, dst);
+  EXPECT_TRUE(g.contains(Dir::East));
+  EXPECT_TRUE(g.contains(Dir::West));
+  EXPECT_EQ(g.size(), 2);
+}
+
+TEST(Torus, HomeRunFollowsRowThenColumn) {
+  const Torus t(8);
+  const auto src = t.id_of({2, 1});
+  const auto dst = t.id_of({5, 3});
+  // Column not aligned: move along the row (East, since 3-1=2 < 6).
+  EXPECT_EQ(t.home_run_dir(src, dst), Dir::East);
+  // Column aligned: move along the column (South, 5-2=3 < 5).
+  const auto turn = t.id_of({2, 3});
+  EXPECT_EQ(t.home_run_dir(turn, dst), Dir::South);
+  EXPECT_TRUE(t.at_home_run_turn(turn, dst));
+  EXPECT_FALSE(t.at_home_run_turn(src, dst));
+  EXPECT_FALSE(t.at_home_run_turn(dst, dst));
+}
+
+TEST(Torus, HomeRunPathTerminates) {
+  // Property: repeatedly following home_run_dir reaches dst in exactly
+  // distance(src,dst) steps, with at most one change of axis.
+  const Torus t(9);
+  for (std::uint32_t src = 0; src < t.num_nodes(); ++src) {
+    for (std::uint32_t dst : {0u, 40u, 80u, 17u}) {
+      if (src == dst) continue;
+      std::uint32_t cur = src;
+      int steps = 0;
+      int axis_changes = 0;
+      bool was_column_phase = false;
+      while (cur != dst) {
+        const Dir d = t.home_run_dir(cur, dst);
+        const bool column_phase = (d == Dir::North || d == Dir::South);
+        if (steps > 0 && column_phase != was_column_phase) ++axis_changes;
+        was_column_phase = column_phase;
+        cur = t.neighbor(cur, d);
+        ++steps;
+        ASSERT_LE(steps, 2 * 9) << "home-run path does not terminate";
+      }
+      EXPECT_EQ(steps, t.distance(src, dst));
+      EXPECT_LE(axis_changes, 1) << "home-run path has more than one bend";
+    }
+  }
+}
+
+TEST(DirSet, BasicOperations) {
+  DirSet s;
+  EXPECT_TRUE(s.empty());
+  s.add(Dir::East);
+  s.add(Dir::North);
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_TRUE(s.contains(Dir::East));
+  EXPECT_FALSE(s.contains(Dir::West));
+  EXPECT_EQ(s.nth(0), Dir::North);  // N,S,E,W enumeration order
+  EXPECT_EQ(s.nth(1), Dir::East);
+  s.remove(Dir::North);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_EQ(s.nth(0), Dir::East);
+}
+
+}  // namespace
+}  // namespace hp::net

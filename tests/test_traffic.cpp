@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/simulation.hpp"
+#include "hotpotato/traffic.hpp"
+
+namespace hp::hotpotato {
+namespace {
+
+using net::Grid;
+using net::GridKind;
+
+class TrafficDrawContract
+    : public ::testing::TestWithParam<TrafficPattern> {};
+
+TEST_P(TrafficDrawContract, NeverSelfAlwaysInRangeDrawsExact) {
+  const Grid g(8, GridKind::Torus);
+  util::ReversibleRng rng(3);
+  for (std::uint32_t src = 0; src < g.num_nodes(); ++src) {
+    for (int rep = 0; rep < 8; ++rep) {
+      const auto before = rng.draw_count();
+      const TrafficDraw t = draw_traffic_destination(g, GetParam(), src, rng);
+      EXPECT_NE(t.dst, src);
+      EXPECT_LT(t.dst, g.num_nodes());
+      EXPECT_EQ(rng.draw_count() - before, t.rng_draws)
+          << "reported draws must match actual stream advancement";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatterns, TrafficDrawContract,
+    ::testing::Values(TrafficPattern::Uniform, TrafficPattern::Transpose,
+                      TrafficPattern::BitComplement, TrafficPattern::Hotspot,
+                      TrafficPattern::NearestNeighbor),
+    [](const auto& info) {
+      return std::string(traffic_pattern_name(info.param));
+    });
+
+TEST(Traffic, UniformCoversAllDestinations) {
+  const Grid g(4, GridKind::Torus);
+  util::ReversibleRng rng(1);
+  std::map<std::uint32_t, int> seen;
+  for (int i = 0; i < 4000; ++i) {
+    ++seen[draw_traffic_destination(g, TrafficPattern::Uniform, 5, rng).dst];
+  }
+  EXPECT_EQ(seen.size(), g.num_nodes() - 1);  // everything except self
+  for (const auto& [dst, count] : seen) {
+    EXPECT_GT(count, 4000 / 15 / 3) << "destination " << dst << " starved";
+  }
+}
+
+TEST(Traffic, TransposeIsThePermutation) {
+  const Grid g(8, GridKind::Torus);
+  util::ReversibleRng rng(1);
+  const auto t = draw_traffic_destination(g, TrafficPattern::Transpose,
+                                          g.id_of({2, 5}), rng);
+  EXPECT_EQ(t.dst, g.id_of({5, 2}));
+  EXPECT_EQ(t.rng_draws, 0u);
+}
+
+TEST(Traffic, BitComplementMapsToOppositeCorner) {
+  const Grid g(8, GridKind::Torus);
+  util::ReversibleRng rng(1);
+  const auto t = draw_traffic_destination(g, TrafficPattern::BitComplement,
+                                          g.id_of({1, 2}), rng);
+  EXPECT_EQ(t.dst, g.id_of({6, 5}));
+  EXPECT_EQ(t.rng_draws, 0u);
+}
+
+TEST(Traffic, HotspotConcentratesTraffic) {
+  const Grid g(8, GridKind::Torus);
+  util::ReversibleRng rng(7);
+  std::map<std::uint32_t, int> seen;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++seen[draw_traffic_destination(g, TrafficPattern::Hotspot, 0, rng).dst];
+  }
+  int hot = 0;
+  // Sum mass on the 4 quarter-point hotspots.
+  for (const net::Coord c :
+       {net::Coord{2, 2}, net::Coord{2, 6}, net::Coord{6, 2}, net::Coord{6, 6}}) {
+    hot += seen[g.id_of(c)];
+  }
+  // Directed hotspot mass plus the background uniform traffic that happens
+  // to land on the 4 hotspots (out of the 63 non-self nodes).
+  const double expected =
+      kHotspotFraction + (1.0 - kHotspotFraction) * 4.0 / 63.0;
+  EXPECT_NEAR(static_cast<double>(hot) / kDraws, expected, 0.02);
+}
+
+TEST(Traffic, NearestNeighborIsOneHop) {
+  const Grid torus(8, GridKind::Torus);
+  util::ReversibleRng rng(1);
+  for (std::uint32_t src : {0u, 7u, 63u}) {
+    const auto t = draw_traffic_destination(
+        torus, TrafficPattern::NearestNeighbor, src, rng);
+    EXPECT_EQ(torus.distance(src, t.dst), 1);
+  }
+  const Grid mesh(8, GridKind::Mesh);
+  for (std::uint32_t src = 0; src < mesh.num_nodes(); ++src) {
+    const auto t = draw_traffic_destination(
+        mesh, TrafficPattern::NearestNeighbor, src, rng);
+    EXPECT_EQ(mesh.distance(src, t.dst), 1);
+  }
+}
+
+TEST(TrafficModel, PatternsStayDeterministicUnderTimeWarp) {
+  for (const TrafficPattern p :
+       {TrafficPattern::Transpose, TrafficPattern::Hotspot,
+        TrafficPattern::NearestNeighbor}) {
+    core::SimulationOptions o;
+    o.model.n = 8;
+    o.model.injector_fraction = 0.75;
+    o.model.steps = 60;
+    o.model.traffic = p;
+    o.kernel = core::Kernel::Sequential;
+    const auto seq = core::run_hotpotato(o);
+    auto t = o;
+    t.kernel = core::Kernel::TimeWarp;
+    t.num_pes = 4;
+    t.num_kps = 16;
+    t.gvt_interval = 256;
+    const auto tw = core::run_hotpotato(t);
+    EXPECT_EQ(seq.report, tw.report) << traffic_pattern_name(p);
+  }
+}
+
+TEST(TrafficModel, NearestNeighborIsEasiestHotspotHardest) {
+  auto run = [](TrafficPattern p) {
+    core::SimulationOptions o;
+    o.model.n = 16;
+    o.model.injector_fraction = 1.0;
+    o.model.steps = 150;
+    o.model.traffic = p;
+    return core::run_hotpotato(o).report;
+  };
+  const auto nn = run(TrafficPattern::NearestNeighbor);
+  const auto uni = run(TrafficPattern::Uniform);
+  const auto hot = run(TrafficPattern::Hotspot);
+  EXPECT_LT(nn.avg_delivery_steps(), uni.avg_delivery_steps());
+  EXPECT_GT(nn.delivered, uni.delivered);
+  // Hotspot contention shows up in deflections around the hotspot sinks and
+  // in fewer completed deliveries than the uniform permutation achieves.
+  EXPECT_GT(hot.deflection_rate(), uni.deflection_rate());
+  EXPECT_LT(hot.delivered, uni.delivered);
+}
+
+TEST(Histogram, DeliveryPercentilesAreOrderedAndBracketMean) {
+  core::SimulationOptions o;
+  o.model.n = 12;
+  o.model.injector_fraction = 0.5;
+  o.model.steps = 150;
+  const auto r = core::run_hotpotato(o).report;
+  const double p50 = r.delivery_percentile(0.50);
+  const double p90 = r.delivery_percentile(0.90);
+  const double p99 = r.delivery_percentile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GT(p99, 0.0);
+  // The distribution's histogram mass equals the delivered count.
+  std::uint64_t mass = 0;
+  for (const auto c : r.delivery_hist.counts()) mass += c;
+  EXPECT_EQ(mass, r.delivered);
+}
+
+}  // namespace
+}  // namespace hp::hotpotato

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/hash.hpp"
+#include "util/small_vec.hpp"
+#include "util/table.hpp"
+
+namespace hp::util {
+namespace {
+
+TEST(Hash, SplitmixIsDeterministicAndMixing) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+  // Avalanche smoke test: flipping one input bit flips many output bits.
+  const std::uint64_t a = splitmix64(0x1234);
+  const std::uint64_t b = splitmix64(0x1235);
+  EXPECT_GE(__builtin_popcountll(a ^ b), 16);
+}
+
+TEST(Hash, CombineDependsOnBothArgsAndOrder) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_NE(hash_combine(1, 2), hash_combine(1, 3));
+  EXPECT_EQ(hash_combine(7, 9), hash_combine(7, 9));
+}
+
+TEST(SmallVec, InlineUse) {
+  SmallVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  v.push_back(1);
+  v.push_back(2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  int sum = 0;
+  for (int x : v) sum += x;
+  EXPECT_EQ(sum, 3);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVec, SpillsToHeapBeyondInlineCapacity) {
+  SmallVec<int, 2> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"a", "long_header", "c"});
+  t.add_row({std::int64_t{1}, 2.5, "x"});
+  t.add_row({std::int64_t{100}, 3.25, "yy"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_NE(out.find("2.500"), std::string::npos);
+  EXPECT_NE(out.find("yy"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"n", "rate"});
+  t.add_row({std::int64_t{8}, 1.5});
+  t.add_row({std::uint64_t{16}, 2.0});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "n,rate\n8,1.500\n16,2.000\n");
+}
+
+TEST(Table, CsvFile) {
+  Table t({"x"});
+  t.add_row({std::int64_t{7}});
+  const std::string path = ::testing::TempDir() + "/hp_table_test.csv";
+  t.write_csv_file(path);
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "x");
+  std::getline(f, line);
+  EXPECT_EQ(line, "7");
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ParsesTypedFlags) {
+  const char* argv[] = {"prog", "--n=16", "--rate=2.5", "--verbose",
+                        "--name=abc"};
+  Cli cli(5, const_cast<char**>(argv),
+          {{"n", ""}, {"rate", ""}, {"verbose", ""}, {"name", ""}});
+  EXPECT_EQ(cli.get_int("n", 0), 16);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), 2.5);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_EQ(cli.get("name", ""), "abc");
+  EXPECT_TRUE(cli.has("n"));
+  EXPECT_FALSE(cli.has("missing"));
+  EXPECT_EQ(cli.get_int("missing", 42), 42);
+}
+
+TEST(Cli, BoolishValues) {
+  const char* argv[] = {"prog", "--a=0", "--b=false", "--c=no", "--d=1"};
+  Cli cli(5, const_cast<char**>(argv), {{"a", ""}, {"b", ""}, {"c", ""}, {"d", ""}});
+  EXPECT_FALSE(cli.get_bool("a", true));
+  EXPECT_FALSE(cli.get_bool("b", true));
+  EXPECT_FALSE(cli.get_bool("c", true));
+  EXPECT_TRUE(cli.get_bool("d", false));
+}
+
+TEST(CliDeath, RejectsUnknownFlag) {
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_EXIT(
+      { Cli cli(2, const_cast<char**>(argv), {{"n", ""}}); },
+      ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+TEST(CliDeath, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_EXIT(
+      { Cli cli(2, const_cast<char**>(argv), {{"n", ""}}); },
+      ::testing::ExitedWithCode(2), "positional");
+}
+
+}  // namespace
+}  // namespace hp::util

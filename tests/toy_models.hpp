@@ -1,0 +1,136 @@
+#pragma once
+
+// Small reversible models used to test the DES kernels independently of the
+// hot-potato application.
+
+#include <cstdint>
+#include <memory>
+
+#include "des/model.hpp"
+#include "util/hash.hpp"
+
+namespace hp::testing {
+
+// Execution-order-sensitive checksum state. XOR-folding event identities is
+// self-inverse (reversal-friendly) and order-insensitive; the ordered_hash
+// chain is order-sensitive but not reversible, so forward stashes the prior
+// value in the message scratch and reverse restores it — exercising the
+// "save into the message" idiom the hot-potato model also uses.
+struct ToyState : des::LpState {
+  std::uint64_t count = 0;
+  std::uint64_t xor_fold = 0;
+  std::uint64_t ordered_hash = 0;
+  std::uint64_t rng_draws_seen = 0;
+
+  std::unique_ptr<des::LpState> clone() const override {
+    return std::make_unique<ToyState>(*this);
+  }
+
+  bool equals(const des::LpState& o) const override {
+    return *this == static_cast<const ToyState&>(o);
+  }
+
+  bool operator==(const ToyState& o) const {
+    return count == o.count && xor_fold == o.xor_fold &&
+           ordered_hash == o.ordered_hash && rng_draws_seen == o.rng_draws_seen;
+  }
+};
+
+struct ToyMsg {
+  std::uint64_t saved_ordered_hash = 0;  // reverse-computation scratch
+  std::uint32_t hops_left = 0;
+};
+
+// PHOLD-style load: every event draws a random destination and delay, sends
+// one successor, and folds its identity into the LP state. High fan-across
+// traffic makes stragglers (and thus rollbacks) frequent under Time Warp.
+class PholdModel final : public des::Model {
+ public:
+  PholdModel(std::uint32_t num_lps, double mean_delay, double lookahead)
+      : num_lps_(num_lps), mean_delay_(mean_delay), lookahead_(lookahead) {}
+
+  std::unique_ptr<des::LpState> make_state(std::uint32_t) override {
+    return std::make_unique<ToyState>();
+  }
+
+  void init_lp(std::uint32_t lp, des::InitContext& ctx) override {
+    // One seed event per LP, jittered start time.
+    ToyMsg m{};
+    m.hops_left = 0;
+    ctx.schedule(lp, 0.5 + 0.25 * ctx.rng().uniform(), m);
+  }
+
+  void forward(des::LpState& state, des::Event& ev, des::Context& ctx) override {
+    auto& s = static_cast<ToyState&>(state);
+    auto& m = ev.msg<ToyMsg>();
+    ++s.count;
+    s.xor_fold ^= ev.key.tie;
+    m.saved_ordered_hash = s.ordered_hash;
+    s.ordered_hash = util::hash_combine(s.ordered_hash, ev.key.tie);
+
+    const auto dst = static_cast<std::uint32_t>(
+        ctx.rng().integer(0, num_lps_ - 1));
+    const double delay = lookahead_ + mean_delay_ * ctx.rng().uniform();
+    s.rng_draws_seen += 2;
+
+    ToyMsg next{};
+    ctx.send(dst, delay, next);
+  }
+
+  void reverse(des::LpState& state, des::Event& ev, des::Context& ctx) override {
+    auto& s = static_cast<ToyState&>(state);
+    auto& m = ev.msg<ToyMsg>();
+    ctx.rng().reverse(2);
+    s.rng_draws_seen -= 2;
+    s.ordered_hash = m.saved_ordered_hash;
+    s.xor_fold ^= ev.key.tie;
+    --s.count;
+  }
+
+ private:
+  std::uint32_t num_lps_;
+  double mean_delay_;
+  double lookahead_;
+};
+
+// Deterministic ring: LP i forwards to LP i+1 after a fixed delay. No RNG,
+// fully predictable totals — good for exact-count kernel tests.
+class RingModel final : public des::Model {
+ public:
+  RingModel(std::uint32_t num_lps, double delay)
+      : num_lps_(num_lps), delay_(delay) {}
+
+  std::unique_ptr<des::LpState> make_state(std::uint32_t) override {
+    return std::make_unique<ToyState>();
+  }
+
+  void init_lp(std::uint32_t lp, des::InitContext& ctx) override {
+    if (lp == 0) {
+      ToyMsg m{};
+      ctx.schedule(0, delay_, m);
+    }
+  }
+
+  void forward(des::LpState& state, des::Event& ev, des::Context& ctx) override {
+    auto& s = static_cast<ToyState&>(state);
+    auto& m = ev.msg<ToyMsg>();
+    ++s.count;
+    m.saved_ordered_hash = s.ordered_hash;
+    s.ordered_hash = util::hash_combine(s.ordered_hash, ev.key.tie);
+    ToyMsg next{};
+    ctx.send((ctx.self() + 1) % num_lps_, delay_, next);
+  }
+
+  void reverse(des::LpState& state, des::Event& ev, des::Context&) override {
+    auto& s = static_cast<ToyState&>(state);
+    auto& m = ev.msg<ToyMsg>();
+    s.ordered_hash = m.saved_ordered_hash;
+    --s.count;
+  }
+
+ private:
+  std::uint32_t num_lps_;
+  double delay_;
+};
+
+}  // namespace hp::testing
