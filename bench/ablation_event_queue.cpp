@@ -6,6 +6,10 @@
 
 #include "bench/common.hpp"
 
+#include <vector>
+
+#include <string>
+
 int main(int argc, char** argv) {
   hp::util::Cli cli(argc, argv, hp::bench::common_flags());
   const bool full = cli.get_bool("full", false);

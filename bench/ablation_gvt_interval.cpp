@@ -1,8 +1,12 @@
-// Ablation: GVT interval (ROSS's g_tw_gvt_interval analogue) — the
-// frequency knob trading synchronization overhead against memory and
-// rollback depth. Short intervals bound optimism tightly (frequent barriers,
-// prompt fossil collection, small event pools); long intervals let PEs run
-// free between reductions.
+// Ablation: GVT pacing (ROSS's g_tw_gvt_interval analogue) — the frequency
+// knob trading synchronization overhead against memory and rollback depth.
+// Short fixed intervals bound optimism tightly (frequent barriers, prompt
+// fossil collection, small event pools); long intervals let PEs run free
+// between reductions. The adaptive rows let each PE float its interval from
+// the commit yield of the previous round (plus exponential idle backoff);
+// the trigger columns show what drove the rounds.
+
+#include <string>
 
 #include "bench/common.hpp"
 
@@ -11,25 +15,36 @@ int main(int argc, char** argv) {
   const bool full = cli.get_bool("full", false);
   const std::int32_t n = full ? 64 : 32;
 
-  hp::util::Table table({"gvt_interval", "events_per_s", "gvt_rounds",
-                         "rolled_back", "pool_envelopes", "identical"});
+  hp::util::Table table({"mode", "gvt_interval", "events_per_s", "gvt_rounds",
+                         "trig_progress", "trig_idle", "rolled_back",
+                         "pool_envelopes", "identical"});
   hp::core::SimulationResult ref;
   bool have_ref = false;
-  for (const std::uint32_t interval : {64u, 256u, 1024u, 4096u, 16384u}) {
+  auto run_row = [&](bool adaptive, std::uint32_t interval) {
     auto o = hp::bench::tw_options(n, 0.5, 2, 64);
     o.gvt_interval = interval;
+    o.adaptive_gvt = adaptive;
     const auto r = hp::core::run_hotpotato(o);
     if (!have_ref) {
       ref = r;
       have_ref = true;
     }
-    table.add_row({static_cast<std::int64_t>(interval), r.engine.event_rate(),
-                   r.engine.gvt_rounds, r.engine.rolled_back_events,
+    table.add_row({adaptive ? "adaptive" : "fixed",
+                   static_cast<std::int64_t>(interval), r.engine.event_rate(),
+                   r.engine.gvt_rounds, r.engine.gvt_progress_triggers,
+                   r.engine.gvt_idle_triggers, r.engine.rolled_back_events,
                    r.engine.pool_envelopes,
                    r.report == ref.report ? "yes" : "NO"});
+  };
+  for (const std::uint32_t interval : {64u, 256u, 1024u, 4096u, 16384u}) {
+    run_row(false, interval);
+  }
+  // Adaptive pacing: the interval is the ceiling the PEs float beneath.
+  for (const std::uint32_t ceiling : {1024u, 16384u}) {
+    run_row(true, ceiling);
   }
   hp::bench::finish(table, cli,
-                    "Ablation: GVT interval (frequent GVT = bounded memory + "
-                    "throttled optimism vs barrier overhead)");
+                    "Ablation: GVT pacing (fixed interval sweep vs adaptive "
+                    "commit-yield pacing; identical results either way)");
   return 0;
 }

@@ -12,6 +12,8 @@
 #include "hotpotato/model.hpp"
 #include "net/mapping.hpp"
 
+#include <vector>
+
 namespace {
 
 struct MappingRun {

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -51,7 +52,10 @@ inline core::SimulationOptions tw_options(std::int32_t n, double load,
   core::SimulationOptions o;
   o.model.n = n;
   o.model.injector_fraction = load;
-  o.model.steps = static_cast<std::uint32_t>(2 * n);
+  // Same step budget as the sequential-figure benches (fig3/fig4/baseline):
+  // steps_for reaches delivery steady state, so the Fig. 5/6/7/8 Time Warp
+  // sweeps measure the same workload as the sequential curves.
+  o.model.steps = steps_for(n);
   o.kernel = core::Kernel::TimeWarp;
   o.num_pes = pes;
   o.num_kps = kps;

@@ -14,6 +14,8 @@
 #include "des/timewarp.hpp"
 #include "hotpotato/packet.hpp"
 
+#include <string>
+
 int main(int argc, char** argv) {
   hp::util::Cli cli(argc, argv, hp::bench::common_flags());
   const bool full = cli.get_bool("full", false);

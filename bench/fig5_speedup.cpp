@@ -5,7 +5,9 @@
 // Time Warp overhead instead of speed-up; the harness reports the core
 // count so the reader can judge.
 
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench/common.hpp"
 

@@ -2,7 +2,9 @@
 // PE count. The report shows near-linear efficiency (~1) for small networks
 // dropping to ~0.5 for the largest.
 
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench/common.hpp"
 

@@ -7,6 +7,8 @@
 #include "bench/common.hpp"
 #include "buffered/buffered_network.hpp"
 
+#include <string>
+
 int main(int argc, char** argv) {
   auto flags = hp::bench::common_flags();
   flags.emplace("qcap", "buffered baseline: per-output queue capacity");

@@ -4,13 +4,50 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/simulation.hpp"
 #include "des/sequential.hpp"
 #include "hotpotato/policy.hpp"
 #include "net/torus.hpp"
+#include "util/mpsc_queue.hpp"
 #include "util/rng.hpp"
 
 namespace {
+
+struct QNode : hp::util::MpscNode {
+  std::uint64_t payload = 0;
+};
+
+// Uncontended push/pop round trip through the lock-free inbox queue — the
+// per-envelope cost floor of the remote event path.
+void BM_MpscQueuePushPop(benchmark::State& state) {
+  hp::util::MpscQueue<QNode> q;
+  QNode node;
+  for (auto _ : state) {
+    q.push(&node);
+    benchmark::DoNotOptimize(q.pop());
+  }
+}
+BENCHMARK(BM_MpscQueuePushPop);
+
+// Batch publication: stage a chain locally, publish with one push_chain,
+// drain — the rollback send-batching pattern (vs N individual pushes).
+void BM_MpscQueueChainPushDrain(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  hp::util::MpscQueue<QNode> q;
+  std::vector<QNode> nodes(batch);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i + 1 < batch; ++i) {
+      nodes[i].mpsc_next.store(&nodes[i + 1], std::memory_order_relaxed);
+    }
+    q.push_chain(&nodes.front(), &nodes.back());
+    while (QNode* n = q.pop()) benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_MpscQueueChainPushDrain)->Arg(8)->Arg(64);
 
 void BM_RngUniform(benchmark::State& state) {
   hp::util::ReversibleRng rng(1);
@@ -106,6 +143,31 @@ void BM_TimeWarpHotPotato(benchmark::State& state) {
       static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_TimeWarpHotPotato)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Adaptive GVT pacing (arg=1) against the fixed-threshold baseline (arg=0)
+// at 4 PEs; the committed-event rate is the figure of merit.
+void BM_TimeWarpGvtPacing(benchmark::State& state) {
+  const bool adaptive = state.range(0) != 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    hp::core::SimulationOptions o;
+    o.model.n = 16;
+    o.model.injector_fraction = 0.5;
+    o.model.steps = 32;
+    o.kernel = hp::core::Kernel::TimeWarp;
+    o.num_pes = 4;
+    o.num_kps = 64;
+    o.optimism_window = 30.0;
+    o.adaptive_gvt = adaptive;
+    const auto r = hp::core::run_hotpotato(o);
+    events += r.engine.committed_events;
+    benchmark::DoNotOptimize(r.report.delivered);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TimeWarpGvtPacing)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -2,7 +2,10 @@
 // literature reports): committed event rate and rollback behaviour versus
 // the remote-traffic fraction and lookahead, independent of the hot-potato
 // application. Remote events are the straggler source; lookahead bounds how
-// far an early message can land in a peer's past.
+// far an early message can land in a peer's past. The avg_batch column
+// shows the remote-path send batching (envelopes per inbox push).
+
+#include <string>
 
 #include "bench/common.hpp"
 #include "des/phold.hpp"
@@ -16,7 +19,8 @@ int main(int argc, char** argv) {
   const double end = full ? 200.0 : 100.0;
 
   hp::util::Table table({"remote_%", "lookahead", "kernel", "events_per_s",
-                         "rolled_back", "efficiency"});
+                         "rolled_back", "efficiency", "gvt_rounds",
+                         "avg_batch"});
   for (const double remote : {0.0, 0.1, 0.5, 1.0}) {
     for (const double lookahead : {0.5, 0.05}) {
       hp::des::PholdConfig pc;
@@ -32,19 +36,22 @@ int main(int argc, char** argv) {
         hp::des::SequentialEngine seq(model, ec);
         const auto s = seq.run();
         table.add_row({100.0 * remote, lookahead, "sequential",
-                       s.event_rate(), std::uint64_t{0}, 1.0});
+                       s.event_rate(), std::uint64_t{0}, 1.0,
+                       std::uint64_t{0}, 0.0});
       }
-      {
+      for (const std::uint32_t pes : {2u, 4u}) {
         auto tc = ec;
-        tc.num_pes = 2;
+        tc.num_pes = pes;
         tc.num_kps = 32;
         tc.gvt_interval_events = 1024;
         tc.optimism_window = 10.0 * pc.mean_delay;
         hp::des::PholdModel model(pc);
         hp::des::TimeWarpEngine tw(model, tc);
         const auto t = tw.run();
-        table.add_row({100.0 * remote, lookahead, "timewarp-2pe",
-                       t.event_rate(), t.rolled_back_events, t.efficiency()});
+        table.add_row({100.0 * remote, lookahead,
+                       "timewarp-" + std::to_string(pes) + "pe",
+                       t.event_rate(), t.rolled_back_events, t.efficiency(),
+                       t.gvt_rounds, t.avg_inbox_batch()});
       }
     }
   }

@@ -7,6 +7,8 @@
 #include "bench/common.hpp"
 #include "hotpotato/traffic.hpp"
 
+#include <vector>
+
 int main(int argc, char** argv) {
   hp::util::Cli cli(argc, argv, hp::bench::common_flags());
   const bool full = cli.get_bool("full", false);

@@ -5,6 +5,7 @@
 //   ./algorithm_comparison [--n=16] [--inject=0.75] [--steps=200]
 
 #include <iostream>
+#include <string>
 
 #include "baselines/deflection_policies.hpp"
 #include "core/simulation.hpp"

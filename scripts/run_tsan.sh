@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# ThreadSanitizer gate for the Time Warp kernel: builds the tsan preset and
+# runs the engine test binaries that exercise the lock-free remote event
+# path (MPSC inbox, send batching, barrier GVT) under real PE threads.
+# Any data race is a hard failure (halt_on_error).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan
+cmake --build build-tsan -j "$(nproc)" --target test_timewarp test_engine_matrix
+
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
+./build-tsan/tests/test_timewarp
+./build-tsan/tests/test_engine_matrix
+
+echo "TSan: TimeWarp test suite clean."

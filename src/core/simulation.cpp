@@ -41,6 +41,7 @@ SimulationResult run_hotpotato(const SimulationOptions& opts) {
   ecfg.num_pes = opts.num_pes;
   ecfg.num_kps = opts.num_kps;
   ecfg.gvt_interval_events = opts.gvt_interval;
+  ecfg.adaptive_gvt = opts.adaptive_gvt;
   ecfg.state_saving = opts.state_saving;
   ecfg.optimism_window = opts.optimism_window;
   ecfg.queue_kind = opts.queue_kind;

@@ -34,6 +34,9 @@ struct SimulationOptions {
   std::uint32_t num_pes = 1;
   std::uint32_t num_kps = 64;
   std::uint32_t gvt_interval = 4096;
+  // Adaptive GVT pacing (commit-yield interval + idle backoff); false pins
+  // the fixed gvt_interval / idle-spin thresholds (the ablation baseline).
+  bool adaptive_gvt = true;
   bool state_saving = false;
   bool block_mapping = true;  // false => linear stripes (ablation)
   // Moving-window optimism throttle in virtual time units (see

@@ -22,8 +22,17 @@ struct EngineConfig {
   // mapping); if null a LinearMapping is built. Not owned.
   const net::Mapping* mapping = nullptr;
   // Per-PE processed events between GVT rounds. Also bounds memory: events
-  // can only be fossil-collected at GVT.
+  // can only be fossil-collected at GVT. Under adaptive pacing this is the
+  // *ceiling*; the effective per-PE interval floats below it.
   std::uint32_t gvt_interval_events = 4096;
+  // Adaptive GVT pacing: each PE adjusts its effective GVT interval from the
+  // commit yield of the previous round (wasted optimism => sooner rounds,
+  // clean progress => stretch toward gvt_interval_events), and idle PEs
+  // request GVT with an exponential backoff instead of a fixed spin count.
+  // Off reproduces the fixed-threshold behaviour (the GVT-interval ablation
+  // sweeps with this disabled). Results are bit-identical either way — GVT
+  // timing affects only commit latency and memory, never event order.
+  bool adaptive_gvt = true;
   // Ablation: roll back by restoring pre-event state snapshots instead of
   // reverse computation (report Section 3.2.1 contrasts these).
   bool state_saving = false;
@@ -54,6 +63,13 @@ struct PeRunStats {
   std::uint64_t primary_rollbacks = 0;
   std::uint64_t anti_messages = 0;
   std::uint64_t pool_envelopes = 0;  // event envelopes ever allocated
+  // Remote-path / pacing instrumentation (Time Warp only).
+  std::uint64_t inbox_batches = 0;        // chain pushes into peer inboxes
+  std::uint64_t inbox_batched_items = 0;  // envelopes across those batches
+  std::uint64_t max_inbox_batch = 0;      // largest single batch
+  std::uint64_t gvt_progress_triggers = 0;  // GVT requests: interval reached
+  std::uint64_t gvt_idle_triggers = 0;      // GVT requests: idle backoff
+  std::uint64_t idle_spins = 0;             // loop iterations with no work
 };
 
 struct RunStats {
@@ -65,6 +81,13 @@ struct RunStats {
   std::uint64_t lazy_reused = 0;        // children reused by lazy cancellation
   std::uint64_t gvt_rounds = 0;
   std::uint64_t pool_envelopes = 0;     // total envelopes allocated (memory proxy)
+  // Remote-path / pacing aggregates (sums of the per-PE fields).
+  std::uint64_t inbox_batches = 0;
+  std::uint64_t inbox_batched_items = 0;
+  std::uint64_t max_inbox_batch = 0;    // max over PEs
+  std::uint64_t gvt_progress_triggers = 0;
+  std::uint64_t gvt_idle_triggers = 0;
+  std::uint64_t idle_spins = 0;
   double wall_seconds = 0.0;
   double final_gvt = 0.0;
   std::vector<PeRunStats> per_pe;       // one entry per PE (empty: sequential)
@@ -72,6 +95,12 @@ struct RunStats {
   double event_rate() const noexcept {
     return wall_seconds > 0 ? static_cast<double>(committed_events) / wall_seconds
                             : 0.0;
+  }
+  // Mean envelopes per remote inbox push (1.0 = no batching benefit).
+  double avg_inbox_batch() const noexcept {
+    return inbox_batches > 0 ? static_cast<double>(inbox_batched_items) /
+                                   static_cast<double>(inbox_batches)
+                             : 0.0;
   }
   // Fraction of forward executions that were useful work.
   double efficiency() const noexcept {

@@ -20,6 +20,7 @@
 #include "des/lp_state.hpp"
 #include "des/time.hpp"
 #include "util/macros.hpp"
+#include "util/mpsc_queue.hpp"
 #include "util/small_vec.hpp"
 
 namespace hp::des {
@@ -50,7 +51,12 @@ struct ChildRef {
 };
 static_assert(std::is_trivially_copyable_v<ChildRef>);
 
-struct Event {
+// The envelope doubles as the intrusive node of the lock-free remote inbox
+// (util::MpscQueue); mpsc_next is live only while the envelope is in flight
+// between PEs. Anti-messages travel as envelopes too (is_anti set, key/uid
+// identify the victim, payload unused) so positives and antis share one
+// FIFO channel and one pool.
+struct Event : util::MpscNode {
   EventKey key;
   std::uint64_t uid = 0;  // unique send instance id (anti-message identity)
   std::uint64_t parent_uid = 0;   // uid of the sending event (0 for roots)
@@ -58,6 +64,7 @@ struct Event {
   Time send_ts = 0.0;
   std::uint32_t kp = 0;  // destination KP, cached at send time
   EventStatus status = EventStatus::Free;
+  bool is_anti = false;  // anti token: uid names the event to annihilate
   std::uint16_t payload_size = 0;
   std::uint32_t cv = 0;  // model control bits, reset before each forward
   util::SmallVec<ChildRef, 4> children;
@@ -111,6 +118,7 @@ class EventPool {
 
   void free(Event* ev) noexcept {
     ev->status = EventStatus::Free;
+    ev->is_anti = false;
     ev->children.clear();
     ev->stale_children.clear();
     ev->snapshot.reset();

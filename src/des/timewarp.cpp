@@ -1,5 +1,6 @@
 #include "des/timewarp.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -8,7 +9,26 @@
 namespace hp::des {
 
 namespace {
+// Fixed-mode idle threshold (adaptive_gvt = false), the historical default.
 constexpr std::uint32_t kIdleItersBeforeGvt = 256;
+
+// Adaptive pacing bounds. The effective per-PE interval floats in
+// [kGvtMinInterval, cfg.gvt_interval_events]; the idle trigger starts at
+// kIdleBackoffInit spins (fast termination / window advance) and doubles on
+// consecutive fruitless idle rounds up to kIdleBackoffMax (no barrier storm
+// while peers are busy).
+constexpr std::uint32_t kGvtMinInterval = 32;
+constexpr std::uint32_t kIdleBackoffInit = 64;
+constexpr std::uint32_t kIdleBackoffMax = 8192;
+
+// Commit-yield thresholds steering the effective interval: below kShrinkYield
+// the optimism was mostly wasted (shrink => commit/throttle sooner), above
+// kGrowYield the round was clean (stretch => fewer barriers). The shrink
+// threshold is deliberately low: mid-range yields (0.3-0.5) are ordinary
+// straggler churn that shorter rounds cannot fix — shrinking there only buys
+// barrier overhead. Only a collapse below 1/4 signals runaway optimism.
+constexpr double kShrinkYield = 0.25;
+constexpr double kGrowYield = 0.9;
 
 }
 
@@ -96,7 +116,7 @@ class TimeWarpEngine::TwCtx final : public Context {
       // child's key exceeds the current event's key.
       e_.deliver(pe_, ev);
     } else {
-      e_.pes_[dst_pe]->inbox.push(InboxItem{ev, ev->uid, ev->key});
+      e_.stage_remote(pe_, dst_pe, ev);
     }
   }
 
@@ -167,6 +187,12 @@ TimeWarpEngine::TimeWarpEngine(Model& model, EngineConfig cfg)
     pes_.push_back(std::make_unique<PeData>());
     pes_.back()->id = pe;
     pes_.back()->pending.configure(cfg_.queue_kind);
+    pes_.back()->out.resize(cfg_.num_pes);
+    // Adaptive pacing starts at the ceiling and floats downward; the floor
+    // never exceeds the configured interval (tiny intervals stay exact).
+    pes_.back()->effective_gvt_interval = std::max(1u, cfg_.gvt_interval_events);
+    pes_.back()->idle_backoff =
+        cfg_.adaptive_gvt ? kIdleBackoffInit : kIdleItersBeforeGvt;
   }
   for (std::uint32_t kp = 0; kp < cfg_.num_kps; ++kp) {
     kp_pe_[kp] = mapping_->pe_of_kp(kp);
@@ -231,6 +257,46 @@ void TimeWarpEngine::deliver(PeData& pe, Event* ev) {
   (void)it;
 }
 
+void TimeWarpEngine::stage_remote(PeData& pe, std::uint32_t dst_pe,
+                                  Event* ev) {
+  OutBatch& b = pe.out[dst_pe];
+  ev->mpsc_next.store(nullptr, std::memory_order_relaxed);
+  if (b.head == nullptr) {
+    b.head = b.tail = ev;
+    pe.out_dirty.push_back(dst_pe);
+  } else {
+    // Interior chain link; published by flush_outboxes' release push.
+    b.tail->mpsc_next.store(ev, std::memory_order_relaxed);
+    b.tail = ev;
+  }
+  ++b.count;
+}
+
+void TimeWarpEngine::flush_outboxes(PeData& pe) {
+  if (pe.out_dirty.empty()) return;
+  for (std::uint32_t dst : pe.out_dirty) {
+    OutBatch& b = pe.out[dst];
+    pes_[dst]->inbox.push_chain(b.head, b.tail);
+    ++pe.inbox_batches;
+    pe.inbox_batched_items += b.count;
+    pe.max_inbox_batch = std::max<std::uint64_t>(pe.max_inbox_batch, b.count);
+    b = OutBatch{};
+  }
+  pe.out_dirty.clear();
+}
+
+// Remote cancellation: an anti token is an envelope with is_anti set whose
+// (uid, key) name the victim. It rides the same per-destination chain as
+// positives, so per-producer FIFO keeps every positive ahead of its anti.
+void TimeWarpEngine::send_anti(PeData& pe, const ChildRef& c) {
+  Event* anti = pe.pool.allocate();
+  anti->is_anti = true;
+  anti->uid = c.uid;
+  anti->key = c.key;
+  stage_remote(pe, c.dst_pe, anti);
+  ++pe.anti_messages;
+}
+
 void TimeWarpEngine::annihilate(PeData& pe, std::uint64_t uid) {
   auto it = pe.index.find(uid);
   // FIFO inboxes guarantee a positive always precedes its anti; see header.
@@ -253,8 +319,7 @@ void TimeWarpEngine::cancel_stale(PeData& pe, Event* ev) {
     if (c.dst_pe == pe.id) {
       annihilate(pe, c.uid);
     } else {
-      pes_[c.dst_pe]->inbox.push(InboxItem{nullptr, c.uid, c.key});
-      ++pe.anti_messages;
+      send_anti(pe, c);
     }
   }
   ev->stale_children.clear();
@@ -265,8 +330,7 @@ void TimeWarpEngine::cancel_children(PeData& pe, Event* ev) {
     if (c.dst_pe == pe.id) {
       annihilate(pe, c.uid);
     } else {
-      pes_[c.dst_pe]->inbox.push(InboxItem{nullptr, c.uid, c.key});
-      ++pe.anti_messages;
+      send_anti(pe, c);
     }
   }
   ev->children.clear();
@@ -326,16 +390,15 @@ void TimeWarpEngine::rollback(PeData& pe, std::uint32_t kp_id,
 
 void TimeWarpEngine::drain_inbox(PeData& pe) {
   if (pe.inbox.empty_hint()) return;
-  pe.scratch.clear();
-  pe.inbox.take_all(pe.scratch);
-  for (const InboxItem& item : pe.scratch) {
-    if (item.ev != nullptr) {
-      deliver(pe, item.ev);
+  while (Event* ev = pe.inbox.pop()) {
+    if (ev->is_anti) {
+      const std::uint64_t uid = ev->uid;
+      pe.pool.free(ev);
+      annihilate(pe, uid);
     } else {
-      annihilate(pe, item.uid);
+      deliver(pe, ev);
     }
   }
-  pe.scratch.clear();
 }
 
 Event* TimeWarpEngine::next_event(PeData& pe) {
@@ -395,16 +458,21 @@ void TimeWarpEngine::fossil_collect(PeData& pe, Time gvt) {
 }
 
 bool TimeWarpEngine::gvt_round(PeData& pe) {
+  HP_ASSERT(pe.out_dirty.empty(),
+            "outbound batches must be flushed before a GVT round");
   // Barrier A: everybody stops sending/processing.
   bar_a_.arrive_and_wait();
   if (pe.id == 0) {
     gvt_request_.store(false, std::memory_order_relaxed);
   }
-  // With all PEs quiescent, every sent message is visible in some inbox, so
-  // min(pending, inbox) over all PEs is a valid GVT (no transient messages).
+  // With all PEs quiescent, every sent message is fully linked in some
+  // inbox (producers flushed and arrived at the barrier after their release
+  // pushes), so min(pending, inbox) over all PEs is a valid GVT — no
+  // transient messages, and the non-destructive inbox walk sees every node.
   Event* pmin = pe.pending.peek_min();
   Time local = pmin == nullptr ? kTimeInf : pmin->key.ts;
-  local = std::min(local, pe.inbox.peek_min_ts());
+  pe.inbox.unsafe_for_each(
+      [&local](const Event& ev) { local = std::min(local, ev.key.ts); });
   local_min_[pe.id] = local;
   // Barrier B: minima published; everybody computes the same global min.
   bar_b_.arrive_and_wait();
@@ -415,6 +483,26 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
     shared_gvt_.store(gvt, std::memory_order_relaxed);
   }
   fossil_collect(pe, gvt);
+  if (cfg_.adaptive_gvt && pe.processed_since_gvt > 0) {
+    // Steer the effective interval by this round's commit yield: committed
+    // since the last round (fossil collection just ran) over forward
+    // executions since the last round. Yield can exceed 1 when older
+    // optimistic work finally commits; clamp before comparing.
+    const double committed_delta =
+        static_cast<double>(pe.committed_events - pe.committed_at_last_gvt);
+    const double yield_ratio = std::min(
+        1.0, committed_delta / static_cast<double>(pe.processed_since_gvt));
+    const std::uint32_t floor_interval =
+        std::min(kGvtMinInterval, std::max(1u, cfg_.gvt_interval_events));
+    if (yield_ratio < kShrinkYield) {
+      pe.effective_gvt_interval =
+          std::max(floor_interval, pe.effective_gvt_interval / 2);
+    } else if (yield_ratio > kGrowYield) {
+      pe.effective_gvt_interval = std::min(
+          std::max(1u, cfg_.gvt_interval_events), pe.effective_gvt_interval * 2);
+    }
+  }
+  pe.committed_at_last_gvt = pe.committed_events;
   pe.processed_since_gvt = 0;
   pe.idle_iters = 0;
   return gvt > cfg_.end_time;
@@ -423,23 +511,40 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
 void TimeWarpEngine::run_pe(PeData& pe) {
   while (true) {
     drain_inbox(pe);
+    // Publish everything staged by the last process_one and by any
+    // drain-triggered rollbacks: one chain push per destination. Nothing
+    // staged ever survives past this point, so gvt_round's quiescence
+    // invariant holds by construction.
+    flush_outboxes(pe);
     if (gvt_request_.load(std::memory_order_relaxed)) {
       if (gvt_round(pe)) break;
       continue;
     }
     Event* ev = next_event(pe);
     if (ev == nullptr) {
-      if (++pe.idle_iters >= kIdleItersBeforeGvt) {
+      ++pe.idle_spins;
+      if (++pe.idle_iters >= pe.idle_backoff) {
         gvt_request_.store(true, std::memory_order_relaxed);
+        ++pe.gvt_idle_triggers;
         pe.idle_iters = 0;
+        if (cfg_.adaptive_gvt) {
+          // Consecutive fruitless idle rounds back off exponentially; any
+          // executed event resets the trigger to its fast initial value.
+          pe.idle_backoff = std::min(pe.idle_backoff * 2, kIdleBackoffMax);
+        }
       }
       std::this_thread::yield();
       continue;
     }
     pe.idle_iters = 0;
+    if (cfg_.adaptive_gvt) pe.idle_backoff = kIdleBackoffInit;
     process_one(pe, ev);
-    if (pe.processed_since_gvt >= cfg_.gvt_interval_events) {
+    const std::uint32_t interval = cfg_.adaptive_gvt
+                                       ? pe.effective_gvt_interval
+                                       : cfg_.gvt_interval_events;
+    if (pe.processed_since_gvt >= interval) {
       gvt_request_.store(true, std::memory_order_relaxed);
+      ++pe.gvt_progress_triggers;
     }
   }
   // Commit everything still on the processed deques (all have ts <= end).
@@ -470,10 +575,27 @@ RunStats TimeWarpEngine::run() {
     stats.anti_messages += pe->anti_messages;
     stats.lazy_reused += pe->lazy_reused;
     stats.pool_envelopes += pe->pool.allocated();
-    stats.per_pe.push_back(PeRunStats{pe->processed_events,
-                                      pe->committed_events, pe->rolled_back,
-                                      pe->primary_rollbacks,
-                                      pe->anti_messages, pe->pool.allocated()});
+    stats.inbox_batches += pe->inbox_batches;
+    stats.inbox_batched_items += pe->inbox_batched_items;
+    stats.max_inbox_batch = std::max(stats.max_inbox_batch,
+                                     pe->max_inbox_batch);
+    stats.gvt_progress_triggers += pe->gvt_progress_triggers;
+    stats.gvt_idle_triggers += pe->gvt_idle_triggers;
+    stats.idle_spins += pe->idle_spins;
+    PeRunStats ps;
+    ps.processed_events = pe->processed_events;
+    ps.committed_events = pe->committed_events;
+    ps.rolled_back_events = pe->rolled_back;
+    ps.primary_rollbacks = pe->primary_rollbacks;
+    ps.anti_messages = pe->anti_messages;
+    ps.pool_envelopes = pe->pool.allocated();
+    ps.inbox_batches = pe->inbox_batches;
+    ps.inbox_batched_items = pe->inbox_batched_items;
+    ps.max_inbox_batch = pe->max_inbox_batch;
+    ps.gvt_progress_triggers = pe->gvt_progress_triggers;
+    ps.gvt_idle_triggers = pe->gvt_idle_triggers;
+    ps.idle_spins = pe->idle_spins;
+    stats.per_pe.push_back(ps);
   }
   HP_ASSERT(stats.committed_events ==
                 stats.processed_events - stats.rolled_back_events,

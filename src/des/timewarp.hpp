@@ -7,7 +7,14 @@
 //   * a pending event set ordered by the deterministic EventKey,
 //   * the processed-event deques of its KPs (rollback granularity),
 //   * an index from EventKey to live envelope (for anti-message matching),
-//   * a mutex-guarded inbox other PEs push positive events / anti tokens to,
+//   * a lock-free MPSC inbox (util::MpscQueue) other PEs push positive
+//     events / anti tokens to — both travel as Event envelopes, antis with
+//     is_anti set, so one FIFO channel preserves positive-before-anti order,
+//   * per-destination outbound batches: remote sends and cancellations are
+//     staged on a local chain and published with a single push_chain per
+//     destination (a KP rollback emits one linked batch per peer instead of
+//     N contended pushes), flushed at the top of every scheduler iteration
+//     so nothing staged ever survives into a GVT round,
 //   * an event pool.
 // LP states and RNG streams are globally indexed but only ever touched by
 // the owning PE during the run.
@@ -19,16 +26,24 @@
 // ablation mode).
 //
 // GVT is barrier-synchronized: a request flag gathers all PEs at barrier A
-// (after which nobody sends), each publishes min(pending, inbox) and meets
-// barrier B, after which everybody knows the global minimum, fossil-collects
-// its own KPs and resumes. Termination when GVT exceeds the end time.
+// (after which nobody sends; outbound batches are flushed before arriving,
+// so every in-flight envelope is fully linked in some inbox), each publishes
+// min(pending, inbox) and meets barrier B, after which everybody knows the
+// global minimum, fossil-collects its own KPs and resumes. Termination when
+// GVT exceeds the end time.
+//
+// GVT pacing is adaptive by default (EngineConfig::adaptive_gvt): each PE
+// floats an effective interval in [kGvtMinInterval, gvt_interval_events]
+// scaled by the previous round's commit yield, and an idle PE requests GVT
+// after an exponentially backed-off spin count (fast termination detection
+// without barrier storms). adaptive_gvt=false restores the fixed
+// gvt_interval_events / 256-spin thresholds.
 
 #include <atomic>
 #include <barrier>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -38,6 +53,7 @@
 #include "des/model.hpp"
 #include "des/splay_queue.hpp"
 #include "net/mapping.hpp"
+#include "util/mpsc_queue.hpp"
 
 namespace hp::des {
 
@@ -111,45 +127,16 @@ class TimeWarpEngine {
     std::multiset<Event*, KeyLess> set_;
   };
 
-  struct InboxItem {
-    Event* ev;          // nullptr for anti tokens
-    std::uint64_t uid;  // identity for anti matching
-    EventKey key;       // valid for both positives and antis (GVT minimum)
-  };
-
-  class Inbox {
-   public:
-    void push(InboxItem item) {
-      std::scoped_lock lock(mu_);
-      items_.push_back(item);
-      size_.store(items_.size(), std::memory_order_release);
-    }
-    void take_all(std::vector<InboxItem>& out) {
-      std::scoped_lock lock(mu_);
-      out.insert(out.end(), items_.begin(), items_.end());
-      items_.clear();
-      size_.store(0, std::memory_order_release);
-    }
-    // Cheap emptiness probe for the hot loop; a stale "empty" only delays
-    // the drain by one iteration.
-    bool empty_hint() const noexcept {
-      return size_.load(std::memory_order_acquire) == 0;
-    }
-    Time peek_min_ts() {
-      std::scoped_lock lock(mu_);
-      Time m = kTimeInf;
-      for (const auto& it : items_) m = std::min(m, it.key.ts);
-      return m;
-    }
-
-   private:
-    std::mutex mu_;
-    std::vector<InboxItem> items_;
-    std::atomic<std::size_t> size_{0};
-  };
-
   struct KpData {
     std::deque<Event*> processed;  // committed-prefix popped at fossil time
+  };
+
+  // Locally staged chain of envelopes bound for one destination PE,
+  // published with a single MpscQueue::push_chain.
+  struct OutBatch {
+    Event* head = nullptr;
+    Event* tail = nullptr;
+    std::uint32_t count = 0;
   };
 
   struct alignas(64) PeData {
@@ -158,10 +145,21 @@ class TimeWarpEngine {
     PendingQueue pending;
     // uid -> live envelope (pending or processed) for anti-message matching.
     std::unordered_map<std::uint64_t, Event*> index;
-    Inbox inbox;
+    util::MpscQueue<Event> inbox;
     EventPool pool;
-    std::vector<InboxItem> scratch;
     std::uint64_t uid_counter = 0;
+
+    // Outbound staging, indexed by destination PE; out_dirty lists the
+    // destinations with a non-empty batch. Invariant: both are empty
+    // whenever the PE is at the top of its scheduler loop past the flush
+    // (in particular on every gvt_round entry).
+    std::vector<OutBatch> out;
+    std::vector<std::uint32_t> out_dirty;
+
+    // Adaptive pacing state.
+    std::uint32_t effective_gvt_interval = 0;  // set from cfg at run start
+    std::uint32_t idle_backoff = 0;            // current idle-trigger bound
+    std::uint64_t committed_at_last_gvt = 0;
 
     std::uint64_t processed_events = 0;
     std::uint64_t committed_events = 0;
@@ -171,6 +169,14 @@ class TimeWarpEngine {
     std::uint64_t lazy_reused = 0;
     std::uint64_t processed_since_gvt = 0;
     std::uint32_t idle_iters = 0;
+
+    // Instrumentation (surfaced in PeRunStats).
+    std::uint64_t inbox_batches = 0;
+    std::uint64_t inbox_batched_items = 0;
+    std::uint64_t max_inbox_batch = 0;
+    std::uint64_t gvt_progress_triggers = 0;
+    std::uint64_t gvt_idle_triggers = 0;
+    std::uint64_t idle_spins = 0;
   };
 
   class TwCtx;
@@ -178,6 +184,11 @@ class TimeWarpEngine {
   void run_pe(PeData& pe);
   void drain_inbox(PeData& pe);
   void deliver(PeData& pe, Event* ev);
+  // Stage an envelope for a remote PE (positives and anti tokens alike);
+  // flush_outboxes publishes every staged chain, one push per destination.
+  void stage_remote(PeData& pe, std::uint32_t dst_pe, Event* ev);
+  void flush_outboxes(PeData& pe);
+  void send_anti(PeData& pe, const ChildRef& c);
   void annihilate(PeData& pe, std::uint64_t uid);
   void rollback(PeData& pe, std::uint32_t kp, const EventKey& key);
   void cancel_children(PeData& pe, Event* ev);

@@ -103,10 +103,16 @@ class Histogram {
   bool operator==(const Histogram&) const = default;
 
  private:
+  // Clamp in double space BEFORE the size_t cast: for values whose scaled
+  // offset exceeds the size_t range (huge x, +inf) the cast itself is
+  // undefined behaviour, and NaN must land in a deterministic bin (the
+  // underflow bin, matching the x < lo_ branch it fails into).
   std::size_t bin_of(double x) const noexcept {
-    if (x < lo_) return 0;
-    const auto i = static_cast<std::size_t>((x - lo_) / width_);
-    return std::min(i, counts_.size() - 1);
+    if (!(x >= lo_)) return 0;  // also catches NaN
+    const double i = (x - lo_) / width_;
+    const double last = static_cast<double>(counts_.size() - 1);
+    if (!(i < last)) return counts_.size() - 1;  // overflow bin; inf-safe
+    return static_cast<std::size_t>(i);
   }
   double lo_ = 0.0;
   double width_ = 1.0;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
 
 #include "baselines/deflection_policies.hpp"

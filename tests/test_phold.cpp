@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
 
 #include "des/phold.hpp"

@@ -93,6 +93,41 @@ TEST(Histogram, BinningAndReversal) {
   EXPECT_EQ(h, Histogram(0.0, 10.0, 5));
 }
 
+// Regression: bin_of used to cast (x - lo) / width straight to size_t,
+// which is undefined behaviour for values beyond the size_t range (huge
+// finite x, +/-inf) and for NaN. The clamp now happens in double space:
+// everything past the top lands in the overflow bin, NaN and -inf in the
+// underflow bin, and add/remove stay reversible for all of them.
+TEST(Histogram, ExtremeAndNonFiniteInputsClampSafely) {
+  Histogram h(0.0, 10.0, 5);
+  const double kHuge = 1e300;  // (x-lo)/width overflows any integer type
+  const double kInf = std::numeric_limits<double>::infinity();
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  h.add(kHuge);
+  h.add(kInf);
+  h.add(kNan);
+  h.add(-kInf);
+  h.add(-1e300);
+  EXPECT_EQ(h.counts()[4], 2u);  // huge + inf clamp to the overflow bin
+  EXPECT_EQ(h.counts()[0], 3u);  // nan, -inf, -huge land in the first bin
+  h.remove(kHuge);
+  h.remove(kInf);
+  h.remove(kNan);
+  h.remove(-kInf);
+  h.remove(-1e300);
+  EXPECT_EQ(h, Histogram(0.0, 10.0, 5));
+}
+
+// Degenerate zero-width histogram must not invoke UB either: the offset
+// divides to inf/NaN and still clamps to a valid bin.
+TEST(Histogram, ZeroWidthDoesNotOverflow) {
+  Histogram h(0.0, 0.0, 3);
+  h.add(5.0);   // (5-0)/0 = inf -> overflow bin
+  h.add(0.0);   // 0/0 = NaN offset -> clamps into the overflow bin, no UB
+  EXPECT_EQ(h.counts()[2], 2u);
+  EXPECT_EQ(h.counts()[0] + h.counts()[1] + h.counts()[2], 2u);
+}
+
 TEST(Summary, WelfordMatchesClosedForm) {
   Summary s;
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <string>
 
 #include "core/simulation.hpp"
 #include "hotpotato/traffic.hpp"
