@@ -7,9 +7,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake --preset tsan
-cmake --build build-tsan -j "$(nproc)" --target test_timewarp test_engine_matrix
+cmake --build build-tsan -j "$(nproc)" --target test_mpsc_queue test_timewarp test_engine_matrix
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
+./build-tsan/tests/test_mpsc_queue
 ./build-tsan/tests/test_timewarp
 ./build-tsan/tests/test_engine_matrix
 

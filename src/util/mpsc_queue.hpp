@@ -84,11 +84,20 @@ class MpscQueue {
     return nullptr;  // raced with a push between the exchanges; retry later
   }
 
-  // Consumer-side emptiness hint for the hot loop. May report "empty" while
-  // a push is in flight (the drain is merely delayed one iteration) but
-  // never reports "non-empty" for a drained queue in steady state.
+  // Consumer-side emptiness hint for the hot loop (single consumer thread
+  // only — reads the consumer cursor head_). May transiently report "empty"
+  // while a push is in flight, but must eventually report "non-empty" for
+  // any queue holding fully-linked nodes once producers are quiescent.
+  //
+  // Checking tail_ alone is NOT enough: pop()'s stub-recycle can race with a
+  // concurrent push (producer exchanges tail_ after the consumer's
+  // tail_ == head check, link store delayed), after which the consumer's own
+  // stub exchange leaves tail_ == &stub_ while head_ still points at
+  // unconsumed nodes. In that state head_ != &stub_, so the head_ check
+  // below keeps the hint "non-empty" and the drain retries until the
+  // producer's link lands.
   bool empty_hint() const noexcept {
-    return tail_.load(std::memory_order_acquire) == &stub_;
+    return head_ == &stub_ && tail_.load(std::memory_order_acquire) == &stub_;
   }
 
   // Non-destructive traversal of all unconsumed nodes. Only valid when all

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/mpsc_queue.hpp"
+
+namespace hp::util {
+namespace {
+
+struct Node : MpscNode {
+  int value = 0;
+};
+
+TEST(MpscQueue, EmptyHintTracksConsumerCursor) {
+  MpscQueue<Node> q;
+  EXPECT_TRUE(q.empty_hint());
+
+  Node a, b, c;
+  a.value = 1;
+  b.value = 2;
+  c.value = 3;
+  q.push(&a);
+  EXPECT_FALSE(q.empty_hint());
+
+  b.mpsc_next.store(&c, std::memory_order_relaxed);
+  q.push_chain(&b, &c);
+  EXPECT_FALSE(q.empty_hint());
+
+  // Hint must stay non-empty while any pushed node is unconsumed, even as
+  // the consumer cursor walks past the stub.
+  EXPECT_EQ(q.pop(), &a);
+  EXPECT_FALSE(q.empty_hint());
+  EXPECT_EQ(q.pop(), &b);
+  EXPECT_FALSE(q.empty_hint());
+  EXPECT_EQ(q.pop(), &c);
+  EXPECT_TRUE(q.empty_hint());
+  EXPECT_EQ(q.pop(), nullptr);
+  EXPECT_TRUE(q.empty_hint());
+}
+
+// Regression for the stranded-envelope bug: the consumer drains with the
+// same gate TimeWarpEngine::drain_inbox uses (skip when empty_hint()). The
+// old tail_-only hint could permanently report empty after pop()'s
+// stub-recycle raced with a push, so this loop would never terminate; the
+// consumer-aware hint must eventually surface every fully-linked node.
+TEST(MpscQueue, HintedDrainDeliversEverythingUnderContention) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 20000;
+  constexpr int kTotal = kProducers * kPerProducer;
+
+  MpscQueue<Node> q;
+  std::vector<std::unique_ptr<Node[]>> nodes;
+  for (int p = 0; p < kProducers; ++p)
+    nodes.push_back(std::make_unique<Node[]>(kPerProducer));
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &nodes, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        nodes[p][i].value = p * kPerProducer + i;
+        q.push(&nodes[p][i]);
+      }
+    });
+  }
+
+  std::vector<char> seen(kTotal, 0);
+  int received = 0;
+  // Pops interleave with live pushes, repeatedly exercising the stub-recycle
+  // path the bug lived in. No producer-side completion flag gates the loop:
+  // termination relies solely on the empty_hint contract.
+  while (received < kTotal) {
+    if (q.empty_hint()) {
+      std::this_thread::yield();
+      continue;
+    }
+    while (Node* n = q.pop()) {
+      ASSERT_GE(n->value, 0);
+      ASSERT_LT(n->value, kTotal);
+      ASSERT_EQ(seen[n->value], 0) << "node delivered twice";
+      seen[n->value] = 1;
+      ++received;
+    }
+  }
+  for (auto& t : producers) t.join();
+
+  EXPECT_TRUE(q.empty_hint());
+  EXPECT_EQ(q.pop(), nullptr);
+}
+
+// Per-producer FIFO: two pushes by the same thread must pop in push order.
+TEST(MpscQueue, PerProducerFifoUnderContention) {
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 10000;
+
+  MpscQueue<Node> q;
+  std::vector<std::unique_ptr<Node[]>> nodes;
+  for (int p = 0; p < kProducers; ++p)
+    nodes.push_back(std::make_unique<Node[]>(kPerProducer));
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &nodes, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        nodes[p][i].value = p * kPerProducer + i;  // owner id + sequence
+        q.push(&nodes[p][i]);
+      }
+    });
+  }
+
+  std::vector<int> next_expected(kProducers, 0);
+  int received = 0;
+  while (received < kProducers * kPerProducer) {
+    Node* n = q.pop();
+    if (n == nullptr) {
+      std::this_thread::yield();
+      continue;
+    }
+    const int owner = n->value / kPerProducer;
+    ASSERT_EQ(n->value % kPerProducer, next_expected[owner]);
+    ++next_expected[owner];
+    ++received;
+  }
+  for (auto& t : producers) t.join();
+}
+
+}  // namespace
+}  // namespace hp::util
