@@ -23,14 +23,14 @@ int main(int argc, char** argv) {
     hp::core::SimulationResult ref;
     for (const bool lazy : {false, true}) {
       auto o = hp::bench::tw_options(n, 0.5, 2, 64);
-      o.cancellation = lazy ? hp::des::EngineConfig::Cancellation::Lazy
+      o.engine.cancellation = lazy ? hp::des::EngineConfig::Cancellation::Lazy
                             : hp::des::EngineConfig::Cancellation::Aggressive;
       const auto r = hp::core::run_hotpotato(o);
       if (!lazy) ref = r;
       table.add_row({static_cast<std::int64_t>(n),
                      lazy ? "lazy" : "aggressive (ROSS)",
-                     r.engine.event_rate(), r.engine.rolled_back_events,
-                     r.engine.anti_messages, r.engine.lazy_reused,
+                     r.engine.event_rate(), r.engine.rolled_back_events(),
+                     r.engine.anti_messages(), r.engine.lazy_reused(),
                      lazy ? (r.report == ref.report ? "yes" : "NO") : "-"});
     }
   }

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
     for (const std::uint32_t pes : {1u, 2u}) {
       for (const bool splay : {true, false}) {
         auto o = hp::bench::tw_options(n, 0.5, pes, 64);
-        o.queue_kind = splay ? hp::des::EngineConfig::QueueKind::Splay
+        o.engine.queue_kind = splay ? hp::des::EngineConfig::QueueKind::Splay
                              : hp::des::EngineConfig::QueueKind::Multiset;
         const auto r = hp::core::run_hotpotato(o);
         if (!have_ref) {

@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
   bool have_ref = false;
   auto run_row = [&](bool adaptive, std::uint32_t interval) {
     auto o = hp::bench::tw_options(n, 0.5, 2, 64);
-    o.gvt_interval = interval;
-    o.adaptive_gvt = adaptive;
+    o.engine.gvt_interval_events = interval;
+    o.engine.adaptive_gvt = adaptive;
     const auto r = hp::core::run_hotpotato(o);
     if (!have_ref) {
       ref = r;
@@ -31,9 +31,9 @@ int main(int argc, char** argv) {
     }
     table.add_row({adaptive ? "adaptive" : "fixed",
                    static_cast<std::int64_t>(interval), r.engine.event_rate(),
-                   r.engine.gvt_rounds, r.engine.gvt_progress_triggers,
-                   r.engine.gvt_idle_triggers, r.engine.rolled_back_events,
-                   r.engine.pool_envelopes,
+                   r.engine.gvt_rounds(), r.engine.gvt_progress_triggers(),
+                   r.engine.gvt_idle_triggers(), r.engine.rolled_back_events(),
+                   r.engine.pool_envelopes(),
                    r.report == ref.report ? "yes" : "NO"});
   };
   for (const std::uint32_t interval : {64u, 256u, 1024u, 4096u, 16384u}) {

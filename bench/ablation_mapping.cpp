@@ -73,8 +73,8 @@ int main(int argc, char** argv) {
       const auto report = hp::hotpotato::collect_report(eng);
       table.add_row({static_cast<std::int64_t>(n), run.name,
                      100.0 * hp::net::inter_pe_link_fraction(*run.mapping, n),
-                     stats.event_rate(), stats.rolled_back_events,
-                     stats.anti_messages, report == ref ? "yes" : "NO"});
+                     stats.event_rate(), stats.rolled_back_events(),
+                     stats.anti_messages(), report == ref ? "yes" : "NO"});
     }
   }
   hp::bench::finish(table, cli,

@@ -21,12 +21,12 @@ int main(int argc, char** argv) {
     hp::core::SimulationResult ref;
     for (const bool state_saving : {false, true}) {
       auto o = hp::bench::tw_options(n, 0.5, 2, 64);
-      o.state_saving = state_saving;
+      o.engine.state_saving = state_saving;
       const auto r = hp::core::run_hotpotato(o);
       if (!state_saving) ref = r;
       table.add_row({static_cast<std::int64_t>(n),
                      state_saving ? "state saving" : "reverse computation",
-                     r.engine.event_rate(), r.engine.rolled_back_events,
+                     r.engine.event_rate(), r.engine.rolled_back_events(),
                      state_saving ? (r.report == ref.report ? "yes" : "NO")
                                   : "-"});
     }

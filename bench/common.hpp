@@ -7,13 +7,17 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "core/simulation.hpp"
+#include "obs/metrics.hpp"
 #include "util/cli.hpp"
+#include "util/macros.hpp"
+#include "util/json_writer.hpp"
 #include "util/table.hpp"
 
 namespace hp::bench {
@@ -57,28 +61,51 @@ inline core::SimulationOptions tw_options(std::int32_t n, double load,
   // sweeps measure the same workload as the sequential curves.
   o.model.steps = steps_for(n);
   o.kernel = core::Kernel::TimeWarp;
-  o.num_pes = pes;
-  o.num_kps = kps;
-  o.gvt_interval = 1024;
+  o.engine.num_pes = pes;
+  o.engine.num_kps = kps;
+  o.engine.gvt_interval_events = 1024;
   // Moving window keeps optimism sane when PEs outnumber cores; see
   // EXPERIMENTS.md for the effect on absolute rates.
-  o.optimism_window = 30.0;
+  o.engine.optimism_window = 30.0;
   return o;
 }
 
 inline void finish(util::Table& table, const util::Cli& cli,
-                   const std::string& title) {
+                   const std::string& title,
+                   const std::vector<obs::MetricsReport>& metrics = {}) {
   std::cout << title << "\n\n";
   table.print(std::cout);
   if (cli.has("csv")) {
     table.write_csv_file(cli.get("csv", ""));
     std::cout << "\ncsv written to " << cli.get("csv", "") << "\n";
   }
+  if (cli.has("json")) {
+    // Structured dump: the figure rows plus (when the bench collected them)
+    // one full MetricsReport per row — named counters, per-phase timer
+    // breakdown, GVT-round series.
+    const std::string path = cli.get("json", "");
+    std::ofstream f(path);
+    HP_ASSERT(f.good(), "cannot open --json path %s", path.c_str());
+    util::JsonWriter w(f);
+    w.begin_object();
+    w.kv("title", title);
+    w.key("rows");
+    table.write_json(w);
+    if (!metrics.empty()) {
+      w.key("metrics").begin_array();
+      for (const obs::MetricsReport& m : metrics) m.write_json(w);
+      w.end_array();
+    }
+    w.end_object();
+    HP_ASSERT(w.done(), "unbalanced JSON in bench dump");
+    std::cout << "\njson written to " << path << "\n";
+  }
 }
 
 inline std::map<std::string, std::string> common_flags() {
   return {{"full", "paper-scale sweep (N up to 256; slow)"},
-          {"csv", "also write the table as CSV to this path"}};
+          {"csv", "also write the table as CSV to this path"},
+          {"json", "write rows + engine MetricsReports as JSON to this path"}};
 }
 
 }  // namespace hp::bench

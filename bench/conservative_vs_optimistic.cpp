@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
     hp::des::ConservativeEngine cons(m1, cc, lookahead);
     const auto c = cons.run();
     table.add_row({"phold", lookahead, "conservative-2pe", c.event_rate(),
-                   c.gvt_rounds, std::uint64_t{0},
+                   c.gvt_rounds(), std::uint64_t{0},
                    hp::des::PholdModel::digest(cons) == sdigest ? "yes" : "NO"});
 
     auto tc = ec;
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
     hp::des::TimeWarpEngine tw(m2, tc);
     const auto t = tw.run();
     table.add_row({"phold", lookahead, "timewarp-2pe", t.event_rate(),
-                   t.gvt_rounds, t.rolled_back_events,
+                   t.gvt_rounds(), t.rolled_back_events(),
                    hp::des::PholdModel::digest(tw) == sdigest ? "yes" : "NO"});
   }
 
@@ -78,14 +78,14 @@ int main(int argc, char** argv) {
          {hp::core::Kernel::Conservative, hp::core::Kernel::TimeWarp}) {
       auto p = o;
       p.kernel = k;
-      p.num_pes = 2;
-      p.num_kps = 64;
-      p.optimism_window = 30.0;
+      p.engine.num_pes = 2;
+      p.engine.num_kps = 64;
+      p.engine.optimism_window = 30.0;
       const auto r = hp::core::run_hotpotato(p);
       table.add_row({"hotpotato", hp::hotpotato::kCrossLpLookahead,
                      std::string(hp::core::kernel_name(k)) + "-2pe",
-                     r.engine.event_rate(), r.engine.gvt_rounds,
-                     r.engine.rolled_back_events,
+                     r.engine.event_rate(), r.engine.gvt_rounds(),
+                     r.engine.rolled_back_events(),
                      r.report == seq.report ? "yes" : "NO"});
     }
   }

@@ -16,7 +16,7 @@ void print_report(const char* tag, const hp::core::SimulationResult& r) {
               static_cast<unsigned long long>(r.report.routed),
               static_cast<unsigned long long>(r.report.link_claims),
               static_cast<unsigned long long>(r.report.pending_waiting),
-              static_cast<unsigned long long>(r.engine.committed_events));
+              static_cast<unsigned long long>(r.engine.committed_events()));
 }
 
 }  // namespace

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
 
   hp::util::Table table(
       {"N", "LPs", "PEs", "events_per_s", "committed", "rolled_back"});
+  std::vector<hp::obs::MetricsReport> metrics;
   for (const std::int32_t n : sizes) {
     for (const std::uint32_t pes : scale.pe_counts) {
       hp::core::SimulationResult r;
@@ -37,8 +38,9 @@ int main(int argc, char** argv) {
       table.add_row({static_cast<std::int64_t>(n),
                      static_cast<std::int64_t>(n) * n,
                      static_cast<std::int64_t>(pes), r.engine.event_rate(),
-                     r.engine.committed_events,
-                     r.engine.rolled_back_events});
+                     r.engine.committed_events(),
+                     r.engine.rolled_back_events()});
+      metrics.push_back(std::move(r.engine.metrics));
     }
   }
   hp::bench::finish(
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
       "Figure 5: parallel speed-up (event rate vs N for 1/2/4 PEs) — host "
       "has " +
           std::to_string(std::thread::hardware_concurrency()) +
-          " hardware thread(s); speed-up requires PEs <= cores");
+          " hardware thread(s); speed-up requires PEs <= cores",
+      metrics);
   return 0;
 }

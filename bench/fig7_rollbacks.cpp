@@ -27,8 +27,8 @@ int main(int argc, char** argv) {
       const auto r = hp::core::run_hotpotato(o);
       table.add_row({static_cast<std::int64_t>(n),
                      static_cast<std::int64_t>(kps),
-                     r.engine.rolled_back_events, r.engine.primary_rollbacks,
-                     r.engine.anti_messages, r.engine.committed_events});
+                     r.engine.rolled_back_events(), r.engine.primary_rollbacks(),
+                     r.engine.anti_messages(), r.engine.committed_events()});
     }
   }
   hp::bench::finish(table, cli,

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
       const auto r = hp::core::run_hotpotato(o);
       table.add_row({static_cast<std::int64_t>(n),
                      static_cast<std::int64_t>(kps), r.engine.event_rate(),
-                     r.engine.rolled_back_events});
+                     r.engine.rolled_back_events()});
     }
   }
   hp::bench::finish(table, cli,

@@ -114,7 +114,7 @@ void BM_SequentialHotPotato(benchmark::State& state) {
     o.model.injector_fraction = 0.5;
     o.model.steps = 32;
     const auto r = hp::core::run_hotpotato(o);
-    events += r.engine.committed_events;
+    events += r.engine.committed_events();
     benchmark::DoNotOptimize(r.report.delivered);
   }
   state.counters["events/s"] = benchmark::Counter(
@@ -132,11 +132,11 @@ void BM_TimeWarpHotPotato(benchmark::State& state) {
     o.model.injector_fraction = 0.5;
     o.model.steps = 32;
     o.kernel = hp::core::Kernel::TimeWarp;
-    o.num_pes = pes;
-    o.num_kps = 64;
-    o.optimism_window = 30.0;
+    o.engine.num_pes = pes;
+    o.engine.num_kps = 64;
+    o.engine.optimism_window = 30.0;
     const auto r = hp::core::run_hotpotato(o);
-    events += r.engine.committed_events;
+    events += r.engine.committed_events();
     benchmark::DoNotOptimize(r.report.delivered);
   }
   state.counters["events/s"] = benchmark::Counter(
@@ -156,12 +156,12 @@ void BM_TimeWarpGvtPacing(benchmark::State& state) {
     o.model.injector_fraction = 0.5;
     o.model.steps = 32;
     o.kernel = hp::core::Kernel::TimeWarp;
-    o.num_pes = 4;
-    o.num_kps = 64;
-    o.optimism_window = 30.0;
-    o.adaptive_gvt = adaptive;
+    o.engine.num_pes = 4;
+    o.engine.num_kps = 64;
+    o.engine.optimism_window = 30.0;
+    o.engine.adaptive_gvt = adaptive;
     const auto r = hp::core::run_hotpotato(o);
-    events += r.engine.committed_events;
+    events += r.engine.committed_events();
     benchmark::DoNotOptimize(r.report.delivered);
   }
   state.counters["events/s"] = benchmark::Counter(

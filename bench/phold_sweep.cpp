@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   hp::util::Table table({"remote_%", "lookahead", "kernel", "events_per_s",
                          "rolled_back", "efficiency", "gvt_rounds",
                          "avg_batch"});
+  std::vector<hp::obs::MetricsReport> metrics;
   for (const double remote : {0.0, 0.1, 0.5, 1.0}) {
     for (const double lookahead : {0.5, 0.05}) {
       hp::des::PholdConfig pc;
@@ -34,10 +35,11 @@ int main(int argc, char** argv) {
       {
         hp::des::PholdModel model(pc);
         hp::des::SequentialEngine seq(model, ec);
-        const auto s = seq.run();
+        auto s = seq.run();
         table.add_row({100.0 * remote, lookahead, "sequential",
                        s.event_rate(), std::uint64_t{0}, 1.0,
                        std::uint64_t{0}, 0.0});
+        metrics.push_back(std::move(s.metrics));
       }
       for (const std::uint32_t pes : {2u, 4u}) {
         auto tc = ec;
@@ -47,16 +49,18 @@ int main(int argc, char** argv) {
         tc.optimism_window = 10.0 * pc.mean_delay;
         hp::des::PholdModel model(pc);
         hp::des::TimeWarpEngine tw(model, tc);
-        const auto t = tw.run();
+        auto t = tw.run();
         table.add_row({100.0 * remote, lookahead,
                        "timewarp-" + std::to_string(pes) + "pe",
-                       t.event_rate(), t.rolled_back_events, t.efficiency(),
-                       t.gvt_rounds, t.avg_inbox_batch()});
+                       t.event_rate(), t.rolled_back_events(), t.efficiency(),
+                       t.gvt_rounds(), t.avg_inbox_batch()});
+        metrics.push_back(std::move(t.metrics));
       }
     }
   }
   hp::bench::finish(table, cli,
                     "PHOLD sweep: rollback pressure rises with remote "
-                    "fraction and falls with lookahead");
+                    "fraction and falls with lookahead",
+                    metrics);
   return 0;
 }

@@ -99,15 +99,15 @@ int main(int argc, char** argv) {
 
   std::printf("token ring with %u stations until t=%.0f\n", stations, end);
   std::printf("  sequential: %llu events, %llu token passes\n",
-              static_cast<unsigned long long>(sstats.committed_events),
+              static_cast<unsigned long long>(sstats.committed_events()),
               static_cast<unsigned long long>(seq_tokens));
   std::printf("  time warp : %llu events, %llu token passes, %llu rolled back\n",
-              static_cast<unsigned long long>(tstats.committed_events),
+              static_cast<unsigned long long>(tstats.committed_events()),
               static_cast<unsigned long long>(tw_tokens),
-              static_cast<unsigned long long>(tstats.rolled_back_events));
+              static_cast<unsigned long long>(tstats.rolled_back_events()));
   std::printf("  results identical: %s\n",
               seq_tokens == tw_tokens &&
-                      sstats.committed_events == tstats.committed_events
+                      sstats.committed_events() == tstats.committed_events()
                   ? "yes"
                   : "NO (bug!)");
   return 0;

@@ -3,6 +3,10 @@
 // and print the system-wide statistics the report tracks (Section 3.1.5).
 //
 //   ./quickstart [--n=16] [--inject=0.5] [--steps=200] [--pes=1]
+//               [--trace=trace.json]
+//
+// --trace writes a Chrome/Perfetto phase trace of the run (one track per
+// PE); load it at https://ui.perfetto.dev — see EXPERIMENTS.md.
 
 #include <cstdio>
 
@@ -14,7 +18,8 @@ int main(int argc, char** argv) {
                     {{"n", "torus dimension (N x N routers)"},
                      {"inject", "fraction of routers injecting (0..1)"},
                      {"steps", "simulated time steps"},
-                     {"pes", "1 = sequential kernel, >1 = Time Warp"}});
+                     {"pes", "1 = sequential kernel, >1 = Time Warp"},
+                     {"trace", "write a Chrome/Perfetto trace to this path"}});
 
   hp::core::SimulationOptions opts;
   opts.model.n = static_cast<std::int32_t>(cli.get_int("n", 16));
@@ -23,9 +28,13 @@ int main(int argc, char** argv) {
   const auto pes = static_cast<std::uint32_t>(cli.get_int("pes", 1));
   if (pes > 1) {
     opts.kernel = hp::core::Kernel::TimeWarp;
-    opts.num_pes = pes;
-    opts.num_kps = 64;
-    opts.optimism_window = 30.0;
+    opts.engine.num_pes = pes;
+    opts.engine.num_kps = 64;
+    opts.engine.optimism_window = 30.0;
+  }
+  if (cli.has("trace")) {
+    opts.engine.obs.trace = true;
+    opts.engine.obs.trace_path = cli.get("trace", "trace.json");
   }
 
   const auto result = hp::core::run_hotpotato(opts);
@@ -51,7 +60,12 @@ int main(int argc, char** argv) {
               100.0 * r.link_utilization(opts.model.num_lps(),
                                          opts.model.steps));
   std::printf("\n  engine: %llu events committed at %.0f events/s\n",
-              static_cast<unsigned long long>(result.engine.committed_events),
+              static_cast<unsigned long long>(result.engine.committed_events()),
               result.engine.event_rate());
+  if (opts.engine.obs.trace) {
+    std::printf("  trace: %llu spans -> %s (load at ui.perfetto.dev)\n",
+                static_cast<unsigned long long>(result.engine.metrics.trace_spans),
+                opts.engine.obs.trace_path.c_str());
+  }
   return 0;
 }

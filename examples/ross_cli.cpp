@@ -34,14 +34,14 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(duration / hp::hotpotato::kStep);
   opts.model.injector_fraction = cli.get_double("probability_i", 50.0) / 100.0;
   opts.model.absorb_sleeping = cli.get_bool("absorb_sleeping_packet", true);
-  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  opts.engine.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
 
   const auto pes = static_cast<std::uint32_t>(cli.get_int("processors", 1));
   if (pes > 1) {
     opts.kernel = hp::core::Kernel::TimeWarp;
-    opts.num_pes = pes;
-    opts.num_kps = static_cast<std::uint32_t>(cli.get_int("kps", 64));
-    opts.optimism_window = 30.0;
+    opts.engine.num_pes = pes;
+    opts.engine.num_kps = static_cast<std::uint32_t>(cli.get_int("kps", 64));
+    opts.engine.optimism_window = 30.0;
   }
 
   const auto result = hp::core::run_hotpotato(opts);
@@ -53,8 +53,8 @@ int main(int argc, char** argv) {
               opts.model.n, opts.model.n, opts.model.num_lps());
   std::printf("  kernel               : %s, %u PE(s), %u KP(s)\n",
               hp::core::kernel_name(opts.kernel),
-              opts.kernel == hp::core::Kernel::Sequential ? 1 : opts.num_pes,
-              opts.kernel == hp::core::Kernel::Sequential ? 1 : opts.num_kps);
+              opts.kernel == hp::core::Kernel::Sequential ? 1 : opts.engine.num_pes,
+              opts.kernel == hp::core::Kernel::Sequential ? 1 : opts.engine.num_kps);
   std::printf("  duration             : %.0f (%u steps)\n", duration,
               opts.model.steps);
   std::printf("  injecting routers    : %.0f%%\n",
@@ -74,18 +74,18 @@ int main(int argc, char** argv) {
   std::printf("  longest wait to inject     : %.0f steps\n",
               r.max_inject_wait);
   std::printf("\n  events committed           : %llu\n",
-              static_cast<unsigned long long>(result.engine.committed_events));
+              static_cast<unsigned long long>(result.engine.committed_events()));
   std::printf("  events rolled back         : %llu\n",
               static_cast<unsigned long long>(
-                  result.engine.rolled_back_events));
+                  result.engine.rolled_back_events()));
   std::printf("  event rate                 : %.0f events/s\n",
               result.engine.event_rate());
-  for (std::size_t pe = 0; pe < result.engine.per_pe.size(); ++pe) {
-    const auto& p = result.engine.per_pe[pe];
+  for (std::size_t pe = 0; pe < result.engine.per_pe().size(); ++pe) {
+    const auto& p = result.engine.per_pe()[pe];
     std::printf("    PE %zu: processed=%llu committed=%llu rolled_back=%llu\n",
-                pe, static_cast<unsigned long long>(p.processed_events),
-                static_cast<unsigned long long>(p.committed_events),
-                static_cast<unsigned long long>(p.rolled_back_events));
+                pe, static_cast<unsigned long long>(p.processed_events()),
+                static_cast<unsigned long long>(p.committed_events()),
+                static_cast<unsigned long long>(p.rolled_back_events()));
   }
   return 0;
 }

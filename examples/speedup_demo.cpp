@@ -35,15 +35,15 @@ int main(int argc, char** argv) {
   for (std::uint32_t pes = 1; pes <= max_pes; pes *= 2) {
     auto opts = base;
     opts.kernel = hp::core::Kernel::TimeWarp;
-    opts.num_pes = pes;
-    opts.num_kps = 64;
-    opts.gvt_interval = 1024;
-    opts.optimism_window = 30.0;
+    opts.engine.num_pes = pes;
+    opts.engine.num_kps = 64;
+    opts.engine.gvt_interval_events = 1024;
+    opts.engine.optimism_window = 30.0;
     const auto tw = hp::core::run_hotpotato(opts);
     const double speedup = tw.engine.event_rate() / seq.engine.event_rate();
     table.add_row({"timewarp", static_cast<std::int64_t>(pes),
                    tw.engine.event_rate(), speedup, speedup / pes,
-                   tw.engine.rolled_back_events,
+                   tw.engine.rolled_back_events(),
                    tw.report == seq.report ? "yes" : "NO (bug!)"});
   }
 

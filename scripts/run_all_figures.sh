@@ -39,7 +39,8 @@ BENCHES=(
 
 for b in "${BENCHES[@]}"; do
   echo "=== $b ==="
-  "$BUILD/bench/$b" $FULL --csv="$OUT/$b.csv" | tee "$OUT/$b.txt"
+  "$BUILD/bench/$b" $FULL --csv="$OUT/$b.csv" --json="$OUT/BENCH_$b.json" \
+    | tee "$OUT/$b.txt"
   echo
 done
 

@@ -1,8 +1,7 @@
 #include "core/simulation.hpp"
 
-#include "des/conservative.hpp"
-#include "des/sequential.hpp"
-#include "des/timewarp.hpp"
+#include <algorithm>
+
 #include "net/mapping.hpp"
 
 namespace hp::core {
@@ -16,48 +15,33 @@ SimulationResult run_hotpotato(const SimulationOptions& opts) {
   }
   hotpotato::HotPotatoModel model(mcfg);
 
-  des::EngineConfig ecfg;
+  des::EngineConfig ecfg = opts.engine;
   ecfg.num_lps = mcfg.num_lps();
   ecfg.end_time = mcfg.end_time();
-  ecfg.seed = opts.seed;
+  // KP auto-selection: the report's default of 64 KPs, but never fewer than
+  // one per PE.
+  if (ecfg.num_kps == 0) ecfg.num_kps = 64;
+  ecfg.num_kps = std::max(ecfg.num_kps, ecfg.num_pes);
 
-  SimulationResult result;
-  if (opts.kernel == Kernel::Sequential) {
-    des::SequentialEngine eng(model, ecfg);
-    result.engine = eng.run();
-    result.report = hotpotato::collect_report(eng);
-    return result;
-  }
-  if (opts.kernel == Kernel::Conservative) {
-    ecfg.num_pes = opts.num_pes;
-    ecfg.num_kps = std::max(opts.num_kps, opts.num_pes);
-    des::ConservativeEngine eng(model, ecfg,
-                                hotpotato::kCrossLpLookahead);
-    result.engine = eng.run();
-    result.report = hotpotato::collect_report(eng);
-    return result;
-  }
-
-  ecfg.num_pes = opts.num_pes;
-  ecfg.num_kps = opts.num_kps;
-  ecfg.gvt_interval_events = opts.gvt_interval;
-  ecfg.adaptive_gvt = opts.adaptive_gvt;
-  ecfg.state_saving = opts.state_saving;
-  ecfg.optimism_window = opts.optimism_window;
-  ecfg.queue_kind = opts.queue_kind;
-  ecfg.cancellation = opts.cancellation;
+  // The torus-aware block mapping only matters to the Time Warp kernel (the
+  // others partition by LP index regardless).
   std::unique_ptr<net::Mapping> mapping;
-  if (opts.block_mapping) {
-    mapping = std::make_unique<net::BlockMapping>(mcfg.n, opts.num_kps,
-                                                  opts.num_pes);
-  } else {
-    mapping = std::make_unique<net::LinearMapping>(ecfg.num_lps, opts.num_kps,
-                                                   opts.num_pes);
+  if (opts.kernel == Kernel::TimeWarp) {
+    if (opts.block_mapping) {
+      mapping = std::make_unique<net::BlockMapping>(mcfg.n, ecfg.num_kps,
+                                                    ecfg.num_pes);
+    } else {
+      mapping = std::make_unique<net::LinearMapping>(
+          ecfg.num_lps, ecfg.num_kps, ecfg.num_pes);
+    }
+    ecfg.mapping = mapping.get();
   }
-  ecfg.mapping = mapping.get();
-  des::TimeWarpEngine eng(model, ecfg);
-  result.engine = eng.run();
-  result.report = hotpotato::collect_report(eng);
+
+  std::unique_ptr<des::Engine> eng =
+      des::make_engine(opts.kernel, model, ecfg, hotpotato::kCrossLpLookahead);
+  SimulationResult result;
+  result.engine = eng->run();
+  result.report = hotpotato::collect_report(*eng);
   return result;
 }
 

@@ -14,40 +14,29 @@
 
 namespace hp::core {
 
-enum class Kernel { Sequential, TimeWarp, Conservative };
+// The facade's kernel selector IS the engine-layer enumeration: one list of
+// kernels, one exhaustive name function (a new enumerator without a name
+// case fails to compile — see des::kind_name and the coverage test).
+using Kernel = des::EngineKind;
+inline constexpr auto& kAllKernels = des::kAllEngineKinds;
 
 constexpr const char* kernel_name(Kernel k) noexcept {
-  switch (k) {
-    case Kernel::Sequential: return "sequential";
-    case Kernel::TimeWarp: return "timewarp";
-    case Kernel::Conservative: return "conservative";
-  }
-  return "?";
+  return des::kind_name(k);
 }
 
 struct SimulationOptions {
   hotpotato::HotPotatoConfig model;  // policy may be null => BHW default
   Kernel kernel = Kernel::Sequential;
-  std::uint64_t seed = 1;
 
-  // Time Warp parameters (report defaults: 64 KPs, block mapping).
-  std::uint32_t num_pes = 1;
-  std::uint32_t num_kps = 64;
-  std::uint32_t gvt_interval = 4096;
-  // Adaptive GVT pacing (commit-yield interval + idle backoff); false pins
-  // the fixed gvt_interval / idle-spin thresholds (the ablation baseline).
-  bool adaptive_gvt = true;
-  bool state_saving = false;
+  // Kernel configuration, embedded verbatim (seed, num_pes, num_kps,
+  // gvt_interval_events, adaptive_gvt, state_saving, optimism_window,
+  // queue_kind, cancellation, obs...). run_hotpotato fills the model-derived
+  // fields (num_lps, end_time, mapping) itself; num_kps == 0 selects the
+  // report default of 64 KPs. Anything set here reaches the engine without
+  // a renamed mirror field in between.
+  des::EngineConfig engine;
+
   bool block_mapping = true;  // false => linear stripes (ablation)
-  // Moving-window optimism throttle in virtual time units (see
-  // des::EngineConfig::optimism_window); infinite = pure Time Warp.
-  des::Time optimism_window = des::kTimeInf;
-  // Pending-queue backend (splay tree = ROSS default).
-  des::EngineConfig::QueueKind queue_kind = des::EngineConfig::QueueKind::Splay;
-  // Cancellation strategy (aggressive = ROSS default; lazy reuses identical
-  // re-sends so unchanged subtrees survive rollbacks).
-  des::EngineConfig::Cancellation cancellation =
-      des::EngineConfig::Cancellation::Aggressive;
 };
 
 struct SimulationResult {

@@ -7,6 +7,9 @@
 
 namespace hp::des {
 
+using obs::Counter;
+using obs::Phase;
+
 // Send context: same-PE sends insert straight into the pending set (they may
 // still fall inside the current window — key-ordered popping handles that);
 // cross-PE sends are verified against the lookahead and parked in the
@@ -131,8 +134,10 @@ ConservativeEngine::~ConservativeEngine() = default;
 
 void ConservativeEngine::run_pe(PeData& pe) {
   Ctx ctx(*this, pe);
+  pe.probe.begin(Phase::GvtBarrier);
   for (;;) {
     // Publish the local floor; PE 0 computes the window.
+    pe.probe.switch_to(Phase::GvtBarrier);
     local_min_[pe.id] =
         pe.pending.empty() ? kTimeInf : (*pe.pending.begin())->key.ts;
     barrier_.arrive_and_wait();
@@ -147,10 +152,14 @@ void ConservativeEngine::run_pe(PeData& pe) {
       }
     }
     barrier_.arrive_and_wait();
-    if (done_.load(std::memory_order_relaxed)) return;
+    if (done_.load(std::memory_order_relaxed)) {
+      pe.probe.end();
+      return;
+    }
 
     // Process everything inside the window (key order; same-PE insertions
     // during processing are picked up by the min-pop).
+    pe.probe.switch_to(Phase::Forward);
     const Time wend = window_end_.load(std::memory_order_relaxed);
     while (!pe.pending.empty()) {
       Event* ev = *pe.pending.begin();
@@ -160,17 +169,31 @@ void ConservativeEngine::run_pe(PeData& pe) {
       ctx.begin_event(ev);
       model_.forward(*states_[ev->key.dst_lp], *ev, ctx);
       model_.commit(*states_[ev->key.dst_lp], *ev);
-      ++pe.processed;
+      ++pe.metrics.at(Counter::Processed);
       pe.pool.free(ev);
     }
 
     // End-of-window barrier: all sends are parked; drain the inbox.
+    pe.probe.switch_to(Phase::GvtBarrier);
     barrier_.arrive_and_wait();
+    std::uint64_t inbox_depth = 0;
     {
+      obs::PhaseScope drain_phase(pe.probe, Phase::InboxDrain);
       std::scoped_lock lock(pe.inbox_mu);
+      inbox_depth = pe.inbox.size();
       for (Event* ev : pe.inbox) pe.pending.insert(ev);
       pe.inbox.clear();
     }
+
+    // This window's slice of the round series; every event processed in a
+    // window commits, so the yield is 1 by construction.
+    const std::uint64_t processed_delta =
+        pe.metrics.at(Counter::Processed) - pe.processed_at_last_window;
+    pe.series.push(obs::GvtRoundSample{
+        pe.local_rounds, obs::monotonic_ns() - epoch_ns_, wend - lookahead_,
+        processed_delta, processed_delta, inbox_depth, pe.pool.allocated()});
+    ++pe.local_rounds;
+    pe.processed_at_last_window = pe.metrics.at(Counter::Processed);
   }
 }
 
@@ -180,6 +203,15 @@ RunStats ConservativeEngine::run() {
     ictx.begin_lp(lp);
     model_.init_lp(lp, ictx);
   }
+
+  const bool tracing = cfg_.obs.trace;
+  for (auto& pe : pes_) {
+    pe->trace.reset(tracing ? cfg_.obs.max_trace_spans_per_pe : 0);
+    pe->series.reset(cfg_.obs.gvt_series_capacity);
+    pe->probe.attach(&pe->metrics, tracing ? &pe->trace : nullptr,
+                     cfg_.obs.phase_timers);
+  }
+  epoch_ns_ = obs::monotonic_ns();
 
   const auto t0 = std::chrono::steady_clock::now();
   if (cfg_.num_pes == 1) {
@@ -194,16 +226,46 @@ RunStats ConservativeEngine::run() {
   const auto t1 = std::chrono::steady_clock::now();
 
   RunStats stats;
-  for (const auto& pe : pes_) {
-    stats.processed_events += pe->processed;
-    stats.pool_envelopes += pe->pool.allocated();
-    stats.per_pe.push_back(PeRunStats{pe->processed, pe->processed, 0, 0, 0,
-                                      pe->pool.allocated()});
+  obs::MetricsReport& m = stats.metrics;
+  m.per_pe.reserve(pes_.size());
+  for (auto& pe : pes_) {
+    // Everything a conservative PE processes commits immediately.
+    pe->metrics.at(Counter::Committed) = pe->metrics.at(Counter::Processed);
+    pe->metrics.at(Counter::PoolEnvelopes) = pe->pool.allocated();
+    m.per_pe.push_back(pe->metrics);
   }
-  stats.committed_events = stats.processed_events;
-  stats.gvt_rounds = windows_.load();
-  stats.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
-  stats.final_gvt = cfg_.end_time;
+  m.finalize();
+  m.gvt_rounds = windows_.load();
+  m.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  m.final_gvt = cfg_.end_time;
+
+  // Merge the per-PE window series (windows are barrier-global; slices
+  // align index-by-index; window floor and timestamp come from PE 0).
+  std::vector<obs::GvtRoundSample> series = pes_[0]->series.snapshot();
+  for (std::size_t p = 1; p < pes_.size(); ++p) {
+    const std::vector<obs::GvtRoundSample> other = pes_[p]->series.snapshot();
+    HP_ASSERT(other.size() == series.size(),
+              "window series rings disagree across PEs (%zu vs %zu)",
+              other.size(), series.size());
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      series[i].processed += other[i].processed;
+      series[i].committed += other[i].committed;
+      series[i].inbox_depth += other[i].inbox_depth;
+      series[i].pool_envelopes += other[i].pool_envelopes;
+    }
+  }
+  m.gvt_series = std::move(series);
+
+  if (tracing) {
+    std::vector<const obs::TraceBuffer*> buffers;
+    buffers.reserve(pes_.size());
+    for (const auto& pe : pes_) {
+      buffers.push_back(&pe->trace);
+      m.trace_spans_dropped += pe->trace.dropped();
+    }
+    m.trace_spans = obs::write_chrome_trace(cfg_.obs.trace_path, epoch_ns_,
+                                            buffers, m.gvt_series);
+  }
   return stats;
 }
 

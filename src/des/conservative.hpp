@@ -35,33 +35,31 @@
 #include "des/event.hpp"
 #include "des/model.hpp"
 #include "net/mapping.hpp"
+#include "obs/probe.hpp"
 
 namespace hp::des {
 
 class ConsInitCtx;
 
-class ConservativeEngine {
+class ConservativeEngine final : public Engine {
   friend class ConsInitCtx;
 
  public:
   // `lookahead` must be a lower bound on every cross-LP send delay the
   // model performs; the engine verifies each send against it.
   ConservativeEngine(Model& model, EngineConfig cfg, Time lookahead);
-  ~ConservativeEngine();
+  ~ConservativeEngine() override;
 
   ConservativeEngine(const ConservativeEngine&) = delete;
   ConservativeEngine& operator=(const ConservativeEngine&) = delete;
 
-  RunStats run();
+  RunStats run() override;
 
-  LpState& state(std::uint32_t lp) noexcept { return *states_[lp]; }
-  const LpState& state(std::uint32_t lp) const noexcept { return *states_[lp]; }
-  std::uint32_t num_lps() const noexcept { return cfg_.num_lps; }
-
-  template <typename Fn>
-  void for_each_state(Fn&& fn) const {
-    for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) fn(lp, *states_[lp]);
+  LpState& state(std::uint32_t lp) noexcept override { return *states_[lp]; }
+  const LpState& state(std::uint32_t lp) const noexcept override {
+    return *states_[lp];
   }
+  std::uint32_t num_lps() const noexcept override { return cfg_.num_lps; }
 
  private:
   struct KeyLess {
@@ -76,7 +74,15 @@ class ConservativeEngine {
     std::mutex inbox_mu;
     std::vector<Event*> inbox;
     EventPool pool;
-    std::uint64_t processed = 0;
+
+    // Observability (same vocabulary as the Time Warp kernel; windows play
+    // the role of GVT rounds).
+    obs::PeMetrics metrics;
+    obs::PhaseProbe probe;
+    obs::TraceBuffer trace;
+    obs::GvtSeriesRing series;
+    std::uint64_t local_rounds = 0;
+    std::uint64_t processed_at_last_window = 0;
   };
 
   class Ctx;
@@ -99,6 +105,7 @@ class ConservativeEngine {
   std::atomic<Time> window_end_{0.0};
   std::atomic<bool> done_{false};
   std::atomic<std::uint64_t> windows_{0};
+  std::uint64_t epoch_ns_ = 0;  // run-start timestamp for series/trace
 };
 
 }  // namespace hp::des

@@ -1,14 +1,27 @@
 #pragma once
 
-// Shared engine configuration and run statistics.
+// Shared engine configuration, the common kernel interface, and run
+// statistics.
+//
+// Every kernel implements des::Engine (run / state / num_lps /
+// for_each_state) so harnesses, tests and the core facade drive any of them
+// through one handle; make_engine is the single construction point.
+// RunStats wraps the structured obs::MetricsReport — named counters, per-PE
+// phase-time breakdowns and the GVT-round time series — behind the
+// historical accessor vocabulary.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "des/time.hpp"
 #include "net/mapping.hpp"
+#include "obs/metrics.hpp"
 
 namespace hp::des {
+
+class Model;
+class LpState;
 
 struct EngineConfig {
   std::uint32_t num_lps = 0;
@@ -17,7 +30,10 @@ struct EngineConfig {
 
   // Time Warp kernel only.
   std::uint32_t num_pes = 1;
-  std::uint32_t num_kps = 1;  // total KPs across all PEs (report Fig. 7/8 x-axis)
+  // Total KPs across all PEs (report Fig. 7/8 x-axis). 0 = auto: one KP per
+  // PE when an engine is built directly; the core facade substitutes the
+  // report default (64) instead.
+  std::uint32_t num_kps = 0;
   // Optional externally supplied LP->KP->PE mapping (e.g. the torus block
   // mapping); if null a LinearMapping is built. Not owned.
   const net::Mapping* mapping = nullptr;
@@ -53,62 +69,124 @@ struct EngineConfig {
   // steps tames rollback thrash when PEs are badly co-paced (e.g. more PEs
   // than cores, so one thread races ahead while others are descheduled).
   Time optimism_window = kTimeInf;
+  // Observability: phase timers, GVT-round series retention, Chrome trace
+  // export. Pure bookkeeping — results are bit-identical at any setting.
+  obs::ObsConfig obs;
 };
 
-// Per-PE breakdown (ROSS prints these per-processor tables at exit).
-struct PeRunStats {
-  std::uint64_t processed_events = 0;
-  std::uint64_t committed_events = 0;
-  std::uint64_t rolled_back_events = 0;
-  std::uint64_t primary_rollbacks = 0;
-  std::uint64_t anti_messages = 0;
-  std::uint64_t pool_envelopes = 0;  // event envelopes ever allocated
-  // Remote-path / pacing instrumentation (Time Warp only).
-  std::uint64_t inbox_batches = 0;        // chain pushes into peer inboxes
-  std::uint64_t inbox_batched_items = 0;  // envelopes across those batches
-  std::uint64_t max_inbox_batch = 0;      // largest single batch
-  std::uint64_t gvt_progress_triggers = 0;  // GVT requests: interval reached
-  std::uint64_t gvt_idle_triggers = 0;      // GVT requests: idle backoff
-  std::uint64_t idle_spins = 0;             // loop iterations with no work
-};
-
+// Structured run statistics. The full breakdown (named counters, per-PE
+// phase timers, GVT-round series) lives in `metrics`; the accessors below
+// are the stable shorthand the benches/tests/examples read.
 struct RunStats {
-  std::uint64_t committed_events = 0;   // events that survived to commit
-  std::uint64_t processed_events = 0;   // forward executions incl. re-execution
-  std::uint64_t rolled_back_events = 0; // events undone ("total events rolled back")
-  std::uint64_t primary_rollbacks = 0;  // rollback episodes (straggler/anti)
-  std::uint64_t anti_messages = 0;      // remote cancellations sent
-  std::uint64_t lazy_reused = 0;        // children reused by lazy cancellation
-  std::uint64_t gvt_rounds = 0;
-  std::uint64_t pool_envelopes = 0;     // total envelopes allocated (memory proxy)
-  // Remote-path / pacing aggregates (sums of the per-PE fields).
-  std::uint64_t inbox_batches = 0;
-  std::uint64_t inbox_batched_items = 0;
-  std::uint64_t max_inbox_batch = 0;    // max over PEs
-  std::uint64_t gvt_progress_triggers = 0;
-  std::uint64_t gvt_idle_triggers = 0;
-  std::uint64_t idle_spins = 0;
-  double wall_seconds = 0.0;
-  double final_gvt = 0.0;
-  std::vector<PeRunStats> per_pe;       // one entry per PE (empty: sequential)
+  obs::MetricsReport metrics;
+
+  std::uint64_t committed_events() const noexcept {
+    return metrics.total.committed_events();
+  }
+  std::uint64_t processed_events() const noexcept {
+    return metrics.total.processed_events();
+  }
+  std::uint64_t rolled_back_events() const noexcept {
+    return metrics.total.rolled_back_events();
+  }
+  std::uint64_t primary_rollbacks() const noexcept {
+    return metrics.total.primary_rollbacks();
+  }
+  std::uint64_t anti_messages() const noexcept {
+    return metrics.total.anti_messages();
+  }
+  std::uint64_t lazy_reused() const noexcept {
+    return metrics.total.lazy_reused();
+  }
+  std::uint64_t pool_envelopes() const noexcept {
+    return metrics.total.pool_envelopes();
+  }
+  std::uint64_t inbox_batches() const noexcept {
+    return metrics.total.inbox_batches();
+  }
+  std::uint64_t inbox_batched_items() const noexcept {
+    return metrics.total.inbox_batched_items();
+  }
+  std::uint64_t max_inbox_batch() const noexcept {
+    return metrics.total.max_inbox_batch();
+  }
+  std::uint64_t gvt_progress_triggers() const noexcept {
+    return metrics.total.gvt_progress_triggers();
+  }
+  std::uint64_t gvt_idle_triggers() const noexcept {
+    return metrics.total.gvt_idle_triggers();
+  }
+  std::uint64_t idle_spins() const noexcept {
+    return metrics.total.idle_spins();
+  }
+  std::uint64_t gvt_rounds() const noexcept { return metrics.gvt_rounds; }
+  double wall_seconds() const noexcept { return metrics.wall_seconds; }
+  double final_gvt() const noexcept { return metrics.final_gvt; }
+  // One entry per PE (empty: sequential kernel).
+  const std::vector<obs::PeMetrics>& per_pe() const noexcept {
+    return metrics.per_pe;
+  }
 
   double event_rate() const noexcept {
-    return wall_seconds > 0 ? static_cast<double>(committed_events) / wall_seconds
-                            : 0.0;
+    return wall_seconds() > 0
+               ? static_cast<double>(committed_events()) / wall_seconds()
+               : 0.0;
   }
   // Mean envelopes per remote inbox push (1.0 = no batching benefit).
   double avg_inbox_batch() const noexcept {
-    return inbox_batches > 0 ? static_cast<double>(inbox_batched_items) /
-                                   static_cast<double>(inbox_batches)
-                             : 0.0;
+    return inbox_batches() > 0
+               ? static_cast<double>(inbox_batched_items()) /
+                     static_cast<double>(inbox_batches())
+               : 0.0;
   }
   // Fraction of forward executions that were useful work.
   double efficiency() const noexcept {
-    return processed_events > 0
-               ? static_cast<double>(committed_events) /
-                     static_cast<double>(processed_events)
+    return processed_events() > 0
+               ? static_cast<double>(committed_events()) /
+                     static_cast<double>(processed_events())
                : 1.0;
   }
 };
+
+// The common kernel interface: run to completion, then visit LP states for
+// statistics collection (the report's Section 3.1.5 visitor construct).
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual RunStats run() = 0;
+  virtual std::uint32_t num_lps() const noexcept = 0;
+  virtual LpState& state(std::uint32_t lp) noexcept = 0;
+  virtual const LpState& state(std::uint32_t lp) const noexcept = 0;
+
+  template <typename Fn>
+  void for_each_state(Fn&& fn) const {
+    for (std::uint32_t lp = 0; lp < num_lps(); ++lp) fn(lp, state(lp));
+  }
+};
+
+enum class EngineKind : std::uint8_t { Sequential, TimeWarp, Conservative };
+
+// Every enumerator, for sweeps and for the exhaustiveness check: a new kind
+// added here without a kind_name case fails to compile (constant evaluation
+// reaches __builtin_unreachable), and tests/test_obs static_asserts over
+// this list.
+inline constexpr EngineKind kAllEngineKinds[] = {
+    EngineKind::Sequential, EngineKind::TimeWarp, EngineKind::Conservative};
+
+constexpr const char* kind_name(EngineKind k) noexcept {
+  switch (k) {
+    case EngineKind::Sequential: return "sequential";
+    case EngineKind::TimeWarp: return "timewarp";
+    case EngineKind::Conservative: return "conservative";
+  }
+  __builtin_unreachable();
+}
+
+// Single construction point for all kernels. `conservative_lookahead` is
+// only read by the conservative kernel (which requires it > 0).
+std::unique_ptr<Engine> make_engine(EngineKind kind, Model& model,
+                                    const EngineConfig& cfg,
+                                    Time conservative_lookahead = 0.0);
 
 }  // namespace hp::des

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/probe.hpp"
 #include "util/hash.hpp"
 
 namespace hp::des {
@@ -85,13 +86,25 @@ SequentialEngine::~SequentialEngine() = default;
 
 RunStats SequentialEngine::run() {
   RunStats stats;
+  obs::MetricsReport& m = stats.metrics;
   ICtx ictx(*this, cfg_.seed);
   for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) {
     ictx.begin_lp(lp);
     model_.init_lp(lp, ictx);
   }
 
+  // No per-PE breakdown: the single execution stream fills `total` directly
+  // (one Forward phase segment covers the whole run).
+  obs::TraceBuffer trace;
+  obs::PhaseProbe probe;
+  const bool tracing = cfg_.obs.trace;
+  if (tracing) trace.reset(cfg_.obs.max_trace_spans_per_pe);
+  probe.attach(&m.total, tracing ? &trace : nullptr, cfg_.obs.phase_timers);
+  const std::uint64_t epoch_ns = obs::monotonic_ns();
+  probe.begin(obs::Phase::Forward);
+
   Ctx ctx(*this);
+  std::uint64_t processed = 0;
   const auto t0 = std::chrono::steady_clock::now();
   while (!pending_.empty()) {
     Event* ev = *pending_.begin();
@@ -102,15 +115,22 @@ RunStats SequentialEngine::run() {
     ctx.begin_event(ev);
     model_.forward(*states_[ev->key.dst_lp], *ev, ctx);
     model_.commit(*states_[ev->key.dst_lp], *ev);
-    ++stats.processed_events;
+    ++processed;
     pool_.free(ev);
   }
   const auto t1 = std::chrono::steady_clock::now();
+  probe.end();
 
-  stats.committed_events = stats.processed_events;
-  stats.pool_envelopes = pool_.allocated();
-  stats.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
-  stats.final_gvt = pending_.empty() ? kTimeInf : (*pending_.begin())->key.ts;
+  m.total.at(obs::Counter::Processed) = processed;
+  m.total.at(obs::Counter::Committed) = processed;
+  m.total.at(obs::Counter::PoolEnvelopes) = pool_.allocated();
+  m.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  m.final_gvt = pending_.empty() ? kTimeInf : (*pending_.begin())->key.ts;
+  if (tracing) {
+    m.trace_spans = obs::write_chrome_trace(cfg_.obs.trace_path, epoch_ns,
+                                            {&trace}, m.gvt_series);
+    m.trace_spans_dropped = trace.dropped();
+  }
   // Events beyond end_time are never executed; release them.
   for (Event* ev : pending_) pool_.free(ev);
   pending_.clear();

@@ -15,28 +15,22 @@
 
 namespace hp::des {
 
-class SequentialEngine {
+class SequentialEngine final : public Engine {
  public:
   SequentialEngine(Model& model, EngineConfig cfg);
-  ~SequentialEngine();
+  ~SequentialEngine() override;
 
   SequentialEngine(const SequentialEngine&) = delete;
   SequentialEngine& operator=(const SequentialEngine&) = delete;
 
-  RunStats run();
+  RunStats run() override;
 
   // Post-run access for statistics aggregation.
-  LpState& state(std::uint32_t lp) noexcept { return *states_[lp]; }
-  const LpState& state(std::uint32_t lp) const noexcept { return *states_[lp]; }
-  std::uint32_t num_lps() const noexcept { return cfg_.num_lps; }
-
-  // ROSS-style statistics collection: invoke `fn(lp, state)` once per LP
-  // (the report's "adaptable construct ... implemented in much the same way
-  // that a C++ visitor functor is implemented", Section 3.1.5).
-  template <typename Fn>
-  void for_each_state(Fn&& fn) const {
-    for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) fn(lp, *states_[lp]);
+  LpState& state(std::uint32_t lp) noexcept override { return *states_[lp]; }
+  const LpState& state(std::uint32_t lp) const noexcept override {
+    return *states_[lp];
   }
+  std::uint32_t num_lps() const noexcept override { return cfg_.num_lps; }
 
  private:
   struct KeyLess {

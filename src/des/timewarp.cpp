@@ -32,6 +32,9 @@ constexpr double kGrowYield = 0.9;
 
 }
 
+using obs::Counter;
+using obs::Phase;
+
 // Per-PE send context. A PE owns two instances: one for forward execution
 // and one for reverse handlers during rollback, because a rollback can fire
 // in the middle of a forward handler's send() (local straggler delivery to a
@@ -103,7 +106,7 @@ class TimeWarpEngine::TwCtx final : public Context {
           cur_->children.push_back(stale[i]);
           stale.erase(stale.begin() + static_cast<std::ptrdiff_t>(i));
           pe_.pool.free(ev);  // the fresh envelope was never published
-          ++pe_.lazy_reused;
+          ++pe_.metrics.at(Counter::LazyReused);
           return;
         }
       }
@@ -155,6 +158,7 @@ TimeWarpEngine::TimeWarpEngine(Model& model, EngineConfig cfg)
       bar_b_(static_cast<std::ptrdiff_t>(cfg.num_pes)) {
   HP_ASSERT(cfg_.num_lps > 0, "num_lps must be positive");
   HP_ASSERT(cfg_.num_pes >= 1, "need at least one PE");
+  if (cfg_.num_kps == 0) cfg_.num_kps = cfg_.num_pes;  // auto: one KP per PE
   HP_ASSERT(cfg_.num_kps >= cfg_.num_pes, "need at least one KP per PE");
 
   if (cfg_.mapping != nullptr) {
@@ -277,9 +281,10 @@ void TimeWarpEngine::flush_outboxes(PeData& pe) {
   for (std::uint32_t dst : pe.out_dirty) {
     OutBatch& b = pe.out[dst];
     pes_[dst]->inbox.push_chain(b.head, b.tail);
-    ++pe.inbox_batches;
-    pe.inbox_batched_items += b.count;
-    pe.max_inbox_batch = std::max<std::uint64_t>(pe.max_inbox_batch, b.count);
+    ++pe.metrics.at(Counter::InboxBatches);
+    pe.metrics.at(Counter::InboxBatchedItems) += b.count;
+    pe.metrics.at(Counter::MaxInboxBatch) =
+        std::max<std::uint64_t>(pe.metrics.at(Counter::MaxInboxBatch), b.count);
     b = OutBatch{};
   }
   pe.out_dirty.clear();
@@ -294,7 +299,7 @@ void TimeWarpEngine::send_anti(PeData& pe, const ChildRef& c) {
   anti->uid = c.uid;
   anti->key = c.key;
   stage_remote(pe, c.dst_pe, anti);
-  ++pe.anti_messages;
+  ++pe.metrics.at(Counter::AntiMessages);
 }
 
 void TimeWarpEngine::annihilate(PeData& pe, std::uint64_t uid) {
@@ -366,8 +371,11 @@ void TimeWarpEngine::undo_event(PeData& pe, Event* ev) {
 
 void TimeWarpEngine::rollback(PeData& pe, std::uint32_t kp_id,
                               const EventKey& key) {
+  // A rollback can fire from inside any phase (forward send, inbox drain);
+  // charge its time to Rollback and restore the interrupted phase after.
+  obs::PhaseScope phase(pe.probe, Phase::Rollback);
   KpData& kp = kps_[kp_id];
-  ++pe.primary_rollbacks;
+  ++pe.metrics.at(Counter::PrimaryRollbacks);
   while (!kp.processed.empty() && kp.processed.back()->key >= key) {
     Event* ev = kp.processed.back();
     kp.processed.pop_back();
@@ -384,7 +392,7 @@ void TimeWarpEngine::rollback(PeData& pe, std::uint32_t kp_id,
     undo_event(pe, ev);
     ev->status = EventStatus::Pending;
     pe.pending.insert(ev);
-    ++pe.rolled_back;
+    ++pe.metrics.at(Counter::RolledBack);
   }
 }
 
@@ -439,7 +447,7 @@ void TimeWarpEngine::process_one(PeData& pe, Event* ev) {
   // Lazy cancellation: stale children the re-execution did not reproduce
   // are dead for real now.
   if (!ev->stale_children.empty()) cancel_stale(pe, ev);
-  ++pe.processed_events;
+  ++pe.metrics.at(Counter::Processed);
   ++pe.processed_since_gvt;
 }
 
@@ -452,7 +460,7 @@ void TimeWarpEngine::fossil_collect(PeData& pe, Time gvt) {
       model_.commit(*states_[ev->key.dst_lp], *ev);
       pe.index.erase(ev->uid);
       pe.pool.free(ev);
-      ++pe.committed_events;
+      ++pe.metrics.at(Counter::Committed);
     }
   }
 }
@@ -460,6 +468,7 @@ void TimeWarpEngine::fossil_collect(PeData& pe, Time gvt) {
 bool TimeWarpEngine::gvt_round(PeData& pe) {
   HP_ASSERT(pe.out_dirty.empty(),
             "outbound batches must be flushed before a GVT round");
+  pe.probe.switch_to(Phase::GvtBarrier);
   // Barrier A: everybody stops sending/processing.
   bar_a_.arrive_and_wait();
   if (pe.id == 0) {
@@ -471,8 +480,11 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
   // transient messages, and the non-destructive inbox walk sees every node.
   Event* pmin = pe.pending.peek_min();
   Time local = pmin == nullptr ? kTimeInf : pmin->key.ts;
-  pe.inbox.unsafe_for_each(
-      [&local](const Event& ev) { local = std::min(local, ev.key.ts); });
+  std::uint64_t inbox_depth = 0;
+  pe.inbox.unsafe_for_each([&local, &inbox_depth](const Event& ev) {
+    local = std::min(local, ev.key.ts);
+    ++inbox_depth;
+  });
   local_min_[pe.id] = local;
   // Barrier B: minima published; everybody computes the same global min.
   bar_b_.arrive_and_wait();
@@ -482,16 +494,18 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
     gvt_rounds_.fetch_add(1, std::memory_order_relaxed);
     shared_gvt_.store(gvt, std::memory_order_relaxed);
   }
+  pe.probe.switch_to(Phase::Fossil);
   fossil_collect(pe, gvt);
+  const std::uint64_t committed_delta =
+      pe.metrics.at(Counter::Committed) - pe.committed_at_last_gvt;
   if (cfg_.adaptive_gvt && pe.processed_since_gvt > 0) {
     // Steer the effective interval by this round's commit yield: committed
     // since the last round (fossil collection just ran) over forward
     // executions since the last round. Yield can exceed 1 when older
     // optimistic work finally commits; clamp before comparing.
-    const double committed_delta =
-        static_cast<double>(pe.committed_events - pe.committed_at_last_gvt);
-    const double yield_ratio = std::min(
-        1.0, committed_delta / static_cast<double>(pe.processed_since_gvt));
+    const double yield_ratio =
+        std::min(1.0, static_cast<double>(committed_delta) /
+                          static_cast<double>(pe.processed_since_gvt));
     const std::uint32_t floor_interval =
         std::min(kGvtMinInterval, std::max(1u, cfg_.gvt_interval_events));
     if (yield_ratio < kShrinkYield) {
@@ -502,15 +516,30 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
           std::max(1u, cfg_.gvt_interval_events), pe.effective_gvt_interval * 2);
     }
   }
-  pe.committed_at_last_gvt = pe.committed_events;
+  // This PE's slice of the round sample; run() sums the slices per round
+  // (rounds are barrier-global, so local_rounds agrees across PEs).
+  pe.series.push(obs::GvtRoundSample{
+      pe.local_rounds, obs::monotonic_ns() - epoch_ns_, gvt,
+      pe.processed_since_gvt, committed_delta, inbox_depth,
+      pe.pool.allocated()});
+  ++pe.local_rounds;
+  pe.committed_at_last_gvt = pe.metrics.at(Counter::Committed);
   pe.processed_since_gvt = 0;
   pe.idle_iters = 0;
+  pe.probe.switch_to(Phase::Forward);
   return gvt > cfg_.end_time;
 }
 
 void TimeWarpEngine::run_pe(PeData& pe) {
+  pe.probe.begin(Phase::Forward);
   while (true) {
-    drain_inbox(pe);
+    // Inbox drain is its own phase only when there is plausibly work (the
+    // empty_hint pre-check keeps the common empty case at one branch, no
+    // clock read). Drain-triggered rollbacks nest via PhaseScope.
+    if (!pe.inbox.empty_hint()) {
+      obs::PhaseScope drain_phase(pe.probe, Phase::InboxDrain);
+      drain_inbox(pe);
+    }
     // Publish everything staged by the last process_one and by any
     // drain-triggered rollbacks: one chain push per destination. Nothing
     // staged ever survives past this point, so gvt_round's quiescence
@@ -522,10 +551,11 @@ void TimeWarpEngine::run_pe(PeData& pe) {
     }
     Event* ev = next_event(pe);
     if (ev == nullptr) {
-      ++pe.idle_spins;
+      pe.probe.switch_to(Phase::Idle);
+      ++pe.metrics.at(Counter::IdleSpins);
       if (++pe.idle_iters >= pe.idle_backoff) {
         gvt_request_.store(true, std::memory_order_relaxed);
-        ++pe.gvt_idle_triggers;
+        ++pe.metrics.at(Counter::GvtIdleTriggers);
         pe.idle_iters = 0;
         if (cfg_.adaptive_gvt) {
           // Consecutive fruitless idle rounds back off exponentially; any
@@ -536,6 +566,7 @@ void TimeWarpEngine::run_pe(PeData& pe) {
       std::this_thread::yield();
       continue;
     }
+    pe.probe.switch_to(Phase::Forward);
     pe.idle_iters = 0;
     if (cfg_.adaptive_gvt) pe.idle_backoff = kIdleBackoffInit;
     process_one(pe, ev);
@@ -544,15 +575,26 @@ void TimeWarpEngine::run_pe(PeData& pe) {
                                        : cfg_.gvt_interval_events;
     if (pe.processed_since_gvt >= interval) {
       gvt_request_.store(true, std::memory_order_relaxed);
-      ++pe.gvt_progress_triggers;
+      ++pe.metrics.at(Counter::GvtProgressTriggers);
     }
   }
   // Commit everything still on the processed deques (all have ts <= end).
+  pe.probe.switch_to(Phase::Fossil);
   fossil_collect(pe, kTimeInf);
+  pe.probe.end();
 }
 
 RunStats TimeWarpEngine::run() {
   seed_initial_events();
+
+  const bool tracing = cfg_.obs.trace;
+  for (auto& pe : pes_) {
+    pe->trace.reset(tracing ? cfg_.obs.max_trace_spans_per_pe : 0);
+    pe->series.reset(cfg_.obs.gvt_series_capacity);
+    pe->probe.attach(&pe->metrics, tracing ? &pe->trace : nullptr,
+                     cfg_.obs.phase_timers);
+  }
+  epoch_ns_ = obs::monotonic_ns();
 
   const auto t0 = std::chrono::steady_clock::now();
   if (cfg_.num_pes == 1) {
@@ -567,45 +609,53 @@ RunStats TimeWarpEngine::run() {
   const auto t1 = std::chrono::steady_clock::now();
 
   RunStats stats;
-  for (const auto& pe : pes_) {
-    stats.committed_events += pe->committed_events;
-    stats.processed_events += pe->processed_events;
-    stats.rolled_back_events += pe->rolled_back;
-    stats.primary_rollbacks += pe->primary_rollbacks;
-    stats.anti_messages += pe->anti_messages;
-    stats.lazy_reused += pe->lazy_reused;
-    stats.pool_envelopes += pe->pool.allocated();
-    stats.inbox_batches += pe->inbox_batches;
-    stats.inbox_batched_items += pe->inbox_batched_items;
-    stats.max_inbox_batch = std::max(stats.max_inbox_batch,
-                                     pe->max_inbox_batch);
-    stats.gvt_progress_triggers += pe->gvt_progress_triggers;
-    stats.gvt_idle_triggers += pe->gvt_idle_triggers;
-    stats.idle_spins += pe->idle_spins;
-    PeRunStats ps;
-    ps.processed_events = pe->processed_events;
-    ps.committed_events = pe->committed_events;
-    ps.rolled_back_events = pe->rolled_back;
-    ps.primary_rollbacks = pe->primary_rollbacks;
-    ps.anti_messages = pe->anti_messages;
-    ps.pool_envelopes = pe->pool.allocated();
-    ps.inbox_batches = pe->inbox_batches;
-    ps.inbox_batched_items = pe->inbox_batched_items;
-    ps.max_inbox_batch = pe->max_inbox_batch;
-    ps.gvt_progress_triggers = pe->gvt_progress_triggers;
-    ps.gvt_idle_triggers = pe->gvt_idle_triggers;
-    ps.idle_spins = pe->idle_spins;
-    stats.per_pe.push_back(ps);
+  obs::MetricsReport& m = stats.metrics;
+  m.per_pe.reserve(pes_.size());
+  for (auto& pe : pes_) {
+    pe->metrics.at(Counter::PoolEnvelopes) = pe->pool.allocated();
+    m.per_pe.push_back(pe->metrics);
   }
-  HP_ASSERT(stats.committed_events ==
-                stats.processed_events - stats.rolled_back_events,
+  m.finalize();  // the one per-PE -> aggregate reduction
+  HP_ASSERT(stats.committed_events() ==
+                stats.processed_events() - stats.rolled_back_events(),
             "event accounting mismatch: committed=%llu processed=%llu rb=%llu",
-            static_cast<unsigned long long>(stats.committed_events),
-            static_cast<unsigned long long>(stats.processed_events),
-            static_cast<unsigned long long>(stats.rolled_back_events));
-  stats.gvt_rounds = gvt_rounds_.load();
-  stats.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
-  stats.final_gvt = shared_gvt_.load();
+            static_cast<unsigned long long>(stats.committed_events()),
+            static_cast<unsigned long long>(stats.processed_events()),
+            static_cast<unsigned long long>(stats.rolled_back_events()));
+  m.gvt_rounds = gvt_rounds_.load();
+  m.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  m.final_gvt = shared_gvt_.load();
+
+  // Merge the per-PE GVT series: rounds are barrier-global, so every ring
+  // retains the same window and the slices align index-by-index. Sum the
+  // per-PE quantities; gvt and the timestamp come from PE 0.
+  std::vector<obs::GvtRoundSample> series = pes_[0]->series.snapshot();
+  for (std::size_t p = 1; p < pes_.size(); ++p) {
+    const std::vector<obs::GvtRoundSample> other = pes_[p]->series.snapshot();
+    HP_ASSERT(other.size() == series.size(),
+              "GVT series rings disagree across PEs (%zu vs %zu)",
+              other.size(), series.size());
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      HP_ASSERT(other[i].round == series[i].round,
+                "GVT series rounds misaligned");
+      series[i].processed += other[i].processed;
+      series[i].committed += other[i].committed;
+      series[i].inbox_depth += other[i].inbox_depth;
+      series[i].pool_envelopes += other[i].pool_envelopes;
+    }
+  }
+  m.gvt_series = std::move(series);
+
+  if (tracing) {
+    std::vector<const obs::TraceBuffer*> buffers;
+    buffers.reserve(pes_.size());
+    for (const auto& pe : pes_) {
+      buffers.push_back(&pe->trace);
+      m.trace_spans_dropped += pe->trace.dropped();
+    }
+    m.trace_spans = obs::write_chrome_trace(cfg_.obs.trace_path, epoch_ns_,
+                                            buffers, m.gvt_series);
+  }
   return stats;
 }
 

@@ -53,32 +53,29 @@
 #include "des/model.hpp"
 #include "des/splay_queue.hpp"
 #include "net/mapping.hpp"
+#include "obs/probe.hpp"
 #include "util/mpsc_queue.hpp"
 
 namespace hp::des {
 
 class TwEngineInitCtx;
 
-class TimeWarpEngine {
+class TimeWarpEngine final : public Engine {
   friend class TwEngineInitCtx;
  public:
   TimeWarpEngine(Model& model, EngineConfig cfg);
-  ~TimeWarpEngine();
+  ~TimeWarpEngine() override;
 
   TimeWarpEngine(const TimeWarpEngine&) = delete;
   TimeWarpEngine& operator=(const TimeWarpEngine&) = delete;
 
-  RunStats run();
+  RunStats run() override;
 
-  LpState& state(std::uint32_t lp) noexcept { return *states_[lp]; }
-  const LpState& state(std::uint32_t lp) const noexcept { return *states_[lp]; }
-  std::uint32_t num_lps() const noexcept { return cfg_.num_lps; }
-
-  // ROSS-style statistics collection visitor; call only after run().
-  template <typename Fn>
-  void for_each_state(Fn&& fn) const {
-    for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) fn(lp, *states_[lp]);
+  LpState& state(std::uint32_t lp) noexcept override { return *states_[lp]; }
+  const LpState& state(std::uint32_t lp) const noexcept override {
+    return *states_[lp];
   }
+  std::uint32_t num_lps() const noexcept override { return cfg_.num_lps; }
 
  private:
   struct KeyLess {
@@ -160,23 +157,19 @@ class TimeWarpEngine {
     std::uint32_t effective_gvt_interval = 0;  // set from cfg at run start
     std::uint32_t idle_backoff = 0;            // current idle-trigger bound
     std::uint64_t committed_at_last_gvt = 0;
-
-    std::uint64_t processed_events = 0;
-    std::uint64_t committed_events = 0;
-    std::uint64_t rolled_back = 0;
-    std::uint64_t primary_rollbacks = 0;
-    std::uint64_t anti_messages = 0;
-    std::uint64_t lazy_reused = 0;
     std::uint64_t processed_since_gvt = 0;
     std::uint32_t idle_iters = 0;
 
-    // Instrumentation (surfaced in PeRunStats).
-    std::uint64_t inbox_batches = 0;
-    std::uint64_t inbox_batched_items = 0;
-    std::uint64_t max_inbox_batch = 0;
-    std::uint64_t gvt_progress_triggers = 0;
-    std::uint64_t gvt_idle_triggers = 0;
-    std::uint64_t idle_spins = 0;
+    // Observability: named counters + per-phase wall time (the scheduler
+    // loop talks to `probe`, which charges `metrics` and records spans into
+    // `trace` when tracing is on), plus this PE's share of the GVT-round
+    // time series. Local round counter doubles as the ring's round index —
+    // rounds are barrier-global, so every PE counts them identically.
+    obs::PeMetrics metrics;
+    obs::PhaseProbe probe;
+    obs::TraceBuffer trace;
+    obs::GvtSeriesRing series;
+    std::uint64_t local_rounds = 0;
   };
 
   class TwCtx;
@@ -223,6 +216,7 @@ class TimeWarpEngine {
   std::vector<Time> local_min_;  // indexed by PE, padded writes are fine here
   std::atomic<std::uint64_t> gvt_rounds_{0};
   std::atomic<Time> shared_gvt_{0.0};
+  std::uint64_t epoch_ns_ = 0;  // run-start timestamp for series/trace
 };
 
 }  // namespace hp::des

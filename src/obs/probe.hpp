@@ -1,0 +1,100 @@
+#pragma once
+
+// Per-PE phase accounting probe. A PE tells the probe which Phase it is in;
+// the probe charges elapsed wall time to the previous phase and (optionally)
+// records the finished segment as a trace span. Clock reads happen only on
+// transitions — consecutive forward executions are one segment — and a
+// disabled probe reduces every call to a single predictable branch, so the
+// kernels keep the probe calls unconditionally inline.
+//
+// PhaseScope handles nesting (a rollback fired from inside an inbox drain or
+// a forward send charges its own phase, then restores the interrupted one).
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hp::obs {
+
+inline std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+class PhaseProbe {
+ public:
+  // `metrics` receives the per-phase nanoseconds; `trace` may be null.
+  // Disabled probes (timers off and no trace) never read the clock.
+  void attach(PeMetrics* metrics, TraceBuffer* trace, bool timers_on) {
+    metrics_ = metrics;
+    trace_ = trace;
+    enabled_ = metrics != nullptr && (timers_on || trace != nullptr);
+  }
+
+  bool enabled() const noexcept { return enabled_; }
+  Phase current() const noexcept { return cur_; }
+
+  // Start accounting, charging subsequent time to `initial`.
+  void begin(Phase initial) noexcept {
+    cur_ = initial;
+    if (enabled_) last_ = monotonic_ns();
+  }
+
+  void switch_to(Phase p) noexcept {
+    if (p == cur_) return;
+    if (enabled_) {
+      const std::uint64_t t = monotonic_ns();
+      metrics_->ns(cur_) += t - last_;
+      // Idle segments are omitted from the trace: gaps between spans read
+      // as idle in Perfetto, and spinning PEs would otherwise dominate the
+      // file.
+      if (trace_ != nullptr && cur_ != Phase::Idle && t > last_) {
+        trace_->add(cur_, last_, t);
+      }
+      last_ = t;
+    }
+    cur_ = p;
+  }
+
+  // Flush the in-progress segment (end of run).
+  void end() noexcept {
+    if (!enabled_) return;
+    const std::uint64_t t = monotonic_ns();
+    metrics_->ns(cur_) += t - last_;
+    if (trace_ != nullptr && cur_ != Phase::Idle && t > last_) {
+      trace_->add(cur_, last_, t);
+    }
+    last_ = t;
+  }
+
+ private:
+  PeMetrics* metrics_ = nullptr;
+  TraceBuffer* trace_ = nullptr;
+  bool enabled_ = false;
+  Phase cur_ = Phase::Forward;
+  std::uint64_t last_ = 0;
+};
+
+// RAII phase nesting: switches to `phase`, restores the interrupted phase on
+// destruction.
+class PhaseScope {
+ public:
+  PhaseScope(PhaseProbe& probe, Phase phase) noexcept
+      : probe_(probe), prev_(probe.current()) {
+    probe_.switch_to(phase);
+  }
+  ~PhaseScope() { probe_.switch_to(prev_); }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  PhaseProbe& probe_;
+  Phase prev_;
+};
+
+}  // namespace hp::obs

@@ -1,0 +1,76 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+
+#include "util/json_writer.hpp"
+#include "util/macros.hpp"
+
+namespace hp::obs {
+
+std::uint64_t write_chrome_trace(
+    const std::string& path, std::uint64_t epoch_ns,
+    const std::vector<const TraceBuffer*>& pes,
+    const std::vector<GvtRoundSample>& gvt_series) {
+  std::ofstream f(path);
+  HP_ASSERT(f.good(), "cannot open trace file %s", path.c_str());
+  util::JsonWriter w(f);
+  std::uint64_t written = 0;
+
+  const auto rel_us = [epoch_ns](std::uint64_t ns) {
+    return static_cast<double>(ns - epoch_ns) * 1e-3;
+  };
+
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  for (std::size_t pe = 0; pe < pes.size(); ++pe) {
+    // Track naming metadata so Perfetto shows "PE n" instead of bare tids.
+    w.begin_object();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", std::uint64_t{0});
+    w.kv("tid", static_cast<std::uint64_t>(pe));
+    w.key("args").begin_object();
+    w.kv("name", "PE " + std::to_string(pe));
+    w.end_object();
+    w.end_object();
+    for (const TraceSpan& s : pes[pe]->spans()) {
+      w.begin_object();
+      w.kv("name", phase_name(s.phase));
+      w.kv("cat", "kernel");
+      w.kv("ph", "X");
+      w.kv("ts", rel_us(s.begin_ns));
+      w.kv("dur", static_cast<double>(s.end_ns - s.begin_ns) * 1e-3);
+      w.kv("pid", std::uint64_t{0});
+      w.kv("tid", static_cast<std::uint64_t>(pe));
+      w.end_object();
+      ++written;
+    }
+  }
+  // GVT progress and commit yield as counter tracks.
+  for (const GvtRoundSample& s : gvt_series) {
+    w.begin_object();
+    w.kv("name", "gvt");
+    w.kv("ph", "C");
+    w.kv("ts", static_cast<double>(s.t_ns) * 1e-3);  // already run-relative
+    w.kv("pid", std::uint64_t{0});
+    w.key("args").begin_object();
+    w.kv("gvt", s.gvt);
+    w.end_object();
+    w.end_object();
+    w.begin_object();
+    w.kv("name", "commit_yield");
+    w.kv("ph", "C");
+    w.kv("ts", static_cast<double>(s.t_ns) * 1e-3);
+    w.kv("pid", std::uint64_t{0});
+    w.key("args").begin_object();
+    w.kv("yield", s.commit_yield());
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return written;
+}
+
+}  // namespace hp::obs

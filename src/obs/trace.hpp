@@ -1,0 +1,60 @@
+#pragma once
+
+// Chrome/Perfetto trace export. Each PE owns a TraceBuffer of phase spans
+// (begin/end in steady-clock nanoseconds); at the end of the run the engine
+// hands every buffer to write_chrome_trace, which emits the Trace Event
+// Format JSON (`"X"` complete events, one track per PE, plus GVT counter
+// events) that chrome://tracing and https://ui.perfetto.dev load directly.
+//
+// Recording is bounded: a buffer past its span budget drops (and counts)
+// further spans instead of growing without limit.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace hp::obs {
+
+struct TraceSpan {
+  Phase phase;
+  std::uint64_t begin_ns;
+  std::uint64_t end_ns;
+};
+
+class TraceBuffer {
+ public:
+  void reset(std::uint32_t max_spans) {
+    max_spans_ = max_spans;
+    spans_.clear();
+    dropped_ = 0;
+  }
+
+  void add(Phase phase, std::uint64_t begin_ns, std::uint64_t end_ns) {
+    if (spans_.size() < max_spans_) {
+      spans_.push_back({phase, begin_ns, end_ns});
+    } else {
+      ++dropped_;
+    }
+  }
+
+  const std::vector<TraceSpan>& spans() const noexcept { return spans_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  std::uint32_t max_spans_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceSpan> spans_;
+};
+
+// Write all PE buffers as one trace.json. `epoch_ns` is the run-start
+// timestamp spans are made relative to; `gvt_series` (may be empty) is
+// rendered as "gvt" / "commit_yield" counter tracks using round-end span
+// times when available. Returns the number of spans written.
+std::uint64_t write_chrome_trace(const std::string& path,
+                                 std::uint64_t epoch_ns,
+                                 const std::vector<const TraceBuffer*>& pes,
+                                 const std::vector<GvtRoundSample>& gvt_series);
+
+}  // namespace hp::obs

@@ -1,0 +1,141 @@
+#include "util/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/macros.hpp"
+
+namespace hp::util {
+
+JsonWriter::JsonWriter(std::ostream& os) : os_(os) {}
+
+JsonWriter::~JsonWriter() = default;
+
+void JsonWriter::comma_for_value() {
+  if (stack_.empty()) {
+    HP_ASSERT(!wrote_root_, "JSON document already has a root value");
+    wrote_root_ = true;
+    return;
+  }
+  if (stack_.back() == Scope::Object) {
+    HP_ASSERT(pending_key_, "object member emitted without a key()");
+    pending_key_ = false;
+    return;
+  }
+  if (!first_in_scope_.back()) os_ << ',';
+  first_in_scope_.back() = false;
+}
+
+void JsonWriter::push(Scope s) {
+  comma_for_value();
+  os_ << (s == Scope::Object ? '{' : '[');
+  stack_.push_back(s);
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::pop(Scope s) {
+  HP_ASSERT(!stack_.empty() && stack_.back() == s,
+            "mismatched JSON container close");
+  HP_ASSERT(!pending_key_, "JSON object closed with a dangling key");
+  os_ << (s == Scope::Object ? '}' : ']');
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  push(Scope::Object);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  pop(Scope::Object);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  push(Scope::Array);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  pop(Scope::Array);
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  HP_ASSERT(!stack_.empty() && stack_.back() == Scope::Object,
+            "key() outside of an object");
+  HP_ASSERT(!pending_key_, "two key() calls in a row");
+  if (!first_in_scope_.back()) os_ << ',';
+  first_in_scope_.back() = false;
+  write_escaped(os_, k);
+  os_ << ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma_for_value();
+  write_escaped(os_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string_view(v));
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_for_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma_for_value();
+  if (!std::isfinite(v)) {
+    os_ << "null";  // JSON has no inf/nan
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma_for_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma_for_value();
+  os_ << v;
+  return *this;
+}
+
+void JsonWriter::write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace hp::util

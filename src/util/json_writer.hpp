@@ -1,0 +1,65 @@
+#pragma once
+
+// Minimal streaming JSON emitter for machine-readable outputs (bench
+// --json=..., Chrome trace export, MetricsReport dumps). Comma placement and
+// nesting are tracked internally, so callers just interleave key()/value()/
+// begin_*()/end_*() calls. No DOM, no allocation proportional to output.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hp::util {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os);
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Object member name; must be followed by a value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);  // non-finite doubles are emitted as null
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint32_t v) { return value(std::uint64_t{v}); }
+  JsonWriter& value(std::int32_t v) { return value(std::int64_t{v}); }
+
+  // Convenience: key + scalar value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  // All containers closed (useful for asserting completeness in tests).
+  bool done() const noexcept { return stack_.empty() && wrote_root_; }
+
+ private:
+  enum class Scope : std::uint8_t { Object, Array };
+  void comma_for_value();
+  void push(Scope s);
+  void pop(Scope s);
+  static void write_escaped(std::ostream& os, std::string_view s);
+
+  std::ostream& os_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_in_scope_;
+  bool pending_key_ = false;
+  bool wrote_root_ = false;
+};
+
+}  // namespace hp::util

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "util/json_writer.hpp"
 #include "util/macros.hpp"
 
 namespace hp::util {
@@ -76,6 +77,19 @@ void Table::write_csv_file(const std::string& path) const {
   std::ofstream f(path);
   HP_ASSERT(f.good(), "cannot open %s", path.c_str());
   write_csv(f);
+}
+
+void Table::write_json(JsonWriter& w) const {
+  w.begin_array();
+  for (const auto& row : rows_) {
+    w.begin_object();
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      w.key(headers_[i]);
+      std::visit([&w](const auto& v) { w.value(v); }, row[i]);
+    }
+    w.end_object();
+  }
+  w.end_array();
 }
 
 }  // namespace hp::util

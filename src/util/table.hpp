@@ -12,6 +12,8 @@
 
 namespace hp::util {
 
+class JsonWriter;
+
 class Table {
  public:
   using Cell = std::variant<std::string, double, std::int64_t, std::uint64_t>;
@@ -25,8 +27,12 @@ class Table {
   // RFC-4180-ish CSV (no quoting needed for our numeric content).
   void write_csv(std::ostream& os) const;
   void write_csv_file(const std::string& path) const;
+  // Array of row objects keyed by header, typed cells (not stringified).
+  void write_json(JsonWriter& w) const;
 
   std::size_t rows() const noexcept { return rows_.size(); }
+  const std::vector<std::string>& headers() const noexcept { return headers_; }
+  const std::vector<Cell>& row(std::size_t i) const { return rows_[i]; }
 
  private:
   static std::string render(const Cell& c);

@@ -29,9 +29,9 @@ TEST(ConservativeEngine, PholdMatchesSequentialAtEveryPeCount) {
     PholdModel m2(pc);
     ConservativeEngine cons(m2, cc, pc.lookahead);
     const auto cstats = cons.run();
-    EXPECT_EQ(cstats.committed_events, sstats.committed_events) << pes;
+    EXPECT_EQ(cstats.committed_events(), sstats.committed_events()) << pes;
     EXPECT_EQ(PholdModel::digest(cons), PholdModel::digest(seq)) << pes;
-    EXPECT_EQ(cstats.rolled_back_events, 0u) << "conservative never rolls back";
+    EXPECT_EQ(cstats.rolled_back_events(), 0u) << "conservative never rolls back";
   }
 }
 
@@ -46,10 +46,10 @@ TEST(ConservativeEngine, HotPotatoMatchesSequential) {
   for (const std::uint32_t pes : {2u, 4u}) {
     auto c = o;
     c.kernel = core::Kernel::Conservative;
-    c.num_pes = pes;
+    c.engine.num_pes = pes;
     const auto cons = core::run_hotpotato(c);
     EXPECT_EQ(seq.report, cons.report) << pes << " PEs";
-    EXPECT_EQ(seq.engine.committed_events, cons.engine.committed_events);
+    EXPECT_EQ(seq.engine.committed_events(), cons.engine.committed_events());
   }
 }
 
@@ -93,8 +93,8 @@ TEST(ConservativeEngine, WindowCountReflectsLookahead) {
   ConservativeEngine narrow(m2, ec, 0.1);
   const auto n = narrow.run();
 
-  EXPECT_EQ(w.committed_events, n.committed_events);
-  EXPECT_GT(n.gvt_rounds, 2 * w.gvt_rounds);
+  EXPECT_EQ(w.committed_events(), n.committed_events());
+  EXPECT_GT(n.gvt_rounds(), 2 * w.gvt_rounds());
 }
 
 TEST(ConservativeEngineDeath, RejectsLookaheadViolations) {
@@ -122,7 +122,7 @@ TEST(ConservativeEngine, EmptyTerminates) {
   PholdModel model(pc);
   ConservativeEngine cons(model, ec, 0.1);
   const auto stats = cons.run();
-  EXPECT_EQ(stats.committed_events, 0u);
+  EXPECT_EQ(stats.committed_events(), 0u);
 }
 
 }  // namespace

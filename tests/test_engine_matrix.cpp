@@ -2,15 +2,17 @@
 // knobs must produce results bit-identical to the sequential reference on a
 // rollback-heavy PHOLD load. This is the repository's strongest single
 // correctness statement about the Time Warp kernel.
+//
+// Both kernels are built and driven through the common des::Engine interface
+// (make_engine / run / for_each_state) — no per-kernel code paths.
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
-#include <tuple>
 
+#include "des/engine.hpp"
 #include "des/phold.hpp"
-#include "des/sequential.hpp"
-#include "des/timewarp.hpp"
 
 namespace hp::des {
 namespace {
@@ -39,8 +41,8 @@ TEST_P(EngineMatrix, BitIdenticalToSequential) {
   ec.seed = 23;
 
   PholdModel m1(pc);
-  SequentialEngine seq(m1, ec);
-  const auto sstats = seq.run();
+  std::unique_ptr<Engine> seq = make_engine(EngineKind::Sequential, m1, ec);
+  const RunStats sstats = seq->run();
 
   ec.num_pes = k.pes;
   ec.num_kps = k.kps;
@@ -50,13 +52,18 @@ TEST_P(EngineMatrix, BitIdenticalToSequential) {
   ec.cancellation = k.cancellation;
   ec.state_saving = k.state_saving;
   PholdModel m2(pc);
-  TimeWarpEngine tw(m2, ec);
-  const auto tstats = tw.run();
+  std::unique_ptr<Engine> tw = make_engine(EngineKind::TimeWarp, m2, ec);
+  const RunStats tstats = tw->run();
 
-  EXPECT_EQ(sstats.committed_events, tstats.committed_events);
-  EXPECT_EQ(PholdModel::digest(seq), PholdModel::digest(tw));
-  EXPECT_EQ(tstats.committed_events,
-            tstats.processed_events - tstats.rolled_back_events);
+  EXPECT_EQ(sstats.committed_events(), tstats.committed_events());
+  EXPECT_EQ(PholdModel::digest(*seq), PholdModel::digest(*tw));
+  EXPECT_EQ(tstats.committed_events(),
+            tstats.processed_events() - tstats.rolled_back_events());
+
+  // The reported totals must be exactly the declared reduction of the
+  // per-PE breakdown (the engines no longer sum by hand).
+  ASSERT_EQ(tstats.per_pe().size(), k.pes);
+  EXPECT_EQ(obs::reduce(tstats.per_pe()), tstats.metrics.total);
 }
 
 constexpr auto kAgg = EngineConfig::Cancellation::Aggressive;

@@ -17,7 +17,7 @@ SimulationOptions base_opts(std::int32_t n, double inject, std::uint32_t steps) 
   o.model.n = n;
   o.model.injector_fraction = inject;
   o.model.steps = steps;
-  o.seed = 1;
+  o.engine.seed = 1;
   return o;
 }
 
@@ -158,14 +158,14 @@ TEST_P(Attachment3Determinism, ParallelEqualsSequential) {
 
   auto t = o;
   t.kernel = Kernel::TimeWarp;
-  t.num_pes = static_cast<std::uint32_t>(pes);
-  t.num_kps = static_cast<std::uint32_t>(kps);
-  t.gvt_interval = 256;
-  t.state_saving = state_saving;
+  t.engine.num_pes = static_cast<std::uint32_t>(pes);
+  t.engine.num_kps = static_cast<std::uint32_t>(kps);
+  t.engine.gvt_interval_events = 256;
+  t.engine.state_saving = state_saving;
   const auto tw = run_hotpotato(t);
 
   EXPECT_EQ(seq.report, tw.report);
-  EXPECT_EQ(seq.engine.committed_events, tw.engine.committed_events);
+  EXPECT_EQ(seq.engine.committed_events(), tw.engine.committed_events());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -189,10 +189,10 @@ TEST(HotPotatoModel, OptimismWindowPreservesDeterminism) {
   for (double window : {10.0, 30.0, 100.0}) {
     auto t = o;
     t.kernel = Kernel::TimeWarp;
-    t.num_pes = 4;
-    t.num_kps = 16;
-    t.gvt_interval = 256;
-    t.optimism_window = window;
+    t.engine.num_pes = 4;
+    t.engine.num_kps = 16;
+    t.engine.gvt_interval_events = 256;
+    t.engine.optimism_window = window;
     const auto tw = run_hotpotato(t);
     EXPECT_EQ(seq.report, tw.report) << "window=" << window;
   }
@@ -211,21 +211,21 @@ TEST(HotPotatoModel, FullInitIsThePhysicalMaximum) {
 TEST(HotPotatoModel, PerPeStatsSumToTotals) {
   auto o = base_opts(8, 0.5, 60);
   o.kernel = Kernel::TimeWarp;
-  o.num_pes = 4;
-  o.num_kps = 16;
-  o.gvt_interval = 256;
+  o.engine.num_pes = 4;
+  o.engine.num_kps = 16;
+  o.engine.gvt_interval_events = 256;
   const auto r = run_hotpotato(o);
-  ASSERT_EQ(r.engine.per_pe.size(), 4u);
+  ASSERT_EQ(r.engine.per_pe().size(), 4u);
   std::uint64_t processed = 0, committed = 0, rolled = 0;
-  for (const auto& pe : r.engine.per_pe) {
-    processed += pe.processed_events;
-    committed += pe.committed_events;
-    rolled += pe.rolled_back_events;
+  for (const auto& pe : r.engine.per_pe()) {
+    processed += pe.processed_events();
+    committed += pe.committed_events();
+    rolled += pe.rolled_back_events();
   }
-  EXPECT_EQ(processed, r.engine.processed_events);
-  EXPECT_EQ(committed, r.engine.committed_events);
-  EXPECT_EQ(rolled, r.engine.rolled_back_events);
-  EXPECT_GT(r.engine.pool_envelopes, 0u);
+  EXPECT_EQ(processed, r.engine.processed_events());
+  EXPECT_EQ(committed, r.engine.committed_events());
+  EXPECT_EQ(rolled, r.engine.rolled_back_events());
+  EXPECT_GT(r.engine.pool_envelopes(), 0u);
 }
 
 TEST(HotPotatoModel, VisitorCoversEveryLp) {
@@ -258,41 +258,41 @@ TEST(HotPotatoModel, LazyCancellationPreservesDeterminism) {
   for (const std::uint32_t pes : {2u, 4u}) {
     auto t = o;
     t.kernel = Kernel::TimeWarp;
-    t.num_pes = pes;
-    t.num_kps = 16;
-    t.gvt_interval = 128;
-    t.cancellation = des::EngineConfig::Cancellation::Lazy;
+    t.engine.num_pes = pes;
+    t.engine.num_kps = 16;
+    t.engine.gvt_interval_events = 128;
+    t.engine.cancellation = des::EngineConfig::Cancellation::Lazy;
     const auto tw = run_hotpotato(t);
     EXPECT_EQ(seq.report, tw.report) << pes << " PEs";
-    EXPECT_EQ(seq.engine.committed_events, tw.engine.committed_events);
+    EXPECT_EQ(seq.engine.committed_events(), tw.engine.committed_events());
   }
 }
 
 TEST(HotPotatoModel, LazyCancellationActuallyReusesChildren) {
   auto t = base_opts(8, 0.75, 80);
   t.kernel = Kernel::TimeWarp;
-  t.num_pes = 4;
-  t.num_kps = 16;
-  t.gvt_interval = 64;
-  t.cancellation = des::EngineConfig::Cancellation::Lazy;
+  t.engine.num_pes = 4;
+  t.engine.num_kps = 16;
+  t.engine.gvt_interval_events = 64;
+  t.engine.cancellation = des::EngineConfig::Cancellation::Lazy;
   const auto tw = run_hotpotato(t);
-  EXPECT_GT(tw.engine.rolled_back_events, 0u) << "config must roll back";
-  EXPECT_GT(tw.engine.lazy_reused, 0u)
+  EXPECT_GT(tw.engine.rolled_back_events(), 0u) << "config must roll back";
+  EXPECT_GT(tw.engine.lazy_reused(), 0u)
       << "lazy mode should find identical re-sends to adopt";
 }
 
 TEST(HotPotatoModel, QueueBackendsProduceIdenticalResults) {
   auto o = base_opts(8, 0.5, 60);
   o.kernel = Kernel::TimeWarp;
-  o.num_pes = 2;
-  o.num_kps = 16;
-  o.gvt_interval = 256;
-  o.queue_kind = des::EngineConfig::QueueKind::Splay;
+  o.engine.num_pes = 2;
+  o.engine.num_kps = 16;
+  o.engine.gvt_interval_events = 256;
+  o.engine.queue_kind = des::EngineConfig::QueueKind::Splay;
   const auto splay = run_hotpotato(o);
-  o.queue_kind = des::EngineConfig::QueueKind::Multiset;
+  o.engine.queue_kind = des::EngineConfig::QueueKind::Multiset;
   const auto mset = run_hotpotato(o);
   EXPECT_EQ(splay.report, mset.report);
-  EXPECT_EQ(splay.engine.committed_events, mset.engine.committed_events);
+  EXPECT_EQ(splay.engine.committed_events(), mset.engine.committed_events());
 }
 
 TEST(HotPotatoModel, LinearMappingAlsoDeterministic) {
@@ -301,8 +301,8 @@ TEST(HotPotatoModel, LinearMappingAlsoDeterministic) {
   const auto seq = run_hotpotato(o);
   auto t = o;
   t.kernel = Kernel::TimeWarp;
-  t.num_pes = 4;
-  t.num_kps = 16;
+  t.engine.num_pes = 4;
+  t.engine.num_kps = 16;
   t.block_mapping = false;
   const auto tw = run_hotpotato(t);
   EXPECT_EQ(seq.report, tw.report);
@@ -311,7 +311,7 @@ TEST(HotPotatoModel, LinearMappingAlsoDeterministic) {
 TEST(HotPotatoModel, DifferentSeedsDifferentTraffic) {
   auto a = base_opts(8, 0.5, 60);
   auto b = base_opts(8, 0.5, 60);
-  b.seed = 2;
+  b.engine.seed = 2;
   const auto ra = run_hotpotato(a);
   const auto rb = run_hotpotato(b);
   EXPECT_NE(ra.report, rb.report);
@@ -332,9 +332,9 @@ TEST(HotPotatoModel, BaselinePoliciesRunUnderTimeWarp) {
     const auto seq = run_hotpotato(o);
     auto t = o;
     t.kernel = Kernel::TimeWarp;
-    t.num_pes = 4;
-    t.num_kps = 36;
-    t.gvt_interval = 128;
+    t.engine.num_pes = 4;
+    t.engine.num_kps = 36;
+    t.engine.gvt_interval_events = 128;
     const auto tw = run_hotpotato(t);
     EXPECT_EQ(seq.report, tw.report) << p->name();
   }

@@ -1,0 +1,340 @@
+// Observability layer tests: the JsonWriter primitive, the table-driven
+// metrics reduction, the bounded GVT-series ring, Chrome-trace export, the
+// exhaustive kernel/phase name coverage, and — most importantly — the
+// invariants the instrumented kernels must uphold: accounting identities,
+// per-PE totals reducing to the aggregate, and committed results staying
+// bit-identical with observability fully on, fully off, and tracing.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "des/engine.hpp"
+#include "des/phold.hpp"
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
+#include "util/json_writer.hpp"
+
+namespace hp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Compile-time exhaustiveness: if an enumerator is ever added without its
+// name case, the constant evaluation below reaches __builtin_unreachable()
+// and the translation unit fails to compile.
+
+constexpr bool all_engine_kinds_named() {
+  for (const des::EngineKind k : des::kAllEngineKinds) {
+    if (des::kind_name(k) == nullptr) return false;
+  }
+  return true;
+}
+static_assert(all_engine_kinds_named());
+
+constexpr bool all_phases_named() {
+  for (std::size_t p = 0; p < obs::kNumPhases; ++p) {
+    if (obs::phase_name(static_cast<obs::Phase>(p)) == nullptr) return false;
+  }
+  return true;
+}
+static_assert(all_phases_named());
+
+TEST(EngineKind, NamesAreDistinct) {
+  EXPECT_STREQ(des::kind_name(des::EngineKind::Sequential), "sequential");
+  EXPECT_STREQ(des::kind_name(des::EngineKind::TimeWarp), "timewarp");
+  EXPECT_STREQ(des::kind_name(des::EngineKind::Conservative), "conservative");
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+
+TEST(JsonWriter, NestedContainersAndEscaping) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.kv("str", "a\"b\\c\nd");
+  w.kv("int", std::uint64_t{42});
+  w.kv("neg", std::int64_t{-7});
+  w.kv("flag", true);
+  w.key("arr").begin_array();
+  w.value(1.5);
+  w.value("x");
+  w.begin_object().kv("k", std::uint32_t{3}).end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_TRUE(w.done());
+  EXPECT_EQ(os.str(),
+            "{\"str\":\"a\\\"b\\\\c\\nd\",\"int\":42,\"neg\":-7,"
+            "\"flag\":true,\"arr\":[1.5,\"x\",{\"k\":3}]}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(os.str(), "[null,null]");
+}
+
+TEST(JsonWriter, RoundTripsDoublesExactly) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_array();
+  w.value(0.1);
+  w.end_array();
+  EXPECT_EQ(std::stod(os.str().substr(1)), 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics reduction
+
+TEST(Metrics, ReduceSumsAndMaxesPerDeclaredPolicy) {
+  obs::PeMetrics a, b;
+  a.at(obs::Counter::Processed) = 10;
+  b.at(obs::Counter::Processed) = 5;
+  a.at(obs::Counter::MaxInboxBatch) = 3;
+  b.at(obs::Counter::MaxInboxBatch) = 9;
+  a.ns(obs::Phase::Forward) = 100;
+  b.ns(obs::Phase::Forward) = 50;
+  const obs::PeMetrics total = obs::reduce({a, b});
+  EXPECT_EQ(total.processed_events(), 15u);
+  EXPECT_EQ(total.max_inbox_batch(), 9u);  // Reduce::Max, not sum
+  EXPECT_EQ(total.ns(obs::Phase::Forward), 150u);
+}
+
+TEST(Metrics, CounterTableCoversEveryEnumerator) {
+  for (std::size_t c = 0; c < obs::kNumCounters; ++c) {
+    EXPECT_NE(obs::counter_name(static_cast<obs::Counter>(c)), nullptr);
+    EXPECT_STRNE(obs::counter_name(static_cast<obs::Counter>(c)), "");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GVT series ring
+
+TEST(GvtSeriesRing, RetainsMostRecentWindowOldestFirst) {
+  obs::GvtSeriesRing ring(4);
+  for (std::uint64_t r = 0; r < 10; ++r) {
+    ring.push(obs::GvtRoundSample{r, r * 100, static_cast<double>(r),
+                                  r, r, 0, 0});
+  }
+  EXPECT_EQ(ring.total_pushed(), 10u);
+  EXPECT_EQ(ring.size(), 4u);
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].round, 6 + i);  // rounds 6..9, oldest first
+  }
+}
+
+TEST(GvtSeriesRing, ZeroCapacityOnlyCounts) {
+  obs::GvtSeriesRing ring(0);
+  ring.push(obs::GvtRoundSample{});
+  ring.push(obs::GvtRoundSample{});
+  EXPECT_EQ(ring.total_pushed(), 2u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+// ---------------------------------------------------------------------------
+// PhaseProbe
+
+TEST(PhaseProbe, DisabledProbeChargesNothing) {
+  obs::PeMetrics m;
+  obs::PhaseProbe probe;
+  probe.attach(&m, nullptr, /*timers_on=*/false);
+  EXPECT_FALSE(probe.enabled());
+  probe.begin(obs::Phase::Forward);
+  probe.switch_to(obs::Phase::Rollback);
+  probe.end();
+  EXPECT_EQ(m.total_phase_ns(), 0u);
+}
+
+TEST(PhaseProbe, ScopeRestoresInterruptedPhase) {
+  obs::PeMetrics m;
+  obs::PhaseProbe probe;
+  probe.attach(&m, nullptr, /*timers_on=*/true);
+  probe.begin(obs::Phase::Forward);
+  {
+    obs::PhaseScope scope(probe, obs::Phase::Rollback);
+    EXPECT_EQ(probe.current(), obs::Phase::Rollback);
+  }
+  EXPECT_EQ(probe.current(), obs::Phase::Forward);
+  probe.end();
+}
+
+// ---------------------------------------------------------------------------
+// Engine-matrix invariants. A rollback-heavy PHOLD load driven through the
+// common interface on every kernel.
+
+des::EngineConfig matrix_config(std::uint32_t pes) {
+  des::EngineConfig ec;
+  ec.num_lps = 36;
+  ec.end_time = 60.0;
+  ec.seed = 11;
+  ec.num_pes = pes;
+  ec.gvt_interval_events = 128;
+  return ec;
+}
+
+des::PholdConfig matrix_phold() {
+  des::PholdConfig pc;
+  pc.num_lps = 36;
+  pc.remote_fraction = 0.6;
+  pc.lookahead = 0.05;
+  return pc;
+}
+
+struct KernelRun {
+  std::uint64_t digest = 0;
+  des::RunStats stats;
+};
+
+KernelRun run_kernel(des::EngineKind kind, std::uint32_t pes,
+                     const obs::ObsConfig& obs_cfg) {
+  const des::PholdConfig pc = matrix_phold();
+  des::EngineConfig ec = matrix_config(pes);
+  ec.obs = obs_cfg;
+  des::PholdModel model(pc);
+  auto eng = des::make_engine(kind, model, ec, pc.lookahead);
+  KernelRun out;
+  out.stats = eng->run();
+  out.digest = des::PholdModel::digest(*eng);
+  return out;
+}
+
+TEST(MetricsInvariants, ProcessedEqualsCommittedPlusRolledBack) {
+  for (const des::EngineKind kind : des::kAllEngineKinds) {
+    const std::uint32_t pes = kind == des::EngineKind::Sequential ? 1 : 4;
+    const KernelRun r = run_kernel(kind, pes, obs::ObsConfig{});
+    EXPECT_EQ(r.stats.processed_events(),
+              r.stats.committed_events() + r.stats.rolled_back_events())
+        << des::kind_name(kind);
+    EXPECT_GT(r.stats.committed_events(), 0u) << des::kind_name(kind);
+  }
+}
+
+TEST(MetricsInvariants, PerPeReducesToAggregate) {
+  for (const des::EngineKind kind :
+       {des::EngineKind::TimeWarp, des::EngineKind::Conservative}) {
+    const KernelRun r = run_kernel(kind, 4, obs::ObsConfig{});
+    ASSERT_EQ(r.stats.per_pe().size(), 4u) << des::kind_name(kind);
+    EXPECT_EQ(obs::reduce(r.stats.per_pe()), r.stats.metrics.total)
+        << des::kind_name(kind);
+  }
+}
+
+TEST(MetricsInvariants, PhaseTimersPopulatedWhenOnZeroWhenOff) {
+  obs::ObsConfig on;
+  on.phase_timers = true;
+  obs::ObsConfig off;
+  off.phase_timers = false;
+  for (const des::EngineKind kind : des::kAllEngineKinds) {
+    const std::uint32_t pes = kind == des::EngineKind::Sequential ? 1 : 2;
+    const KernelRun with = run_kernel(kind, pes, on);
+    EXPECT_GT(with.stats.metrics.total.total_phase_ns(), 0u)
+        << des::kind_name(kind);
+    const KernelRun without = run_kernel(kind, pes, off);
+    EXPECT_EQ(without.stats.metrics.total.total_phase_ns(), 0u)
+        << des::kind_name(kind);
+  }
+}
+
+TEST(MetricsInvariants, GvtSeriesBoundedAndMonotone) {
+  obs::ObsConfig cfg;
+  cfg.gvt_series_capacity = 8;  // deliberately smaller than the round count
+  const KernelRun r = run_kernel(des::EngineKind::TimeWarp, 4, cfg);
+  const auto& series = r.stats.metrics.gvt_series;
+  EXPECT_LE(series.size(), 8u);
+  EXPECT_GE(r.stats.metrics.gvt_rounds, series.size());
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_EQ(series[i].round, series[i - 1].round + 1);
+    EXPECT_GE(series[i].gvt, series[i - 1].gvt);  // GVT never retreats
+    EXPECT_GE(series[i].t_ns, series[i - 1].t_ns);
+  }
+}
+
+TEST(MetricsInvariants, ResultsBitIdenticalAcrossObsSettings) {
+  obs::ObsConfig full_on;
+  full_on.phase_timers = true;
+  full_on.trace = true;
+  full_on.trace_path = ::testing::TempDir() + "obs_equiv_trace.json";
+  obs::ObsConfig all_off;
+  all_off.phase_timers = false;
+  all_off.gvt_series_capacity = 0;
+
+  const KernelRun seq = run_kernel(des::EngineKind::Sequential, 1, all_off);
+  for (const des::EngineKind kind : des::kAllEngineKinds) {
+    const std::uint32_t pes = kind == des::EngineKind::Sequential ? 1 : 4;
+    const KernelRun on = run_kernel(kind, pes, full_on);
+    const KernelRun off = run_kernel(kind, pes, all_off);
+    EXPECT_EQ(on.digest, seq.digest) << des::kind_name(kind) << " obs on";
+    EXPECT_EQ(off.digest, seq.digest) << des::kind_name(kind) << " obs off";
+    EXPECT_EQ(on.stats.committed_events(), seq.stats.committed_events());
+    EXPECT_EQ(off.stats.committed_events(), seq.stats.committed_events());
+  }
+  std::remove(full_on.trace_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+
+TEST(ChromeTrace, WritesLoadableTraceJson) {
+  obs::ObsConfig cfg;
+  cfg.trace = true;
+  cfg.trace_path = ::testing::TempDir() + "obs_test_trace.json";
+  const KernelRun r = run_kernel(des::EngineKind::TimeWarp, 4, cfg);
+  EXPECT_GT(r.stats.metrics.trace_spans, 0u);
+
+  std::ifstream f(cfg.trace_path);
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string trace = ss.str();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(trace.find("\"PE 3\""), std::string::npos);  // all 4 PE tracks
+  EXPECT_NE(trace.find("\"forward\""), std::string::npos);
+  EXPECT_EQ(trace.front(), '{');
+  EXPECT_EQ(trace.back(), '}');
+  std::remove(cfg.trace_path.c_str());
+}
+
+TEST(ChromeTrace, SpanBudgetDropsInsteadOfGrowing) {
+  obs::TraceBuffer buf;
+  buf.reset(2);
+  buf.add(obs::Phase::Forward, 0, 1);
+  buf.add(obs::Phase::Forward, 1, 2);
+  buf.add(obs::Phase::Forward, 2, 3);
+  EXPECT_EQ(buf.spans().size(), 2u);
+  EXPECT_EQ(buf.dropped(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsReport JSON dump
+
+TEST(MetricsReport, WriteJsonEmitsCountersPhasesAndSeries) {
+  const KernelRun r =
+      run_kernel(des::EngineKind::TimeWarp, 2, obs::ObsConfig{});
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  r.stats.metrics.write_json(w);
+  EXPECT_TRUE(w.done());
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"processed_events\""), std::string::npos);
+  EXPECT_NE(j.find("\"phase_seconds\""), std::string::npos);
+  EXPECT_NE(j.find("\"gvt_barrier\""), std::string::npos);
+  EXPECT_NE(j.find("\"per_pe\""), std::string::npos);
+  EXPECT_NE(j.find("\"gvt_series\""), std::string::npos);
+  EXPECT_NE(j.find("\"commit_yield\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hp

@@ -101,7 +101,7 @@ TEST(Pcs, TimeWarpMatchesSequential) {
     PcsModel m2(pc);
     des::TimeWarpEngine tw(m2, tc);
     const auto tstats = tw.run();
-    EXPECT_EQ(sstats.committed_events, tstats.committed_events) << pes;
+    EXPECT_EQ(sstats.committed_events(), tstats.committed_events()) << pes;
     EXPECT_EQ(sr, PcsModel::collect(tw)) << pes;
   }
 }

@@ -26,7 +26,7 @@ TEST(Phold, PopulationIsConserved) {
   for (std::uint32_t lp = 0; lp < pc.num_lps; ++lp) {
     total += static_cast<PholdState&>(eng.state(lp)).events;
   }
-  EXPECT_EQ(total, stats.processed_events);
+  EXPECT_EQ(total, stats.processed_events());
   EXPECT_GT(total, 0u);
 }
 
@@ -45,7 +45,7 @@ TEST(Phold, RemoteFractionIsRespected) {
     remote += static_cast<PholdState&>(eng.state(lp)).remote_sends;
   }
   const double frac =
-      static_cast<double>(remote) / static_cast<double>(stats.processed_events);
+      static_cast<double>(remote) / static_cast<double>(stats.processed_events());
   EXPECT_NEAR(frac, 0.3, 0.02);
 }
 
@@ -89,7 +89,7 @@ TEST_P(PholdEquivalence, TimeWarpMatchesSequential) {
   TimeWarpEngine tw(m2, ec);
   const auto tstats = tw.run();
 
-  EXPECT_EQ(sstats.committed_events, tstats.committed_events);
+  EXPECT_EQ(sstats.committed_events(), tstats.committed_events());
   EXPECT_EQ(PholdModel::digest(seq), PholdModel::digest(tw));
 }
 
@@ -131,14 +131,14 @@ TEST(Phold, LazyCancellationReusesAlmostEverything) {
   TimeWarpEngine lazy(m2, ec);
   const auto lstats = lazy.run();
 
-  EXPECT_EQ(astats.committed_events, lstats.committed_events);
+  EXPECT_EQ(astats.committed_events(), lstats.committed_events());
   EXPECT_EQ(PholdModel::digest(aggressive), PholdModel::digest(lazy));
   // Only events that re-execute while holding stale children can reuse them
   // (cascaded annihilations cancel outright), so expect meaningful — not
   // total — adoption.
-  if (lstats.rolled_back_events > 1000) {
-    EXPECT_GT(lstats.lazy_reused, 0u);
-    EXPECT_GT(lstats.lazy_reused, lstats.rolled_back_events / 20);
+  if (lstats.rolled_back_events() > 1000) {
+    EXPECT_GT(lstats.lazy_reused(), 0u);
+    EXPECT_GT(lstats.lazy_reused(), lstats.rolled_back_events() / 20);
   }
 }
 
@@ -156,7 +156,7 @@ TEST(Phold, HigherRemoteFractionMeansMoreRollbacks) {
     ec.gvt_interval_events = 256;
     PholdModel model(pc);
     TimeWarpEngine tw(model, ec);
-    return tw.run().rolled_back_events;
+    return tw.run().rolled_back_events();
   };
   // Self-traffic cannot produce cross-PE stragglers.
   EXPECT_EQ(run_rb(0.0), 0u);

@@ -19,8 +19,8 @@ TEST(SequentialEngine, RingProcessesExactEventCount) {
   cfg.end_time = 100.0;
   SequentialEngine eng(model, cfg);
   const RunStats stats = eng.run();
-  EXPECT_EQ(stats.processed_events, 100u);
-  EXPECT_EQ(stats.committed_events, 100u);
+  EXPECT_EQ(stats.processed_events(), 100u);
+  EXPECT_EQ(stats.committed_events(), 100u);
   for (std::uint32_t lp = 0; lp < 4; ++lp) {
     EXPECT_EQ(static_cast<ToyState&>(eng.state(lp)).count, 25u);
   }
@@ -34,7 +34,7 @@ TEST(SequentialEngine, EndTimeIsInclusive) {
   SequentialEngine eng(model, cfg);
   const RunStats stats = eng.run();
   // Events at t = 1,2,3,4,5.
-  EXPECT_EQ(stats.processed_events, 5u);
+  EXPECT_EQ(stats.processed_events(), 5u);
 }
 
 TEST(SequentialEngine, NoEventsTerminatesImmediately) {
@@ -46,8 +46,8 @@ TEST(SequentialEngine, NoEventsTerminatesImmediately) {
   cfg.end_time = 0.5;
   SequentialEngine eng(model, cfg);
   const RunStats stats = eng.run();
-  EXPECT_EQ(stats.processed_events, 0u);
-  EXPECT_DOUBLE_EQ(stats.final_gvt, 1.0);
+  EXPECT_EQ(stats.processed_events(), 0u);
+  EXPECT_DOUBLE_EQ(stats.final_gvt(), 1.0);
 }
 
 TEST(SequentialEngine, PholdConservesEvents) {
@@ -60,12 +60,12 @@ TEST(SequentialEngine, PholdConservesEvents) {
   cfg.seed = 3;
   SequentialEngine eng(model, cfg);
   const RunStats stats = eng.run();
-  EXPECT_GT(stats.processed_events, 0u);
+  EXPECT_GT(stats.processed_events(), 0u);
   std::uint64_t total = 0;
   for (std::uint32_t lp = 0; lp < 16; ++lp) {
     total += static_cast<ToyState&>(eng.state(lp)).count;
   }
-  EXPECT_EQ(total, stats.processed_events);
+  EXPECT_EQ(total, stats.processed_events());
 }
 
 TEST(SequentialEngine, SameSeedSameResults) {

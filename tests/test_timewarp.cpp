@@ -58,9 +58,9 @@ TEST_P(TimeWarpEquivalence, MatchesSequentialPhold) {
   TimeWarpEngine tw(model, tcfg);
   const RunStats tstats = tw.run();
 
-  EXPECT_EQ(tstats.committed_events, sstats.committed_events);
+  EXPECT_EQ(tstats.committed_events(), sstats.committed_events());
   EXPECT_EQ(digest(tw, kLps), digest(seq, kLps));
-  EXPECT_GE(tstats.processed_events, tstats.committed_events);
+  EXPECT_GE(tstats.processed_events(), tstats.committed_events());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -113,14 +113,14 @@ TEST_P(TimeWarpRemoteStress, CommittedStateMatchesSequential) {
   TimeWarpEngine tw(model, tcfg);
   const RunStats t = tw.run();
 
-  EXPECT_EQ(t.committed_events, s.committed_events);
+  EXPECT_EQ(t.committed_events(), s.committed_events());
   EXPECT_EQ(digest(tw, kLps), digest(seq, kLps));
   // Every PE owns LPs under the linear mapping and PHOLD hits all of them,
   // so the remote path is exercised by construction.
-  ASSERT_EQ(t.per_pe.size(), 4u);
-  for (const auto& pe : t.per_pe) EXPECT_GT(pe.processed_events, 0u);
-  EXPECT_GT(t.inbox_batches, 0u) << "no remote batch was ever published";
-  EXPECT_GE(t.inbox_batched_items, t.inbox_batches);
+  ASSERT_EQ(t.per_pe().size(), 4u);
+  for (const auto& pe : t.per_pe()) EXPECT_GT(pe.processed_events(), 0u);
+  EXPECT_GT(t.inbox_batches(), 0u) << "no remote batch was ever published";
+  EXPECT_GE(t.inbox_batched_items(), t.inbox_batches());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -154,7 +154,7 @@ TEST(TimeWarpEngine, RingMatchesSequentialExactly) {
   tcfg.gvt_interval_events = 32;
   TimeWarpEngine tw(model, tcfg);
   const RunStats t = tw.run();
-  EXPECT_EQ(t.committed_events, s.committed_events);
+  EXPECT_EQ(t.committed_events(), s.committed_events());
   EXPECT_EQ(digest(tw, 8), digest(seq, 8));
 }
 
@@ -176,7 +176,7 @@ TEST(TimeWarpEngine, StateSavingModeMatchesReverseComputation) {
   TimeWarpEngine ss(model, cfg);
   const RunStats sstats = ss.run();
 
-  EXPECT_EQ(rstats.committed_events, sstats.committed_events);
+  EXPECT_EQ(rstats.committed_events(), sstats.committed_events());
   EXPECT_EQ(digest(rc, kLps), digest(ss, kLps));
 }
 
@@ -196,7 +196,7 @@ TEST(TimeWarpEngine, SmallGvtIntervalForcesRollbacksButStaysCorrect) {
   tcfg.gvt_interval_events = 16;
   TimeWarpEngine tw(model, tcfg);
   const RunStats t = tw.run();
-  EXPECT_EQ(t.committed_events, s.committed_events);
+  EXPECT_EQ(t.committed_events(), s.committed_events());
   EXPECT_EQ(digest(tw, kLps), digest(seq, kLps));
 }
 
@@ -209,7 +209,7 @@ TEST(TimeWarpEngine, NoWorkTerminates) {
   cfg.num_kps = 2;
   TimeWarpEngine tw(model, cfg);
   const RunStats t = tw.run();
-  EXPECT_EQ(t.committed_events, 0u);
+  EXPECT_EQ(t.committed_events(), 0u);
 }
 
 TEST(TimeWarpEngine, GvtRoundsHappen) {
@@ -222,8 +222,8 @@ TEST(TimeWarpEngine, GvtRoundsHappen) {
   cfg.gvt_interval_events = 64;
   TimeWarpEngine tw(model, cfg);
   const RunStats t = tw.run();
-  EXPECT_GE(t.gvt_rounds, 2u);
-  EXPECT_GT(t.final_gvt, cfg.end_time);
+  EXPECT_GE(t.gvt_rounds(), 2u);
+  EXPECT_GT(t.final_gvt(), cfg.end_time);
 }
 
 // A model that schedules nothing at all: the engine must terminate at once
@@ -248,8 +248,8 @@ TEST(TimeWarpEngine, EmptyModelTerminatesAtEveryPeCount) {
     cfg.num_kps = 8;
     TimeWarpEngine tw(model, cfg);
     const RunStats t = tw.run();
-    EXPECT_EQ(t.committed_events, 0u);
-    EXPECT_EQ(t.processed_events, 0u);
+    EXPECT_EQ(t.committed_events(), 0u);
+    EXPECT_EQ(t.processed_events(), 0u);
   }
 }
 
@@ -263,7 +263,7 @@ TEST(TimeWarpEngine, EventsBeyondEndTimeAreNeverExecuted) {
   cfg.num_kps = 4;
   TimeWarpEngine tw(model, cfg);
   const RunStats t = tw.run();
-  EXPECT_EQ(t.committed_events, 37u);
+  EXPECT_EQ(t.committed_events(), 37u);
 }
 
 TEST(TimeWarpEngine, TinyOptimismWindowStillCompletes) {
@@ -278,8 +278,8 @@ TEST(TimeWarpEngine, TinyOptimismWindowStillCompletes) {
   const RunStats t = tw.run();
   SequentialEngine seq(model, EngineConfig{.num_lps = 16, .end_time = 40.0});
   const RunStats s = seq.run();
-  EXPECT_EQ(t.committed_events, s.committed_events);
-  EXPECT_GT(t.gvt_rounds, 10u) << "a tight window forces many GVT rounds";
+  EXPECT_EQ(t.committed_events(), s.committed_events());
+  EXPECT_GT(t.gvt_rounds(), 10u) << "a tight window forces many GVT rounds";
 }
 
 TEST(TimeWarpEngine, RejectsBadConfig) {

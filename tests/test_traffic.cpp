@@ -120,9 +120,9 @@ TEST(TrafficModel, PatternsStayDeterministicUnderTimeWarp) {
     const auto seq = core::run_hotpotato(o);
     auto t = o;
     t.kernel = core::Kernel::TimeWarp;
-    t.num_pes = 4;
-    t.num_kps = 16;
-    t.gvt_interval = 256;
+    t.engine.num_pes = 4;
+    t.engine.num_kps = 16;
+    t.engine.gvt_interval_events = 256;
     const auto tw = core::run_hotpotato(t);
     EXPECT_EQ(seq.report, tw.report) << traffic_pattern_name(p);
   }
