@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
     hp::hotpotato::HotPotatoModel ref_model(mcfg);
     hp::des::SequentialEngine seq(ref_model, ecfg);
     (void)seq.run();
-    const auto ref = hp::hotpotato::collect_report(seq);
+    const auto ref = hp::hotpotato::collect_report(seq, mcfg.steps);
 
     std::vector<MappingRun> runs;
     runs.push_back({"block (report)",
@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
       hp::hotpotato::HotPotatoModel model(mcfg);
       hp::des::TimeWarpEngine eng(model, cfg);
       const auto stats = eng.run();
-      const auto report = hp::hotpotato::collect_report(eng);
+      const auto report = hp::hotpotato::collect_report(eng, mcfg.steps);
       table.add_row({static_cast<std::int64_t>(n), run.name,
                      100.0 * hp::net::inter_pe_link_fraction(*run.mapping, n),
                      stats.event_rate(), stats.rolled_back_events(),

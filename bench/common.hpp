@@ -15,6 +15,7 @@
 
 #include "core/simulation.hpp"
 #include "obs/metrics.hpp"
+#include "obs/model_channel.hpp"
 #include "util/cli.hpp"
 #include "util/macros.hpp"
 #include "util/json_writer.hpp"
@@ -70,9 +71,23 @@ inline core::SimulationOptions tw_options(std::int32_t n, double load,
   return o;
 }
 
+// Applies the shared --monitor[=interval] / --monitor-out=path flags to an
+// engine config. Bare --monitor means every GVT round; --monitor=N emits one
+// heartbeat per N rounds; without --monitor-out the stream goes to stderr.
+// Only the Time Warp kernel emits heartbeats; the flag is harmless elsewhere.
+inline void apply_monitor_flags(const util::Cli& cli, des::EngineConfig& cfg) {
+  if (!cli.has("monitor")) return;
+  cfg.obs.monitor = true;
+  const std::int64_t interval = cli.get_int("monitor", 1);
+  cfg.obs.monitor_interval =
+      interval > 0 ? static_cast<std::uint32_t>(interval) : 1u;
+  cfg.obs.monitor_path = cli.get("monitor-out", "");
+}
+
 inline void finish(util::Table& table, const util::Cli& cli,
                    const std::string& title,
-                   const std::vector<obs::MetricsReport>& metrics = {}) {
+                   const std::vector<obs::MetricsReport>& metrics = {},
+                   const std::vector<obs::ModelChannel>& models = {}) {
   std::cout << title << "\n\n";
   table.print(std::cout);
   if (cli.has("csv")) {
@@ -96,6 +111,12 @@ inline void finish(util::Table& table, const util::Cli& cli,
       for (const obs::MetricsReport& m : metrics) m.write_json(w);
       w.end_array();
     }
+    if (!models.empty()) {
+      // Model metric channels, one per row, same order as `rows`.
+      w.key("model").begin_array();
+      for (const obs::ModelChannel& ch : models) ch.write_json(w);
+      w.end_array();
+    }
     w.end_object();
     HP_ASSERT(w.done(), "unbalanced JSON in bench dump");
     std::cout << "\njson written to " << path << "\n";
@@ -105,7 +126,10 @@ inline void finish(util::Table& table, const util::Cli& cli,
 inline std::map<std::string, std::string> common_flags() {
   return {{"full", "paper-scale sweep (N up to 256; slow)"},
           {"csv", "also write the table as CSV to this path"},
-          {"json", "write rows + engine MetricsReports as JSON to this path"}};
+          {"json", "write rows + engine MetricsReports as JSON to this path"},
+          {"monitor", "live heartbeat every N GVT rounds (bare = every round)"},
+          {"monitor-out", "append the monitor JSON-lines stream to this file "
+                          "instead of stderr"}};
 }
 
 }  // namespace hp::bench

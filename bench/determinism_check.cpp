@@ -45,7 +45,10 @@ int main(int argc, char** argv) {
     char tag[64];
     std::snprintf(tag, sizeof(tag), "timewarp %u PE(s)", pes);
     print_report(tag, tw);
-    const bool same = tw.report == seq.report;
+    // Whole-channel comparison: every named model metric (including the
+    // double sums and the delivery histogram) bit-for-bit, plus the typed
+    // report view derived from it.
+    const bool same = tw.model == seq.model && tw.report == seq.report;
     all_identical = all_identical && same;
     std::printf("%-22s   -> statistics %s\n", "",
                 same ? "IDENTICAL to sequential" : "DIFFER (BUG)");
@@ -54,7 +57,7 @@ int main(int argc, char** argv) {
   auto o = hp::bench::tw_options(n, 0.75, 4, 64);
   o.model.steps = base.model.steps;
   const auto again = hp::core::run_hotpotato(o);
-  const bool repeat = again.report == seq.report;
+  const bool repeat = again.model == seq.model && again.report == seq.report;
   all_identical = all_identical && repeat;
   std::printf("\nrepeated 4-PE run: %s\n",
               repeat ? "IDENTICAL" : "DIFFERS (BUG)");

@@ -33,7 +33,9 @@ int main(int argc, char** argv) {
         o.model.steps = static_cast<std::uint32_t>(2 * n);
         r = hp::core::run_hotpotato(o);
       } else {
-        r = hp::core::run_hotpotato(hp::bench::tw_options(n, 0.5, pes, 64));
+        auto o = hp::bench::tw_options(n, 0.5, pes, 64);
+        hp::bench::apply_monitor_flags(cli, o.engine);
+        r = hp::core::run_hotpotato(o);
       }
       table.add_row({static_cast<std::int64_t>(n),
                      static_cast<std::int64_t>(n) * n,

@@ -29,8 +29,9 @@ int main(int argc, char** argv) {
       if (pes == 1) {
         rate = seq_rate;
       } else {
-        rate = hp::core::run_hotpotato(hp::bench::tw_options(n, 0.5, pes, 64))
-                   .engine.event_rate();
+        auto o = hp::bench::tw_options(n, 0.5, pes, 64);
+        hp::bench::apply_monitor_flags(cli, o.engine);
+        rate = hp::core::run_hotpotato(o).engine.event_rate();
       }
       const double speedup = rate / seq_rate;
       table.add_row({static_cast<std::int64_t>(n),

@@ -17,23 +17,36 @@ int main(int argc, char** argv) {
            : std::vector<std::int32_t>{16, 32};
 
   hp::util::Table table({"N", "KPs", "events_rolled_back", "primary_rollbacks",
-                         "anti_messages", "committed"});
+                         "secondary_rollbacks", "primary_events",
+                         "secondary_events", "max_cascade", "anti_messages",
+                         "committed"});
+  std::vector<hp::obs::MetricsReport> metrics;
+  std::vector<hp::obs::ModelChannel> models;
   for (const std::int32_t n : sizes) {
     for (const std::uint32_t kps : scale.kp_counts) {
       if (kps > static_cast<std::uint32_t>(n) * static_cast<std::uint32_t>(n)) {
         continue;  // cannot have more KPs than LPs
       }
       auto o = hp::bench::tw_options(n, 0.5, 2, kps);
-      const auto r = hp::core::run_hotpotato(o);
+      hp::bench::apply_monitor_flags(cli, o.engine);
+      auto r = hp::core::run_hotpotato(o);
       table.add_row({static_cast<std::int64_t>(n),
                      static_cast<std::int64_t>(kps),
                      r.engine.rolled_back_events(), r.engine.primary_rollbacks(),
-                     r.engine.anti_messages(), r.engine.committed_events()});
+                     r.engine.secondary_rollbacks(),
+                     r.engine.primary_rollback_events(),
+                     r.engine.secondary_rollback_events(),
+                     r.engine.max_cascade_depth(), r.engine.anti_messages(),
+                     r.engine.committed_events()});
+      metrics.push_back(std::move(r.engine.metrics));
+      models.push_back(std::move(r.model));
     }
   }
   hp::bench::finish(table, cli,
                     "Figure 7: total events rolled back vs number of KPs "
                     "(expect steep drop with KPs for small N, flattening for "
-                    "large N)");
+                    "large N; primary = straggler-caused, secondary = "
+                    "anti-message-induced)",
+                    metrics, models);
   return 0;
 }

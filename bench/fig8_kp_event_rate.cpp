@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
         continue;
       }
       auto o = hp::bench::tw_options(n, 0.5, 2, kps);
+      hp::bench::apply_monitor_flags(cli, o.engine);
       const auto r = hp::core::run_hotpotato(o);
       table.add_row({static_cast<std::int64_t>(n),
                      static_cast<std::int64_t>(kps), r.engine.event_rate(),

@@ -3,10 +3,13 @@
 // and print the system-wide statistics the report tracks (Section 3.1.5).
 //
 //   ./quickstart [--n=16] [--inject=0.5] [--steps=200] [--pes=1]
-//               [--trace=trace.json]
+//               [--trace=trace.json] [--monitor[=interval]]
+//               [--monitor-out=monitor.jsonl]
 //
 // --trace writes a Chrome/Perfetto phase trace of the run (one track per
 // PE); load it at https://ui.perfetto.dev — see EXPERIMENTS.md.
+// --monitor (Time Warp only) emits a JSON-lines heartbeat every `interval`
+// GVT rounds to stderr, or to --monitor-out when given.
 
 #include <cstdio>
 
@@ -19,7 +22,9 @@ int main(int argc, char** argv) {
                      {"inject", "fraction of routers injecting (0..1)"},
                      {"steps", "simulated time steps"},
                      {"pes", "1 = sequential kernel, >1 = Time Warp"},
-                     {"trace", "write a Chrome/Perfetto trace to this path"}});
+                     {"trace", "write a Chrome/Perfetto trace to this path"},
+                     {"monitor", "heartbeat every N GVT rounds (bare = 1)"},
+                     {"monitor-out", "append monitor stream to this file"}});
 
   hp::core::SimulationOptions opts;
   opts.model.n = static_cast<std::int32_t>(cli.get_int("n", 16));
@@ -35,6 +40,13 @@ int main(int argc, char** argv) {
   if (cli.has("trace")) {
     opts.engine.obs.trace = true;
     opts.engine.obs.trace_path = cli.get("trace", "trace.json");
+  }
+  if (cli.has("monitor")) {
+    opts.engine.obs.monitor = true;
+    const auto interval = cli.get_int("monitor", 1);
+    opts.engine.obs.monitor_interval =
+        interval > 0 ? static_cast<std::uint32_t>(interval) : 1u;
+    opts.engine.obs.monitor_path = cli.get("monitor-out", "");
   }
 
   const auto result = hp::core::run_hotpotato(opts);
@@ -62,9 +74,36 @@ int main(int argc, char** argv) {
   std::printf("\n  engine: %llu events committed at %.0f events/s\n",
               static_cast<unsigned long long>(result.engine.committed_events()),
               result.engine.event_rate());
+  if (result.engine.rolled_back_events() > 0) {
+    const auto& forensics = result.engine.metrics.forensics;
+    std::printf("  rollbacks: %llu events undone (%llu primary / %llu "
+                "secondary episodes, max cascade %llu)\n",
+                static_cast<unsigned long long>(
+                    result.engine.rolled_back_events()),
+                static_cast<unsigned long long>(
+                    result.engine.primary_rollbacks()),
+                static_cast<unsigned long long>(
+                    result.engine.secondary_rollbacks()),
+                static_cast<unsigned long long>(
+                    result.engine.max_cascade_depth()));
+    if (const auto top = forensics.top_offender(); top.second > 0) {
+      std::printf("  top offender: KP %u caused %llu rolled-back events\n",
+                  top.first, static_cast<unsigned long long>(top.second));
+    }
+  }
+  if (opts.engine.obs.monitor) {
+    std::printf("  monitor: %llu heartbeat line(s) -> %s\n",
+                static_cast<unsigned long long>(
+                    result.engine.metrics.monitor_lines),
+                opts.engine.obs.monitor_path.empty()
+                    ? "stderr"
+                    : opts.engine.obs.monitor_path.c_str());
+  }
   if (opts.engine.obs.trace) {
-    std::printf("  trace: %llu spans -> %s (load at ui.perfetto.dev)\n",
+    std::printf("  trace: %llu spans + %llu flow events -> %s (load at "
+                "ui.perfetto.dev)\n",
                 static_cast<unsigned long long>(result.engine.metrics.trace_spans),
+                static_cast<unsigned long long>(result.engine.metrics.trace_flows),
                 opts.engine.obs.trace_path.c_str());
   }
   return 0;

@@ -25,7 +25,9 @@ int main(int argc, char** argv) {
        {"probability_i", "percent of routers injecting, 0..100"},
        {"absorb_sleeping_packet", "1 practical / 0 proof-verification"},
        {"kps", "number of kernel processes (report default 64)"},
-       {"seed", "RNG seed"}});
+       {"seed", "RNG seed"},
+       {"monitor", "heartbeat every N GVT rounds (bare = 1)"},
+       {"monitor-out", "append monitor stream to this file"}});
 
   hp::core::SimulationOptions opts;
   opts.model.n = static_cast<std::int32_t>(cli.get_int("n", 32));
@@ -42,6 +44,13 @@ int main(int argc, char** argv) {
     opts.engine.num_pes = pes;
     opts.engine.num_kps = static_cast<std::uint32_t>(cli.get_int("kps", 64));
     opts.engine.optimism_window = 30.0;
+  }
+  if (cli.has("monitor")) {
+    opts.engine.obs.monitor = true;
+    const auto interval = cli.get_int("monitor", 1);
+    opts.engine.obs.monitor_interval =
+        interval > 0 ? static_cast<std::uint32_t>(interval) : 1u;
+    opts.engine.obs.monitor_path = cli.get("monitor-out", "");
   }
 
   const auto result = hp::core::run_hotpotato(opts);
@@ -75,9 +84,14 @@ int main(int argc, char** argv) {
               r.max_inject_wait);
   std::printf("\n  events committed           : %llu\n",
               static_cast<unsigned long long>(result.engine.committed_events()));
-  std::printf("  events rolled back         : %llu\n",
+  std::printf("  events rolled back         : %llu (%llu primary + %llu "
+              "secondary)\n",
               static_cast<unsigned long long>(
-                  result.engine.rolled_back_events()));
+                  result.engine.rolled_back_events()),
+              static_cast<unsigned long long>(
+                  result.engine.primary_rollback_events()),
+              static_cast<unsigned long long>(
+                  result.engine.secondary_rollback_events()));
   std::printf("  event rate                 : %.0f events/s\n",
               result.engine.event_rate());
   for (std::size_t pe = 0; pe < result.engine.per_pe().size(); ++pe) {

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validate bench --json dumps against scripts/bench_json.schema.json.
+
+Standard library only (CI images need no jsonschema package): implements the
+subset of JSON Schema the checked-in schema actually uses — type, required,
+properties, additionalProperties (bool or schema), items, enum, minItems,
+and $ref into $defs.
+
+Usage:
+    scripts/check_bench_json.py results/BENCH_fig7_rollbacks.json [more...]
+    scripts/check_bench_json.py --schema my.schema.json dump.json
+
+Exits non-zero with a path-annotated message on the first violation per file.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; exclude it from the numeric types.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+class SchemaError(Exception):
+    def __init__(self, path, message):
+        super().__init__(f"{path or '$'}: {message}")
+
+
+def resolve_ref(ref, root):
+    if not ref.startswith("#/"):
+        raise ValueError(f"unsupported $ref {ref!r} (only #/ fragments)")
+    node = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def validate(value, schema, root, path=""):
+    if "$ref" in schema:
+        validate(value, resolve_ref(schema["$ref"], root), root, path)
+        return
+
+    if "type" in schema:
+        allowed = schema["type"]
+        if isinstance(allowed, str):
+            allowed = [allowed]
+        if not any(TYPE_CHECKS[t](value) for t in allowed):
+            raise SchemaError(
+                path, f"expected {' or '.join(allowed)}, got "
+                f"{type(value).__name__} ({value!r:.80})")
+
+    if "enum" in schema and value not in schema["enum"]:
+        raise SchemaError(path, f"{value!r} not in enum {schema['enum']}")
+
+    if isinstance(value, float) and not math.isfinite(value):
+        # The JSON emitter renders non-finite doubles as null; a bare NaN or
+        # Infinity in the file means someone bypassed it.
+        raise SchemaError(path, "non-finite number (emitter should use null)")
+
+    if isinstance(value, dict):
+        for req in schema.get("required", []):
+            if req not in value:
+                raise SchemaError(path, f"missing required key {req!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, sub in value.items():
+            sub_path = f"{path}.{key}" if path else key
+            if key in props:
+                validate(sub, props[key], root, sub_path)
+            elif extra is False:
+                raise SchemaError(sub_path, "unexpected key")
+            elif isinstance(extra, dict):
+                validate(sub, extra, root, sub_path)
+
+    if isinstance(value, list):
+        if len(value) < schema.get("minItems", 0):
+            raise SchemaError(
+                path, f"expected at least {schema['minItems']} item(s), "
+                f"got {len(value)}")
+        if "items" in schema:
+            for i, item in enumerate(value):
+                validate(item, schema["items"], root, f"{path}[{i}]")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="bench --json dumps")
+    parser.add_argument(
+        "--schema",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "bench_json.schema.json"))
+    args = parser.parse_args()
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+
+    failures = 0
+    for path in args.files:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+            validate(doc, schema, schema)
+        except (OSError, json.JSONDecodeError, SchemaError) as e:
+            print(f"FAIL {path}: {e}", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"ok   {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

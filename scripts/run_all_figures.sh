@@ -37,12 +37,33 @@ BENCHES=(
   conservative_vs_optimistic
 )
 
+# Benches that run the Time Warp kernel also record a live monitor stream
+# (one JSON-lines heartbeat per GVT round) next to their BENCH_*.json.
+MONITORED=(
+  fig5_speedup
+  fig6_efficiency
+  fig7_rollbacks
+  fig8_kp_event_rate
+)
+
 for b in "${BENCHES[@]}"; do
   echo "=== $b ==="
+  MON=()
+  for m in "${MONITORED[@]}"; do
+    if [[ "$b" == "$m" ]]; then
+      MON=(--monitor --monitor-out="$OUT/MONITOR_$b.jsonl")
+      : > "$OUT/MONITOR_$b.jsonl"  # fresh stream per run (writer appends)
+    fi
+  done
   "$BUILD/bench/$b" $FULL --csv="$OUT/$b.csv" --json="$OUT/BENCH_$b.json" \
-    | tee "$OUT/$b.txt"
+    "${MON[@]}" | tee "$OUT/$b.txt"
   echo
 done
+
+if [[ -x scripts/check_bench_json.py ]] || [[ -f scripts/check_bench_json.py ]]; then
+  echo "=== validating bench JSON ==="
+  python3 scripts/check_bench_json.py "$OUT"/BENCH_*.json
+fi
 
 echo "=== micro_engine ==="
 "$BUILD/bench/micro_engine" --benchmark_min_time=0.05 | tee "$OUT/micro_engine.txt"

@@ -41,7 +41,8 @@ SimulationResult run_hotpotato(const SimulationOptions& opts) {
       des::make_engine(opts.kernel, model, ecfg, hotpotato::kCrossLpLookahead);
   SimulationResult result;
   result.engine = eng->run();
-  result.report = hotpotato::collect_report(*eng);
+  result.model = hotpotato::collect_channel(*eng, mcfg.steps);
+  result.report = hotpotato::report_from_channel(result.model);
   return result;
 }
 

@@ -40,7 +40,8 @@ struct SimulationOptions {
 };
 
 struct SimulationResult {
-  hotpotato::HpReport report;  // model-level statistics
+  hotpotato::HpReport report;  // model-level statistics (view over `model`)
+  obs::ModelChannel model;     // named model metrics (report/JSON pipeline)
   des::RunStats engine;        // kernel-level statistics
 };
 

@@ -264,8 +264,13 @@ RunStats ConservativeEngine::run() {
       m.trace_spans_dropped += pe->trace.dropped();
     }
     m.trace_spans = obs::write_chrome_trace(cfg_.obs.trace_path, epoch_ns_,
-                                            buffers, m.gvt_series);
+                                            buffers, m.gvt_series)
+                        .spans;
   }
+  // Rollback forensics and the live monitor are Time Warp diagnostics: a
+  // conservative window never rolls back and has no straggler causality to
+  // attribute, so ObsConfig::forensics/monitor are accepted and ignored here
+  // (m.forensics stays empty, no heartbeat is emitted).
   return stats;
 }
 

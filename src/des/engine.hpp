@@ -92,6 +92,21 @@ struct RunStats {
   std::uint64_t primary_rollbacks() const noexcept {
     return metrics.total.primary_rollbacks();
   }
+  std::uint64_t secondary_rollbacks() const noexcept {
+    return metrics.total.secondary_rollbacks();
+  }
+  std::uint64_t primary_rollback_events() const noexcept {
+    return metrics.total.primary_rollback_events();
+  }
+  std::uint64_t secondary_rollback_events() const noexcept {
+    return metrics.total.secondary_rollback_events();
+  }
+  std::uint64_t max_rollback_depth() const noexcept {
+    return metrics.total.max_rollback_depth();
+  }
+  std::uint64_t max_cascade_depth() const noexcept {
+    return metrics.total.max_cascade_depth();
+  }
   std::uint64_t anti_messages() const noexcept {
     return metrics.total.anti_messages();
   }

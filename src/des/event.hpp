@@ -67,6 +67,13 @@ struct Event : util::MpscNode {
   bool is_anti = false;  // anti token: uid names the event to annihilate
   std::uint16_t payload_size = 0;
   std::uint32_t cv = 0;  // model control bits, reset before each forward
+  // Rollback forensics (see obs/forensics.hpp). `cascade` rides on anti
+  // tokens: the cascade chain length of the rollback episode that sent the
+  // anti, so the induced rollback can extend the chain. `send_wall_ns` is
+  // the wall-clock stamp of the remote send, set only when tracing AND
+  // forensics are on (it pairs the trace.json flow event); 0 otherwise.
+  std::uint32_t cascade = 0;
+  std::uint64_t send_wall_ns = 0;
   util::SmallVec<ChildRef, 4> children;
   // Lazy cancellation: children of the last rolled-back execution, kept
   // alive until re-execution either re-sends them identically (reuse) or
@@ -119,6 +126,10 @@ class EventPool {
   void free(Event* ev) noexcept {
     ev->status = EventStatus::Free;
     ev->is_anti = false;
+    // Forensics stamps must not survive envelope reuse: a recycled envelope
+    // with a stale send_wall_ns would fabricate a flow event.
+    ev->cascade = 0;
+    ev->send_wall_ns = 0;
     ev->children.clear();
     ev->stale_children.clear();
     ev->snapshot.reset();

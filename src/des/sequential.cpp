@@ -128,7 +128,8 @@ RunStats SequentialEngine::run() {
   m.final_gvt = pending_.empty() ? kTimeInf : (*pending_.begin())->key.ts;
   if (tracing) {
     m.trace_spans = obs::write_chrome_trace(cfg_.obs.trace_path, epoch_ns,
-                                            {&trace}, m.gvt_series);
+                                            {&trace}, m.gvt_series)
+                        .spans;
     m.trace_spans_dropped = trace.dropped();
   }
   // Events beyond end_time are never executed; release them.

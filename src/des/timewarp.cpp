@@ -252,7 +252,15 @@ void TimeWarpEngine::seed_initial_events() {
 void TimeWarpEngine::deliver(PeData& pe, Event* ev) {
   KpData& kp = kps_[ev->kp];
   if (!kp.processed.empty() && ev->key < kp.processed.back()->key) {
-    rollback(pe, ev->kp, ev->key);
+    // Primary rollback: a straggler positive behind the KP's frontier. The
+    // offender is the sending LP's KP/PE; cascade_ctx is always 0 here
+    // (reverse handlers cannot send, so deliver never runs mid-rollback),
+    // making this the head of a fresh cascade chain.
+    const std::uint32_t src = ev->key.src_lp;
+    rollback(pe, ev->kp, ev->key,
+             obs::RollbackCause{obs::RollbackKind::Primary, lp_kp_[src],
+                                lp_pe_[src], pe.cascade_ctx + 1,
+                                ev->send_wall_ns});
   }
   ev->status = EventStatus::Pending;
   pe.pending.insert(ev);
@@ -263,6 +271,7 @@ void TimeWarpEngine::deliver(PeData& pe, Event* ev) {
 
 void TimeWarpEngine::stage_remote(PeData& pe, std::uint32_t dst_pe,
                                   Event* ev) {
+  if (trace_stamps_) ev->send_wall_ns = obs::monotonic_ns();
   OutBatch& b = pe.out[dst_pe];
   ev->mpsc_next.store(nullptr, std::memory_order_relaxed);
   if (b.head == nullptr) {
@@ -298,17 +307,30 @@ void TimeWarpEngine::send_anti(PeData& pe, const ChildRef& c) {
   anti->is_anti = true;
   anti->uid = c.uid;
   anti->key = c.key;
+  // Carry the sending episode's cascade chain length so the induced rollback
+  // (if any) extends the chain; 0 outside a rollback (lazy stale
+  // cancellation from forward execution restarts the chain).
+  anti->cascade = pe.cascade_ctx;
   stage_remote(pe, c.dst_pe, anti);
   ++pe.metrics.at(Counter::AntiMessages);
 }
 
-void TimeWarpEngine::annihilate(PeData& pe, std::uint64_t uid) {
+void TimeWarpEngine::annihilate(PeData& pe, std::uint64_t uid,
+                                std::uint32_t offender_kp,
+                                std::uint32_t offender_pe,
+                                std::uint64_t send_wall_ns) {
   auto it = pe.index.find(uid);
   // FIFO inboxes guarantee a positive always precedes its anti; see header.
   HP_ASSERT(it != pe.index.end(), "anti-message found no matching positive");
   Event* ev = it->second;
   if (ev->status == EventStatus::Processed) {
-    rollback(pe, ev->kp, ev->key);
+    // Secondary rollback: induced by a cancellation, one chain link deeper
+    // than the episode that sent it (cascade_ctx holds the inducing depth —
+    // set from the anti token for remote cancellations, live for local ones).
+    rollback(pe, ev->kp, ev->key,
+             obs::RollbackCause{obs::RollbackKind::Secondary, offender_kp,
+                                offender_pe, pe.cascade_ctx + 1,
+                                send_wall_ns});
     HP_ASSERT(ev->status == EventStatus::Pending, "rollback left event processed");
   }
   // A pending event killed before re-execution drags its lazily-kept
@@ -322,7 +344,7 @@ void TimeWarpEngine::annihilate(PeData& pe, std::uint64_t uid) {
 void TimeWarpEngine::cancel_stale(PeData& pe, Event* ev) {
   for (const ChildRef& c : ev->stale_children) {
     if (c.dst_pe == pe.id) {
-      annihilate(pe, c.uid);
+      annihilate(pe, c.uid, ev->kp, pe.id, 0);
     } else {
       send_anti(pe, c);
     }
@@ -333,7 +355,7 @@ void TimeWarpEngine::cancel_stale(PeData& pe, Event* ev) {
 void TimeWarpEngine::cancel_children(PeData& pe, Event* ev) {
   for (const ChildRef& c : ev->children) {
     if (c.dst_pe == pe.id) {
-      annihilate(pe, c.uid);
+      annihilate(pe, c.uid, ev->kp, pe.id, 0);
     } else {
       send_anti(pe, c);
     }
@@ -370,12 +392,18 @@ void TimeWarpEngine::undo_event(PeData& pe, Event* ev) {
 }
 
 void TimeWarpEngine::rollback(PeData& pe, std::uint32_t kp_id,
-                              const EventKey& key) {
+                              const EventKey& key,
+                              const obs::RollbackCause& cause) {
   // A rollback can fire from inside any phase (forward send, inbox drain);
   // charge its time to Rollback and restore the interrupted phase after.
   obs::PhaseScope phase(pe.probe, Phase::Rollback);
   KpData& kp = kps_[kp_id];
-  ++pe.metrics.at(Counter::PrimaryRollbacks);
+  // Episodes nest (cancel_children -> annihilate -> rollback): while this
+  // episode undoes events, antis it sends — and local rollbacks it triggers —
+  // are chain links of *this* cascade. Save/restore the ambient context.
+  const std::uint32_t prev_ctx = pe.cascade_ctx;
+  pe.cascade_ctx = cause.cascade;
+  std::uint64_t undone = 0;
   while (!kp.processed.empty() && kp.processed.back()->key >= key) {
     Event* ev = kp.processed.back();
     kp.processed.pop_back();
@@ -392,7 +420,31 @@ void TimeWarpEngine::rollback(PeData& pe, std::uint32_t kp_id,
     undo_event(pe, ev);
     ev->status = EventStatus::Pending;
     pe.pending.insert(ev);
-    ++pe.metrics.at(Counter::RolledBack);
+    ++undone;
+  }
+  pe.cascade_ctx = prev_ctx;
+
+  // Causality attribution: scalar counters are plain arithmetic and always
+  // on; the per-KP heatmaps/cascade histogram are gated inside `forensics`;
+  // the flow event fires only when the offending send was stamped (tracing +
+  // forensics), so attribution fully off never reads the clock here.
+  pe.metrics.at(Counter::RolledBack) += undone;
+  const bool primary = cause.kind == obs::RollbackKind::Primary;
+  ++pe.metrics.at(primary ? Counter::PrimaryRollbacks
+                          : Counter::SecondaryRollbacks);
+  pe.metrics.at(primary ? Counter::PrimaryRollbackEvents
+                        : Counter::SecondaryRollbackEvents) += undone;
+  std::uint64_t& depth = pe.metrics.at(Counter::MaxRollbackDepth);
+  depth = std::max(depth, undone);
+  std::uint64_t& chain = pe.metrics.at(Counter::MaxCascadeDepth);
+  chain = std::max<std::uint64_t>(chain, cause.cascade);
+  pe.forensics.record(cause, kp_id, undone);
+  if (cause.send_wall_ns != 0) {
+    const std::uint64_t flow_id =
+        (static_cast<std::uint64_t>(pe.id + 1) << 40) | ++pe.flow_counter;
+    pe.trace.add_flow(obs::TraceFlow{primary, flow_id, cause.offender_pe,
+                                     cause.send_wall_ns, pe.id,
+                                     obs::monotonic_ns()});
   }
 }
 
@@ -401,8 +453,15 @@ void TimeWarpEngine::drain_inbox(PeData& pe) {
   while (Event* ev = pe.inbox.pop()) {
     if (ev->is_anti) {
       const std::uint64_t uid = ev->uid;
+      // The anti's key is the victim child's key, so key.src_lp is the LP of
+      // the parent whose rollback sent the cancellation — the offender.
+      const std::uint32_t src = ev->key.src_lp;
+      const std::uint32_t inducing_cascade = ev->cascade;
+      const std::uint64_t send_wall_ns = ev->send_wall_ns;
       pe.pool.free(ev);
-      annihilate(pe, uid);
+      pe.cascade_ctx = inducing_cascade;
+      annihilate(pe, uid, lp_kp_[src], lp_pe_[src], send_wall_ns);
+      pe.cascade_ctx = 0;
     } else {
       deliver(pe, ev);
     }
@@ -486,13 +545,32 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
     ++inbox_depth;
   });
   local_min_[pe.id] = local;
+  if (monitor_ != nullptr) {
+    // Publish this PE's monitor slice before barrier B; PE 0 reads all
+    // slices after it (nobody can reach the next round's slice writes until
+    // PE 0 passes the next barrier A, so the reads are race-free).
+    MonitorSlice& sl = mon_slices_[pe.id];
+    sl.processed = pe.metrics.at(Counter::Processed);
+    sl.rolled_back = pe.metrics.at(Counter::RolledBack);
+    sl.inbox_depth = inbox_depth;
+    const auto [top_kp, top_events] = pe.forensics.top_offender();
+    sl.has_top = top_events > 0;
+    sl.top_kp = top_kp;
+    sl.top_kp_events = top_events;
+  }
   // Barrier B: minima published; everybody computes the same global min.
   bar_b_.arrive_and_wait();
   Time gvt = kTimeInf;
   for (Time m : local_min_) gvt = std::min(gvt, m);
   if (pe.id == 0) {
-    gvt_rounds_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t round_idx =
+        gvt_rounds_.fetch_add(1, std::memory_order_relaxed);
     shared_gvt_.store(gvt, std::memory_order_relaxed);
+    if (monitor_ != nullptr &&
+        ++mon_rounds_since_emit_ >= std::max(1u, cfg_.obs.monitor_interval)) {
+      mon_rounds_since_emit_ = 0;
+      emit_monitor_record(round_idx, gvt);
+    }
   }
   pe.probe.switch_to(Phase::Fossil);
   fossil_collect(pe, gvt);
@@ -528,6 +606,47 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
   pe.idle_iters = 0;
   pe.probe.switch_to(Phase::Forward);
   return gvt > cfg_.end_time;
+}
+
+void TimeWarpEngine::emit_monitor_record(std::uint64_t round_idx, Time gvt) {
+  const std::uint64_t now = obs::monotonic_ns();
+  std::uint64_t processed = 0;
+  std::uint64_t rolled_back = 0;
+  std::uint64_t inbox = 0;
+  bool has_top = false;
+  std::uint32_t top_kp = 0;
+  std::uint64_t top_events = 0;
+  for (const MonitorSlice& sl : mon_slices_) {
+    processed += sl.processed;
+    rolled_back += sl.rolled_back;
+    inbox += sl.inbox_depth;
+    // The global arg-max over per-PE arg-maxes: approximate when one
+    // offender's damage is split across PEs, documented in obs/monitor.hpp.
+    if (sl.has_top && sl.top_kp_events > top_events) {
+      has_top = true;
+      top_kp = sl.top_kp;
+      top_events = sl.top_kp_events;
+    }
+  }
+  obs::MonitorSample s;
+  s.round = round_idx;
+  s.t_seconds = static_cast<double>(now - epoch_ns_) * 1e-9;
+  s.gvt = gvt;
+  s.processed = processed - mon_last_processed_;
+  s.rolled_back = rolled_back - mon_last_rolled_back_;
+  s.inbox_depth = inbox;
+  const double dt = static_cast<double>(now - mon_last_ns_) * 1e-9;
+  s.event_rate = dt > 0.0 ? static_cast<double>(s.processed) / dt : 0.0;
+  s.rollback_rate = s.processed > 0 ? static_cast<double>(s.rolled_back) /
+                                          static_cast<double>(s.processed)
+                                    : 0.0;
+  s.has_offender = has_top;
+  s.top_offender_kp = top_kp;
+  s.top_offender_events = top_events;
+  monitor_->emit(s);
+  mon_last_processed_ = processed;
+  mon_last_rolled_back_ = rolled_back;
+  mon_last_ns_ = now;
 }
 
 void TimeWarpEngine::run_pe(PeData& pe) {
@@ -588,13 +707,20 @@ RunStats TimeWarpEngine::run() {
   seed_initial_events();
 
   const bool tracing = cfg_.obs.trace;
+  trace_stamps_ = tracing && cfg_.obs.forensics;
   for (auto& pe : pes_) {
     pe->trace.reset(tracing ? cfg_.obs.max_trace_spans_per_pe : 0);
     pe->series.reset(cfg_.obs.gvt_series_capacity);
     pe->probe.attach(&pe->metrics, tracing ? &pe->trace : nullptr,
                      cfg_.obs.phase_timers);
+    pe->forensics.reset(cfg_.num_kps, cfg_.obs.forensics);
+  }
+  if (cfg_.obs.monitor) {
+    monitor_ = std::make_unique<obs::MonitorWriter>(cfg_.obs.monitor_path);
+    mon_slices_.assign(cfg_.num_pes, MonitorSlice{});
   }
   epoch_ns_ = obs::monotonic_ns();
+  mon_last_ns_ = epoch_ns_;
 
   const auto t0 = std::chrono::steady_clock::now();
   if (cfg_.num_pes == 1) {
@@ -616,12 +742,31 @@ RunStats TimeWarpEngine::run() {
     m.per_pe.push_back(pe->metrics);
   }
   m.finalize();  // the one per-PE -> aggregate reduction
+  for (const auto& pe : pes_) m.forensics.merge(pe->forensics);
   HP_ASSERT(stats.committed_events() ==
                 stats.processed_events() - stats.rolled_back_events(),
             "event accounting mismatch: committed=%llu processed=%llu rb=%llu",
             static_cast<unsigned long long>(stats.committed_events()),
             static_cast<unsigned long long>(stats.processed_events()),
             static_cast<unsigned long long>(stats.rolled_back_events()));
+  // Attribution invariant: every undone event belongs to exactly one
+  // episode kind, and with forensics on the per-KP victim heatmap accounts
+  // for all of them.
+  HP_ASSERT(m.total.primary_rollback_events() +
+                    m.total.secondary_rollback_events() ==
+                stats.rolled_back_events(),
+            "rollback attribution mismatch: primary=%llu secondary=%llu "
+            "rolled_back=%llu",
+            static_cast<unsigned long long>(m.total.primary_rollback_events()),
+            static_cast<unsigned long long>(m.total.secondary_rollback_events()),
+            static_cast<unsigned long long>(stats.rolled_back_events()));
+  if (cfg_.obs.forensics) {
+    HP_ASSERT(m.forensics.victim_events_total() == stats.rolled_back_events(),
+              "forensics heatmap does not sum to rolled_back (%llu vs %llu)",
+              static_cast<unsigned long long>(m.forensics.victim_events_total()),
+              static_cast<unsigned long long>(stats.rolled_back_events()));
+  }
+  if (monitor_ != nullptr) m.monitor_lines = monitor_->lines();
   m.gvt_rounds = gvt_rounds_.load();
   m.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   m.final_gvt = shared_gvt_.load();
@@ -653,8 +798,10 @@ RunStats TimeWarpEngine::run() {
       buffers.push_back(&pe->trace);
       m.trace_spans_dropped += pe->trace.dropped();
     }
-    m.trace_spans = obs::write_chrome_trace(cfg_.obs.trace_path, epoch_ns_,
-                                            buffers, m.gvt_series);
+    const obs::ChromeTraceStats written = obs::write_chrome_trace(
+        cfg_.obs.trace_path, epoch_ns_, buffers, m.gvt_series);
+    m.trace_spans = written.spans;
+    m.trace_flows = written.flows;
   }
   return stats;
 }

@@ -53,6 +53,8 @@
 #include "des/model.hpp"
 #include "des/splay_queue.hpp"
 #include "net/mapping.hpp"
+#include "obs/forensics.hpp"
+#include "obs/monitor.hpp"
 #include "obs/probe.hpp"
 #include "util/mpsc_queue.hpp"
 
@@ -170,6 +172,26 @@ class TimeWarpEngine final : public Engine {
     obs::TraceBuffer trace;
     obs::GvtSeriesRing series;
     std::uint64_t local_rounds = 0;
+
+    // Rollback forensics: the per-KP heatmaps this PE accumulates, the
+    // cascade context (chain length of the rollback episode currently
+    // executing; 0 = ambient, so episodes it induces are depth ctx + 1),
+    // and a counter minting unique flow-event ids.
+    obs::RollbackForensics forensics;
+    std::uint32_t cascade_ctx = 0;
+    std::uint64_t flow_counter = 0;
+  };
+
+  // One cache line per PE of live-monitor state, written between GVT
+  // barriers A and B and read by PE 0 after barrier B (no other PE can pass
+  // the *next* barrier A until PE 0 arrives, so the reads race with nothing).
+  struct alignas(64) MonitorSlice {
+    std::uint64_t processed = 0;    // cumulative forward executions
+    std::uint64_t rolled_back = 0;  // cumulative events undone
+    std::uint64_t inbox_depth = 0;  // envelopes seen at this round's barrier
+    bool has_top = false;
+    std::uint32_t top_kp = 0;
+    std::uint64_t top_kp_events = 0;
   };
 
   class TwCtx;
@@ -182,14 +204,23 @@ class TimeWarpEngine final : public Engine {
   void stage_remote(PeData& pe, std::uint32_t dst_pe, Event* ev);
   void flush_outboxes(PeData& pe);
   void send_anti(PeData& pe, const ChildRef& c);
-  void annihilate(PeData& pe, std::uint64_t uid);
-  void rollback(PeData& pe, std::uint32_t kp, const EventKey& key);
+  // `offender_kp`/`offender_pe` attribute any rollback the annihilation
+  // induces (the canceller's KP for remote antis, the dying parent's KP for
+  // synchronous local cancellation); `send_wall_ns` is the anti's send stamp
+  // (0 when local or stamps are off).
+  void annihilate(PeData& pe, std::uint64_t uid, std::uint32_t offender_kp,
+                  std::uint32_t offender_pe, std::uint64_t send_wall_ns);
+  void rollback(PeData& pe, std::uint32_t kp, const EventKey& key,
+                const obs::RollbackCause& cause);
   void cancel_children(PeData& pe, Event* ev);
   void cancel_stale(PeData& pe, Event* ev);
   void undo_event(PeData& pe, Event* ev);
   void process_one(PeData& pe, Event* ev);
   // Returns true when the run is complete (GVT beyond end time).
   bool gvt_round(PeData& pe);
+  // PE 0 only, after barrier B: aggregate the monitor slices and emit one
+  // JSON-lines heartbeat record.
+  void emit_monitor_record(std::uint64_t round_idx, Time gvt);
   void fossil_collect(PeData& pe, Time gvt);
   Event* next_event(PeData& pe);
   void seed_initial_events();
@@ -217,6 +248,19 @@ class TimeWarpEngine final : public Engine {
   std::atomic<std::uint64_t> gvt_rounds_{0};
   std::atomic<Time> shared_gvt_{0.0};
   std::uint64_t epoch_ns_ = 0;  // run-start timestamp for series/trace
+
+  // Stamp remote sends with wall time for trace flow events (only when
+  // tracing AND forensics are both on; otherwise zero clock reads).
+  bool trace_stamps_ = false;
+
+  // Live monitor (null unless ObsConfig::monitor). Slices are per-PE; the
+  // mon_last_* bookkeeping is touched only by PE 0.
+  std::unique_ptr<obs::MonitorWriter> monitor_;
+  std::vector<MonitorSlice> mon_slices_;
+  std::uint64_t mon_last_processed_ = 0;
+  std::uint64_t mon_last_rolled_back_ = 0;
+  std::uint64_t mon_last_ns_ = 0;
+  std::uint32_t mon_rounds_since_emit_ = 0;
 };
 
 }  // namespace hp::des

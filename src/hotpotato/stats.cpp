@@ -2,7 +2,116 @@
 
 #include <cstdio>
 
+#include "util/macros.hpp"
+
 namespace hp::hotpotato {
+
+HpChannel::HpChannel(obs::ModelChannel& ch) : ch_(&ch) {
+  arrivals_ = ch.counter("arrivals");
+  routed_ = ch.counter("routed");
+  deflections_ = ch.counter("deflections");
+  injected_ = ch.counter("injected");
+  delivered_ = ch.counter("delivered");
+  link_claims_ = ch.counter("link_claims");
+  pending_waiting_ = ch.counter("pending_waiting");
+  pending_wait_steps_ = ch.real("pending_wait_steps");
+  delivery_steps_sum_ = ch.real("delivery_steps_sum");
+  delivery_distance_sum_ = ch.real("delivery_distance_sum");
+  inject_wait_sum_ = ch.real("inject_wait_sum");
+  max_inject_wait_ = ch.real_max("max_inject_wait");
+  delivery_hist_ = ch.hist("delivery_hist");
+  static constexpr const char* kPrioNames[4] = {
+      "routed_prio_sleeping", "routed_prio_active", "routed_prio_excited",
+      "routed_prio_running"};
+  for (std::size_t i = 0; i < 4; ++i) {
+    routed_by_prio_[i] = ch.counter(kPrioNames[i]);
+  }
+  upgrades_to_active_ = ch.counter("upgrades_to_active");
+  upgrades_to_excited_ = ch.counter("upgrades_to_excited");
+  promotions_to_running_ = ch.counter("promotions_to_running");
+  demotions_to_active_ = ch.counter("demotions_to_active");
+}
+
+void HpChannel::publish(const RouterState& s, std::uint32_t horizon_step) {
+  ch_->add(arrivals_, s.arrivals);
+  ch_->add(routed_, s.routed);
+  ch_->add(deflections_, s.deflections);
+  ch_->add(injected_, s.injected);
+  ch_->add(delivered_, s.delivered);
+  ch_->add(link_claims_, s.link_claims);
+  // Mid-wait accounting: only injector LPs can hold a pending packet, and
+  // its wait-so-far is pinned to the run horizon (not to however far an
+  // optimistic PE happened to execute), so every kernel publishes the same
+  // values for the same final state.
+  if (s.is_injector && s.has_pending) {
+    HP_ASSERT(s.pending_since_step <= horizon_step,
+              "pending packet created past the run horizon (%u > %u)",
+              s.pending_since_step, horizon_step);
+    ch_->add(pending_waiting_, 1);
+    ch_->add_real(pending_wait_steps_,
+                  static_cast<double>(horizon_step - s.pending_since_step));
+  }
+  ch_->add_real(delivery_steps_sum_, s.delivery_steps.sum());
+  ch_->add_real(delivery_distance_sum_, s.delivery_distance.sum());
+  ch_->add_real(inject_wait_sum_, s.inject_wait.sum());
+  // Guarded by injected: a router that never injected holds the -inf
+  // RunningMax sentinel, which must not leak into the maximum. A channel
+  // RealMax that is never pushed reads back as a plain 0.0 — no sentinel
+  // fix-up pass, same value on every kernel.
+  if (s.injected > 0) ch_->push_max(max_inject_wait_, s.max_inject_wait.value());
+  ch_->merge_hist(delivery_hist_, s.delivery_hist);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ch_->add(routed_by_prio_[i], s.routed_by_prio[i]);
+  }
+  ch_->add(upgrades_to_active_, s.upgrades_to_active);
+  ch_->add(upgrades_to_excited_, s.upgrades_to_excited);
+  ch_->add(promotions_to_running_, s.promotions_to_running);
+  ch_->add(demotions_to_active_, s.demotions_to_active);
+}
+
+obs::ModelChannel collect_channel(const des::Engine& eng,
+                                  std::uint32_t horizon_step) {
+  obs::ModelChannel ch;
+  HpChannel hc(ch);
+  for (std::uint32_t lp = 0; lp < eng.num_lps(); ++lp) {
+    hc.publish(static_cast<const RouterState&>(eng.state(lp)), horizon_step);
+  }
+  return ch;
+}
+
+HpReport report_from_channel(const obs::ModelChannel& ch) {
+  HpReport r;
+  r.arrivals = ch.counter_value("arrivals");
+  r.routed = ch.counter_value("routed");
+  r.deflections = ch.counter_value("deflections");
+  r.injected = ch.counter_value("injected");
+  r.delivered = ch.counter_value("delivered");
+  r.link_claims = ch.counter_value("link_claims");
+  r.pending_waiting = ch.counter_value("pending_waiting");
+  r.pending_wait_steps = ch.real_value("pending_wait_steps");
+  r.delivery_steps_sum = ch.real_value("delivery_steps_sum");
+  r.delivery_distance_sum = ch.real_value("delivery_distance_sum");
+  r.inject_wait_sum = ch.real_value("inject_wait_sum");
+  r.max_inject_wait = ch.real_value("max_inject_wait");
+  if (const util::Histogram* h = ch.hist_value("delivery_hist")) {
+    r.delivery_hist = *h;
+  }
+  static constexpr const char* kPrioNames[4] = {
+      "routed_prio_sleeping", "routed_prio_active", "routed_prio_excited",
+      "routed_prio_running"};
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.routed_by_prio[i] = ch.counter_value(kPrioNames[i]);
+  }
+  r.upgrades_to_active = ch.counter_value("upgrades_to_active");
+  r.upgrades_to_excited = ch.counter_value("upgrades_to_excited");
+  r.promotions_to_running = ch.counter_value("promotions_to_running");
+  r.demotions_to_active = ch.counter_value("demotions_to_active");
+  return r;
+}
+
+HpReport collect_report(const des::Engine& eng, std::uint32_t horizon_step) {
+  return report_from_channel(collect_channel(eng, horizon_step));
+}
 
 double HpReport::delivery_percentile(double q) const noexcept {
   const auto& counts = delivery_hist.counts();

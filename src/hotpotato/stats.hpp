@@ -1,15 +1,21 @@
 #pragma once
 
 // System-wide statistics aggregation — the ROSS "statistics collection
-// function" analogue (report Section 3.1.5): after the run, fold every
-// router's counters into one report.
+// function" analogue (report Section 3.1.5): after the run, every router's
+// reversible counters are published into an obs::ModelChannel (HpChannel
+// names the metrics once; collect_channel folds the LPs in ascending order,
+// so the double sums are bit-stable on every kernel and PE count), and
+// HpReport is a typed view rebuilt from the channel. Model statistics ride
+// the same report/JSON pipeline as the kernel metrics — there is no separate
+// hand-rolled summing loop.
 
 #include <array>
 #include <cstdint>
-#include <limits>
 #include <string>
 
+#include "des/engine.hpp"
 #include "hotpotato/router_state.hpp"
+#include "obs/model_channel.hpp"
 
 namespace hp::hotpotato {
 
@@ -20,7 +26,14 @@ struct HpReport {
   std::uint64_t injected = 0;
   std::uint64_t delivered = 0;
   std::uint64_t link_claims = 0;
-  std::uint64_t pending_waiting = 0;  // injectors with a packet still queued
+  // Injectors whose pending packet never entered the network before the run
+  // horizon, and the total steps those packets had waited by then. Both are
+  // derived purely from final LP state plus the configured horizon — never
+  // from execution order — so they are identical across engine kinds even
+  // when a run ends with injectors mid-wait (the repeatability operator==
+  // depends on this).
+  std::uint64_t pending_waiting = 0;
+  double pending_wait_steps = 0.0;
 
   double delivery_steps_sum = 0.0;
   double delivery_distance_sum = 0.0;
@@ -79,38 +92,37 @@ struct HpReport {
   std::string summary_line() const;
 };
 
-// Aggregate from any engine exposing state(lp) / num_lps() (both kernels do).
-template <typename Engine>
-HpReport collect_report(Engine& eng) {
-  HpReport r;
-  r.max_inject_wait = -std::numeric_limits<double>::infinity();
-  bool any_injected = false;
-  for (std::uint32_t lp = 0; lp < eng.num_lps(); ++lp) {
-    const auto& s = static_cast<const RouterState&>(eng.state(lp));
-    if (lp == 0) r.delivery_hist = s.delivery_hist;  // adopt bin layout
-    else r.delivery_hist.merge(s.delivery_hist);
-    r.arrivals += s.arrivals;
-    r.routed += s.routed;
-    r.deflections += s.deflections;
-    r.injected += s.injected;
-    r.delivered += s.delivered;
-    r.link_claims += s.link_claims;
-    r.pending_waiting += s.has_pending ? 1 : 0;
-    for (std::size_t i = 0; i < 4; ++i) r.routed_by_prio[i] += s.routed_by_prio[i];
-    r.upgrades_to_active += s.upgrades_to_active;
-    r.upgrades_to_excited += s.upgrades_to_excited;
-    r.promotions_to_running += s.promotions_to_running;
-    r.demotions_to_active += s.demotions_to_active;
-    r.delivery_steps_sum += s.delivery_steps.sum();
-    r.delivery_distance_sum += s.delivery_distance.sum();
-    r.inject_wait_sum += s.inject_wait.sum();
-    if (s.injected > 0) {
-      any_injected = true;
-      r.max_inject_wait = std::max(r.max_inject_wait, s.max_inject_wait.value());
-    }
-  }
-  if (!any_injected) r.max_inject_wait = 0.0;
-  return r;
-}
+// Registers the hot-potato metric names on a ModelChannel (idempotent) and
+// publishes one router's statistics per publish() call. `horizon_step` is
+// the model's configured step count — the run horizon a mid-wait packet's
+// wait-so-far is measured against.
+class HpChannel {
+ public:
+  explicit HpChannel(obs::ModelChannel& ch);
+
+  void publish(const RouterState& s, std::uint32_t horizon_step);
+
+ private:
+  obs::ModelChannel* ch_;
+  obs::ModelChannel::Id arrivals_, routed_, deflections_, injected_,
+      delivered_, link_claims_, pending_waiting_;
+  obs::ModelChannel::Id pending_wait_steps_, delivery_steps_sum_,
+      delivery_distance_sum_, inject_wait_sum_, max_inject_wait_;
+  obs::ModelChannel::Id delivery_hist_;
+  std::array<obs::ModelChannel::Id, 4> routed_by_prio_;
+  obs::ModelChannel::Id upgrades_to_active_, upgrades_to_excited_,
+      promotions_to_running_, demotions_to_active_;
+};
+
+// Fold every router into a fresh channel, in ascending LP order (bit-stable
+// double sums on every kernel / PE count).
+obs::ModelChannel collect_channel(const des::Engine& eng,
+                                  std::uint32_t horizon_step);
+
+// Typed view over a channel built by collect_channel.
+HpReport report_from_channel(const obs::ModelChannel& ch);
+
+// Convenience: collect_channel + report_from_channel.
+HpReport collect_report(const des::Engine& eng, std::uint32_t horizon_step);
 
 }  // namespace hp::hotpotato

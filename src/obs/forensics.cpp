@@ -1,0 +1,84 @@
+#include "obs/forensics.hpp"
+
+#include <algorithm>
+
+#include "util/json_writer.hpp"
+#include "util/macros.hpp"
+
+namespace hp::obs {
+
+void RollbackForensics::merge(const RollbackForensics& o) {
+  for (std::size_t i = 0; i < kCascadeBins; ++i) {
+    cascade_hist_[i] += o.cascade_hist_[i];
+  }
+  if (o.kp_victim_events_.empty()) return;
+  if (kp_victim_events_.empty()) {
+    enabled_ = enabled_ || o.enabled_;
+    kp_victim_events_ = o.kp_victim_events_;
+    kp_victim_episodes_ = o.kp_victim_episodes_;
+    kp_offender_events_ = o.kp_offender_events_;
+    return;
+  }
+  HP_ASSERT(kp_victim_events_.size() == o.kp_victim_events_.size(),
+            "RollbackForensics::merge KP count mismatch (%zu vs %zu)",
+            kp_victim_events_.size(), o.kp_victim_events_.size());
+  for (std::size_t k = 0; k < kp_victim_events_.size(); ++k) {
+    kp_victim_events_[k] += o.kp_victim_events_[k];
+    kp_victim_episodes_[k] += o.kp_victim_episodes_[k];
+    kp_offender_events_[k] += o.kp_offender_events_[k];
+  }
+}
+
+bool RollbackForensics::empty() const noexcept {
+  return episodes_total() == 0 && kp_victim_events_.empty();
+}
+
+std::uint64_t RollbackForensics::victim_events_total() const noexcept {
+  std::uint64_t t = 0;
+  for (const std::uint64_t v : kp_victim_events_) t += v;
+  return t;
+}
+
+std::uint64_t RollbackForensics::episodes_total() const noexcept {
+  std::uint64_t t = 0;
+  for (const std::uint64_t v : cascade_hist_) t += v;
+  return t;
+}
+
+std::pair<std::uint32_t, std::uint64_t> RollbackForensics::top_offender()
+    const noexcept {
+  std::uint32_t kp = 0;
+  std::uint64_t events = 0;
+  for (std::size_t k = 0; k < kp_offender_events_.size(); ++k) {
+    if (kp_offender_events_[k] > events) {
+      kp = static_cast<std::uint32_t>(k);
+      events = kp_offender_events_[k];
+    }
+  }
+  return {kp, events};
+}
+
+namespace {
+
+void write_u64_array(util::JsonWriter& w, const char* key,
+                     const std::uint64_t* data, std::size_t n) {
+  w.key(key).begin_array();
+  for (std::size_t i = 0; i < n; ++i) w.value(data[i]);
+  w.end_array();
+}
+
+}  // namespace
+
+void RollbackForensics::write_json(util::JsonWriter& w) const {
+  w.begin_object();
+  write_u64_array(w, "cascade_hist", cascade_hist_.data(), kCascadeBins);
+  write_u64_array(w, "kp_victim_events", kp_victim_events_.data(),
+                  kp_victim_events_.size());
+  write_u64_array(w, "kp_victim_episodes", kp_victim_episodes_.data(),
+                  kp_victim_episodes_.size());
+  write_u64_array(w, "kp_offender_events", kp_offender_events_.data(),
+                  kp_offender_events_.size());
+  w.end_object();
+}
+
+}  // namespace hp::obs

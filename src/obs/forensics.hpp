@@ -1,0 +1,114 @@
+#pragma once
+
+// Rollback forensics: causality attribution for the Time Warp kernel.
+//
+// Every rollback episode is classified by its proximate cause —
+//   * Primary:   a straggler positive event arrived behind the KP's
+//                processed frontier;
+//   * Secondary: an anti-message (or a synchronous local cancellation)
+//                annihilated an already-processed event — i.e. the episode
+//                was *induced* by another rollback,
+// and tagged with the offending source KP/PE, its depth (events undone) and
+// its cascade chain length (1 = the straggler itself, 2 = a rollback its
+// antis caused, ...). RollbackForensics accumulates the per-KP heatmaps and
+// the bounded cascade-length histogram; the scalar tallies (episode and
+// event counts per kind, max depth/cascade) live in obs::PeMetrics so they
+// flow through the ordinary table-driven obs::reduce.
+//
+// Everything here is plain arithmetic — no clock reads — and recording is a
+// no-op when ObsConfig::forensics is off, so attribution fully off costs
+// nothing and committed results are bit-identical either way.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hp::util {
+class JsonWriter;
+}
+
+namespace hp::obs {
+
+enum class RollbackKind : std::uint8_t { Primary, Secondary };
+
+// Attribution of one rollback episode, built by the kernel at the point the
+// rollback fires.
+struct RollbackCause {
+  RollbackKind kind = RollbackKind::Primary;
+  std::uint32_t offender_kp = 0;  // KP whose send/cancellation triggered it
+  std::uint32_t offender_pe = 0;  // PE owning that KP
+  // Cascade chain length: primaries are 1; an episode induced by another
+  // episode's anti-messages is that episode's cascade + 1. Lazy
+  // cancellations deferred to re-execution restart the chain at 1.
+  std::uint32_t cascade = 1;
+  // Wall-clock stamp of the offending send (0 when tracing stamps are off
+  // or the offender was local); pairs the trace.json flow event.
+  std::uint64_t send_wall_ns = 0;
+};
+
+class RollbackForensics {
+ public:
+  // Cascade-length histogram bins: chain lengths 1..kCascadeBins-1, last bin
+  // collects everything longer (bounded regardless of cascade depth).
+  static constexpr std::size_t kCascadeBins = 16;
+
+  void reset(std::uint32_t num_kps, bool enabled) {
+    enabled_ = enabled;
+    cascade_hist_.fill(0);
+    kp_victim_events_.assign(enabled ? num_kps : 0, 0);
+    kp_victim_episodes_.assign(enabled ? num_kps : 0, 0);
+    kp_offender_events_.assign(enabled ? num_kps : 0, 0);
+  }
+
+  void record(const RollbackCause& cause, std::uint32_t victim_kp,
+              std::uint64_t events_undone) noexcept {
+    if (!enabled_) return;
+    const std::size_t chain = cause.cascade == 0 ? 1 : cause.cascade;
+    ++cascade_hist_[std::min(chain, kCascadeBins) - 1];
+    kp_victim_events_[victim_kp] += events_undone;
+    ++kp_victim_episodes_[victim_kp];
+    kp_offender_events_[cause.offender_kp] += events_undone;
+  }
+
+  // Fold another PE's accumulator into this one (adopts the KP shape when
+  // this side is still empty).
+  void merge(const RollbackForensics& o);
+
+  bool enabled() const noexcept { return enabled_; }
+  bool empty() const noexcept;
+
+  const std::array<std::uint64_t, kCascadeBins>& cascade_hist() const noexcept {
+    return cascade_hist_;
+  }
+  const std::vector<std::uint64_t>& kp_victim_events() const noexcept {
+    return kp_victim_events_;
+  }
+  const std::vector<std::uint64_t>& kp_victim_episodes() const noexcept {
+    return kp_victim_episodes_;
+  }
+  const std::vector<std::uint64_t>& kp_offender_events() const noexcept {
+    return kp_offender_events_;
+  }
+
+  std::uint64_t victim_events_total() const noexcept;
+  std::uint64_t episodes_total() const noexcept;
+
+  // (kp, events undone on its account); events == 0 when nothing recorded.
+  std::pair<std::uint32_t, std::uint64_t> top_offender() const noexcept;
+
+  // {"cascade_hist":[...], "kp_victim_events":[...], ...}
+  void write_json(util::JsonWriter& w) const;
+
+  bool operator==(const RollbackForensics&) const = default;
+
+ private:
+  bool enabled_ = false;
+  std::array<std::uint64_t, kCascadeBins> cascade_hist_{};
+  std::vector<std::uint64_t> kp_victim_events_;    // events undone, by victim KP
+  std::vector<std::uint64_t> kp_victim_episodes_;  // episodes, by victim KP
+  std::vector<std::uint64_t> kp_offender_events_;  // events undone, by offender
+};
+
+}  // namespace hp::obs

@@ -50,6 +50,12 @@ void MetricsReport::write_json(util::JsonWriter& w) const {
   if (trace_spans > 0 || trace_spans_dropped > 0) {
     w.kv("trace_spans", trace_spans);
     w.kv("trace_spans_dropped", trace_spans_dropped);
+    w.kv("trace_flows", trace_flows);
+  }
+  if (monitor_lines > 0) w.kv("monitor_lines", monitor_lines);
+  if (!forensics.empty()) {
+    w.key("forensics");
+    forensics.write_json(w);
   }
   w.key("total");
   write_pe_metrics(w, total);

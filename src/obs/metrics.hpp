@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/forensics.hpp"
+
 namespace hp::util {
 class JsonWriter;
 }
@@ -69,7 +71,12 @@ enum class Counter : std::uint8_t {
   Processed,           // forward executions incl. re-execution
   Committed,           // events that survived to commit
   RolledBack,          // events undone
-  PrimaryRollbacks,    // rollback episodes (straggler/anti)
+  PrimaryRollbacks,    // rollback episodes caused by a straggler positive
+  SecondaryRollbacks,  // episodes induced by an anti-message / cancellation
+  PrimaryRollbackEvents,    // events undone across primary episodes
+  SecondaryRollbackEvents,  // events undone across secondary episodes
+  MaxRollbackDepth,    // deepest single episode, events undone (max-reduced)
+  MaxCascadeDepth,     // longest cascade chain observed (max-reduced)
   AntiMessages,        // remote cancellations sent
   LazyReused,          // children reused by lazy cancellation
   PoolEnvelopes,       // event envelopes ever allocated (memory proxy)
@@ -96,6 +103,11 @@ inline constexpr std::array<CounterDef, kNumCounters> kCounterDefs{{
     {"committed_events", Reduce::Sum},
     {"rolled_back_events", Reduce::Sum},
     {"primary_rollbacks", Reduce::Sum},
+    {"secondary_rollbacks", Reduce::Sum},
+    {"primary_rollback_events", Reduce::Sum},
+    {"secondary_rollback_events", Reduce::Sum},
+    {"max_rollback_depth", Reduce::Max},
+    {"max_cascade_depth", Reduce::Max},
     {"anti_messages", Reduce::Sum},
     {"lazy_reused", Reduce::Sum},
     {"pool_envelopes", Reduce::Sum},
@@ -141,6 +153,11 @@ struct PeMetrics {
   std::uint64_t committed_events() const noexcept { return at(Counter::Committed); }
   std::uint64_t rolled_back_events() const noexcept { return at(Counter::RolledBack); }
   std::uint64_t primary_rollbacks() const noexcept { return at(Counter::PrimaryRollbacks); }
+  std::uint64_t secondary_rollbacks() const noexcept { return at(Counter::SecondaryRollbacks); }
+  std::uint64_t primary_rollback_events() const noexcept { return at(Counter::PrimaryRollbackEvents); }
+  std::uint64_t secondary_rollback_events() const noexcept { return at(Counter::SecondaryRollbackEvents); }
+  std::uint64_t max_rollback_depth() const noexcept { return at(Counter::MaxRollbackDepth); }
+  std::uint64_t max_cascade_depth() const noexcept { return at(Counter::MaxCascadeDepth); }
   std::uint64_t anti_messages() const noexcept { return at(Counter::AntiMessages); }
   std::uint64_t lazy_reused() const noexcept { return at(Counter::LazyReused); }
   std::uint64_t pool_envelopes() const noexcept { return at(Counter::PoolEnvelopes); }
@@ -244,8 +261,24 @@ struct ObsConfig {
   bool trace = false;
   std::string trace_path = "trace.json";
   // Span budget per PE; beyond it spans are dropped (and counted) so a long
-  // run cannot exhaust memory.
+  // run cannot exhaust memory. Rollback-forensics flow events share the same
+  // per-PE budget.
   std::uint32_t max_trace_spans_per_pe = 1u << 20;
+  // Rollback forensics (Time Warp only): per-KP victim/offender heatmaps,
+  // the cascade-length histogram, and — when tracing too — trace.json flow
+  // events linking an offending send to the rollback it caused. The scalar
+  // attribution counters (primary/secondary episodes and events, max
+  // depth/cascade) are plain arithmetic and stay on regardless; this flag
+  // gates the heatmap vectors and the send timestamping, so fully off costs
+  // zero clock reads. Pure bookkeeping either way — committed results are
+  // bit-identical at any setting.
+  bool forensics = true;
+  // Live run monitor (Time Warp only; the other kernels accept and ignore
+  // it): one JSON-lines record to `monitor_path` (empty = stderr) every
+  // `monitor_interval` GVT rounds. See obs/monitor.hpp.
+  bool monitor = false;
+  std::uint32_t monitor_interval = 1;
+  std::string monitor_path;
 };
 
 // ---------------------------------------------------------------------------
@@ -258,8 +291,13 @@ struct MetricsReport {
   std::uint64_t gvt_rounds = 0;       // total rounds (>= gvt_series.size())
   std::uint64_t trace_spans = 0;      // spans written to trace.json (0 = off)
   std::uint64_t trace_spans_dropped = 0;
+  std::uint64_t trace_flows = 0;      // rollback flow events written
+  std::uint64_t monitor_lines = 0;    // JSON-lines records emitted (0 = off)
   double wall_seconds = 0.0;
   double final_gvt = 0.0;
+  // Merged rollback-forensics heatmaps (empty unless the Time Warp kernel
+  // ran with ObsConfig::forensics on).
+  RollbackForensics forensics;
 
   // Recompute totals from the per-PE breakdown (no-op when per_pe is empty,
   // i.e. the kernel filled `total` directly).

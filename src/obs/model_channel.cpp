@@ -1,0 +1,151 @@
+#include "obs/model_channel.hpp"
+
+#include <algorithm>
+
+#include "util/json_writer.hpp"
+#include "util/macros.hpp"
+
+namespace hp::obs {
+
+namespace {
+
+constexpr const char* kind_label(ModelChannel::Kind k) noexcept {
+  switch (k) {
+    case ModelChannel::Kind::Counter: return "counter";
+    case ModelChannel::Kind::Real: return "real";
+    case ModelChannel::Kind::RealMax: return "real_max";
+    case ModelChannel::Kind::Hist: return "hist";
+  }
+  __builtin_unreachable();
+}
+
+}  // namespace
+
+ModelChannel::Id ModelChannel::intern(std::string_view name, Kind kind) {
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    if (metrics_[i].name == name) {
+      HP_ASSERT(metrics_[i].kind == kind,
+                "model metric '%.*s' re-registered with a different kind",
+                static_cast<int>(name.size()), name.data());
+      return Id{static_cast<std::uint32_t>(i)};
+    }
+  }
+  Metric m;
+  m.name.assign(name);
+  m.kind = kind;
+  metrics_.push_back(std::move(m));
+  return Id{static_cast<std::uint32_t>(metrics_.size() - 1)};
+}
+
+ModelChannel::Metric& ModelChannel::at(Id id) {
+  HP_ASSERT(id.valid() && id.idx < metrics_.size(),
+            "invalid model metric id %u", id.idx);
+  return metrics_[id.idx];
+}
+
+const ModelChannel::Metric& ModelChannel::at(Id id) const {
+  HP_ASSERT(id.valid() && id.idx < metrics_.size(),
+            "invalid model metric id %u", id.idx);
+  return metrics_[id.idx];
+}
+
+const ModelChannel::Metric* ModelChannel::find(
+    std::string_view name) const noexcept {
+  for (const Metric& m : metrics_) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+void ModelChannel::add(Id id, std::uint64_t delta) {
+  Metric& m = at(id);
+  HP_ASSERT(m.kind == Kind::Counter, "add() on non-counter metric '%s'",
+            m.name.c_str());
+  m.u += delta;
+}
+
+void ModelChannel::add_real(Id id, double delta) {
+  Metric& m = at(id);
+  HP_ASSERT(m.kind == Kind::Real, "add_real() on non-real metric '%s'",
+            m.name.c_str());
+  m.d += delta;
+}
+
+void ModelChannel::push_max(Id id, double x) {
+  Metric& m = at(id);
+  HP_ASSERT(m.kind == Kind::RealMax, "push_max() on non-max metric '%s'",
+            m.name.c_str());
+  m.d = m.any ? std::max(m.d, x) : x;
+  m.any = true;
+}
+
+void ModelChannel::merge_hist(Id id, const util::Histogram& h) {
+  Metric& m = at(id);
+  HP_ASSERT(m.kind == Kind::Hist, "merge_hist() on non-hist metric '%s'",
+            m.name.c_str());
+  m.h.merge(h);
+}
+
+std::uint64_t ModelChannel::counter_value(Id id) const { return at(id).u; }
+
+double ModelChannel::real_value(Id id) const {
+  const Metric& m = at(id);
+  if (m.kind == Kind::RealMax) return m.any ? m.d : 0.0;
+  return m.d;
+}
+
+const util::Histogram* ModelChannel::hist_value(Id id) const {
+  const Metric& m = at(id);
+  return m.kind == Kind::Hist ? &m.h : nullptr;
+}
+
+std::uint64_t ModelChannel::counter_value(std::string_view name) const {
+  const Metric* m = find(name);
+  return m != nullptr && m->kind == Kind::Counter ? m->u : 0;
+}
+
+double ModelChannel::real_value(std::string_view name) const {
+  const Metric* m = find(name);
+  if (m == nullptr) return 0.0;
+  if (m->kind == Kind::RealMax) return m->any ? m->d : 0.0;
+  return m->d;
+}
+
+const util::Histogram* ModelChannel::hist_value(std::string_view name) const {
+  const Metric* m = find(name);
+  return m != nullptr && m->kind == Kind::Hist ? &m->h : nullptr;
+}
+
+void ModelChannel::write_json(util::JsonWriter& w) const {
+  w.begin_array();
+  for (const Metric& m : metrics_) {
+    w.begin_object();
+    w.kv("name", m.name);
+    w.kv("kind", kind_label(m.kind));
+    switch (m.kind) {
+      case Kind::Counter:
+        w.kv("value", m.u);
+        break;
+      case Kind::Real:
+        w.kv("value", m.d);
+        break;
+      case Kind::RealMax:
+        w.kv("value", m.any ? m.d : 0.0);
+        break;
+      case Kind::Hist: {
+        w.key("value").begin_object();
+        w.kv("lo", m.h.lo());
+        w.kv("bin_width", m.h.bin_width());
+        w.key("counts").begin_array();
+        for (const std::uint64_t c : m.h.counts()) w.value(c);
+        w.end_array();
+        w.end_object();
+        break;
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace hp::obs

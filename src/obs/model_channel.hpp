@@ -1,0 +1,92 @@
+#pragma once
+
+// obs::ModelChannel — the model-metrics registration channel.
+//
+// Models publish named counters, real-valued sums, running maxima and
+// histograms through one small API instead of hand-rolling a parallel
+// aggregation path next to the kernel's obs::MetricsReport. A metric is
+// registered once by name (registration is idempotent: the same name returns
+// the same id, so per-LP publish loops can share one registration), then fed
+// through add / add_real / push_max / merge_hist. The channel renders itself
+// through the same JSON pipeline the kernel metrics use (bench --json,
+// scripts/check_bench_json.py).
+//
+// Determinism contract: the channel performs no reordering — values fold in
+// call order. A model that publishes per-LP statistics in ascending LP order
+// gets bit-identical double sums on every kernel and PE count, which is what
+// makes operator== usable as a repeatability check (hotpotato's Attachment 3
+// harness compares whole channels across engine kinds).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace hp::util {
+class JsonWriter;
+}
+
+namespace hp::obs {
+
+class ModelChannel {
+ public:
+  enum class Kind : std::uint8_t { Counter, Real, RealMax, Hist };
+
+  struct Id {
+    std::uint32_t idx = UINT32_MAX;
+    bool valid() const noexcept { return idx != UINT32_MAX; }
+  };
+
+  // Registration: returns the metric's id, creating it on first use.
+  // Re-registering an existing name with a different kind aborts.
+  Id counter(std::string_view name) { return intern(name, Kind::Counter); }
+  Id real(std::string_view name) { return intern(name, Kind::Real); }
+  Id real_max(std::string_view name) { return intern(name, Kind::RealMax); }
+  Id hist(std::string_view name) { return intern(name, Kind::Hist); }
+
+  // Publication.
+  void add(Id id, std::uint64_t delta = 1);
+  void add_real(Id id, double delta);
+  void push_max(Id id, double x);
+  void merge_hist(Id id, const util::Histogram& h);
+
+  // Readback (by id or by name; name lookups return zero/null when absent).
+  std::uint64_t counter_value(Id id) const;
+  double real_value(Id id) const;  // RealMax with no sample reads as 0.0
+  const util::Histogram* hist_value(Id id) const;
+  std::uint64_t counter_value(std::string_view name) const;
+  double real_value(std::string_view name) const;
+  const util::Histogram* hist_value(std::string_view name) const;
+
+  std::size_t size() const noexcept { return metrics_.size(); }
+  bool empty() const noexcept { return metrics_.empty(); }
+
+  // [{"name":..., "kind":..., "value":...}, ...] in registration order.
+  void write_json(util::JsonWriter& w) const;
+
+  // Exact comparison (integers and doubles bit-for-bit) — the repeatability
+  // check models run across kernels.
+  bool operator==(const ModelChannel&) const = default;
+
+ private:
+  struct Metric {
+    std::string name;
+    Kind kind = Kind::Counter;
+    std::uint64_t u = 0;       // Counter
+    double d = 0.0;            // Real sum / RealMax value
+    bool any = false;          // RealMax: ever pushed?
+    util::Histogram h;         // Hist
+    bool operator==(const Metric&) const = default;
+  };
+
+  Id intern(std::string_view name, Kind kind);
+  Metric& at(Id id);
+  const Metric& at(Id id) const;
+  const Metric* find(std::string_view name) const noexcept;
+
+  std::vector<Metric> metrics_;
+};
+
+}  // namespace hp::obs

@@ -1,0 +1,49 @@
+#include "obs/monitor.hpp"
+
+#include <iostream>
+#include <sstream>
+
+#include "util/json_writer.hpp"
+#include "util/macros.hpp"
+
+namespace hp::obs {
+
+MonitorWriter::MonitorWriter(const std::string& path) {
+  if (path.empty()) {
+    out_ = &std::cerr;
+    return;
+  }
+  file_.open(path, std::ios::out | std::ios::app);
+  HP_ASSERT(file_.good(), "cannot open monitor stream %s", path.c_str());
+  out_ = &file_;
+}
+
+void MonitorWriter::emit(const MonitorSample& s) {
+  // Build the record off-stream so it lands as one write (keeps lines whole
+  // when a monitor file is shared with other processes' appends).
+  std::ostringstream line;
+  {
+    util::JsonWriter w(line);
+    w.begin_object();
+    w.kv("round", s.round);
+    w.kv("t_seconds", s.t_seconds);
+    w.kv("gvt", s.gvt);  // non-finite (termination round) renders as null
+    w.kv("processed", s.processed);
+    w.kv("rolled_back", s.rolled_back);
+    w.kv("event_rate", s.event_rate);
+    w.kv("rollback_rate", s.rollback_rate);
+    w.kv("inbox_depth", s.inbox_depth);
+    if (s.has_offender) {
+      w.kv("top_offender_kp", s.top_offender_kp);
+      w.kv("top_offender_events", s.top_offender_events);
+    } else {
+      w.key("top_offender_kp").null_value();
+    }
+    w.end_object();
+  }
+  (*out_) << line.str() << '\n';
+  out_->flush();
+  ++lines_;
+}
+
+}  // namespace hp::obs

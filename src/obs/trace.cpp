@@ -7,14 +7,14 @@
 
 namespace hp::obs {
 
-std::uint64_t write_chrome_trace(
+ChromeTraceStats write_chrome_trace(
     const std::string& path, std::uint64_t epoch_ns,
     const std::vector<const TraceBuffer*>& pes,
     const std::vector<GvtRoundSample>& gvt_series) {
   std::ofstream f(path);
   HP_ASSERT(f.good(), "cannot open trace file %s", path.c_str());
   util::JsonWriter w(f);
-  std::uint64_t written = 0;
+  ChromeTraceStats written;
 
   const auto rel_us = [epoch_ns](std::uint64_t ns) {
     return static_cast<double>(ns - epoch_ns) * 1e-3;
@@ -44,7 +44,34 @@ std::uint64_t write_chrome_trace(
       w.kv("pid", std::uint64_t{0});
       w.kv("tid", static_cast<std::uint64_t>(pe));
       w.end_object();
-      ++written;
+      ++written.spans;
+    }
+    // Rollback-causality arrows: a flow start on the offender's track at the
+    // send instant, finished (binding point "e" = enclosing slice) inside
+    // the victim's Rollback span. Perfetto draws these as arrows from the
+    // straggler/anti send to the rollback it caused.
+    for (const TraceFlow& fl : pes[pe]->flows()) {
+      const char* name = fl.primary ? "straggler" : "anti_cascade";
+      w.begin_object();
+      w.kv("name", name);
+      w.kv("cat", "rollback");
+      w.kv("ph", "s");
+      w.kv("id", fl.id);
+      w.kv("ts", rel_us(fl.send_ns));
+      w.kv("pid", std::uint64_t{0});
+      w.kv("tid", static_cast<std::uint64_t>(fl.src_pe));
+      w.end_object();
+      w.begin_object();
+      w.kv("name", name);
+      w.kv("cat", "rollback");
+      w.kv("ph", "f");
+      w.kv("bp", "e");
+      w.kv("id", fl.id);
+      w.kv("ts", rel_us(fl.rollback_ns));
+      w.kv("pid", std::uint64_t{0});
+      w.kv("tid", static_cast<std::uint64_t>(fl.dst_pe));
+      w.end_object();
+      ++written.flows;
     }
   }
   // GVT progress and commit yield as counter tracks.

@@ -23,11 +23,24 @@ struct TraceSpan {
   std::uint64_t end_ns;
 };
 
+// Rollback-forensics flow event: an arrow from the offending send (on the
+// offender PE's track) to the rollback it caused (on the victim's track),
+// rendered as a Perfetto "s"/"f" flow pair bound to the enclosing slices.
+struct TraceFlow {
+  bool primary;             // straggler positive (true) vs anti-message
+  std::uint64_t id;         // unique pair id within the trace
+  std::uint32_t src_pe;     // offender track
+  std::uint64_t send_ns;    // when the offending envelope was staged
+  std::uint32_t dst_pe;     // victim track
+  std::uint64_t rollback_ns;  // inside the victim's Rollback span
+};
+
 class TraceBuffer {
  public:
   void reset(std::uint32_t max_spans) {
     max_spans_ = max_spans;
     spans_.clear();
+    flows_.clear();
     dropped_ = 0;
   }
 
@@ -39,22 +52,39 @@ class TraceBuffer {
     }
   }
 
+  // Flow events share the per-PE span budget (they are bounded by the same
+  // cap; overflow counts into dropped()).
+  void add_flow(const TraceFlow& f) {
+    if (flows_.size() < max_spans_) {
+      flows_.push_back(f);
+    } else {
+      ++dropped_;
+    }
+  }
+
   const std::vector<TraceSpan>& spans() const noexcept { return spans_; }
+  const std::vector<TraceFlow>& flows() const noexcept { return flows_; }
   std::uint64_t dropped() const noexcept { return dropped_; }
 
  private:
   std::uint32_t max_spans_ = 0;
   std::uint64_t dropped_ = 0;
   std::vector<TraceSpan> spans_;
+  std::vector<TraceFlow> flows_;
+};
+
+struct ChromeTraceStats {
+  std::uint64_t spans = 0;
+  std::uint64_t flows = 0;  // flow *pairs* written (two events each)
 };
 
 // Write all PE buffers as one trace.json. `epoch_ns` is the run-start
 // timestamp spans are made relative to; `gvt_series` (may be empty) is
 // rendered as "gvt" / "commit_yield" counter tracks using round-end span
-// times when available. Returns the number of spans written.
-std::uint64_t write_chrome_trace(const std::string& path,
-                                 std::uint64_t epoch_ns,
-                                 const std::vector<const TraceBuffer*>& pes,
-                                 const std::vector<GvtRoundSample>& gvt_series);
+// times when available. Returns the number of spans / flow pairs written.
+ChromeTraceStats write_chrome_trace(
+    const std::string& path, std::uint64_t epoch_ns,
+    const std::vector<const TraceBuffer*>& pes,
+    const std::vector<GvtRoundSample>& gvt_series);
 
 }  // namespace hp::obs

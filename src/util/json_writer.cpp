@@ -75,6 +75,12 @@ JsonWriter& JsonWriter::key(std::string_view k) {
   return *this;
 }
 
+JsonWriter& JsonWriter::null_value() {
+  comma_for_value();
+  os_ << "null";
+  return *this;
+}
+
 JsonWriter& JsonWriter::value(std::string_view v) {
   comma_for_value();
   write_escaped(os_, v);

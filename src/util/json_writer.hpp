@@ -29,6 +29,7 @@ class JsonWriter {
   // Object member name; must be followed by a value or container.
   JsonWriter& key(std::string_view k);
 
+  JsonWriter& null_value();  // explicit JSON null
   JsonWriter& value(std::string_view v);
   JsonWriter& value(const char* v);
   JsonWriter& value(bool v);

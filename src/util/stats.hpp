@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "util/macros.hpp"
+
 namespace hp::util {
 
 // Reversible count + sum accumulator.
@@ -93,10 +95,27 @@ class Histogram {
 
   void add(double x) noexcept { ++counts_[bin_of(x)]; }
   void remove(double x) noexcept { --counts_[bin_of(x)]; }
+  // Merging requires identical bin layouts: bins are positional, so adding
+  // counts across different (lo, width, size) configurations would silently
+  // scramble the distribution (or read out of bounds). An empty side is the
+  // one legal mismatch — a default-constructed accumulator adopts the other
+  // side's layout, and merging in an empty histogram is a no-op.
   void merge(const Histogram& o) noexcept {
+    if (o.counts_.empty()) return;
+    if (counts_.empty()) {
+      *this = o;
+      return;
+    }
+    HP_ASSERT(lo_ == o.lo_ && width_ == o.width_ &&
+                  counts_.size() == o.counts_.size(),
+              "Histogram::merge bin-config mismatch "
+              "(lo %g vs %g, width %g vs %g, bins %zu vs %zu)",
+              lo_, o.lo_, width_, o.width_, counts_.size(), o.counts_.size());
     for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
   }
   const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+  double lo() const noexcept { return lo_; }
+  double bin_width() const noexcept { return width_; }
   double bin_lo(std::size_t i) const noexcept {
     return lo_ + static_cast<double>(i) * width_;
   }

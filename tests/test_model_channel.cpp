@@ -1,0 +1,170 @@
+// obs::ModelChannel: registration idempotence, kind discipline, readback
+// semantics (RealMax with no sample reads 0.0), JSON shape, and the
+// determinism contract — the hot-potato model publishes through the channel
+// and whole channels compare bit-identical across engine kinds.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/simulation.hpp"
+#include "obs/model_channel.hpp"
+#include "util/json_writer.hpp"
+#include "util/stats.hpp"
+
+namespace hp {
+namespace {
+
+TEST(ModelChannel, RegistrationIsIdempotent) {
+  obs::ModelChannel ch;
+  const auto a = ch.counter("deflections");
+  const auto b = ch.counter("deflections");
+  EXPECT_EQ(a.idx, b.idx);
+  EXPECT_EQ(ch.size(), 1u);
+  const auto c = ch.real("wait_sum");
+  EXPECT_NE(a.idx, c.idx);
+  EXPECT_EQ(ch.size(), 2u);
+}
+
+TEST(ModelChannel, CountersAndRealsAccumulate) {
+  obs::ModelChannel ch;
+  const auto n = ch.counter("n");
+  const auto x = ch.real("x");
+  ch.add(n);
+  ch.add(n, 4);
+  ch.add_real(x, 1.5);
+  ch.add_real(x, 2.0);
+  EXPECT_EQ(ch.counter_value(n), 5u);
+  EXPECT_EQ(ch.real_value(x), 3.5);
+  EXPECT_EQ(ch.counter_value("n"), 5u);
+  EXPECT_EQ(ch.real_value("x"), 3.5);
+  // Absent names read as zero/null rather than aborting.
+  EXPECT_EQ(ch.counter_value("missing"), 0u);
+  EXPECT_EQ(ch.real_value("missing"), 0.0);
+  EXPECT_EQ(ch.hist_value("missing"), nullptr);
+}
+
+TEST(ModelChannel, RealMaxReadsZeroWhenNeverPushed) {
+  obs::ModelChannel ch;
+  const auto m = ch.real_max("max_wait");
+  EXPECT_EQ(ch.real_value(m), 0.0);  // no sentinel leak (not -inf)
+  ch.push_max(m, -3.0);
+  EXPECT_EQ(ch.real_value(m), -3.0);  // a pushed negative IS the maximum
+  ch.push_max(m, 2.0);
+  ch.push_max(m, 1.0);
+  EXPECT_EQ(ch.real_value(m), 2.0);
+}
+
+TEST(ModelChannel, HistogramsMergeThroughTheChannel) {
+  obs::ModelChannel ch;
+  const auto h = ch.hist("delivery");
+  util::Histogram part(0.0, 1.0, 4);
+  part.add(0.5);
+  part.add(2.5);
+  ch.merge_hist(h, part);
+  ch.merge_hist(h, part);
+  const util::Histogram* merged = ch.hist_value(h);
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->counts()[0], 2u);
+  EXPECT_EQ(merged->counts()[2], 2u);
+}
+
+TEST(ModelChannel, WriteJsonEmitsRegistrationOrder) {
+  obs::ModelChannel ch;
+  ch.add(ch.counter("c"), 7);
+  ch.add_real(ch.real("r"), 0.5);
+  ch.push_max(ch.real_max("m"), 3.0);
+  util::Histogram part(0.0, 1.0, 2);
+  part.add(0.25);
+  ch.merge_hist(ch.hist("h"), part);
+
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  ch.write_json(w);
+  EXPECT_TRUE(w.done());
+  EXPECT_EQ(os.str(),
+            "[{\"name\":\"c\",\"kind\":\"counter\",\"value\":7},"
+            "{\"name\":\"r\",\"kind\":\"real\",\"value\":0.5},"
+            "{\"name\":\"m\",\"kind\":\"real_max\",\"value\":3},"
+            "{\"name\":\"h\",\"kind\":\"hist\",\"value\":{\"lo\":0,"
+            "\"bin_width\":1,\"counts\":[1,0]}}]");
+}
+
+TEST(ModelChannelDeath, KindMismatchOnReRegistrationAborts) {
+  obs::ModelChannel ch;
+  (void)ch.counter("metric");
+  EXPECT_DEATH((void)ch.real("metric"), "different kind");
+}
+
+TEST(ModelChannelDeath, PublishWithWrongKindAborts) {
+  obs::ModelChannel ch;
+  const auto c = ch.counter("c");
+  EXPECT_DEATH(ch.add_real(c, 1.0), "non-real");
+  EXPECT_DEATH(ch.push_max(c, 1.0), "non-max");
+}
+
+// ---------------------------------------------------------------------------
+// Determinism contract: the hot-potato model publishes per-LP statistics in
+// ascending LP order, so whole channels (integer counters AND double sums)
+// are bit-identical across engine kinds and PE counts.
+
+TEST(ModelChannel, HotPotatoChannelsBitIdenticalAcrossKernels) {
+  core::SimulationOptions base;
+  base.model.n = 8;
+  base.model.injector_fraction = 0.75;
+  base.model.steps = 48;
+
+  auto seq = base;
+  seq.kernel = core::Kernel::Sequential;
+  const auto ref = core::run_hotpotato(seq);
+  EXPECT_FALSE(ref.model.empty());
+  EXPECT_GT(ref.model.counter_value("routed"), 0u);
+  // The typed report is a pure view over the channel.
+  EXPECT_EQ(ref.report.deflections, ref.model.counter_value("deflections"));
+  EXPECT_EQ(ref.report.delivery_steps_sum,
+            ref.model.real_value("delivery_steps_sum"));
+
+  for (const core::Kernel kernel :
+       {core::Kernel::TimeWarp, core::Kernel::Conservative}) {
+    auto o = base;
+    o.kernel = kernel;
+    o.engine.num_pes = 2;
+    const auto r = core::run_hotpotato(o);
+    EXPECT_EQ(r.model, ref.model) << core::kernel_name(kernel);
+    EXPECT_EQ(r.report, ref.report) << core::kernel_name(kernel);
+  }
+}
+
+// Satellite regression: a run that ends with injectors mid-wait must report
+// the same pending accounting everywhere. High load + few steps guarantees
+// pending injectors at the horizon.
+TEST(ModelChannel, PendingWaitAccountingIdenticalAcrossKernels) {
+  core::SimulationOptions base;
+  base.model.n = 8;
+  base.model.injector_fraction = 1.0;  // saturated: injectors WILL be waiting
+  base.model.steps = 16;
+
+  auto seq = base;
+  seq.kernel = core::Kernel::Sequential;
+  const auto ref = core::run_hotpotato(seq);
+  EXPECT_GT(ref.report.pending_waiting, 0u)
+      << "saturated run should end with injectors mid-wait";
+  EXPECT_GT(ref.report.pending_wait_steps, 0.0);
+
+  for (const core::Kernel kernel :
+       {core::Kernel::TimeWarp, core::Kernel::Conservative}) {
+    auto o = base;
+    o.kernel = kernel;
+    o.engine.num_pes = 2;
+    const auto r = core::run_hotpotato(o);
+    EXPECT_EQ(r.report.pending_waiting, ref.report.pending_waiting)
+        << core::kernel_name(kernel);
+    EXPECT_EQ(r.report.pending_wait_steps, ref.report.pending_wait_steps)
+        << core::kernel_name(kernel);
+    EXPECT_EQ(r.report, ref.report) << core::kernel_name(kernel);
+  }
+}
+
+}  // namespace
+}  // namespace hp

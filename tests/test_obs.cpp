@@ -1,20 +1,25 @@
 // Observability layer tests: the JsonWriter primitive, the table-driven
-// metrics reduction, the bounded GVT-series ring, Chrome-trace export, the
-// exhaustive kernel/phase name coverage, and — most importantly — the
-// invariants the instrumented kernels must uphold: accounting identities,
-// per-PE totals reducing to the aggregate, and committed results staying
-// bit-identical with observability fully on, fully off, and tracing.
+// metrics reduction, the bounded GVT-series ring, Chrome-trace export,
+// rollback forensics (causality attribution identities, flow events, the
+// live monitor stream), the exhaustive kernel/phase name coverage, and —
+// most importantly — the invariants the instrumented kernels must uphold:
+// accounting identities, per-PE totals reducing to the aggregate, and
+// committed results staying bit-identical with observability fully on,
+// fully off, tracing, forensics off, and the monitor running.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "des/engine.hpp"
 #include "des/phold.hpp"
+#include "obs/forensics.hpp"
 #include "obs/metrics.hpp"
 #include "obs/probe.hpp"
 #include "obs/trace.hpp"
@@ -269,18 +274,228 @@ TEST(MetricsInvariants, ResultsBitIdenticalAcrossObsSettings) {
   obs::ObsConfig all_off;
   all_off.phase_timers = false;
   all_off.gvt_series_capacity = 0;
+  all_off.forensics = false;
+  obs::ObsConfig forensics_off;
+  forensics_off.forensics = false;
+  obs::ObsConfig monitor_on;
+  monitor_on.monitor = true;
+  monitor_on.monitor_interval = 2;
+  monitor_on.monitor_path = ::testing::TempDir() + "obs_equiv_monitor.jsonl";
 
   const KernelRun seq = run_kernel(des::EngineKind::Sequential, 1, all_off);
   for (const des::EngineKind kind : des::kAllEngineKinds) {
     const std::uint32_t pes = kind == des::EngineKind::Sequential ? 1 : 4;
     const KernelRun on = run_kernel(kind, pes, full_on);
     const KernelRun off = run_kernel(kind, pes, all_off);
+    const KernelRun no_forensics = run_kernel(kind, pes, forensics_off);
+    const KernelRun monitored = run_kernel(kind, pes, monitor_on);
     EXPECT_EQ(on.digest, seq.digest) << des::kind_name(kind) << " obs on";
     EXPECT_EQ(off.digest, seq.digest) << des::kind_name(kind) << " obs off";
+    EXPECT_EQ(no_forensics.digest, seq.digest)
+        << des::kind_name(kind) << " forensics off";
+    EXPECT_EQ(monitored.digest, seq.digest)
+        << des::kind_name(kind) << " monitor on";
     EXPECT_EQ(on.stats.committed_events(), seq.stats.committed_events());
     EXPECT_EQ(off.stats.committed_events(), seq.stats.committed_events());
+    EXPECT_EQ(no_forensics.stats.committed_events(),
+              seq.stats.committed_events());
+    EXPECT_EQ(monitored.stats.committed_events(),
+              seq.stats.committed_events());
+    // Forensics off leaves the heatmaps empty — nothing was allocated.
+    EXPECT_TRUE(no_forensics.stats.metrics.forensics.empty())
+        << des::kind_name(kind);
   }
   std::remove(full_on.trace_path.c_str());
+  std::remove(monitor_on.monitor_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Rollback forensics: causality attribution identities.
+
+TEST(RollbackForensics, AttributionAccountsForEveryRolledBackEvent) {
+  const KernelRun r =
+      run_kernel(des::EngineKind::TimeWarp, 4, obs::ObsConfig{});
+  const auto& total = r.stats.metrics.total;
+  // Every undone event is attributed to exactly one episode kind.
+  EXPECT_EQ(total.primary_rollback_events() + total.secondary_rollback_events(),
+            total.rolled_back_events());
+  const auto& f = r.stats.metrics.forensics;
+  // The per-KP victim heatmap sums back to the total, and the cascade
+  // histogram holds exactly one entry per episode.
+  EXPECT_EQ(f.victim_events_total(), total.rolled_back_events());
+  EXPECT_EQ(f.episodes_total(),
+            total.primary_rollbacks() + total.secondary_rollbacks());
+  std::uint64_t victim_episodes = 0;
+  for (const std::uint64_t v : f.kp_victim_episodes()) victim_episodes += v;
+  EXPECT_EQ(victim_episodes,
+            total.primary_rollbacks() + total.secondary_rollbacks());
+  // Offender events are the same events from the other side of the arrow.
+  std::uint64_t offender_events = 0;
+  for (const std::uint64_t v : f.kp_offender_events()) offender_events += v;
+  EXPECT_EQ(offender_events, total.rolled_back_events());
+  if (total.rolled_back_events() > 0) {
+    EXPECT_GT(f.top_offender().second, 0u);
+    EXPECT_GE(total.max_rollback_depth(), 1u);
+    EXPECT_GE(total.max_cascade_depth(), 1u);
+  }
+}
+
+TEST(RollbackForensics, RecordClassifiesAndMergeAdoptsShape) {
+  obs::RollbackForensics a;
+  a.reset(/*num_kps=*/4, /*enabled=*/true);
+  a.record({obs::RollbackKind::Primary, /*offender_kp=*/2, /*offender_pe=*/1,
+            /*cascade=*/1, 0},
+           /*victim_kp=*/0, /*events_undone=*/3);
+  a.record({obs::RollbackKind::Secondary, /*offender_kp=*/0, /*offender_pe=*/0,
+            /*cascade=*/2, 0},
+           /*victim_kp=*/2, /*events_undone=*/5);
+  // Chain length 99 clamps into the overflow bin.
+  a.record({obs::RollbackKind::Secondary, 1, 0, /*cascade=*/99, 0}, 1, 1);
+  EXPECT_EQ(a.episodes_total(), 3u);
+  EXPECT_EQ(a.victim_events_total(), 9u);
+  EXPECT_EQ(a.cascade_hist()[0], 1u);  // chain 1
+  EXPECT_EQ(a.cascade_hist()[1], 1u);  // chain 2
+  EXPECT_EQ(a.cascade_hist()[obs::RollbackForensics::kCascadeBins - 1], 1u);
+  // Offender events: KP 0 caused 5, KP 1 caused 1, KP 2 caused 3.
+  EXPECT_EQ(a.top_offender().first, 0u);
+  EXPECT_EQ(a.top_offender().second, 5u);
+
+  obs::RollbackForensics b;  // default: disabled, shapeless
+  b.merge(a);
+  EXPECT_EQ(b.victim_events_total(), a.victim_events_total());
+  EXPECT_EQ(b.kp_victim_events().size(), 4u);
+  b.merge(a);  // same shape: adds
+  EXPECT_EQ(b.victim_events_total(), 2 * a.victim_events_total());
+
+  obs::RollbackForensics disabled;
+  disabled.reset(4, /*enabled=*/false);
+  disabled.record({obs::RollbackKind::Primary, 0, 0, 1, 0}, 0, 7);
+  EXPECT_TRUE(disabled.empty());  // no-op when off
+}
+
+// ---------------------------------------------------------------------------
+// Live run monitor
+
+TEST(Monitor, EmitsParseableJsonLinesAtConfiguredInterval) {
+  obs::ObsConfig cfg;
+  cfg.monitor = true;
+  cfg.monitor_interval = 2;
+  cfg.monitor_path = ::testing::TempDir() + "obs_monitor_test.jsonl";
+  std::remove(cfg.monitor_path.c_str());  // writer appends; start fresh
+  const KernelRun r = run_kernel(des::EngineKind::TimeWarp, 4, cfg);
+
+  std::ifstream f(cfg.monitor_path);
+  ASSERT_TRUE(f.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(f, line);) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  EXPECT_EQ(lines.size(), r.stats.metrics.monitor_lines);
+  // Every other round at most (plus nothing on rounds without an emission).
+  EXPECT_LE(lines.size(), r.stats.metrics.gvt_rounds / 2 + 1);
+  EXPECT_GT(lines.size(), 0u);
+  for (const std::string& line : lines) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_EQ(std::count(line.begin(), line.end(), '{'),
+              std::count(line.begin(), line.end(), '}'));
+    for (const char* key :
+         {"\"round\":", "\"gvt\":", "\"processed\":", "\"rolled_back\":",
+          "\"event_rate\":", "\"rollback_rate\":", "\"inbox_depth\":",
+          "\"top_offender_kp\":"}) {
+      EXPECT_NE(line.find(key), std::string::npos) << key << " in " << line;
+    }
+  }
+  std::remove(cfg.monitor_path.c_str());
+}
+
+TEST(Monitor, OtherKernelsAcceptAndIgnoreTheFlag) {
+  obs::ObsConfig cfg;
+  cfg.monitor = true;
+  cfg.monitor_path = ::testing::TempDir() + "obs_monitor_ignored.jsonl";
+  std::remove(cfg.monitor_path.c_str());
+  for (const des::EngineKind kind :
+       {des::EngineKind::Sequential, des::EngineKind::Conservative}) {
+    const std::uint32_t pes = kind == des::EngineKind::Sequential ? 1 : 2;
+    const KernelRun r = run_kernel(kind, pes, cfg);
+    EXPECT_EQ(r.stats.metrics.monitor_lines, 0u) << des::kind_name(kind);
+    EXPECT_GT(r.stats.committed_events(), 0u) << des::kind_name(kind);
+  }
+  std::remove(cfg.monitor_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Rollback flow events in trace.json (4-PE skewed load: an LP count that
+// does not divide evenly across PEs, high remote fraction, tiny lookahead —
+// one PE owns more LPs than the rest and lags, so the others roll back).
+
+TEST(ChromeTrace, RollbackFlowEventsWellFormedUnderSkewedLoad) {
+  des::PholdConfig pc;
+  pc.num_lps = 37;
+  pc.remote_fraction = 0.7;
+  pc.lookahead = 0.01;
+  des::EngineConfig ec;
+  ec.num_lps = pc.num_lps;
+  ec.end_time = 40.0;
+  ec.seed = 7;
+  ec.num_pes = 4;
+  ec.gvt_interval_events = 64;
+  ec.obs.trace = true;
+  ec.obs.trace_path = ::testing::TempDir() + "obs_flow_trace.json";
+  // Deliberately tiny span budget: the run must respect it (dropping and
+  // counting the excess) rather than growing without bound.
+  ec.obs.max_trace_spans_per_pe = 64;
+
+  des::PholdModel model(pc);
+  auto eng = des::make_engine(des::EngineKind::TimeWarp, model, ec,
+                              pc.lookahead);
+  const des::RunStats stats = eng->run();
+  const auto& m = stats.metrics;
+
+  // Attribution identity holds on a rollback-heavy run.
+  EXPECT_EQ(m.total.primary_rollback_events() +
+                m.total.secondary_rollback_events(),
+            m.total.rolled_back_events());
+  EXPECT_EQ(m.forensics.victim_events_total(), m.total.rolled_back_events());
+
+  // Span/flow budget respected per PE.
+  EXPECT_LE(m.trace_spans, 4u * 64u);
+  EXPECT_LE(m.trace_flows, 4u * 64u);
+
+  std::ifstream f(ec.obs.trace_path);
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string trace = ss.str();
+  // Well-formed JSON object at the top level, balanced braces throughout.
+  EXPECT_EQ(trace.front(), '{');
+  EXPECT_EQ(trace.back(), '}');
+  EXPECT_EQ(std::count(trace.begin(), trace.end(), '{'),
+            std::count(trace.begin(), trace.end(), '}'));
+  EXPECT_EQ(std::count(trace.begin(), trace.end(), '['),
+            std::count(trace.begin(), trace.end(), ']'));
+
+  // Each recorded flow writes exactly one start ("ph":"s") and one finish
+  // ("ph":"f") event, and every finish binds to its enclosing slice.
+  const auto occurrences = [&trace](const char* needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = trace.find(needle); pos != std::string::npos;
+         pos = trace.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(occurrences("\"ph\":\"s\""), m.trace_flows);
+  EXPECT_EQ(occurrences("\"ph\":\"f\""), m.trace_flows);
+  EXPECT_EQ(occurrences("\"bp\":\"e\""), m.trace_flows);
+  if (m.trace_flows > 0) {
+    EXPECT_NE(trace.find("\"cat\":\"rollback\""), std::string::npos);
+  }
+  // Flow events only exist for rollbacks that had a stamped remote send.
+  EXPECT_LE(m.trace_flows,
+            m.total.primary_rollbacks() + m.total.secondary_rollbacks());
+  std::remove(ec.obs.trace_path.c_str());
 }
 
 // ---------------------------------------------------------------------------

@@ -8,6 +8,7 @@
 #include "util/cli.hpp"
 #include "util/hash.hpp"
 #include "util/small_vec.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace hp::util {
@@ -107,6 +108,53 @@ TEST(Cli, BoolishValues) {
   EXPECT_FALSE(cli.get_bool("b", true));
   EXPECT_FALSE(cli.get_bool("c", true));
   EXPECT_TRUE(cli.get_bool("d", false));
+}
+
+TEST(HistogramMerge, EmptySideIsNoOpAndAdoptsShape) {
+  Histogram a(0.0, 1.0, 4);
+  a.add(0.5);
+  a.add(2.5);
+  const Histogram before = a;
+  a.merge(Histogram{});  // merging in a default-constructed histogram: no-op
+  EXPECT_EQ(a, before);
+
+  Histogram empty;
+  empty.merge(a);  // empty side adopts the other's layout and counts
+  EXPECT_EQ(empty, a);
+  EXPECT_EQ(empty.counts().size(), 4u);
+  EXPECT_EQ(empty.lo(), 0.0);
+  EXPECT_EQ(empty.bin_width(), 1.0);
+}
+
+TEST(HistogramMerge, MatchingLayoutsAddBinwise) {
+  Histogram a(0.0, 2.0, 3);
+  Histogram b(0.0, 2.0, 3);
+  a.add(1.0);   // bin 0
+  a.add(3.0);   // bin 1
+  b.add(3.5);   // bin 1
+  b.add(99.0);  // overflow bin
+  a.merge(b);
+  EXPECT_EQ(a.counts()[0], 1u);
+  EXPECT_EQ(a.counts()[1], 2u);
+  EXPECT_EQ(a.counts()[2], 1u);
+}
+
+TEST(HistogramMergeDeath, MismatchedBinConfigAborts) {
+  // Positional bins: adding counts across different (lo, width, size)
+  // layouts would silently scramble the distribution, so merge aborts.
+  Histogram bins3(0.0, 1.0, 3);
+  bins3.add(0.5);
+  Histogram bins5(0.0, 1.0, 5);
+  bins5.add(0.5);
+  EXPECT_DEATH(bins3.merge(bins5), "bin-config mismatch");
+
+  Histogram width2(0.0, 2.0, 3);
+  width2.add(0.5);
+  EXPECT_DEATH(bins3.merge(width2), "bin-config mismatch");
+
+  Histogram lo1(1.0, 1.0, 3);
+  lo1.add(1.5);
+  EXPECT_DEATH(bins3.merge(lo1), "bin-config mismatch");
 }
 
 TEST(CliDeath, RejectsUnknownFlag) {
