@@ -79,9 +79,25 @@ inline void apply_monitor_flags(const util::Cli& cli, des::EngineConfig& cfg) {
   if (!cli.has("monitor")) return;
   cfg.obs.monitor = true;
   const std::int64_t interval = cli.get_int("monitor", 1);
-  cfg.obs.monitor_interval =
-      interval > 0 ? static_cast<std::uint32_t>(interval) : 1u;
+  if (interval <= 0) {
+    cli.usage_error("--monitor expects a positive interval, got " +
+                    std::to_string(interval));
+  }
+  cfg.obs.monitor_interval = static_cast<std::uint32_t>(interval);
   cfg.obs.monitor_path = cli.get("monitor-out", "");
+}
+
+// Applies the shared --chaos=<spec> flag (deterministic fault injection on
+// the Time Warp remote path; see des/fault.hpp for the grammar). A
+// malformed spec is a usage error. Returns true when a plan was armed so
+// harnesses can restrict it to their Time Warp runs.
+inline bool apply_chaos_flags(const util::Cli& cli, des::EngineConfig& cfg) {
+  if (!cli.has("chaos")) return false;
+  std::string err;
+  if (!des::FaultPlan::parse(cli.get("chaos", ""), cfg.fault, err)) {
+    cli.usage_error("--chaos: " + err);
+  }
+  return cfg.fault.any();
 }
 
 inline void finish(util::Table& table, const util::Cli& cli,
@@ -129,7 +145,10 @@ inline std::map<std::string, std::string> common_flags() {
           {"json", "write rows + engine MetricsReports as JSON to this path"},
           {"monitor", "live heartbeat every N GVT rounds (bare = every round)"},
           {"monitor-out", "append the monitor JSON-lines stream to this file "
-                          "instead of stderr"}};
+                          "instead of stderr"},
+          {"chaos", "deterministic fault plan for Time Warp runs, e.g. "
+                    "delay:p=0.2,k=2;seed=7 (see des/fault.hpp)"},
+          {"seed", "RNG seed for the simulated model"}};
 }
 
 }  // namespace hp::bench

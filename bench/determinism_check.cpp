@@ -1,6 +1,12 @@
 // Attachment 3 — sample output demonstrating that the parallel and
 // sequential models produce identical results under the same configuration
 // (the report's correctness/repeatability argument, Section 4.2.1).
+//
+// --chaos=<spec> arms deterministic fault injection on the Time Warp runs
+// only (the sequential baseline stays fault-free), turning this into the
+// CI chaos-matrix harness: faults may only delay delivery, so every plan
+// must still verify IDENTICAL. --monitor[-out] streams the Time Warp
+// heartbeat (with the pool/throttle fields) for artifact capture.
 
 #include <cstdio>
 
@@ -25,14 +31,27 @@ int main(int argc, char** argv) {
   hp::util::Cli cli(argc, argv, hp::bench::common_flags());
   const std::int32_t n = cli.get_bool("full", false) ? 32 : 16;
 
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
   hp::core::SimulationOptions base;
   base.model.n = n;
   base.model.injector_fraction = 0.75;
   base.model.steps = static_cast<std::uint32_t>(4 * n);
+  base.engine.seed = seed;
+
+  // Fault injection applies to the Time Warp runs only; the sequential run
+  // is the fault-free reference the chaotic runs must still match.
+  hp::des::EngineConfig chaos_probe;
+  const bool chaos = hp::bench::apply_chaos_flags(cli, chaos_probe);
+  if (chaos) {
+    std::printf("chaos plan (timewarp runs only): %s\n",
+                chaos_probe.fault.to_string().c_str());
+  }
 
   std::printf("Attachment 3: repeatability check, %dx%d torus, 75%% "
-              "injectors, %u steps\n\n",
-              n, n, base.model.steps);
+              "injectors, %u steps, seed %llu\n\n",
+              n, n, base.model.steps,
+              static_cast<unsigned long long>(seed));
 
   const auto seq = hp::core::run_hotpotato(base);
   print_report("sequential", seq);
@@ -41,6 +60,19 @@ int main(int argc, char** argv) {
   for (const std::uint32_t pes : {1u, 2u, 4u}) {
     auto o = hp::bench::tw_options(n, 0.75, pes, 64);
     o.model.steps = base.model.steps;
+    o.engine.seed = seed;
+    if (chaos) {
+      auto plan = chaos_probe.fault;
+      if (plan.stall_pe != hp::des::FaultPlan::kNoStallPe &&
+          plan.stall_pe >= pes) {
+        // The stall target does not exist at this PE count; disarm the
+        // stall clause but keep the rest of the plan.
+        plan.stall_pe = hp::des::FaultPlan::kNoStallPe;
+        plan.stall_rounds = 0;
+      }
+      o.engine.fault = plan;
+    }
+    hp::bench::apply_monitor_flags(cli, o.engine);
     const auto tw = hp::core::run_hotpotato(o);
     char tag[64];
     std::snprintf(tag, sizeof(tag), "timewarp %u PE(s)", pes);
@@ -56,6 +88,11 @@ int main(int argc, char** argv) {
   // Repeatability of the parallel run itself.
   auto o = hp::bench::tw_options(n, 0.75, 4, 64);
   o.model.steps = base.model.steps;
+  o.engine.seed = seed;
+  if (chaos && (chaos_probe.fault.stall_pe == hp::des::FaultPlan::kNoStallPe ||
+                chaos_probe.fault.stall_pe < 4)) {
+    o.engine.fault = chaos_probe.fault;
+  }
   const auto again = hp::core::run_hotpotato(o);
   const bool repeat = again.model == seq.model && again.report == seq.report;
   all_identical = all_identical && repeat;

@@ -4,16 +4,24 @@
 //
 //   ./quickstart [--n=16] [--inject=0.5] [--steps=200] [--pes=1]
 //               [--trace=trace.json] [--monitor[=interval]]
-//               [--monitor-out=monitor.jsonl]
+//               [--monitor-out=monitor.jsonl] [--chaos=spec]
+//               [--pool-budget=envelopes]
 //
 // --trace writes a Chrome/Perfetto phase trace of the run (one track per
 // PE); load it at https://ui.perfetto.dev — see EXPERIMENTS.md.
 // --monitor (Time Warp only) emits a JSON-lines heartbeat every `interval`
 // GVT rounds to stderr, or to --monitor-out when given.
+// --chaos (Time Warp only) arms deterministic fault injection on the remote
+// event path, e.g. --chaos="delay:p=0.2,k=2;stall:pe=1,rounds=4;seed=7" —
+// see des/fault.hpp for the grammar. Committed results are unchanged.
+// --pool-budget (Time Warp only) caps live event envelopes per PE; the
+// engine throttles optimism instead of aborting when memory runs short.
 
 #include <cstdio>
+#include <string>
 
 #include "core/simulation.hpp"
+#include "des/fault.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -24,7 +32,9 @@ int main(int argc, char** argv) {
                      {"pes", "1 = sequential kernel, >1 = Time Warp"},
                      {"trace", "write a Chrome/Perfetto trace to this path"},
                      {"monitor", "heartbeat every N GVT rounds (bare = 1)"},
-                     {"monitor-out", "append monitor stream to this file"}});
+                     {"monitor-out", "append monitor stream to this file"},
+                     {"chaos", "fault plan, e.g. delay:p=0.2,k=2;seed=7"},
+                     {"pool-budget", "live-envelope budget per PE (0 = off)"}});
 
   hp::core::SimulationOptions opts;
   opts.model.n = static_cast<std::int32_t>(cli.get_int("n", 16));
@@ -44,9 +54,40 @@ int main(int argc, char** argv) {
   if (cli.has("monitor")) {
     opts.engine.obs.monitor = true;
     const auto interval = cli.get_int("monitor", 1);
-    opts.engine.obs.monitor_interval =
-        interval > 0 ? static_cast<std::uint32_t>(interval) : 1u;
+    if (interval <= 0) {
+      cli.usage_error("--monitor expects a positive interval, got " +
+                      std::to_string(interval));
+    }
+    opts.engine.obs.monitor_interval = static_cast<std::uint32_t>(interval);
     opts.engine.obs.monitor_path = cli.get("monitor-out", "");
+  }
+  if (cli.has("chaos")) {
+    std::string err;
+    if (!hp::des::FaultPlan::parse(cli.get("chaos", ""), opts.engine.fault,
+                                   err)) {
+      cli.usage_error("--chaos: " + err);
+    }
+    if (opts.engine.fault.any() && pes <= 1) {
+      cli.usage_error("--chaos requires the Time Warp kernel (--pes > 1)");
+    }
+    if (opts.engine.fault.stall_pe != hp::des::FaultPlan::kNoStallPe &&
+        opts.engine.fault.stall_pe >= pes) {
+      cli.usage_error("--chaos stall:pe=" +
+                      std::to_string(opts.engine.fault.stall_pe) +
+                      " is out of range for " + std::to_string(pes) + " PEs");
+    }
+  }
+  if (cli.has("pool-budget")) {
+    const auto budget = cli.get_int("pool-budget", 0);
+    if (budget < 0 || (budget > 0 && budget < 16)) {
+      cli.usage_error("--pool-budget expects 0 or >= 16 envelopes, got " +
+                      std::to_string(budget));
+    }
+    if (budget > 0 && pes <= 1) {
+      cli.usage_error("--pool-budget requires the Time Warp kernel "
+                      "(--pes > 1)");
+    }
+    opts.engine.pool_budget_envelopes = static_cast<std::uint64_t>(budget);
   }
 
   const auto result = hp::core::run_hotpotato(opts);

@@ -8,11 +8,16 @@
 //   absorb_sleeping_packet  1 = practical mode, 0 = proof-verification
 //
 //   ./ross_cli --n=32 --processors=4 --duration=2560 --probability_i=50
-//              [--absorb_sleeping_packet=1]
+//              [--absorb_sleeping_packet=1] [--chaos=spec]
+//
+// --chaos (Time Warp only) arms deterministic fault injection on the remote
+// event path (see des/fault.hpp); committed results are unchanged.
 
 #include <cstdio>
+#include <string>
 
 #include "core/simulation.hpp"
+#include "des/fault.hpp"
 #include "hotpotato/packet.hpp"
 #include "util/cli.hpp"
 
@@ -27,7 +32,8 @@ int main(int argc, char** argv) {
        {"kps", "number of kernel processes (report default 64)"},
        {"seed", "RNG seed"},
        {"monitor", "heartbeat every N GVT rounds (bare = 1)"},
-       {"monitor-out", "append monitor stream to this file"}});
+       {"monitor-out", "append monitor stream to this file"},
+       {"chaos", "fault plan, e.g. delay:p=0.2,k=2;seed=7"}});
 
   hp::core::SimulationOptions opts;
   opts.model.n = static_cast<std::int32_t>(cli.get_int("n", 32));
@@ -48,9 +54,29 @@ int main(int argc, char** argv) {
   if (cli.has("monitor")) {
     opts.engine.obs.monitor = true;
     const auto interval = cli.get_int("monitor", 1);
-    opts.engine.obs.monitor_interval =
-        interval > 0 ? static_cast<std::uint32_t>(interval) : 1u;
+    if (interval <= 0) {
+      cli.usage_error("--monitor expects a positive interval, got " +
+                      std::to_string(interval));
+    }
+    opts.engine.obs.monitor_interval = static_cast<std::uint32_t>(interval);
     opts.engine.obs.monitor_path = cli.get("monitor-out", "");
+  }
+  if (cli.has("chaos")) {
+    std::string err;
+    if (!hp::des::FaultPlan::parse(cli.get("chaos", ""), opts.engine.fault,
+                                   err)) {
+      cli.usage_error("--chaos: " + err);
+    }
+    if (opts.engine.fault.any() && pes <= 1) {
+      cli.usage_error("--chaos requires the Time Warp kernel "
+                      "(--processors > 1)");
+    }
+    if (opts.engine.fault.stall_pe != hp::des::FaultPlan::kNoStallPe &&
+        opts.engine.fault.stall_pe >= pes) {
+      cli.usage_error("--chaos stall:pe=" +
+                      std::to_string(opts.engine.fault.stall_pe) +
+                      " is out of range for " + std::to_string(pes) + " PEs");
+    }
   }
 
   const auto result = hp::core::run_hotpotato(opts);

@@ -9,6 +9,11 @@ and $ref into $defs.
 Usage:
     scripts/check_bench_json.py results/BENCH_fig7_rollbacks.json [more...]
     scripts/check_bench_json.py --schema my.schema.json dump.json
+    scripts/check_bench_json.py --jsonl monitor_sample MONITOR_run.jsonl
+
+With --jsonl <defname>, each input is a JSON-lines stream (e.g. the
+--monitor heartbeat) and every non-empty line is validated against
+#/$defs/<defname> instead of the document root.
 
 Exits non-zero with a path-annotated message on the first violation per file.
 """
@@ -99,17 +104,48 @@ def main():
         "--schema",
         default=os.path.join(os.path.dirname(os.path.abspath(__file__)),
                              "bench_json.schema.json"))
+    parser.add_argument(
+        "--jsonl", metavar="DEFNAME",
+        help="treat inputs as JSON-lines; validate each line against "
+             "#/$defs/DEFNAME (e.g. monitor_sample)")
     args = parser.parse_args()
 
     with open(args.schema) as f:
         schema = json.load(f)
 
+    if args.jsonl is not None:
+        defs = schema.get("$defs", {})
+        if args.jsonl not in defs:
+            print(f"FAIL: no $defs entry named {args.jsonl!r} in "
+                  f"{args.schema}", file=sys.stderr)
+            return 1
+        line_schema = defs[args.jsonl]
+
     failures = 0
     for path in args.files:
         try:
-            with open(path) as f:
-                doc = json.load(f)
-            validate(doc, schema, schema)
+            if args.jsonl is not None:
+                lines = 0
+                with open(path) as f:
+                    for lineno, line in enumerate(f, 1):
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            doc = json.loads(line)
+                        except json.JSONDecodeError as e:
+                            raise SchemaError(f"line {lineno}", str(e))
+                        try:
+                            validate(doc, line_schema, schema)
+                        except SchemaError as e:
+                            raise SchemaError(f"line {lineno}", str(e))
+                        lines += 1
+                if lines == 0:
+                    raise SchemaError("", "no records in JSONL stream")
+            else:
+                with open(path) as f:
+                    doc = json.load(f)
+                validate(doc, schema, schema)
         except (OSError, json.JSONDecodeError, SchemaError) as e:
             print(f"FAIL {path}: {e}", file=sys.stderr)
             failures += 1

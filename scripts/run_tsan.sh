@@ -7,11 +7,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake --preset tsan
-cmake --build build-tsan -j "$(nproc)" --target test_mpsc_queue test_timewarp test_engine_matrix
+cmake --build build-tsan -j "$(nproc)" --target test_mpsc_queue test_timewarp test_engine_matrix test_chaos
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 ./build-tsan/tests/test_mpsc_queue
 ./build-tsan/tests/test_timewarp
 ./build-tsan/tests/test_engine_matrix
+# Fault injection + flow control stress the same lock-free paths from new
+# angles (held envelopes, blocked PEs, duplicated antis).
+./build-tsan/tests/test_chaos
 
 echo "TSan: TimeWarp test suite clean."

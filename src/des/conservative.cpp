@@ -28,7 +28,11 @@ class ConservativeEngine::Ctx final : public Context {
 
  protected:
   Event* prepare_send_(std::uint32_t dst_lp, Time ts) override {
-    HP_ASSERT(dst_lp < e_.cfg_.num_lps, "send to out-of-range LP %u", dst_lp);
+    HP_ASSERT(dst_lp < e_.cfg_.num_lps,
+              "PE %u LP %u t=%.6f: send to out-of-range LP %u at ts=%.6f "
+              "(num_lps %u)",
+              pe_.id, cur_->key.dst_lp, cur_->key.ts, dst_lp, ts,
+              e_.cfg_.num_lps);
     Event* ev = pe_.pool.allocate();
     ev->key = EventKey{ts, util::hash_combine(cur_->key.tie, send_seq_),
                        cur_->key.dst_lp, dst_lp, send_seq_};
@@ -43,8 +47,10 @@ class ConservativeEngine::Ctx final : public Context {
     if (ev->key.dst_lp != cur_->key.dst_lp) {
       // The conservative contract: cross-LP messages respect the lookahead.
       HP_ASSERT(ev->key.ts >= cur_->key.ts + e_.lookahead_ - 1e-12,
-                "cross-LP send with delay %f below the declared lookahead %f",
-                ev->key.ts - cur_->key.ts, e_.lookahead_);
+                "PE %u LP %u t=%.6f: cross-LP send to LP %u at ts=%.6f has "
+                "delay %f below the declared lookahead %f",
+                pe_.id, cur_->key.dst_lp, cur_->key.ts, ev->key.dst_lp,
+                ev->key.ts, ev->key.ts - cur_->key.ts, e_.lookahead_);
     }
     const std::uint32_t dst_pe = e_.lp_pe_[ev->key.dst_lp];
     if (dst_pe == pe_.id) {
@@ -73,8 +79,10 @@ class ConsInitCtx final : public InitContext {
 
  protected:
   Event* prepare_schedule_(std::uint32_t dst_lp, Time ts) override {
-    HP_ASSERT(dst_lp < e_.cfg_.num_lps, "schedule to out-of-range LP %u",
-              dst_lp);
+    HP_ASSERT(dst_lp < e_.cfg_.num_lps,
+              "init LP %u: schedule to out-of-range LP %u at ts=%.6f (num_lps "
+              "%u)",
+              lp_, dst_lp, ts, e_.cfg_.num_lps);
     ConservativeEngine::PeData& pe = *e_.pes_[e_.lp_pe_[dst_lp]];
     Event* ev = pe.pool.allocate();
     const std::uint64_t root = util::hash_combine(seed_, lp_);
@@ -120,7 +128,9 @@ ConservativeEngine::ConservativeEngine(Model& model, EngineConfig cfg,
     states_.push_back(model_.make_state(lp));
     rngs_.emplace_back(util::hash_combine(cfg_.seed, lp));
     lp_pe_[lp] = mapping_->pe_of(lp);
-    HP_ASSERT(lp_pe_[lp] < cfg_.num_pes, "mapping returned PE out of range");
+    HP_ASSERT(lp_pe_[lp] < cfg_.num_pes,
+              "mapping returned out-of-range PE %u for LP %u (num_pes %u)",
+              lp_pe_[lp], lp, cfg_.num_pes);
   }
   pes_.reserve(cfg_.num_pes);
   for (std::uint32_t pe = 0; pe < cfg_.num_pes; ++pe) {
@@ -191,7 +201,8 @@ void ConservativeEngine::run_pe(PeData& pe) {
         pe.metrics.at(Counter::Processed) - pe.processed_at_last_window;
     pe.series.push(obs::GvtRoundSample{
         pe.local_rounds, obs::monotonic_ns() - epoch_ns_, wend - lookahead_,
-        processed_delta, processed_delta, inbox_depth, pe.pool.allocated()});
+        processed_delta, processed_delta, inbox_depth, pe.pool.allocated(),
+        static_cast<std::uint64_t>(std::max<std::int64_t>(0, pe.pool.live()))});
     ++pe.local_rounds;
     pe.processed_at_last_window = pe.metrics.at(Counter::Processed);
   }
@@ -232,6 +243,10 @@ RunStats ConservativeEngine::run() {
     // Everything a conservative PE processes commits immediately.
     pe->metrics.at(Counter::Committed) = pe->metrics.at(Counter::Processed);
     pe->metrics.at(Counter::PoolEnvelopes) = pe->pool.allocated();
+    pe->metrics.at(Counter::PoolLiveEnvelopes) = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, pe->pool.live()));
+    pe->metrics.at(Counter::PoolPeakLive) = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, pe->pool.peak_live()));
     m.per_pe.push_back(pe->metrics);
   }
   m.finalize();
@@ -252,6 +267,7 @@ RunStats ConservativeEngine::run() {
       series[i].committed += other[i].committed;
       series[i].inbox_depth += other[i].inbox_depth;
       series[i].pool_envelopes += other[i].pool_envelopes;
+      series[i].pool_live += other[i].pool_live;
     }
   }
   m.gvt_series = std::move(series);

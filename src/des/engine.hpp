@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "des/fault.hpp"
 #include "des/time.hpp"
 #include "net/mapping.hpp"
 #include "obs/metrics.hpp"
@@ -69,6 +70,19 @@ struct EngineConfig {
   // steps tames rollback thrash when PEs are badly co-paced (e.g. more PEs
   // than cores, so one thread races ahead while others are descheduled).
   Time optimism_window = kTimeInf;
+  // Optimism flow control (Time Warp only): per-PE budget of *live* event
+  // envelopes (EventPool::live()). 0 disables. A PE crossing the soft
+  // watermark (pool_soft_fraction * budget) enters a throttle window that
+  // caps forward progress to gvt + an adaptively shrinking window; crossing
+  // the hard watermark (budget minus a small reserve) blocks optimistic
+  // execution entirely — only events at ts <= GVT run — and forces a GVT
+  // round. Degradation, never abort; committed results are bit-identical
+  // with any budget (throttling only delays execution).
+  std::uint64_t pool_budget_envelopes = 0;
+  double pool_soft_fraction = 0.5;
+  // Deterministic fault injection for the remote event path (Time Warp
+  // only; disarmed by default). See des/fault.hpp.
+  FaultPlan fault;
   // Observability: phase timers, GVT-round series retention, Chrome trace
   // export. Pure bookkeeping — results are bit-identical at any setting.
   obs::ObsConfig obs;

@@ -107,6 +107,16 @@ struct Event : util::MpscNode {
 // cross-PE envelopes are freed into the *receiving* PE's pool (the free list
 // holds non-owning pointers; storage is owned by the allocating pool, and
 // the engine destroys all pools together after the PE threads have joined).
+//
+// Capacity vs. live: `capacity()` is the high-water storage owned by this
+// pool and never shrinks; `live()` is the current outstanding-envelope count
+// (allocated minus freed *here*) and is the number fossil collection actually
+// drives back down. live() is signed because envelopes migrate: a PE that
+// mostly receives remote events frees more envelopes into its pool than it
+// allocated from it, so its live() goes negative while the sender's stays
+// positive — only the sum (or a single-pool engine) is a memory figure. The
+// optimism flow-control watermarks compare a PE's own live() against its
+// budget, which is exactly the "am I the one over-allocating" question.
 class EventPool {
  public:
   EventPool() = default;
@@ -114,6 +124,8 @@ class EventPool {
   EventPool& operator=(const EventPool&) = delete;
 
   Event* allocate() {
+    ++live_;
+    if (live_ > peak_live_) peak_live_ = live_;
     if (free_.empty()) {
       all_.push_back(std::make_unique<Event>());
       return all_.back().get();
@@ -124,6 +136,7 @@ class EventPool {
   }
 
   void free(Event* ev) noexcept {
+    --live_;
     ev->status = EventStatus::Free;
     ev->is_anti = false;
     // Forensics stamps must not survive envelope reuse: a recycled envelope
@@ -137,12 +150,21 @@ class EventPool {
     free_.push_back(ev);
   }
 
+  // Envelopes ever backed by this pool's storage (high-water mark).
+  std::size_t capacity() const noexcept { return all_.size(); }
+  // Historical name for capacity(); kept for existing callers.
   std::size_t allocated() const noexcept { return all_.size(); }
   std::size_t free_count() const noexcept { return free_.size(); }
+  // Outstanding allocations netted against frees into this pool (signed —
+  // see the class comment).
+  std::int64_t live() const noexcept { return live_; }
+  std::int64_t peak_live() const noexcept { return peak_live_; }
 
  private:
   std::vector<std::unique_ptr<Event>> all_;
   std::vector<Event*> free_;
+  std::int64_t live_ = 0;
+  std::int64_t peak_live_ = 0;
 };
 
 }  // namespace hp::des

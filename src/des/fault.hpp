@@ -1,0 +1,94 @@
+#pragma once
+
+// Deterministic fault injection for the Time Warp remote event path.
+//
+// A FaultPlan describes an adversarial delivery schedule the kernel applies
+// to *remote* envelopes (the MPSC inbox path) without ever violating the
+// per-producer FIFO contract the annihilation protocol depends on:
+//
+//   * delay      — hold a remote positive back for k GVT rounds before
+//                  delivering it (it still participates in the GVT minimum,
+//                  so nothing can commit past a held event);
+//   * reorder    — deliver runs of consecutive remote positives in reverse
+//                  arrival order, and randomly split one inbox drain into
+//                  several (antis are never reordered past their positives);
+//   * straggler  — delay positives whose timestamp is within `margin` of the
+//                  current GVT horizon, manufacturing worst-case stragglers;
+//   * dup-anti   — deliver a second copy of an anti-message one round late
+//                  (the duplicate must annihilate nothing);
+//   * stall      — one chosen PE processes no forward work for n GVT rounds
+//                  starting at round `at` (it still meets every barrier).
+//
+// Fault decisions come from a per-PE util::ReversibleRng seeded from
+// (plan seed, pe id) — completely separate streams from the model LP RNGs —
+// so a chaos run is exactly reproducible and the *model's* event content is
+// untouched: chaos perturbs delivery timing only, which Time Warp must (and
+// provably does — that is the test) absorb without changing committed state.
+//
+// The plan is embedded by value in des::EngineConfig. When no fault kind is
+// armed (`any()` is false) the kernel's remote path takes one predictable
+// branch and nothing else.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "des/time.hpp"
+
+namespace hp::des {
+
+struct FaultPlan {
+  static constexpr std::uint32_t kNoStallPe = 0xffffffffu;
+
+  // Seed for the per-PE chaos RNG streams (never the model streams).
+  std::uint64_t seed = 1;
+
+  // delay: each remote positive is held back `delay_rounds` GVT rounds with
+  // probability `delay_prob`.
+  double delay_prob = 0.0;
+  std::uint32_t delay_rounds = 1;
+
+  // reorder: each full run of consecutive remote positives in a drain is
+  // delivered in reverse with probability `reorder_prob`; with the same
+  // probability a drain stops early, splitting one batch into several.
+  double reorder_prob = 0.0;
+
+  // straggler: remote positives with ts <= gvt + straggler_margin are held
+  // one round with probability `straggler_prob` (they arrive as stragglers
+  // right at the horizon).
+  double straggler_prob = 0.0;
+  Time straggler_margin = 5.0;
+
+  // dup-anti: each remote anti is re-delivered once, one round late, with
+  // probability `dup_anti_prob`.
+  double dup_anti_prob = 0.0;
+
+  // stall: PE `stall_pe` executes no forward work for `stall_rounds` GVT
+  // rounds starting at round `stall_at`.
+  std::uint32_t stall_pe = kNoStallPe;
+  std::uint64_t stall_at = 1;
+  std::uint64_t stall_rounds = 0;
+
+  bool any() const noexcept {
+    return delay_prob > 0.0 || reorder_prob > 0.0 || straggler_prob > 0.0 ||
+           dup_anti_prob > 0.0 || (stall_pe != kNoStallPe && stall_rounds > 0);
+  }
+
+  // Parses a `--chaos=` spec: semicolon-separated clauses, each
+  // `kind[:key=value[,key=value...]]`.
+  //
+  //   delay:p=0.2,k=2 ; reorder:p=0.5 ; straggler:p=0.3,margin=5
+  //   dup-anti:p=0.1 ; stall:pe=1,rounds=4,at=2 ; seed=42
+  //
+  // Returns false and fills `err` (never touching `out`) on malformed specs:
+  // unknown clause/key, non-numeric value, probability outside [0,1],
+  // k/rounds of 0. An empty spec is valid and yields a disarmed plan.
+  static bool parse(std::string_view spec, FaultPlan& out, std::string& err);
+
+  // Canonical spec round-trip (armed clauses only; "off" when disarmed).
+  std::string to_string() const;
+
+  bool operator==(const FaultPlan&) const = default;
+};
+
+}  // namespace hp::des

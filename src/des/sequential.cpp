@@ -22,7 +22,10 @@ class SequentialEngine::Ctx final : public Context {
 
  protected:
   Event* prepare_send_(std::uint32_t dst_lp, Time ts) override {
-    HP_ASSERT(dst_lp < e_.cfg_.num_lps, "send to out-of-range LP %u", dst_lp);
+    HP_ASSERT(dst_lp < e_.cfg_.num_lps,
+              "LP %u t=%.6f: send to out-of-range LP %u at ts=%.6f (num_lps "
+              "%u)",
+              cur_->key.dst_lp, cur_->key.ts, dst_lp, ts, e_.cfg_.num_lps);
     Event* ev = e_.pool_.allocate();
     ev->key = EventKey{ts, util::hash_combine(cur_->key.tie, send_seq_),
                        cur_->key.dst_lp, dst_lp, send_seq_};
@@ -51,8 +54,10 @@ class SequentialEngine::ICtx final : public InitContext {
 
  protected:
   Event* prepare_schedule_(std::uint32_t dst_lp, Time ts) override {
-    HP_ASSERT(dst_lp < e_.cfg_.num_lps, "schedule to out-of-range LP %u",
-              dst_lp);
+    HP_ASSERT(dst_lp < e_.cfg_.num_lps,
+              "init LP %u: schedule to out-of-range LP %u at ts=%.6f (num_lps "
+              "%u)",
+              lp_, dst_lp, ts, e_.cfg_.num_lps);
     Event* ev = e_.pool_.allocate();
     const std::uint64_t root = util::hash_combine(seed_, lp_);
     ev->key = EventKey{ts, util::hash_combine(root, idx_), lp_, dst_lp, idx_};
@@ -124,6 +129,10 @@ RunStats SequentialEngine::run() {
   m.total.at(obs::Counter::Processed) = processed;
   m.total.at(obs::Counter::Committed) = processed;
   m.total.at(obs::Counter::PoolEnvelopes) = pool_.allocated();
+  m.total.at(obs::Counter::PoolLiveEnvelopes) = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, pool_.live()));
+  m.total.at(obs::Counter::PoolPeakLive) = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, pool_.peak_live()));
   m.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   m.final_gvt = pending_.empty() ? kTimeInf : (*pending_.begin())->key.ts;
   if (tracing) {

@@ -30,6 +30,23 @@ constexpr std::uint32_t kIdleBackoffMax = 8192;
 constexpr double kShrinkYield = 0.25;
 constexpr double kGrowYield = 0.9;
 
+// Optimism flow-control tuning. The throttle window is
+// throttle_scale * EMA(per-round GVT advance); the scale halves when the
+// global rollback fraction over the last round exceeds kFlowWasteShrink (or
+// kFlowWasteOwn when one of this PE's own KPs is the round's top offender —
+// the PE most responsible throttles hardest) and doubles back on clean
+// rounds below kFlowWasteGrow, clamped to [kFlowScaleMin, kFlowScaleMax]
+// windows' worth of typical GVT progress.
+constexpr double kFlowWasteShrink = 0.5;
+constexpr double kFlowWasteOwn = 0.25;
+constexpr double kFlowWasteGrow = 0.1;
+constexpr double kFlowScaleMin = 0.25;
+constexpr double kFlowScaleMax = 8.0;
+constexpr double kFlowEmaAlpha = 0.25;
+
+// Fault injection: reorder scratch flushes at this many buffered positives.
+constexpr std::size_t kChaosReorderWindow = 8;
+
 }
 
 using obs::Counter;
@@ -60,7 +77,9 @@ class TimeWarpEngine::TwCtx final : public Context {
 
  protected:
   Event* prepare_send_(std::uint32_t dst_lp, Time ts) override {
-    HP_ASSERT(dst_lp < e_.cfg_.num_lps, "send to out-of-range LP %u", dst_lp);
+    HP_ASSERT(dst_lp < e_.cfg_.num_lps,
+              "PE %u KP %u LP %u t=%.6f: send to out-of-range LP %u at ts=%.6f",
+              pe_.id, cur_->kp, cur_->key.dst_lp, cur_->key.ts, dst_lp, ts);
     Event* ev = pe_.pool.allocate();
     ev->key = EventKey{ts, util::hash_combine(cur_->key.tie, send_seq_),
                        cur_->key.dst_lp, dst_lp, send_seq_};
@@ -265,7 +284,10 @@ void TimeWarpEngine::deliver(PeData& pe, Event* ev) {
   ev->status = EventStatus::Pending;
   pe.pending.insert(ev);
   auto [it, ok] = pe.index.emplace(ev->uid, ev);
-  HP_ASSERT(ok, "duplicate event uid delivered");
+  HP_ASSERT(ok,
+            "PE %u KP %u LP %u t=%.6f: duplicate event uid %llu delivered",
+            pe.id, ev->kp, ev->key.dst_lp, ev->key.ts,
+            static_cast<unsigned long long>(ev->uid));
   (void)it;
 }
 
@@ -321,7 +343,13 @@ void TimeWarpEngine::annihilate(PeData& pe, std::uint64_t uid,
                                 std::uint64_t send_wall_ns) {
   auto it = pe.index.find(uid);
   // FIFO inboxes guarantee a positive always precedes its anti; see header.
-  HP_ASSERT(it != pe.index.end(), "anti-message found no matching positive");
+  // (Chaos runs route through chaos_deliver_anti, which pre-checks the index
+  // and the holdback buffer, so this stays a hard invariant even then.)
+  HP_ASSERT(it != pe.index.end(),
+            "PE %u: anti-message uid %llu (offender KP %u PE %u) found no "
+            "matching positive",
+            pe.id, static_cast<unsigned long long>(uid), offender_kp,
+            offender_pe);
   Event* ev = it->second;
   if (ev->status == EventStatus::Processed) {
     // Secondary rollback: induced by a cancellation, one chain link deeper
@@ -331,12 +359,20 @@ void TimeWarpEngine::annihilate(PeData& pe, std::uint64_t uid,
              obs::RollbackCause{obs::RollbackKind::Secondary, offender_kp,
                                 offender_pe, pe.cascade_ctx + 1,
                                 send_wall_ns});
-    HP_ASSERT(ev->status == EventStatus::Pending, "rollback left event processed");
+    HP_ASSERT(ev->status == EventStatus::Pending,
+              "PE %u KP %u LP %u t=%.6f: rollback left event uid %llu "
+              "processed",
+              pe.id, ev->kp, ev->key.dst_lp, ev->key.ts,
+              static_cast<unsigned long long>(ev->uid));
   }
   // A pending event killed before re-execution drags its lazily-kept
   // children down with it.
   if (!ev->stale_children.empty()) cancel_stale(pe, ev);
-  HP_ASSERT(pe.pending.erase(ev), "event missing from pending set");
+  HP_ASSERT(pe.pending.erase(ev),
+            "PE %u KP %u LP %u t=%.6f: event uid %llu missing from pending "
+            "set",
+            pe.id, ev->kp, ev->key.dst_lp, ev->key.ts,
+            static_cast<unsigned long long>(ev->uid));
   pe.index.erase(it);
   pe.pool.free(ev);
 }
@@ -450,6 +486,10 @@ void TimeWarpEngine::rollback(PeData& pe, std::uint32_t kp_id,
 
 void TimeWarpEngine::drain_inbox(PeData& pe) {
   if (pe.inbox.empty_hint()) return;
+  if (HP_UNLIKELY(chaos_)) {
+    drain_inbox_chaos(pe);
+    return;
+  }
   while (Event* ev = pe.inbox.pop()) {
     if (ev->is_anti) {
       const std::uint64_t uid = ev->uid;
@@ -468,23 +508,267 @@ void TimeWarpEngine::drain_inbox(PeData& pe) {
   }
 }
 
+// Fault-injected drain. Invariants preserved no matter what the plan does:
+//   * a positive is always consumed (delivered or parked) before its anti is
+//     acted on — antis flush the reorder buffer and check the holdback, and
+//     per-producer FIFO already orders the raw pops;
+//   * parked envelopes keep feeding the GVT minimum (gvt_round walks
+//     chaos_held), so nothing can commit past a held event;
+//   * only delivery *timing* changes — event content and the model RNG
+//     streams are untouched, so committed results stay bit-identical.
+void TimeWarpEngine::drain_inbox_chaos(PeData& pe) {
+  const FaultPlan& f = cfg_.fault;
+  const Time gvt = shared_gvt_.load(std::memory_order_relaxed);
+  while (Event* ev = pe.inbox.pop()) {
+    if (ev->is_anti) {
+      // Antis never pass their positives: deliver buffered positives first.
+      chaos_flush_run(pe);
+      if (HP_UNLIKELY(chaos_hit(f.dup_anti_prob, ev->uid))) {
+        // Park a copy one round; the duplicate must annihilate nothing when
+        // it lands (its positive dies to the original right below).
+        Event* dup = pe.pool.allocate();
+        dup->key = ev->key;
+        dup->uid = ev->uid;
+        dup->is_anti = true;
+        dup->cascade = ev->cascade;
+        dup->send_wall_ns = 0;
+        pe.chaos_held.push_back({dup, pe.local_rounds + 1});
+        ++pe.metrics.at(Counter::ChaosDupAntis);
+      }
+      chaos_deliver_anti(pe, ev);
+      continue;
+    }
+    if (HP_UNLIKELY(chaos_hit(f.delay_prob, ev->uid))) {
+      pe.chaos_held.push_back({ev, pe.local_rounds + f.delay_rounds});
+      ++pe.metrics.at(Counter::ChaosDelayedEvents);
+      continue;
+    }
+    if (f.straggler_prob > 0.0 && ev->key.ts <= gvt + f.straggler_margin &&
+        chaos_hit(f.straggler_prob,
+                  util::hash_combine(ev->uid, 0x57A6u))) {
+      // Near-horizon positive: hold it one round so it lands as a straggler
+      // right behind the frontier the receiving KP built meanwhile.
+      pe.chaos_held.push_back({ev, pe.local_rounds + 1});
+      ++pe.metrics.at(Counter::ChaosStragglers);
+      continue;
+    }
+    if (f.reorder_prob > 0.0) {
+      pe.chaos_run.push_back(ev);
+      if (pe.chaos_run.size() >= kChaosReorderWindow) {
+        chaos_flush_run(pe);
+        // Batch-split: sometimes abandon the drain mid-stream; the rest of
+        // the inbox waits for the next scheduler iteration.
+        if (pe.chaos_rng.bernoulli(f.reorder_prob * 0.5)) break;
+      }
+    } else {
+      deliver(pe, ev);
+    }
+  }
+  chaos_flush_run(pe);
+}
+
+void TimeWarpEngine::chaos_flush_run(PeData& pe) {
+  auto& run = pe.chaos_run;
+  if (run.empty()) return;
+  if (run.size() > 1 && pe.chaos_rng.bernoulli(cfg_.fault.reorder_prob)) {
+    pe.metrics.at(Counter::ChaosReorderedEvents) += run.size();
+    for (std::size_t i = run.size(); i-- > 0;) deliver(pe, run[i]);
+  } else {
+    for (Event* ev : run) deliver(pe, ev);
+  }
+  run.clear();
+}
+
+void TimeWarpEngine::chaos_deliver_anti(PeData& pe, Event* anti) {
+  const std::uint64_t uid = anti->uid;
+  const std::uint32_t src = anti->key.src_lp;
+  const std::uint32_t inducing_cascade = anti->cascade;
+  const std::uint64_t send_wall_ns = anti->send_wall_ns;
+  pe.pool.free(anti);
+  if (pe.index.find(uid) != pe.index.end()) {
+    pe.cascade_ctx = inducing_cascade;
+    annihilate(pe, uid, lp_kp_[src], lp_pe_[src], send_wall_ns);
+    pe.cascade_ctx = 0;
+    return;
+  }
+  // The positive may be parked by a delay/straggler fault: annihilate the
+  // pair inside the holdback buffer, before the positive was ever delivered.
+  for (std::size_t i = 0; i < pe.chaos_held.size(); ++i) {
+    Event* held = pe.chaos_held[i].ev;
+    if (!held->is_anti && held->uid == uid) {
+      pe.pool.free(held);
+      pe.chaos_held.erase(pe.chaos_held.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+  // No positive anywhere: a dup-anti duplicate arriving after the original
+  // did the kill. Legal only under chaos — the fault-free path still
+  // hard-asserts inside annihilate().
+  ++pe.metrics.at(Counter::ChaosStaleAntis);
+}
+
+void TimeWarpEngine::chaos_release(PeData& pe, bool all) {
+  if (pe.chaos_held.empty()) return;
+  // Extract due envelopes before delivering anything: a released duplicate
+  // anti can erase a held positive (annihilate-in-holdback), which must not
+  // happen mid-scan.
+  std::vector<Event*> due;
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < pe.chaos_held.size(); ++r) {
+    if (all || pe.chaos_held[r].release_round <= pe.local_rounds) {
+      due.push_back(pe.chaos_held[r].ev);
+    } else {
+      pe.chaos_held[w++] = pe.chaos_held[r];
+    }
+  }
+  pe.chaos_held.resize(w);
+  for (Event* ev : due) {
+    if (all) {
+      // Run over: GVT passed end_time, and held envelopes bounded it from
+      // below, so everything still parked is beyond the end time and would
+      // never execute. Free without delivering.
+      pe.pool.free(ev);
+    } else if (ev->is_anti) {
+      chaos_deliver_anti(pe, ev);
+    } else {
+      deliver(pe, ev);
+    }
+  }
+}
+
+bool TimeWarpEngine::stall_active(const PeData& pe) const noexcept {
+  const FaultPlan& f = cfg_.fault;
+  return f.stall_pe == pe.id && f.stall_rounds > 0 &&
+         pe.local_rounds >= f.stall_at &&
+         pe.local_rounds < f.stall_at + f.stall_rounds;
+}
+
+bool TimeWarpEngine::chaos_hit(double prob, std::uint64_t uid) const noexcept {
+  if (prob <= 0.0) return false;
+  const std::uint64_t h =
+      util::splitmix64(util::hash_combine(cfg_.fault.seed, uid));
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < prob;
+}
+
 Event* TimeWarpEngine::next_event(PeData& pe) {
+  if (HP_UNLIKELY(chaos_) && stall_active(pe)) return nullptr;
   Event* ev = pe.pending.peek_min();
   if (ev == nullptr) return nullptr;
   if (ev->key.ts > cfg_.end_time) return nullptr;
-  if (cfg_.optimism_window < kTimeInf &&
-      ev->key.ts > shared_gvt_.load(std::memory_order_relaxed) +
-                       cfg_.optimism_window) {
+  Time window = cfg_.optimism_window;
+  if (HP_UNLIKELY(flow_on_)) {
+    // Throttled: cap forward progress to gvt + the adaptive window.
+    // Blocked: window zero — only events at or below GVT execute, which
+    // stops every new optimistic send while still guaranteeing progress
+    // (the PE owning the global minimum can always run it). Both only
+    // *delay* execution, so committed results are unchanged.
+    if (pe.flow_state == PeData::FlowState::Blocked) {
+      window = 0.0;
+    } else if (pe.flow_state == PeData::FlowState::Throttled) {
+      window = std::min(window, pe.throttle_window);
+    }
+  }
+  if (window < kTimeInf &&
+      ev->key.ts > shared_gvt_.load(std::memory_order_relaxed) + window) {
     return nullptr;  // beyond the moving window; wait for GVT to advance
   }
   return pe.pending.pop_min();
+}
+
+void TimeWarpEngine::update_flow_control(PeData& pe) {
+  const std::int64_t live = pe.pool.live();
+  switch (pe.flow_state) {
+    case PeData::FlowState::Open:
+      if (HP_LIKELY(live < pool_soft_)) return;
+      pe.flow_state = PeData::FlowState::Throttled;
+      ++pe.metrics.at(Counter::ThrottleEntries);
+      pe.throttle_window = pe.throttle_scale * pe.gvt_delta_ema;
+      if (tracing_) pe.throttle_begin_ns = obs::monotonic_ns();
+      break;
+    case PeData::FlowState::Throttled:
+      if (HP_UNLIKELY(live >= pool_hard_)) {
+        pe.flow_state = PeData::FlowState::Blocked;
+        ++pe.metrics.at(Counter::HardBlocks);
+        // Only fossil collection sheds live envelopes, so force a GVT round
+        // now instead of waiting for a progress/idle trigger.
+        if (!gvt_request_.exchange(true, std::memory_order_relaxed)) {
+          ++pe.metrics.at(Counter::GvtPoolTriggers);
+        }
+      } else if (live < pool_soft_exit_) {
+        // Hysteresis: exit well below the entry mark so the state does not
+        // flap around the watermark.
+        pe.flow_state = PeData::FlowState::Open;
+        ++pe.metrics.at(Counter::ThrottleExits);
+        close_throttle_span(pe);
+      }
+      break;
+    case PeData::FlowState::Blocked:
+      if (live < pool_hard_) pe.flow_state = PeData::FlowState::Throttled;
+      break;
+  }
+}
+
+void TimeWarpEngine::update_flow_window(PeData& pe, Time gvt) {
+  // EMA of per-round GVT advance: the natural unit the throttle window
+  // scales (a window of S means "S rounds' worth of typical progress").
+  if (gvt < kTimeInf) {
+    const double delta = std::max(0.0, gvt - pe.flow_last_gvt);
+    pe.gvt_delta_ema = pe.gvt_delta_ema == 0.0
+                           ? delta
+                           : (1.0 - kFlowEmaAlpha) * pe.gvt_delta_ema +
+                                 kFlowEmaAlpha * delta;
+    pe.flow_last_gvt = gvt;
+  }
+  // Global efficiency + offender-pressure signal from the round slices
+  // (every PE published between barriers A and B; reading here, after
+  // barrier B, races with nothing — see the MonitorSlice comment).
+  std::uint64_t processed = 0;
+  std::uint64_t rolled = 0;
+  std::uint64_t top_events = 0;
+  std::uint32_t top_kp = 0;
+  bool has_top = false;
+  for (const MonitorSlice& sl : mon_slices_) {
+    processed += sl.processed;
+    rolled += sl.rolled_back;
+    if (sl.has_top && sl.top_kp_events > top_events) {
+      has_top = true;
+      top_kp = sl.top_kp;
+      top_events = sl.top_kp_events;
+    }
+  }
+  const std::uint64_t dproc = processed - pe.flow_prev_processed;
+  const std::uint64_t drb = rolled - pe.flow_prev_rolled_back;
+  pe.flow_prev_processed = processed;
+  pe.flow_prev_rolled_back = rolled;
+  const double waste =
+      dproc > 0 ? static_cast<double>(drb) / static_cast<double>(dproc) : 0.0;
+  const bool own_pressure = has_top && kp_pe_[top_kp] == pe.id;
+  if (waste > kFlowWasteShrink || (own_pressure && waste > kFlowWasteOwn)) {
+    pe.throttle_scale = std::max(kFlowScaleMin, pe.throttle_scale * 0.5);
+  } else if (waste < kFlowWasteGrow) {
+    pe.throttle_scale = std::min(kFlowScaleMax, pe.throttle_scale * 2.0);
+  }
+  pe.throttle_window = pe.throttle_scale * pe.gvt_delta_ema;
+}
+
+void TimeWarpEngine::close_throttle_span(PeData& pe) {
+  if (pe.throttle_begin_ns != 0) {
+    pe.trace.add(Phase::Throttled, pe.throttle_begin_ns, obs::monotonic_ns());
+    pe.throttle_begin_ns = 0;
+  }
 }
 
 void TimeWarpEngine::process_one(PeData& pe, Event* ev) {
   const std::uint32_t lp = ev->key.dst_lp;
   HP_ASSERT(kps_[ev->kp].processed.empty() ||
                 !(ev->key < kps_[ev->kp].processed.back()->key),
-            "KP processed deque would become unsorted");
+            "PE %u KP %u LP %u t=%.6f: processed deque would become unsorted "
+            "(frontier t=%.6f)",
+            pe.id, ev->kp, lp, ev->key.ts,
+            kps_[ev->kp].processed.empty()
+                ? 0.0
+                : kps_[ev->kp].processed.back()->key.ts);
   ev->rng_before = rngs_[lp].draw_count();
   ev->status = EventStatus::Processed;
   kps_[ev->kp].processed.push_back(ev);
@@ -526,7 +810,9 @@ void TimeWarpEngine::fossil_collect(PeData& pe, Time gvt) {
 
 bool TimeWarpEngine::gvt_round(PeData& pe) {
   HP_ASSERT(pe.out_dirty.empty(),
-            "outbound batches must be flushed before a GVT round");
+            "PE %u: outbound batches must be flushed before a GVT round "
+            "(%zu dirty)",
+            pe.id, pe.out_dirty.size());
   pe.probe.switch_to(Phase::GvtBarrier);
   // Barrier A: everybody stops sending/processing.
   bar_a_.arrive_and_wait();
@@ -544,11 +830,22 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
     local = std::min(local, ev.key.ts);
     ++inbox_depth;
   });
+  if (HP_UNLIKELY(chaos_)) {
+    // Envelopes parked by the fault injector are invisible to the pending
+    // set and the inbox walk but must still bound GVT from below: a held
+    // positive (or a duplicate anti) is in-flight work nothing may commit
+    // past. This is what makes every fault plan delay-only.
+    for (const PeData::HeldEnvelope& h : pe.chaos_held) {
+      local = std::min(local, h.ev->key.ts);
+      ++inbox_depth;
+    }
+  }
   local_min_[pe.id] = local;
-  if (monitor_ != nullptr) {
-    // Publish this PE's monitor slice before barrier B; PE 0 reads all
-    // slices after it (nobody can reach the next round's slice writes until
-    // PE 0 passes the next barrier A, so the reads are race-free).
+  if (slices_on_) {
+    // Publish this PE's round slice before barrier B. PE 0 reads all slices
+    // after it for the monitor heartbeat, and every PE reads them for the
+    // flow-control signal (nobody can reach the next round's slice writes
+    // until all readers pass the next barrier A, so the reads are race-free).
     MonitorSlice& sl = mon_slices_[pe.id];
     sl.processed = pe.metrics.at(Counter::Processed);
     sl.rolled_back = pe.metrics.at(Counter::RolledBack);
@@ -557,6 +854,10 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
     sl.has_top = top_events > 0;
     sl.top_kp = top_kp;
     sl.top_kp_events = top_events;
+    sl.pool_live =
+        static_cast<std::uint64_t>(std::max<std::int64_t>(0, pe.pool.live()));
+    sl.throttled = pe.flow_state == PeData::FlowState::Throttled;
+    sl.blocked = pe.flow_state == PeData::FlowState::Blocked;
   }
   // Barrier B: minima published; everybody computes the same global min.
   bar_b_.arrive_and_wait();
@@ -594,12 +895,17 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
           std::max(1u, cfg_.gvt_interval_events), pe.effective_gvt_interval * 2);
     }
   }
+  if (HP_UNLIKELY(flow_on_)) update_flow_window(pe, gvt);
+  if (HP_UNLIKELY(chaos_) && stall_active(pe)) {
+    ++pe.metrics.at(Counter::ChaosStallRounds);
+  }
   // This PE's slice of the round sample; run() sums the slices per round
   // (rounds are barrier-global, so local_rounds agrees across PEs).
   pe.series.push(obs::GvtRoundSample{
       pe.local_rounds, obs::monotonic_ns() - epoch_ns_, gvt,
       pe.processed_since_gvt, committed_delta, inbox_depth,
-      pe.pool.allocated()});
+      pe.pool.allocated(),
+      static_cast<std::uint64_t>(std::max<std::int64_t>(0, pe.pool.live()))});
   ++pe.local_rounds;
   pe.committed_at_last_gvt = pe.metrics.at(Counter::Committed);
   pe.processed_since_gvt = 0;
@@ -616,10 +922,16 @@ void TimeWarpEngine::emit_monitor_record(std::uint64_t round_idx, Time gvt) {
   bool has_top = false;
   std::uint32_t top_kp = 0;
   std::uint64_t top_events = 0;
+  std::uint64_t pool_live = 0;
+  std::uint32_t throttled_pes = 0;
+  std::uint32_t blocked_pes = 0;
   for (const MonitorSlice& sl : mon_slices_) {
     processed += sl.processed;
     rolled_back += sl.rolled_back;
     inbox += sl.inbox_depth;
+    pool_live += sl.pool_live;
+    throttled_pes += sl.throttled ? 1 : 0;
+    blocked_pes += sl.blocked ? 1 : 0;
     // The global arg-max over per-PE arg-maxes: approximate when one
     // offender's damage is split across PEs, documented in obs/monitor.hpp.
     if (sl.has_top && sl.top_kp_events > top_events) {
@@ -643,6 +955,9 @@ void TimeWarpEngine::emit_monitor_record(std::uint64_t round_idx, Time gvt) {
   s.has_offender = has_top;
   s.top_offender_kp = top_kp;
   s.top_offender_events = top_events;
+  s.pool_live = pool_live;
+  s.throttled_pes = throttled_pes;
+  s.blocked_pes = blocked_pes;
   monitor_->emit(s);
   mon_last_processed_ = processed;
   mon_last_rolled_back_ = rolled_back;
@@ -652,6 +967,13 @@ void TimeWarpEngine::emit_monitor_record(std::uint64_t round_idx, Time gvt) {
 void TimeWarpEngine::run_pe(PeData& pe) {
   pe.probe.begin(Phase::Forward);
   while (true) {
+    // Fault injector first: envelopes whose holdback round has come are
+    // delivered before this iteration's drain, so a release behaves exactly
+    // like a (late) remote arrival.
+    if (HP_UNLIKELY(chaos_) && !pe.chaos_held.empty()) {
+      obs::PhaseScope release_phase(pe.probe, Phase::InboxDrain);
+      chaos_release(pe, /*all=*/false);
+    }
     // Inbox drain is its own phase only when there is plausibly work (the
     // empty_hint pre-check keeps the common empty case at one branch, no
     // clock read). Drain-triggered rollbacks nest via PhaseScope.
@@ -668,6 +990,9 @@ void TimeWarpEngine::run_pe(PeData& pe) {
       if (gvt_round(pe)) break;
       continue;
     }
+    // Optimism flow control: one signed compare per iteration while Open
+    // (the HP_LIKELY fast path inside), state transitions otherwise.
+    if (HP_UNLIKELY(flow_on_)) update_flow_control(pe);
     Event* ev = next_event(pe);
     if (ev == nullptr) {
       pe.probe.switch_to(Phase::Idle);
@@ -697,6 +1022,10 @@ void TimeWarpEngine::run_pe(PeData& pe) {
       ++pe.metrics.at(Counter::GvtProgressTriggers);
     }
   }
+  // Free anything the fault injector still holds (all beyond end_time, or
+  // GVT could not have terminated the run) and close an open throttle span.
+  if (HP_UNLIKELY(chaos_)) chaos_release(pe, /*all=*/true);
+  if (HP_UNLIKELY(flow_on_)) close_throttle_span(pe);
   // Commit everything still on the processed deques (all have ts <= end).
   pe.probe.switch_to(Phase::Fossil);
   fossil_collect(pe, kTimeInf);
@@ -707,18 +1036,52 @@ RunStats TimeWarpEngine::run() {
   seed_initial_events();
 
   const bool tracing = cfg_.obs.trace;
+  tracing_ = tracing;
   trace_stamps_ = tracing && cfg_.obs.forensics;
+  chaos_ = cfg_.fault.any();
+  flow_on_ = cfg_.pool_budget_envelopes > 0;
+  if (flow_on_) {
+    const auto budget = static_cast<std::int64_t>(cfg_.pool_budget_envelopes);
+    HP_ASSERT(budget >= 16, "pool_budget_envelopes=%lld is below the minimum "
+              "of 16 envelopes per PE",
+              static_cast<long long>(budget));
+    const double frac = std::clamp(cfg_.pool_soft_fraction, 0.05, 0.95);
+    pool_soft_ = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(frac * static_cast<double>(budget)));
+    pool_soft_exit_ = (pool_soft_ * 3) / 4;
+    // The reserve between the block trigger and the budget absorbs the
+    // allocations a blocked PE cannot refuse: anti bursts from rollbacks and
+    // the children of the at-GVT events it still executes.
+    const std::int64_t reserve = std::clamp<std::int64_t>(budget / 4, 4, 4096);
+    pool_hard_ = std::max(pool_soft_ + 1, budget - reserve);
+  }
+  if (chaos_) {
+    HP_ASSERT(cfg_.fault.stall_rounds == 0 ||
+                  cfg_.fault.stall_pe == FaultPlan::kNoStallPe ||
+                  cfg_.fault.stall_pe < cfg_.num_pes,
+              "chaos stall PE %u out of range (%u PEs)", cfg_.fault.stall_pe,
+              cfg_.num_pes);
+  }
   for (auto& pe : pes_) {
     pe->trace.reset(tracing ? cfg_.obs.max_trace_spans_per_pe : 0);
     pe->series.reset(cfg_.obs.gvt_series_capacity);
     pe->probe.attach(&pe->metrics, tracing ? &pe->trace : nullptr,
                      cfg_.obs.phase_timers);
     pe->forensics.reset(cfg_.num_kps, cfg_.obs.forensics);
+    if (chaos_) {
+      // Chaos streams are decorrelated from every model LP stream (those
+      // seed from (cfg.seed, lp)): the fault plan must perturb delivery
+      // timing only, never event content.
+      pe->chaos_rng = util::ReversibleRng(
+          util::hash_combine(cfg_.fault.seed, 0x9e3779b9u + pe->id));
+      pe->chaos_run.reserve(kChaosReorderWindow);
+    }
   }
+  slices_on_ = cfg_.obs.monitor || flow_on_;
   if (cfg_.obs.monitor) {
     monitor_ = std::make_unique<obs::MonitorWriter>(cfg_.obs.monitor_path);
-    mon_slices_.assign(cfg_.num_pes, MonitorSlice{});
   }
+  if (slices_on_) mon_slices_.assign(cfg_.num_pes, MonitorSlice{});
   epoch_ns_ = obs::monotonic_ns();
   mon_last_ns_ = epoch_ns_;
 
@@ -739,6 +1102,10 @@ RunStats TimeWarpEngine::run() {
   m.per_pe.reserve(pes_.size());
   for (auto& pe : pes_) {
     pe->metrics.at(Counter::PoolEnvelopes) = pe->pool.allocated();
+    pe->metrics.at(Counter::PoolLiveEnvelopes) = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, pe->pool.live()));
+    pe->metrics.at(Counter::PoolPeakLive) = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, pe->pool.peak_live()));
     m.per_pe.push_back(pe->metrics);
   }
   m.finalize();  // the one per-PE -> aggregate reduction
@@ -787,6 +1154,7 @@ RunStats TimeWarpEngine::run() {
       series[i].committed += other[i].committed;
       series[i].inbox_depth += other[i].inbox_depth;
       series[i].pool_envelopes += other[i].pool_envelopes;
+      series[i].pool_live += other[i].pool_live;
     }
   }
   m.gvt_series = std::move(series);

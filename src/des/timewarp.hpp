@@ -57,6 +57,7 @@
 #include "obs/monitor.hpp"
 #include "obs/probe.hpp"
 #include "util/mpsc_queue.hpp"
+#include "util/rng.hpp"
 
 namespace hp::des {
 
@@ -180,11 +181,45 @@ class TimeWarpEngine final : public Engine {
     obs::RollbackForensics forensics;
     std::uint32_t cascade_ctx = 0;
     std::uint64_t flow_counter = 0;
+
+    // Optimism flow control (active only when a pool budget is configured).
+    // The state machine is Open -> Throttled (soft watermark) -> Blocked
+    // (hard watermark) with hysteresis on the way back down; see
+    // update_flow_control. throttle_window is the current cap on forward
+    // progress above GVT; throttle_scale * gvt_delta_ema derives it, steered
+    // each round by the global efficiency signal read from the round slices.
+    enum class FlowState : std::uint8_t { Open, Throttled, Blocked };
+    FlowState flow_state = FlowState::Open;
+    Time throttle_window = 0.0;
+    double throttle_scale = 1.0;
+    double gvt_delta_ema = 0.0;     // EMA of per-round GVT advance
+    Time flow_last_gvt = 0.0;
+    std::uint64_t flow_prev_processed = 0;    // slice sums at last round
+    std::uint64_t flow_prev_rolled_back = 0;
+    std::uint64_t throttle_begin_ns = 0;      // open trace span (tracing only)
+
+    // Deterministic fault injection (active only when cfg.fault.any()).
+    // chaos_rng drives drain-shaped decisions (reorder/batch-split);
+    // per-envelope decisions hash the plan seed with the envelope uid so an
+    // envelope's fate is independent of when it happens to be drained.
+    // chaos_held parks delayed envelopes until a GVT round releases them;
+    // held envelopes still feed the GVT minimum so nothing commits past
+    // them. chaos_run is the reorder scratch buffer.
+    util::ReversibleRng chaos_rng{1};
+    struct HeldEnvelope {
+      Event* ev;
+      std::uint64_t release_round;  // pe.local_rounds value that frees it
+    };
+    std::vector<HeldEnvelope> chaos_held;
+    std::vector<Event*> chaos_run;
   };
 
-  // One cache line per PE of live-monitor state, written between GVT
-  // barriers A and B and read by PE 0 after barrier B (no other PE can pass
-  // the *next* barrier A until PE 0 arrives, so the reads race with nothing).
+  // One cache line per PE of per-round state, written between GVT barriers A
+  // and B and read after barrier B — by PE 0 for the monitor heartbeat, and
+  // by every PE for the flow-control efficiency signal. The reads race with
+  // nothing: a writer only touches its slice after the *next* barrier A,
+  // which cannot complete until every reader has finished the current round
+  // and arrived at it.
   struct alignas(64) MonitorSlice {
     std::uint64_t processed = 0;    // cumulative forward executions
     std::uint64_t rolled_back = 0;  // cumulative events undone
@@ -192,12 +227,33 @@ class TimeWarpEngine final : public Engine {
     bool has_top = false;
     std::uint32_t top_kp = 0;
     std::uint64_t top_kp_events = 0;
+    // Optimism flow control: this PE's live-envelope count and throttle
+    // state when the slice was published.
+    std::uint64_t pool_live = 0;
+    bool throttled = false;
+    bool blocked = false;
   };
 
   class TwCtx;
 
   void run_pe(PeData& pe);
   void drain_inbox(PeData& pe);
+  // Fault-injected drain: applies the FaultPlan's delay / straggler /
+  // reorder / batch-split / dup-anti schedule while preserving every
+  // ordering the annihilation protocol needs (see des/fault.hpp).
+  void drain_inbox_chaos(PeData& pe);
+  // Anti delivery tolerant of chaos-held positives: annihilates in place, in
+  // the holdback buffer, or counts a stale drop (dup-anti duplicates).
+  void chaos_deliver_anti(PeData& pe, Event* anti);
+  // Deliver the reorder scratch buffer (possibly reversed) and clear it.
+  void chaos_flush_run(PeData& pe);
+  // Release held envelopes whose round has come (and all of them when the
+  // run is over and `all` is set — those are freed, not delivered).
+  void chaos_release(PeData& pe, bool all);
+  bool stall_active(const PeData& pe) const noexcept;
+  // Per-envelope fault decision: hash of (plan seed, uid) against `prob`,
+  // so an envelope's fate does not depend on drain timing.
+  bool chaos_hit(double prob, std::uint64_t uid) const noexcept;
   void deliver(PeData& pe, Event* ev);
   // Stage an envelope for a remote PE (positives and anti tokens alike);
   // flush_outboxes publishes every staged chain, one push per destination.
@@ -224,6 +280,12 @@ class TimeWarpEngine final : public Engine {
   void fossil_collect(PeData& pe, Time gvt);
   Event* next_event(PeData& pe);
   void seed_initial_events();
+  // Optimism flow control: per-iteration watermark check (Open <-> Throttled
+  // <-> Blocked transitions), and the per-GVT-round window adaptation that
+  // reads the round slices' efficiency signal.
+  void update_flow_control(PeData& pe);
+  void update_flow_window(PeData& pe, Time gvt);
+  void close_throttle_span(PeData& pe);
 
   Model& model_;
   EngineConfig cfg_;
@@ -252,6 +314,22 @@ class TimeWarpEngine final : public Engine {
   // Stamp remote sends with wall time for trace flow events (only when
   // tracing AND forensics are both on; otherwise zero clock reads).
   bool trace_stamps_ = false;
+  bool tracing_ = false;
+
+  // Optimism flow control (pool_budget_envelopes > 0). Watermarks over a
+  // PE's own EventPool::live(): soft = pool_soft_fraction * budget enters
+  // the throttle; hard = budget - reserve blocks optimistic execution (the
+  // reserve absorbs the allocations a rollback's anti burst can demand while
+  // blocked, keeping peak_live <= budget); exit hysteresis at 3/4 soft.
+  bool flow_on_ = false;
+  std::int64_t pool_soft_ = 0;
+  std::int64_t pool_soft_exit_ = 0;
+  std::int64_t pool_hard_ = 0;
+
+  // Fault injection (cfg.fault.any()); one predictable branch when false.
+  bool chaos_ = false;
+  // Round slices are live when the monitor or flow control needs them.
+  bool slices_on_ = false;
 
   // Live monitor (null unless ObsConfig::monitor). Slices are per-PE; the
   // mon_last_* bookkeeping is touched only by PE 0.

@@ -73,6 +73,7 @@ void MetricsReport::write_json(util::JsonWriter& w) const {
     w.kv("commit_yield", s.commit_yield());
     w.kv("inbox_depth", s.inbox_depth);
     w.kv("pool_envelopes", s.pool_envelopes);
+    w.kv("pool_live", s.pool_live);
     w.end_object();
   }
   w.end_array();

@@ -45,6 +45,7 @@ enum class Phase : std::uint8_t {
   Fossil,      // committing + reclaiming the stable prefix
   InboxDrain,  // popping the MPSC inbox, delivering remote events
   Idle,        // no executable work (window closed / starved / spinning)
+  Throttled,   // optimism flow control capping this PE (soft/hard watermark)
   kCount
 };
 inline constexpr std::size_t kNumPhases = static_cast<std::size_t>(Phase::kCount);
@@ -57,6 +58,7 @@ constexpr const char* phase_name(Phase p) noexcept {
     case Phase::Fossil: return "fossil";
     case Phase::InboxDrain: return "inbox_drain";
     case Phase::Idle: return "idle";
+    case Phase::Throttled: return "throttled";
     case Phase::kCount: break;
   }
   // Unreachable for valid enumerators; a new phase without a case above is a
@@ -79,13 +81,25 @@ enum class Counter : std::uint8_t {
   MaxCascadeDepth,     // longest cascade chain observed (max-reduced)
   AntiMessages,        // remote cancellations sent
   LazyReused,          // children reused by lazy cancellation
-  PoolEnvelopes,       // event envelopes ever allocated (memory proxy)
+  PoolEnvelopes,       // event envelope storage capacity (high-water mark)
+  PoolLiveEnvelopes,   // outstanding envelopes at end of run (true pressure)
+  PoolPeakLive,        // peak outstanding envelopes on one PE (max-reduced)
   InboxBatches,        // chain pushes into peer inboxes
   InboxBatchedItems,   // envelopes across those batches
   MaxInboxBatch,       // largest single batch (reduced by max)
   GvtProgressTriggers, // GVT requests: interval reached
   GvtIdleTriggers,     // GVT requests: idle backoff
+  GvtPoolTriggers,     // GVT requests: hard pool watermark forced a round
   IdleSpins,           // loop iterations with no work
+  ThrottleEntries,     // optimism flow control: Open -> Throttled transitions
+  ThrottleExits,       // optimism flow control: Throttled -> Open transitions
+  HardBlocks,          // optimism flow control: hard watermark blocks
+  ChaosDelayedEvents,  // fault injection: envelopes held back k GVT rounds
+  ChaosStragglers,     // fault injection: synthetic stragglers near the horizon
+  ChaosReorderedEvents,// fault injection: envelopes delivered out of order
+  ChaosDupAntis,       // fault injection: duplicated anti-message deliveries
+  ChaosStaleAntis,     // antis that found no positive (chaos runs only)
+  ChaosStallRounds,    // fault injection: GVT rounds spent stalled
   kCount
 };
 inline constexpr std::size_t kNumCounters =
@@ -111,12 +125,24 @@ inline constexpr std::array<CounterDef, kNumCounters> kCounterDefs{{
     {"anti_messages", Reduce::Sum},
     {"lazy_reused", Reduce::Sum},
     {"pool_envelopes", Reduce::Sum},
+    {"pool_live_envelopes", Reduce::Sum},
+    {"pool_peak_live_envelopes", Reduce::Max},
     {"inbox_batches", Reduce::Sum},
     {"inbox_batched_items", Reduce::Sum},
     {"max_inbox_batch", Reduce::Max},
     {"gvt_progress_triggers", Reduce::Sum},
     {"gvt_idle_triggers", Reduce::Sum},
+    {"gvt_pool_triggers", Reduce::Sum},
     {"idle_spins", Reduce::Sum},
+    {"throttle_entries", Reduce::Sum},
+    {"throttle_exits", Reduce::Sum},
+    {"hard_blocks", Reduce::Sum},
+    {"chaos_delayed_events", Reduce::Sum},
+    {"chaos_stragglers", Reduce::Sum},
+    {"chaos_reordered_events", Reduce::Sum},
+    {"chaos_dup_antis", Reduce::Sum},
+    {"chaos_stale_antis", Reduce::Sum},
+    {"chaos_stall_rounds", Reduce::Sum},
 }};
 
 constexpr const char* counter_name(Counter c) noexcept {
@@ -161,12 +187,18 @@ struct PeMetrics {
   std::uint64_t anti_messages() const noexcept { return at(Counter::AntiMessages); }
   std::uint64_t lazy_reused() const noexcept { return at(Counter::LazyReused); }
   std::uint64_t pool_envelopes() const noexcept { return at(Counter::PoolEnvelopes); }
+  std::uint64_t pool_live_envelopes() const noexcept { return at(Counter::PoolLiveEnvelopes); }
+  std::uint64_t pool_peak_live() const noexcept { return at(Counter::PoolPeakLive); }
   std::uint64_t inbox_batches() const noexcept { return at(Counter::InboxBatches); }
   std::uint64_t inbox_batched_items() const noexcept { return at(Counter::InboxBatchedItems); }
   std::uint64_t max_inbox_batch() const noexcept { return at(Counter::MaxInboxBatch); }
   std::uint64_t gvt_progress_triggers() const noexcept { return at(Counter::GvtProgressTriggers); }
   std::uint64_t gvt_idle_triggers() const noexcept { return at(Counter::GvtIdleTriggers); }
+  std::uint64_t gvt_pool_triggers() const noexcept { return at(Counter::GvtPoolTriggers); }
   std::uint64_t idle_spins() const noexcept { return at(Counter::IdleSpins); }
+  std::uint64_t throttle_entries() const noexcept { return at(Counter::ThrottleEntries); }
+  std::uint64_t throttle_exits() const noexcept { return at(Counter::ThrottleExits); }
+  std::uint64_t hard_blocks() const noexcept { return at(Counter::HardBlocks); }
 
   bool operator==(const PeMetrics&) const = default;
 };
@@ -185,7 +217,8 @@ struct GvtRoundSample {
   std::uint64_t processed = 0;      // forward executions since the last round
   std::uint64_t committed = 0;      // events fossil-committed this round
   std::uint64_t inbox_depth = 0;    // envelopes seen in inboxes at barrier B
-  std::uint64_t pool_envelopes = 0; // envelopes allocated so far (memory)
+  std::uint64_t pool_envelopes = 0; // envelope storage capacity so far
+  std::uint64_t pool_live = 0;      // outstanding envelopes at this round
 
   // Fraction of the round's optimism that survived; can exceed 1 when older
   // optimistic work finally commits.

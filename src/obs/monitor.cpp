@@ -33,6 +33,9 @@ void MonitorWriter::emit(const MonitorSample& s) {
     w.kv("event_rate", s.event_rate);
     w.kv("rollback_rate", s.rollback_rate);
     w.kv("inbox_depth", s.inbox_depth);
+    w.kv("pool_live", s.pool_live);
+    w.kv("throttled_pes", s.throttled_pes);
+    w.kv("blocked_pes", s.blocked_pes);
     if (s.has_offender) {
       w.kv("top_offender_kp", s.top_offender_kp);
       w.kv("top_offender_events", s.top_offender_events);

@@ -38,6 +38,12 @@ struct MonitorSample {
   bool has_offender = false;     // forensics heatmap had any offender yet
   std::uint32_t top_offender_kp = 0;
   std::uint64_t top_offender_events = 0;
+  // Optimism flow control (all zero when no pool budget is configured):
+  // outstanding envelopes across all pools at barrier B, and how many PEs
+  // were throttled / hard-blocked when they published their round slice.
+  std::uint64_t pool_live = 0;
+  std::uint32_t throttled_pes = 0;
+  std::uint32_t blocked_pes = 0;
 };
 
 class MonitorWriter {

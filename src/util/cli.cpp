@@ -46,18 +46,39 @@ std::string Cli::get(const std::string& name, const std::string& dflt) const {
 
 std::int64_t Cli::get_int(const std::string& name, std::int64_t dflt) const {
   auto it = values_.find(name);
-  return it == values_.end() ? dflt : std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == values_.end()) return dflt;
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0') {
+    usage_error("--" + name + " expects an integer, got \"" + it->second +
+                "\"");
+  }
+  return v;
 }
 
 double Cli::get_double(const std::string& name, double dflt) const {
   auto it = values_.find(name);
-  return it == values_.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+  if (it == values_.end()) return dflt;
+  const char* s = it->second.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') {
+    usage_error("--" + name + " expects a number, got \"" + it->second + "\"");
+  }
+  return v;
 }
 
 bool Cli::get_bool(const std::string& name, bool dflt) const {
   auto it = values_.find(name);
   if (it == values_.end()) return dflt;
   return it->second != "0" && it->second != "false" && it->second != "no";
+}
+
+void Cli::usage_error(const std::string& message) const {
+  std::fprintf(stderr, "%s: %s\n", program_.c_str(), message.c_str());
+  print_help();
+  std::exit(2);
 }
 
 void Cli::print_help() const {

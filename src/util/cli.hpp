@@ -19,11 +19,17 @@ class Cli {
 
   bool has(const std::string& name) const;
   std::string get(const std::string& name, const std::string& dflt) const;
+  // Numeric accessors are strict: a present-but-malformed value (including
+  // trailing junk, e.g. --pes=4x) is a usage error, not a silent 0.
   std::int64_t get_int(const std::string& name, std::int64_t dflt) const;
   double get_double(const std::string& name, double dflt) const;
   bool get_bool(const std::string& name, bool dflt) const;
 
   void print_help() const;
+  // Print "<program>: <message>", then the help text, then exit(2). For
+  // flag-value validation beyond what the accessors cover (e.g. --chaos
+  // specs parsed by FaultPlan::parse).
+  [[noreturn]] void usage_error(const std::string& message) const;
 
  private:
   std::string program_;

@@ -128,5 +128,121 @@ TEST(MpscQueue, PerProducerFifoUnderContention) {
   for (auto& t : producers) t.join();
 }
 
+// Duplicated payloads are legal (the chaos dup-anti fault re-delivers a
+// copied anti as a distinct node): the queue must treat equal values in
+// distinct nodes as independent items and deliver every node exactly once.
+TEST(MpscQueue, DuplicatedValuesInDistinctNodesAllArrive) {
+  constexpr int kProducers = 3;
+  constexpr int kValues = 5000;
+  constexpr int kCopies = 2;  // every value pushed twice by its producer
+
+  MpscQueue<Node> q;
+  std::vector<std::unique_ptr<Node[]>> nodes;
+  for (int p = 0; p < kProducers; ++p)
+    nodes.push_back(std::make_unique<Node[]>(kValues * kCopies));
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &nodes, p] {
+      for (int i = 0; i < kValues; ++i) {
+        for (int c = 0; c < kCopies; ++c) {
+          Node& n = nodes[p][i * kCopies + c];
+          n.value = p * kValues + i;  // same value for both copies
+          q.push(&n);
+        }
+      }
+    });
+  }
+
+  std::vector<int> count(kProducers * kValues, 0);
+  std::vector<char> node_seen_twice(kProducers * kValues, 0);
+  int received = 0;
+  std::vector<Node*> first_node(kProducers * kValues, nullptr);
+  while (received < kProducers * kValues * kCopies) {
+    Node* n = q.pop();
+    if (n == nullptr) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_LT(count[n->value], kCopies) << "value delivered too many times";
+    if (count[n->value] == 0) {
+      first_node[n->value] = n;
+    } else {
+      // Same value, but it must be the *other* node object.
+      ASSERT_NE(first_node[n->value], n) << "same node delivered twice";
+      node_seen_twice[n->value] = 1;
+    }
+    ++count[n->value];
+    ++received;
+  }
+  for (auto& t : producers) t.join();
+  for (int v = 0; v < kProducers * kValues; ++v) {
+    EXPECT_EQ(count[v], kCopies);
+    EXPECT_EQ(node_seen_twice[v], 1);
+  }
+  EXPECT_TRUE(q.empty_hint());
+}
+
+// Chain pushes (the batched remote-send path) interleaved with single
+// pushes from other producers: per-producer order must hold even when a
+// producer alternates push_chain and push, and chains from different
+// producers interleave arbitrarily ("out-of-order" across producers is
+// allowed, within a producer it is not).
+TEST(MpscQueue, ChainAndSinglePushesKeepPerProducerOrder) {
+  constexpr int kProducers = 3;
+  constexpr int kBatches = 4000;
+  constexpr int kBatchLen = 3;  // nodes per chain
+  constexpr int kPerProducer = kBatches * (kBatchLen + 1);
+
+  MpscQueue<Node> q;
+  std::vector<std::unique_ptr<Node[]>> nodes;
+  for (int p = 0; p < kProducers; ++p)
+    nodes.push_back(std::make_unique<Node[]>(kPerProducer));
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, &nodes, p] {
+      int seq = 0;
+      for (int b = 0; b < kBatches; ++b) {
+        // One chain of kBatchLen nodes...
+        Node* first = &nodes[p][seq];
+        for (int i = 0; i < kBatchLen; ++i) {
+          Node& n = nodes[p][seq];
+          n.value = p * kPerProducer + seq;
+          ++seq;
+          if (i + 1 < kBatchLen) {
+            n.mpsc_next.store(&nodes[p][seq], std::memory_order_relaxed);
+          }
+        }
+        q.push_chain(first, &nodes[p][seq - 1]);
+        // ...then one single push.
+        Node& s = nodes[p][seq];
+        s.value = p * kPerProducer + seq;
+        ++seq;
+        q.push(&s);
+      }
+    });
+  }
+
+  std::vector<int> next_expected(kProducers, 0);
+  int received = 0;
+  while (received < kProducers * kPerProducer) {
+    Node* n = q.pop();
+    if (n == nullptr) {
+      std::this_thread::yield();
+      continue;
+    }
+    const int owner = n->value / kPerProducer;
+    ASSERT_EQ(n->value % kPerProducer, next_expected[owner])
+        << "per-producer FIFO violated across chain/single boundary";
+    ++next_expected[owner];
+    ++received;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(q.empty_hint());
+}
+
 }  // namespace
 }  // namespace hp::util
