@@ -100,6 +100,21 @@ inline bool apply_chaos_flags(const util::Cli& cli, des::EngineConfig& cfg) {
   return cfg.fault.any();
 }
 
+// Applies the shared --migrate=<spec> flag (runtime KP load balancing on the
+// Time Warp kernel; see des/migration.hpp for the grammar). Bare --migrate
+// arms the defaults. A malformed spec is a usage error. Returns true when the
+// balancer was armed so harnesses can restrict it to their Time Warp runs.
+inline bool apply_migration_flags(const util::Cli& cli,
+                                  des::EngineConfig& cfg) {
+  if (!cli.has("migrate")) return false;
+  std::string err;
+  if (!des::MigrationConfig::parse(cli.get("migrate", ""), cfg.migration,
+                                   err)) {
+    cli.usage_error("--migrate: " + err);
+  }
+  return cfg.migration.enabled;
+}
+
 inline void finish(util::Table& table, const util::Cli& cli,
                    const std::string& title,
                    const std::vector<obs::MetricsReport>& metrics = {},
@@ -148,6 +163,8 @@ inline std::map<std::string, std::string> common_flags() {
                           "instead of stderr"},
           {"chaos", "deterministic fault plan for Time Warp runs, e.g. "
                     "delay:p=0.2,k=2;seed=7 (see des/fault.hpp)"},
+          {"migrate", "runtime KP load balancing for Time Warp runs, e.g. "
+                      "every=8,imbalance=1.5,max=1 (see des/migration.hpp)"},
           {"seed", "RNG seed for the simulated model"}};
 }
 

@@ -5,7 +5,7 @@
 //   ./quickstart [--n=16] [--inject=0.5] [--steps=200] [--pes=1]
 //               [--trace=trace.json] [--monitor[=interval]]
 //               [--monitor-out=monitor.jsonl] [--chaos=spec]
-//               [--pool-budget=envelopes]
+//               [--pool-budget=envelopes] [--migrate[=spec]]
 //
 // --trace writes a Chrome/Perfetto phase trace of the run (one track per
 // PE); load it at https://ui.perfetto.dev — see EXPERIMENTS.md.
@@ -16,12 +16,16 @@
 // see des/fault.hpp for the grammar. Committed results are unchanged.
 // --pool-budget (Time Warp only) caps live event envelopes per PE; the
 // engine throttles optimism instead of aborting when memory runs short.
+// --migrate (Time Warp only) arms runtime KP load balancing, e.g.
+// --migrate="every=8,imbalance=1.5,max=1" (bare --migrate uses those
+// defaults) — see des/migration.hpp. Committed results are unchanged.
 
 #include <cstdio>
 #include <string>
 
 #include "core/simulation.hpp"
 #include "des/fault.hpp"
+#include "des/migration.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -34,7 +38,9 @@ int main(int argc, char** argv) {
                      {"monitor", "heartbeat every N GVT rounds (bare = 1)"},
                      {"monitor-out", "append monitor stream to this file"},
                      {"chaos", "fault plan, e.g. delay:p=0.2,k=2;seed=7"},
-                     {"pool-budget", "live-envelope budget per PE (0 = off)"}});
+                     {"pool-budget", "live-envelope budget per PE (0 = off)"},
+                     {"migrate",
+                      "KP load balancing, e.g. every=8,imbalance=1.5,max=1"}});
 
   hp::core::SimulationOptions opts;
   opts.model.n = static_cast<std::int32_t>(cli.get_int("n", 16));
@@ -75,6 +81,16 @@ int main(int argc, char** argv) {
       cli.usage_error("--chaos stall:pe=" +
                       std::to_string(opts.engine.fault.stall_pe) +
                       " is out of range for " + std::to_string(pes) + " PEs");
+    }
+  }
+  if (cli.has("migrate")) {
+    std::string err;
+    if (!hp::des::MigrationConfig::parse(cli.get("migrate", ""),
+                                         opts.engine.migration, err)) {
+      cli.usage_error("--migrate: " + err);
+    }
+    if (pes <= 1) {
+      cli.usage_error("--migrate requires the Time Warp kernel (--pes > 1)");
     }
   }
   if (cli.has("pool-budget")) {
@@ -131,6 +147,12 @@ int main(int argc, char** argv) {
       std::printf("  top offender: KP %u caused %llu rolled-back events\n",
                   top.first, static_cast<unsigned long long>(top.second));
     }
+  }
+  if (result.engine.kp_migrations() > 0) {
+    std::printf("  migrations: %llu KP move(s), %llu event(s) re-homed\n",
+                static_cast<unsigned long long>(result.engine.kp_migrations()),
+                static_cast<unsigned long long>(
+                    result.engine.migrated_events()));
   }
   if (opts.engine.obs.monitor) {
     std::printf("  monitor: %llu heartbeat line(s) -> %s\n",

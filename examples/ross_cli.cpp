@@ -8,16 +8,19 @@
 //   absorb_sleeping_packet  1 = practical mode, 0 = proof-verification
 //
 //   ./ross_cli --n=32 --processors=4 --duration=2560 --probability_i=50
-//              [--absorb_sleeping_packet=1] [--chaos=spec]
+//              [--absorb_sleeping_packet=1] [--chaos=spec] [--migrate[=spec]]
 //
 // --chaos (Time Warp only) arms deterministic fault injection on the remote
 // event path (see des/fault.hpp); committed results are unchanged.
+// --migrate (Time Warp only) arms runtime KP load balancing (see
+// des/migration.hpp); committed results are unchanged.
 
 #include <cstdio>
 #include <string>
 
 #include "core/simulation.hpp"
 #include "des/fault.hpp"
+#include "des/migration.hpp"
 #include "hotpotato/packet.hpp"
 #include "util/cli.hpp"
 
@@ -33,7 +36,8 @@ int main(int argc, char** argv) {
        {"seed", "RNG seed"},
        {"monitor", "heartbeat every N GVT rounds (bare = 1)"},
        {"monitor-out", "append monitor stream to this file"},
-       {"chaos", "fault plan, e.g. delay:p=0.2,k=2;seed=7"}});
+       {"chaos", "fault plan, e.g. delay:p=0.2,k=2;seed=7"},
+       {"migrate", "KP load balancing, e.g. every=8,imbalance=1.5,max=1"}});
 
   hp::core::SimulationOptions opts;
   opts.model.n = static_cast<std::int32_t>(cli.get_int("n", 32));
@@ -76,6 +80,17 @@ int main(int argc, char** argv) {
       cli.usage_error("--chaos stall:pe=" +
                       std::to_string(opts.engine.fault.stall_pe) +
                       " is out of range for " + std::to_string(pes) + " PEs");
+    }
+  }
+  if (cli.has("migrate")) {
+    std::string err;
+    if (!hp::des::MigrationConfig::parse(cli.get("migrate", ""),
+                                         opts.engine.migration, err)) {
+      cli.usage_error("--migrate: " + err);
+    }
+    if (pes <= 1) {
+      cli.usage_error("--migrate requires the Time Warp kernel "
+                      "(--processors > 1)");
     }
   }
 

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Relative-link checker for the repo's markdown tree.
+
+Walks the given markdown files (default: README.md, DESIGN.md,
+EXPERIMENTS.md, PAPER.md and everything under docs/) and verifies that
+every relative link target exists on disk. External links (http/https/
+mailto) and pure in-page anchors are skipped; a `path#anchor` link is
+checked for the path only. Exits non-zero listing every broken link, so CI
+catches a doc rename breaking the tree.
+
+Usage: scripts/check_markdown_links.py [file.md ...]
+"""
+
+import os
+import re
+import sys
+
+# Inline links [text](target) — excluding images is unnecessary (an image
+# target must exist too). Reference-style definitions `[id]: target` are
+# matched separately.
+INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def default_files(root):
+    files = []
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "PAPER.md"):
+        p = os.path.join(root, name)
+        if os.path.isfile(p):
+            files.append(p)
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for dirpath, _, names in os.walk(docs):
+            files.extend(
+                os.path.join(dirpath, n) for n in sorted(names)
+                if n.endswith(".md"))
+    return files
+
+
+def check_file(path):
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    # Fenced code blocks routinely contain (parenthesised) shell text that
+    # is not a link; strip them before scanning.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    broken = []
+    targets = INLINE.findall(text) + REFDEF.findall(text)
+    base = os.path.dirname(os.path.abspath(path))
+    for target in targets:
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = os.path.normpath(os.path.join(base, file_part))
+        if not os.path.exists(resolved):
+            broken.append((target, resolved))
+    return broken
+
+
+def main(argv):
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = argv[1:] or default_files(root)
+    total_broken = 0
+    for path in files:
+        for target, resolved in check_file(path):
+            print(f"{path}: broken link '{target}' -> {resolved}")
+            total_broken += 1
+    if total_broken:
+        print(f"\n{total_broken} broken link(s)")
+        return 1
+    print(f"checked {len(files)} file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -55,8 +55,19 @@ for b in "${BENCHES[@]}"; do
       : > "$OUT/MONITOR_$b.jsonl"  # fresh stream per run (writer appends)
     fi
   done
+  # Run each bench with explicit failure propagation: a non-zero bench (e.g.
+  # determinism_check finding a divergence) must name itself and abort the
+  # whole regeneration with its own exit code — never produce a partial
+  # results/ tree that looks complete.
+  set +e
   "$BUILD/bench/$b" $FULL --csv="$OUT/$b.csv" --json="$OUT/BENCH_$b.json" \
     "${MON[@]}" | tee "$OUT/$b.txt"
+  rc=${PIPESTATUS[0]}
+  set -e
+  if [[ $rc -ne 0 ]]; then
+    echo "FAILED: bench $b exited $rc" >&2
+    exit "$rc"
+  fi
   echo
 done
 

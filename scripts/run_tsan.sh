@@ -7,7 +7,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake --preset tsan
-cmake --build build-tsan -j "$(nproc)" --target test_mpsc_queue test_timewarp test_engine_matrix test_chaos
+cmake --build build-tsan -j "$(nproc)" --target test_mpsc_queue test_timewarp test_engine_matrix test_chaos test_migration
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 ./build-tsan/tests/test_mpsc_queue
@@ -16,5 +16,9 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 # Fault injection + flow control stress the same lock-free paths from new
 # angles (held envelopes, blocked PEs, duplicated antis).
 ./build-tsan/tests/test_chaos
+# KP migration moves state between PE threads at GVT commit points: the
+# quiescence/handoff barriers and the shared OwnershipTable writes must be
+# race-free under every chaos plan.
+./build-tsan/tests/test_migration
 
 echo "TSan: TimeWarp test suite clean."

@@ -155,6 +155,16 @@ class EventPool {
   // Historical name for capacity(); kept for existing callers.
   std::size_t allocated() const noexcept { return all_.size(); }
   std::size_t free_count() const noexcept { return free_.size(); }
+  // KP migration handoff: envelopes that change owner without being freed
+  // move their live-count with them, so the flow-control watermarks keep
+  // comparing each PE's own pressure against its own budget (the sum across
+  // pools is invariant). Positive on the receiving pool, negative on the
+  // sending one.
+  void adjust_live(std::int64_t delta) noexcept {
+    live_ += delta;
+    if (live_ > peak_live_) peak_live_ = live_;
+  }
+
   // Outstanding allocations netted against frees into this pool (signed —
   // see the class comment).
   std::int64_t live() const noexcept { return live_; }

@@ -1,0 +1,116 @@
+#pragma once
+
+// Runtime KP -> PE migration (dynamic load balancing) for the Time Warp
+// kernel.
+//
+// The static LP->KP->PE mapping fixes each KP's owner for the whole run;
+// under skewed traffic (hotspots, adversarial placements) one PE ends up
+// executing — and rolling back — a disproportionate share of events. The
+// migration balancer re-assigns whole KPs between PEs at GVT commit points:
+// a KP is the kernel's rollback granule, so it is also the natural migration
+// granule (its processed deque, pending envelopes and per-LP states move as
+// one unit; LP states and RNG streams are globally indexed, so only
+// envelope ownership and the ownership table actually change hands).
+//
+// Decisions are computed from the per-round monitor slices every PE already
+// publishes between the GVT barriers (cumulative processed counts, pool
+// pressure, per-KP activity candidates). Every PE reads the same slices at
+// the same barrier-global round and runs the same pure planner, so all PEs
+// agree on the plan without any extra communication. Because the event
+// ordering key (EventKey) is fully model-derived and placement-independent,
+// *committed results are bit-identical for any KP->PE assignment* — the
+// planner is free to use wall-clock-driven signals without breaking
+// determinism; only the handoff protocol (no lost envelopes, positives
+// before antis) has to be airtight. See des/timewarp.cpp
+// `do_migration_round` for the stop-the-world handoff itself.
+//
+// The config is embedded by value in des::EngineConfig (flag-gated:
+// `enabled` off means the kernel's hot paths take one predictable branch).
+// `--migrate=` specs parse into it, mirroring the FaultPlan grammar.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hp::des {
+
+struct MigrationConfig {
+  bool enabled = false;
+
+  // A migration decision runs every `interval_rounds` GVT rounds (rounds are
+  // barrier-global, so every PE hits the decision on the same round).
+  std::uint32_t interval_rounds = 4;
+
+  // Scored mode trigger: the hottest PE must score at least
+  // `imbalance_threshold` times the mean PE score before anything moves
+  // (score = processed + rolled-back deltas since the last decision, so
+  // rollback waste counts double — a thrashing PE is a hot PE).
+  double imbalance_threshold = 1.5;
+
+  // Upper bound on KP moves per decision round.
+  std::uint32_t max_moves = 1;
+
+  // Forced mode (stress/testing): ignore the scores and rotate KP
+  // (decision_index % num_kps) to the next PE every due round. Exercises the
+  // handoff protocol at maximum cadence, including PEs ending up with zero
+  // KPs.
+  bool forced = false;
+
+  bool any() const noexcept { return enabled; }
+
+  // Parses a `--migrate=` spec: comma-separated clauses.
+  //
+  //   every=8,imbalance=1.25,max=2
+  //   forced,every=1
+  //
+  // An empty spec is valid and arms the defaults. Returns false and fills
+  // `err` (never touching `out`) on malformed specs: unknown key,
+  // non-numeric value, every/max of 0, imbalance below 1.
+  static bool parse(std::string_view spec, MigrationConfig& out,
+                    std::string& err);
+
+  // Canonical spec round-trip ("off" when disabled).
+  std::string to_string() const;
+
+  bool operator==(const MigrationConfig&) const = default;
+};
+
+// One PE's load view at a decision round, assembled identically on every PE
+// from the published monitor slices.
+struct PeLoad {
+  std::uint64_t processed_delta = 0;    // forward executions since last decision
+  std::uint64_t rolled_back_delta = 0;  // events undone since last decision
+  std::uint64_t pool_live = 0;          // outstanding envelopes at the barrier
+  std::uint32_t owned_kps = 0;          // KPs this PE currently owns
+  bool has_candidate = false;           // a hottest owned KP was published
+  std::uint32_t candidate_kp = 0;       // that KP
+  std::uint64_t candidate_score = 0;    // its activity since last decision
+
+  // Migration pressure: forward work plus undone work, so wasted optimism
+  // weighs the same as useful throughput.
+  std::uint64_t score() const noexcept {
+    return processed_delta + rolled_back_delta;
+  }
+};
+
+struct KpMove {
+  std::uint32_t kp = 0;
+  std::uint32_t src_pe = 0;
+  std::uint32_t dst_pe = 0;
+  bool operator==(const KpMove&) const = default;
+};
+
+// The pure planner: same inputs -> same plan, on every PE. `kp_owner` is the
+// current KP->PE ownership table; `decision_index` counts decision rounds
+// (drives forced-mode rotation). Scored mode moves the hottest candidate KP
+// off the hottest PE (score > imbalance_threshold * mean, owner keeps at
+// least one KP) onto the coldest PE (ties broken by pool pressure, then PE
+// id). Returns at most `max_moves` moves; an empty vector means the round is
+// balanced.
+std::vector<KpMove> plan_migrations(const MigrationConfig& cfg,
+                                    const std::vector<PeLoad>& loads,
+                                    const std::vector<std::uint32_t>& kp_owner,
+                                    std::uint64_t decision_index);
+
+}  // namespace hp::des

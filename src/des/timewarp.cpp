@@ -130,7 +130,7 @@ class TimeWarpEngine::TwCtx final : public Context {
         }
       }
     }
-    const std::uint32_t dst_pe = e_.lp_pe_[ev->key.dst_lp];
+    const std::uint32_t dst_pe = e_.own_.pe_of_lp(ev->key.dst_lp);
     cur_->children.push_back(ChildRef{ev->key, ev->uid, ph, dst_pe});
     if (dst_pe == pe_.id) {
       // Local delivery may roll back a sibling KP that ran ahead; see the
@@ -195,7 +195,6 @@ TimeWarpEngine::TimeWarpEngine(Model& model, EngineConfig cfg)
   states_.reserve(cfg_.num_lps);
   rngs_.reserve(cfg_.num_lps);
   lp_kp_.resize(cfg_.num_lps);
-  lp_pe_.resize(cfg_.num_lps);
   for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) {
     states_.push_back(model_.make_state(lp));
     rngs_.emplace_back(util::hash_combine(cfg_.seed, lp));
@@ -204,7 +203,6 @@ TimeWarpEngine::TimeWarpEngine(Model& model, EngineConfig cfg)
   }
 
   kps_.resize(cfg_.num_kps);
-  kp_pe_.resize(cfg_.num_kps);
   pes_.reserve(cfg_.num_pes);
   for (std::uint32_t pe = 0; pe < cfg_.num_pes; ++pe) {
     pes_.push_back(std::make_unique<PeData>());
@@ -217,13 +215,11 @@ TimeWarpEngine::TimeWarpEngine(Model& model, EngineConfig cfg)
     pes_.back()->idle_backoff =
         cfg_.adaptive_gvt ? kIdleBackoffInit : kIdleItersBeforeGvt;
   }
+  // The live ownership table starts as a copy of the mapping; KP migration
+  // is the only thing that ever rewrites it.
+  own_.reset(*mapping_);
   for (std::uint32_t kp = 0; kp < cfg_.num_kps; ++kp) {
-    kp_pe_[kp] = mapping_->pe_of_kp(kp);
-    HP_ASSERT(kp_pe_[kp] < cfg_.num_pes, "mapping returned PE out of range");
-    pes_[kp_pe_[kp]]->kps.push_back(kp);
-  }
-  for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) {
-    lp_pe_[lp] = kp_pe_[lp_kp_[lp]];
+    pes_[own_.pe_of_kp(kp)]->kps.push_back(kp);
   }
 
   for (std::uint32_t pe = 0; pe < cfg_.num_pes; ++pe) {
@@ -239,7 +235,7 @@ Event* TwEngineInitCtx::prepare_schedule_(std::uint32_t dst_lp, Time ts) {
   HP_ASSERT(dst_lp < e_.cfg_.num_lps, "schedule to out-of-range LP %u", dst_lp);
   // Root events are allocated from the destination PE's pool: pre-run is
   // single-threaded, so this is safe and keeps pool ownership tidy.
-  TimeWarpEngine::PeData& pe = *e_.pes_[e_.lp_pe_[dst_lp]];
+  TimeWarpEngine::PeData& pe = *e_.pes_[e_.own_.pe_of_lp(dst_lp)];
   Event* ev = pe.pool.allocate();
   const std::uint64_t root = util::hash_combine(seed_, lp_);
   ev->key = EventKey{ts, util::hash_combine(root, idx_), lp_, dst_lp, idx_};
@@ -253,7 +249,7 @@ Event* TwEngineInitCtx::prepare_schedule_(std::uint32_t dst_lp, Time ts) {
 }
 
 void TwEngineInitCtx::commit_schedule_(Event* ev) {
-  TimeWarpEngine::PeData& pe = *e_.pes_[e_.lp_pe_[ev->key.dst_lp]];
+  TimeWarpEngine::PeData& pe = *e_.pes_[e_.own_.pe_of_lp(ev->key.dst_lp)];
   pe.pending.insert(ev);
   auto [it, ok] = pe.index.emplace(ev->uid, ev);
   HP_ASSERT(ok, "duplicate initial event uid");
@@ -269,6 +265,12 @@ void TimeWarpEngine::seed_initial_events() {
 }
 
 void TimeWarpEngine::deliver(PeData& pe, Event* ev) {
+  // Migration protocol invariant: handoffs only happen with every inbox
+  // quiescent and all routing reads the live table, so an envelope can never
+  // land at a PE that no longer owns its KP.
+  HP_ASSERT(!mig_on_ || own_.pe_of_kp(ev->kp) == pe.id,
+            "PE %u: delivered event for KP %u owned by PE %u", pe.id, ev->kp,
+            own_.pe_of_kp(ev->kp));
   KpData& kp = kps_[ev->kp];
   if (!kp.processed.empty() && ev->key < kp.processed.back()->key) {
     // Primary rollback: a straggler positive behind the KP's frontier. The
@@ -278,7 +280,7 @@ void TimeWarpEngine::deliver(PeData& pe, Event* ev) {
     const std::uint32_t src = ev->key.src_lp;
     rollback(pe, ev->kp, ev->key,
              obs::RollbackCause{obs::RollbackKind::Primary, lp_kp_[src],
-                                lp_pe_[src], pe.cascade_ctx + 1,
+                                own_.pe_of_lp(src), pe.cascade_ctx + 1,
                                 ev->send_wall_ns});
   }
   ev->status = EventStatus::Pending;
@@ -324,7 +326,8 @@ void TimeWarpEngine::flush_outboxes(PeData& pe) {
 // Remote cancellation: an anti token is an envelope with is_anti set whose
 // (uid, key) name the victim. It rides the same per-destination chain as
 // positives, so per-producer FIFO keeps every positive ahead of its anti.
-void TimeWarpEngine::send_anti(PeData& pe, const ChildRef& c) {
+void TimeWarpEngine::send_anti(PeData& pe, const ChildRef& c,
+                               std::uint32_t dst_pe) {
   Event* anti = pe.pool.allocate();
   anti->is_anti = true;
   anti->uid = c.uid;
@@ -333,7 +336,7 @@ void TimeWarpEngine::send_anti(PeData& pe, const ChildRef& c) {
   // (if any) extends the chain; 0 outside a rollback (lazy stale
   // cancellation from forward execution restarts the chain).
   anti->cascade = pe.cascade_ctx;
-  stage_remote(pe, c.dst_pe, anti);
+  stage_remote(pe, dst_pe, anti);
   ++pe.metrics.at(Counter::AntiMessages);
 }
 
@@ -377,12 +380,26 @@ void TimeWarpEngine::annihilate(PeData& pe, std::uint64_t uid,
   pe.pool.free(ev);
 }
 
+// Cancellation routes through the live ownership table, not the ChildRef's
+// send-time dst_pe snapshot: a KP migration between the send and the
+// cancellation re-homes the victim, and the handoff's full quiescence
+// guarantees the positive is settled at the current owner before any
+// post-handoff anti can chase it there.
 void TimeWarpEngine::cancel_stale(PeData& pe, Event* ev) {
   for (const ChildRef& c : ev->stale_children) {
-    if (c.dst_pe == pe.id) {
-      annihilate(pe, c.uid, ev->kp, pe.id, 0);
+    const std::uint32_t dst = own_.pe_of_lp(c.key.dst_lp);
+    if (dst == pe.id) {
+      if (HP_UNLIKELY(chaos_) && pe.index.find(c.uid) == pe.index.end()) {
+        // Chaos x migration: the victim was delay-parked at a previous owner
+        // and migrated here inside the holdback buffer, never delivered.
+        HP_ASSERT(chaos_kill_held(pe, c.uid),
+                  "PE %u: local cancellation uid %llu found no positive",
+                  pe.id, static_cast<unsigned long long>(c.uid));
+      } else {
+        annihilate(pe, c.uid, ev->kp, pe.id, 0);
+      }
     } else {
-      send_anti(pe, c);
+      send_anti(pe, c, dst);
     }
   }
   ev->stale_children.clear();
@@ -390,10 +407,19 @@ void TimeWarpEngine::cancel_stale(PeData& pe, Event* ev) {
 
 void TimeWarpEngine::cancel_children(PeData& pe, Event* ev) {
   for (const ChildRef& c : ev->children) {
-    if (c.dst_pe == pe.id) {
-      annihilate(pe, c.uid, ev->kp, pe.id, 0);
+    const std::uint32_t dst = own_.pe_of_lp(c.key.dst_lp);
+    if (dst == pe.id) {
+      if (HP_UNLIKELY(chaos_) && pe.index.find(c.uid) == pe.index.end()) {
+        // See cancel_stale: a migrated, still-held victim is killed in the
+        // holdback buffer.
+        HP_ASSERT(chaos_kill_held(pe, c.uid),
+                  "PE %u: local cancellation uid %llu found no positive",
+                  pe.id, static_cast<unsigned long long>(c.uid));
+      } else {
+        annihilate(pe, c.uid, ev->kp, pe.id, 0);
+      }
     } else {
-      send_anti(pe, c);
+      send_anti(pe, c, dst);
     }
   }
   ev->children.clear();
@@ -500,7 +526,7 @@ void TimeWarpEngine::drain_inbox(PeData& pe) {
       const std::uint64_t send_wall_ns = ev->send_wall_ns;
       pe.pool.free(ev);
       pe.cascade_ctx = inducing_cascade;
-      annihilate(pe, uid, lp_kp_[src], lp_pe_[src], send_wall_ns);
+      annihilate(pe, uid, lp_kp_[src], own_.pe_of_lp(src), send_wall_ns);
       pe.cascade_ctx = 0;
     } else {
       deliver(pe, ev);
@@ -587,53 +613,62 @@ void TimeWarpEngine::chaos_deliver_anti(PeData& pe, Event* anti) {
   pe.pool.free(anti);
   if (pe.index.find(uid) != pe.index.end()) {
     pe.cascade_ctx = inducing_cascade;
-    annihilate(pe, uid, lp_kp_[src], lp_pe_[src], send_wall_ns);
+    annihilate(pe, uid, lp_kp_[src], own_.pe_of_lp(src), send_wall_ns);
     pe.cascade_ctx = 0;
     return;
   }
   // The positive may be parked by a delay/straggler fault: annihilate the
   // pair inside the holdback buffer, before the positive was ever delivered.
-  for (std::size_t i = 0; i < pe.chaos_held.size(); ++i) {
-    Event* held = pe.chaos_held[i].ev;
-    if (!held->is_anti && held->uid == uid) {
-      pe.pool.free(held);
-      pe.chaos_held.erase(pe.chaos_held.begin() +
-                          static_cast<std::ptrdiff_t>(i));
-      return;
-    }
-  }
+  if (chaos_kill_held(pe, uid)) return;
   // No positive anywhere: a dup-anti duplicate arriving after the original
   // did the kill. Legal only under chaos — the fault-free path still
   // hard-asserts inside annihilate().
   ++pe.metrics.at(Counter::ChaosStaleAntis);
 }
 
-void TimeWarpEngine::chaos_release(PeData& pe, bool all) {
-  if (pe.chaos_held.empty()) return;
-  // Extract due envelopes before delivering anything: a released duplicate
-  // anti can erase a held positive (annihilate-in-holdback), which must not
-  // happen mid-scan.
-  std::vector<Event*> due;
-  std::size_t w = 0;
-  for (std::size_t r = 0; r < pe.chaos_held.size(); ++r) {
-    if (all || pe.chaos_held[r].release_round <= pe.local_rounds) {
-      due.push_back(pe.chaos_held[r].ev);
-    } else {
-      pe.chaos_held[w++] = pe.chaos_held[r];
+bool TimeWarpEngine::chaos_kill_held(PeData& pe, std::uint64_t uid) {
+  for (std::size_t i = 0; i < pe.chaos_held.size(); ++i) {
+    Event* held = pe.chaos_held[i].ev;
+    if (!held->is_anti && held->uid == uid) {
+      pe.pool.free(held);
+      pe.chaos_held.erase(pe.chaos_held.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      return true;
     }
   }
-  pe.chaos_held.resize(w);
-  for (Event* ev : due) {
-    if (all) {
-      // Run over: GVT passed end_time, and held envelopes bounded it from
-      // below, so everything still parked is beyond the end time and would
-      // never execute. Free without delivering.
-      pe.pool.free(ev);
-    } else if (ev->is_anti) {
+  return false;
+}
+
+void TimeWarpEngine::chaos_release(PeData& pe, bool all) {
+  if (all) {
+    // Run over: GVT passed end_time, and held envelopes bounded it from
+    // below, so everything still parked is beyond the end time and would
+    // never execute. Free without delivering.
+    for (const PeData::HeldEnvelope& h : pe.chaos_held) pe.pool.free(h.ev);
+    pe.chaos_held.clear();
+    return;
+  }
+  // Deliver due envelopes one at a time, removing each from the buffer only
+  // at the moment it is delivered. Batching the due set into a side list
+  // would hide it from chaos_kill_held — and a delivery here can trigger a
+  // rollback whose (local, post-migration) cancellations must be able to
+  // find and kill a due-but-undelivered positive. Each delivery may erase
+  // arbitrary entries (annihilate-in-holdback), so restart the scan after
+  // every one; the earliest remaining due envelope always goes next, which
+  // preserves the pre-existing in-order release semantics.
+  for (std::size_t i = 0; i < pe.chaos_held.size();) {
+    if (pe.chaos_held[i].release_round > pe.local_rounds) {
+      ++i;
+      continue;
+    }
+    Event* ev = pe.chaos_held[i].ev;
+    pe.chaos_held.erase(pe.chaos_held.begin() + static_cast<std::ptrdiff_t>(i));
+    if (ev->is_anti) {
       chaos_deliver_anti(pe, ev);
     } else {
       deliver(pe, ev);
     }
+    i = 0;
   }
 }
 
@@ -743,7 +778,7 @@ void TimeWarpEngine::update_flow_window(PeData& pe, Time gvt) {
   pe.flow_prev_rolled_back = rolled;
   const double waste =
       dproc > 0 ? static_cast<double>(drb) / static_cast<double>(dproc) : 0.0;
-  const bool own_pressure = has_top && kp_pe_[top_kp] == pe.id;
+  const bool own_pressure = has_top && own_.pe_of_kp(top_kp) == pe.id;
   if (waste > kFlowWasteShrink || (own_pressure && waste > kFlowWasteOwn)) {
     pe.throttle_scale = std::max(kFlowScaleMin, pe.throttle_scale * 0.5);
   } else if (waste < kFlowWasteGrow) {
@@ -792,6 +827,9 @@ void TimeWarpEngine::process_one(PeData& pe, Event* ev) {
   if (!ev->stale_children.empty()) cancel_stale(pe, ev);
   ++pe.metrics.at(Counter::Processed);
   ++pe.processed_since_gvt;
+  // Candidate heat for the migration planner: per-KP forward executions
+  // since the last decision round (each element touched only by the owner).
+  if (HP_UNLIKELY(mig_on_)) ++kp_processed_[ev->kp];
 }
 
 void TimeWarpEngine::fossil_collect(PeData& pe, Time gvt) {
@@ -858,6 +896,21 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
         static_cast<std::uint64_t>(std::max<std::int64_t>(0, pe.pool.live()));
     sl.throttled = pe.flow_state == PeData::FlowState::Throttled;
     sl.blocked = pe.flow_state == PeData::FlowState::Blocked;
+    if (HP_UNLIKELY(mig_on_)) {
+      // Publish this PE's hottest owned KP since the previous decision round
+      // so every PE can run the identical planner over the slices alone.
+      sl.owned_kps = static_cast<std::uint32_t>(pe.kps.size());
+      sl.has_cand = false;
+      sl.mig_cand_kp = 0;
+      sl.mig_cand_score = 0;
+      for (std::uint32_t kp_id : pe.kps) {
+        if (kp_processed_[kp_id] > sl.mig_cand_score) {
+          sl.has_cand = true;
+          sl.mig_cand_kp = kp_id;
+          sl.mig_cand_score = kp_processed_[kp_id];
+        }
+      }
+    }
   }
   // Barrier B: minima published; everybody computes the same global min.
   bar_b_.arrive_and_wait();
@@ -899,13 +952,25 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
   if (HP_UNLIKELY(chaos_) && stall_active(pe)) {
     ++pe.metrics.at(Counter::ChaosStallRounds);
   }
+  // Dynamic KP migration piggybacks on the round: every PE plans identically
+  // from the slices and the affected PEs execute the handoff in lockstep.
+  // round_moves is the engine-wide move count this round (identical on all
+  // PEs); only PE 0 records it in its series slice so the per-PE sum in
+  // run() yields the true total.
+  std::uint64_t round_moves = 0;
+  if (HP_UNLIKELY(mig_on_)) {
+    const std::uint64_t before = pe.mig_moves_total;
+    do_migration_round(pe, gvt);
+    round_moves = pe.mig_moves_total - before;
+  }
   // This PE's slice of the round sample; run() sums the slices per round
   // (rounds are barrier-global, so local_rounds agrees across PEs).
   pe.series.push(obs::GvtRoundSample{
       pe.local_rounds, obs::monotonic_ns() - epoch_ns_, gvt,
       pe.processed_since_gvt, committed_delta, inbox_depth,
       pe.pool.allocated(),
-      static_cast<std::uint64_t>(std::max<std::int64_t>(0, pe.pool.live()))});
+      static_cast<std::uint64_t>(std::max<std::int64_t>(0, pe.pool.live())),
+      pe.id == 0 ? round_moves : 0});
   ++pe.local_rounds;
   pe.committed_at_last_gvt = pe.metrics.at(Counter::Committed);
   pe.processed_since_gvt = 0;
@@ -958,10 +1023,174 @@ void TimeWarpEngine::emit_monitor_record(std::uint64_t round_idx, Time gvt) {
   s.pool_live = pool_live;
   s.throttled_pes = throttled_pes;
   s.blocked_pes = blocked_pes;
+  // PE 0 reads its own migration replica and the table epoch; both are only
+  // written inside migration handoffs, which are barrier-separated from this
+  // emit (and PE 0 writes them itself), so the reads race with nothing.
+  s.kp_migrations = pes_[0]->mig_moves_total;
+  s.mapping_epoch = own_.epoch();
   monitor_->emit(s);
   mon_last_processed_ = processed;
   mon_last_rolled_back_ = rolled_back;
   mon_last_ns_ = now;
+}
+
+// Dynamic KP migration round. Called by every PE from inside gvt_round,
+// after barrier B of the GVT protocol, so the round index and the global
+// minimum are barrier-global knowledge. The protocol:
+//
+//   1. Plan. Every PE runs the same pure planner (des/migration.hpp) over
+//      the same replicated inputs — the round slices plus its own snapshots
+//      of every PE's counters at the previous decision round — so all PEs
+//      compute an identical plan with no communication. An empty plan means
+//      no barriers at all this round.
+//   2. Quiesce. Loop (drain inboxes, flush what the drains staged) between
+//      barriers until a full round moves nothing anywhere: after that, no
+//      envelope is in flight — every positive is settled at its KP's
+//      current owner, which is what makes the live-table re-routing of
+//      later anti-messages sound.
+//   3. Extract / integrate. The source pulls the moved KP's uid index
+//      entries, pending events and chaos-held envelopes into a per-KP
+//      staging area; after a barrier the destination adopts them, flips the
+//      ownership entry (distinct KPs, disjoint writes) and the exit barrier
+//      publishes the new table before anybody routes again. The KP's
+//      processed deque and its LP states/RNG streams are globally indexed
+//      and transfer by the ownership flip alone.
+//
+// Committed results are bit-identical with migration on or off at any
+// cadence: the event ordering key is model-derived and placement-
+// independent, so only delivery locality changes — never event order.
+void TimeWarpEngine::do_migration_round(PeData& pe, Time gvt) {
+  const MigrationConfig& mc = cfg_.migration;
+  // Cadence off the barrier-global round counter: every PE takes this branch
+  // identically, so the barriers below always pair up.
+  if ((pe.local_rounds + 1) % mc.interval_rounds != 0) return;
+  if (gvt > cfg_.end_time) return;  // run is over; nothing left to balance
+
+  std::vector<PeLoad> loads(cfg_.num_pes);
+  for (std::uint32_t p = 0; p < cfg_.num_pes; ++p) {
+    const MonitorSlice& sl = mon_slices_[p];
+    PeLoad& ld = loads[p];
+    ld.processed_delta = sl.processed - pe.mig_prev_processed[p];
+    ld.rolled_back_delta = sl.rolled_back - pe.mig_prev_rolled_back[p];
+    ld.pool_live = sl.pool_live;
+    ld.owned_kps = sl.owned_kps;
+    ld.has_candidate = sl.has_cand;
+    ld.candidate_kp = sl.mig_cand_kp;
+    ld.candidate_score = sl.mig_cand_score;
+    pe.mig_prev_processed[p] = sl.processed;
+    pe.mig_prev_rolled_back[p] = sl.rolled_back;
+  }
+  const std::vector<KpMove> plan =
+      plan_migrations(mc, loads, own_.kp_owner(), pe.mig_decisions++);
+  if (plan.empty()) {
+    // Identical empty plan on every PE: restart the heat window and return
+    // without ever touching a barrier.
+    for (std::uint32_t kp_id : pe.kps) kp_processed_[kp_id] = 0;
+    return;
+  }
+
+  obs::PhaseScope phase(pe.probe, Phase::Migrate);
+
+  // Quiescence. The GVT barrier guarantees everything sent is fully linked
+  // in some inbox, but inboxes may be non-empty (the GVT walk is
+  // non-destructive) and draining can roll back and send antis, so loop
+  // until a full round moves nothing. A PE votes mig_again_ when it pushed
+  // anything or its inbox is still non-empty (a chaos batch-split can
+  // abandon a drain mid-stream).
+  while (true) {
+    bar_a_.arrive_and_wait();
+    if (pe.id == 0) mig_again_.store(false, std::memory_order_relaxed);
+    bar_b_.arrive_and_wait();
+    drain_inbox(pe);
+    const bool sent = !pe.out_dirty.empty();
+    flush_outboxes(pe);
+    if (sent || !pe.inbox.empty_hint()) {
+      mig_again_.store(true, std::memory_order_relaxed);
+    }
+    bar_a_.arrive_and_wait();
+    if (!mig_again_.load(std::memory_order_relaxed)) break;
+  }
+
+  // Extract. Pending events leave the pending queue; processed events stay
+  // on the KP's global deque but their uid index entries travel; chaos-held
+  // envelopes bound for the KP travel with their release round (the round
+  // counter is barrier-global, so it means the same thing at the
+  // destination). The live-envelope accounting moves with the events so the
+  // flow-control watermarks keep tracking each PE's own outstanding work.
+  for (const KpMove& mv : plan) {
+    if (mv.src_pe != pe.id) continue;
+    std::vector<Event*>& stage = mig_stage_[mv.kp];
+    for (auto it = pe.index.begin(); it != pe.index.end();) {
+      Event* ev = it->second;
+      if (ev->kp == mv.kp) {
+        if (ev->status == EventStatus::Pending) {
+          HP_ASSERT(pe.pending.erase(ev),
+                    "PE %u: migrating pending event uid %llu missing from "
+                    "pending set",
+                    pe.id, static_cast<unsigned long long>(ev->uid));
+        }
+        stage.push_back(ev);
+        it = pe.index.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    std::uint64_t moved_here = stage.size();
+    if (HP_UNLIKELY(chaos_) && !pe.chaos_held.empty()) {
+      auto& held = pe.chaos_held;
+      std::size_t w = 0;
+      for (std::size_t r = 0; r < held.size(); ++r) {
+        // A duplicate anti's cached kp field is unset; derive the target KP
+        // from the key, which is correct for positives and antis alike.
+        if (lp_kp_[held[r].ev->key.dst_lp] == mv.kp) {
+          mig_stage_held_[mv.kp].push_back(held[r]);
+          ++moved_here;
+        } else {
+          held[w++] = held[r];
+        }
+      }
+      held.resize(w);
+    }
+    pe.kps.erase(std::find(pe.kps.begin(), pe.kps.end(), mv.kp));
+    pe.pool.adjust_live(-static_cast<std::int64_t>(moved_here));
+    ++pe.metrics.at(Counter::Migrations);
+    pe.metrics.at(Counter::MigratedEvents) += moved_here;
+  }
+  bar_b_.arrive_and_wait();
+
+  // Integrate, then flip ownership. Distinct KPs mean every write here is
+  // disjoint across PEs; the exit barrier publishes the flips before any PE
+  // routes an envelope again.
+  for (const KpMove& mv : plan) {
+    if (mv.dst_pe != pe.id) continue;
+    std::vector<Event*>& stage = mig_stage_[mv.kp];
+    std::int64_t adopted = static_cast<std::int64_t>(stage.size());
+    for (Event* ev : stage) {
+      if (ev->status == EventStatus::Pending) pe.pending.insert(ev);
+      auto [it, ok] = pe.index.emplace(ev->uid, ev);
+      HP_ASSERT(ok, "PE %u: migrated event uid %llu collides in index", pe.id,
+                static_cast<unsigned long long>(ev->uid));
+      (void)it;
+    }
+    stage.clear();
+    std::vector<PeData::HeldEnvelope>& held = mig_stage_held_[mv.kp];
+    adopted += static_cast<std::int64_t>(held.size());
+    for (const PeData::HeldEnvelope& h : held) pe.chaos_held.push_back(h);
+    held.clear();
+    pe.kps.push_back(mv.kp);
+    own_.set_kp_owner(mv.kp, pe.id);
+    pe.pool.adjust_live(adopted);
+  }
+  if (pe.id == 0) {
+    own_.bump_epoch();
+    ++pe.metrics.at(Counter::MigrationRounds);
+  }
+  pe.mig_moves_total += plan.size();
+  bar_a_.arrive_and_wait();
+
+  // Restart the heat window under the new ownership (each element is now
+  // touched only by its new owner; the barrier above published the flip).
+  for (std::uint32_t kp_id : pe.kps) kp_processed_[kp_id] = 0;
 }
 
 void TimeWarpEngine::run_pe(PeData& pe) {
@@ -1077,7 +1306,25 @@ RunStats TimeWarpEngine::run() {
       pe->chaos_run.reserve(kChaosReorderWindow);
     }
   }
-  slices_on_ = cfg_.obs.monitor || flow_on_;
+  mig_on_ = cfg_.migration.enabled && cfg_.num_pes > 1;
+  if (mig_on_) {
+    HP_ASSERT(cfg_.migration.interval_rounds >= 1 &&
+                  cfg_.migration.max_moves >= 1 &&
+                  cfg_.migration.imbalance_threshold >= 1.0,
+              "invalid migration config (every=%u max=%u imbalance=%g)",
+              cfg_.migration.interval_rounds, cfg_.migration.max_moves,
+              cfg_.migration.imbalance_threshold);
+    kp_processed_.assign(cfg_.num_kps, 0);
+    mig_stage_.assign(cfg_.num_kps, {});
+    mig_stage_held_.assign(cfg_.num_kps, {});
+    for (auto& pe : pes_) {
+      pe->mig_prev_processed.assign(cfg_.num_pes, 0);
+      pe->mig_prev_rolled_back.assign(cfg_.num_pes, 0);
+      pe->mig_decisions = 0;
+      pe->mig_moves_total = 0;
+    }
+  }
+  slices_on_ = cfg_.obs.monitor || flow_on_ || mig_on_;
   if (cfg_.obs.monitor) {
     monitor_ = std::make_unique<obs::MonitorWriter>(cfg_.obs.monitor_path);
   }
@@ -1155,6 +1402,7 @@ RunStats TimeWarpEngine::run() {
       series[i].inbox_depth += other[i].inbox_depth;
       series[i].pool_envelopes += other[i].pool_envelopes;
       series[i].pool_live += other[i].pool_live;
+      series[i].migrations += other[i].migrations;
     }
   }
   m.gvt_series = std::move(series);

@@ -212,6 +212,18 @@ class TimeWarpEngine final : public Engine {
     };
     std::vector<HeldEnvelope> chaos_held;
     std::vector<Event*> chaos_run;
+
+    // Dynamic KP migration (active only when cfg.migration.enabled).
+    // Every PE runs the same pure planner over the same replicated inputs
+    // (the round slices plus these snapshots of every PE's cumulative
+    // counters at the previous decision round), so all PEs compute an
+    // identical plan with no extra communication. mig_decisions counts
+    // decision rounds (the forced-mode rotation index); mig_moves_total is
+    // this PE's replicated count of KP moves executed engine-wide.
+    std::vector<std::uint64_t> mig_prev_processed;
+    std::vector<std::uint64_t> mig_prev_rolled_back;
+    std::uint64_t mig_decisions = 0;
+    std::uint64_t mig_moves_total = 0;
   };
 
   // One cache line per PE of per-round state, written between GVT barriers A
@@ -232,6 +244,14 @@ class TimeWarpEngine final : public Engine {
     std::uint64_t pool_live = 0;
     bool throttled = false;
     bool blocked = false;
+    // Dynamic KP migration: the PE's hottest owned KP since the previous
+    // decision round (the planner's move candidate) and how many KPs it
+    // currently owns. Published only on decision rounds when migration is
+    // armed; zero otherwise.
+    bool has_cand = false;
+    std::uint32_t mig_cand_kp = 0;
+    std::uint64_t mig_cand_score = 0;
+    std::uint32_t owned_kps = 0;
   };
 
   class TwCtx;
@@ -245,6 +265,9 @@ class TimeWarpEngine final : public Engine {
   // Anti delivery tolerant of chaos-held positives: annihilates in place, in
   // the holdback buffer, or counts a stale drop (dup-anti duplicates).
   void chaos_deliver_anti(PeData& pe, Event* anti);
+  // Kill a positive parked in the local holdback buffer before it was ever
+  // delivered; returns false when no such envelope is held.
+  bool chaos_kill_held(PeData& pe, std::uint64_t uid);
   // Deliver the reorder scratch buffer (possibly reversed) and clear it.
   void chaos_flush_run(PeData& pe);
   // Release held envelopes whose round has come (and all of them when the
@@ -259,7 +282,10 @@ class TimeWarpEngine final : public Engine {
   // flush_outboxes publishes every staged chain, one push per destination.
   void stage_remote(PeData& pe, std::uint32_t dst_pe, Event* ev);
   void flush_outboxes(PeData& pe);
-  void send_anti(PeData& pe, const ChildRef& c);
+  // `dst_pe` is the victim's *current* owner (looked up in own_ by the
+  // caller, never the ChildRef's send-time snapshot — KP migration can move
+  // the victim between the send and the cancellation).
+  void send_anti(PeData& pe, const ChildRef& c, std::uint32_t dst_pe);
   // `offender_kp`/`offender_pe` attribute any rollback the annihilation
   // induces (the canceller's KP for remote antis, the dying parent's KP for
   // synchronous local cancellation); `send_wall_ns` is the anti's send stamp
@@ -274,6 +300,12 @@ class TimeWarpEngine final : public Engine {
   void process_one(PeData& pe, Event* ev);
   // Returns true when the run is complete (GVT beyond end time).
   bool gvt_round(PeData& pe);
+  // Dynamic KP migration, called inside gvt_round after the global minimum
+  // is known: every PE plans identically from the round slices, then the
+  // affected PEs execute the stop-the-world handoff (quiescence loop,
+  // extract, integrate, ownership flip + epoch bump). No-op on rounds the
+  // planner is idle. `gvt` is this round's global minimum.
+  void do_migration_round(PeData& pe, Time gvt);
   // PE 0 only, after barrier B: aggregate the monitor slices and emit one
   // JSON-lines heartbeat record.
   void emit_monitor_record(std::uint64_t round_idx, Time gvt);
@@ -295,8 +327,11 @@ class TimeWarpEngine final : public Engine {
   std::vector<std::unique_ptr<LpState>> states_;
   std::vector<util::ReversibleRng> rngs_;
   std::vector<std::uint32_t> lp_kp_;
-  std::vector<std::uint32_t> lp_pe_;
-  std::vector<std::uint32_t> kp_pe_;
+  // Live KP/LP -> PE ownership. Seeded from the mapping; mutated only by KP
+  // migration between handoff barriers. All routing (remote sends, anti
+  // messages, cancellation local/remote branches) reads this table, never a
+  // cached placement, so envelopes always chase the current owner.
+  net::OwnershipTable own_;
 
   std::vector<KpData> kps_;
   std::vector<std::unique_ptr<PeData>> pes_;
@@ -330,6 +365,20 @@ class TimeWarpEngine final : public Engine {
   bool chaos_ = false;
   // Round slices are live when the monitor or flow control needs them.
   bool slices_on_ = false;
+
+  // Dynamic KP migration (cfg.migration.enabled && num_pes > 1). The per-KP
+  // processed counters feed candidate selection: each element is written
+  // only by the KP's owning PE and reset after a handoff under the new
+  // ownership, with the migration barriers publishing across the flip.
+  // mig_stage_/mig_stage_held_ are the handoff staging areas, indexed by KP:
+  // the source PE parks the KP's in-flight envelopes there during extract
+  // and the destination adopts them during integrate (disjoint KPs, barrier
+  // between the phases). mig_again_ is the quiescence-loop vote flag.
+  bool mig_on_ = false;
+  std::vector<std::uint64_t> kp_processed_;
+  std::vector<std::vector<Event*>> mig_stage_;
+  std::vector<std::vector<PeData::HeldEnvelope>> mig_stage_held_;
+  std::atomic<bool> mig_again_{false};
 
   // Live monitor (null unless ObsConfig::monitor). Slices are per-PE; the
   // mon_last_* bookkeeping is touched only by PE 0.

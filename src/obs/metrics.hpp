@@ -46,6 +46,7 @@ enum class Phase : std::uint8_t {
   InboxDrain,  // popping the MPSC inbox, delivering remote events
   Idle,        // no executable work (window closed / starved / spinning)
   Throttled,   // optimism flow control capping this PE (soft/hard watermark)
+  Migrate,     // KP migration handoff: quiescence drain + state transfer
   kCount
 };
 inline constexpr std::size_t kNumPhases = static_cast<std::size_t>(Phase::kCount);
@@ -59,6 +60,7 @@ constexpr const char* phase_name(Phase p) noexcept {
     case Phase::InboxDrain: return "inbox_drain";
     case Phase::Idle: return "idle";
     case Phase::Throttled: return "throttled";
+    case Phase::Migrate: return "migrate";
     case Phase::kCount: break;
   }
   // Unreachable for valid enumerators; a new phase without a case above is a
@@ -100,6 +102,9 @@ enum class Counter : std::uint8_t {
   ChaosDupAntis,       // fault injection: duplicated anti-message deliveries
   ChaosStaleAntis,     // antis that found no positive (chaos runs only)
   ChaosStallRounds,    // fault injection: GVT rounds spent stalled
+  Migrations,          // KP moves received by this PE (dynamic balancing)
+  MigratedEvents,      // live envelopes handed over across those moves
+  MigrationRounds,     // GVT rounds that executed a migration handoff
   kCount
 };
 inline constexpr std::size_t kNumCounters =
@@ -143,6 +148,9 @@ inline constexpr std::array<CounterDef, kNumCounters> kCounterDefs{{
     {"chaos_dup_antis", Reduce::Sum},
     {"chaos_stale_antis", Reduce::Sum},
     {"chaos_stall_rounds", Reduce::Sum},
+    {"kp_migrations", Reduce::Sum},
+    {"migrated_events", Reduce::Sum},
+    {"migration_rounds", Reduce::Sum},
 }};
 
 constexpr const char* counter_name(Counter c) noexcept {
@@ -199,6 +207,9 @@ struct PeMetrics {
   std::uint64_t throttle_entries() const noexcept { return at(Counter::ThrottleEntries); }
   std::uint64_t throttle_exits() const noexcept { return at(Counter::ThrottleExits); }
   std::uint64_t hard_blocks() const noexcept { return at(Counter::HardBlocks); }
+  std::uint64_t kp_migrations() const noexcept { return at(Counter::Migrations); }
+  std::uint64_t migrated_events() const noexcept { return at(Counter::MigratedEvents); }
+  std::uint64_t migration_rounds() const noexcept { return at(Counter::MigrationRounds); }
 
   bool operator==(const PeMetrics&) const = default;
 };
@@ -219,6 +230,7 @@ struct GvtRoundSample {
   std::uint64_t inbox_depth = 0;    // envelopes seen in inboxes at barrier B
   std::uint64_t pool_envelopes = 0; // envelope storage capacity so far
   std::uint64_t pool_live = 0;      // outstanding envelopes at this round
+  std::uint64_t migrations = 0;     // KP moves executed this round
 
   // Fraction of the round's optimism that survived; can exceed 1 when older
   // optimistic work finally commits.

@@ -36,6 +36,8 @@ void MonitorWriter::emit(const MonitorSample& s) {
     w.kv("pool_live", s.pool_live);
     w.kv("throttled_pes", s.throttled_pes);
     w.kv("blocked_pes", s.blocked_pes);
+    w.kv("kp_migrations", s.kp_migrations);
+    w.kv("mapping_epoch", s.mapping_epoch);
     if (s.has_offender) {
       w.kv("top_offender_kp", s.top_offender_kp);
       w.kv("top_offender_events", s.top_offender_events);

@@ -44,6 +44,11 @@ struct MonitorSample {
   std::uint64_t pool_live = 0;
   std::uint32_t throttled_pes = 0;
   std::uint32_t blocked_pes = 0;
+  // Dynamic KP migration (all zero when EngineConfig::migration is off):
+  // cumulative KP moves across all PEs as of the previous round's slices,
+  // and the ownership-table version (bumped once per migration round).
+  std::uint64_t kp_migrations = 0;
+  std::uint64_t mapping_epoch = 0;
 };
 
 class MonitorWriter {
