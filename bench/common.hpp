@@ -118,7 +118,8 @@ inline bool apply_migration_flags(const util::Cli& cli,
 inline void finish(util::Table& table, const util::Cli& cli,
                    const std::string& title,
                    const std::vector<obs::MetricsReport>& metrics = {},
-                   const std::vector<obs::ModelChannel>& models = {}) {
+                   const std::vector<obs::ModelChannel>& models = {},
+                   const std::map<std::string, double>& headline = {}) {
   std::cout << title << "\n\n";
   table.print(std::cout);
   if (cli.has("csv")) {
@@ -137,6 +138,13 @@ inline void finish(util::Table& table, const util::Cli& cli,
     w.kv("title", title);
     w.key("rows");
     table.write_json(w);
+    if (!headline.empty()) {
+      // Scalar figures of merit for perf tracking; scripts/perf_delta.py
+      // compares these against the committed BENCH_*.json baselines.
+      w.key("headline").begin_object();
+      for (const auto& [k, v] : headline) w.kv(k, v);
+      w.end_object();
+    }
     if (!metrics.empty()) {
       w.key("metrics").begin_array();
       for (const obs::MetricsReport& m : metrics) m.write_json(w);

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench --json dump's headline against a committed baseline.
+
+Usage:
+    perf_delta.py CURRENT.json BASELINE.json [--max-regression=PCT]
+
+Both files are bench/common.hpp-style dumps (validated by
+check_bench_json.py against scripts/bench_json.schema.json); the `headline`
+object maps figure-of-merit names to numbers (rates where higher is better,
+*_ns costs where lower is better — the suffix decides the sign convention).
+
+By default the script only reports the per-key delta (CI shared runners are
+too noisy for a hard gate); with --max-regression=PCT it exits non-zero when
+any key regresses by more than PCT percent.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_headline(path):
+    with open(path) as f:
+        doc = json.load(f)
+    headline = doc.get("headline")
+    if not isinstance(headline, dict) or not headline:
+        sys.exit(f"{path}: no headline object — nothing to compare")
+    return headline
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail if any headline key regresses by more than PCT percent",
+    )
+    args = ap.parse_args()
+
+    cur = load_headline(args.current)
+    base = load_headline(args.baseline)
+
+    failures = []
+    for key in sorted(base):
+        if key not in cur:
+            print(f"{key}: MISSING from {args.current}")
+            failures.append(key)
+            continue
+        b, c = float(base[key]), float(cur[key])
+        if b == 0:
+            print(f"{key}: baseline is 0, skipping ({c:g} now)")
+            continue
+        # Rates (events_per_s) improve upward; costs (_ns) improve downward.
+        lower_is_better = key.endswith("_ns")
+        change = (c - b) / b * 100.0
+        improvement = -change if lower_is_better else change
+        tag = "improvement" if improvement >= 0 else "REGRESSION"
+        print(f"{key}: {b:g} -> {c:g}  ({change:+.1f}%, {tag})")
+        if args.max_regression is not None and improvement < -args.max_regression:
+            failures.append(key)
+    for key in sorted(set(cur) - set(base)):
+        print(f"{key}: new key (no baseline), {float(cur[key]):g}")
+
+    if failures:
+        sys.exit(
+            f"perf regression beyond {args.max_regression}% in: "
+            + ", ".join(failures)
+        )
+
+
+if __name__ == "__main__":
+    main()

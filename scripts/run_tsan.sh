@@ -7,7 +7,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake --preset tsan
-cmake --build build-tsan -j "$(nproc)" --target test_mpsc_queue test_timewarp test_engine_matrix test_chaos test_migration
+cmake --build build-tsan -j "$(nproc)" --target test_mpsc_queue test_timewarp test_engine_matrix test_chaos test_migration test_event_pool test_pending_set
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 ./build-tsan/tests/test_mpsc_queue
@@ -20,5 +20,10 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 # quiescence/handoff barriers and the shared OwnershipTable writes must be
 # race-free under every chaos plan.
 ./build-tsan/tests/test_migration
+# Slab pool recycling and the pending-set backends run single-threaded per
+# PE, but migration adoption moves envelopes across pools — keep their unit
+# suites in the gate so the adjust_live accounting stays clean too.
+./build-tsan/tests/test_event_pool
+./build-tsan/tests/test_pending_set
 
 echo "TSan: TimeWarp test suite clean."

@@ -1,0 +1,190 @@
+#pragma once
+
+// Calendar queue pending-event set (Brown, "Calendar queues: a fast O(1)
+// priority queue implementation for the simulation event set problem",
+// CACM 1988) — the second contender in the pending-set shoot-out
+// (bench/ablation_event_queue) alongside the ladder queue and splay tree.
+//
+// Timestamps hash onto a ring of "day" buckets of equal width: an event at
+// ts has day floor(ts / width) and lands in bucket day mod nbuckets. pop_min
+// walks the ring one day at a time from the current day, taking the first
+// event whose day has arrived; a fruitless full-year lap (nbuckets days)
+// falls back to a direct minimum search — the sparse-calendar case — and
+// teleports the position there. Buckets are kept sorted descending by full
+// EventKey, so the per-bucket minimum is a back() and duplicate keys keep a
+// total order.
+//
+// Day membership is always computed through the one day_of() function — the
+// walk never accumulates a floating-point bucket ceiling, because a drifted
+// ceiling could disagree with the insertion hash at a bucket boundary and
+// pop out of key order, which the engines' bit-identical determinism cannot
+// absorb.
+//
+// The ring resizes (double/halve, re-hashing all events and re-deriving the
+// width from the observed timestamp span) when occupancy drifts past 2x or
+// below 1/2x the bucket count, which keeps both the per-bucket sorted
+// inserts and the ring walk O(1) amortized.
+//
+// Duplicate full keys are permitted; among equal keys any pop order is
+// allowed (same contract as SplayQueue / LadderQueue).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "des/event.hpp"
+#include "util/macros.hpp"
+
+namespace hp::des {
+
+class CalendarQueue {
+ public:
+  CalendarQueue() { buckets_.assign(kMinBuckets, {}); }
+  CalendarQueue(const CalendarQueue&) = delete;
+  CalendarQueue& operator=(const CalendarQueue&) = delete;
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  void insert(Event* ev) {
+    if (HP_UNLIKELY(size_ + 1 > 2 * buckets_.size())) {
+      resize(buckets_.size() * 2);
+    }
+    const Time ts = ev->key.ts;
+    std::vector<Event*>& b = buckets_[bucket_of(ts)];
+    const auto it = std::lower_bound(b.begin(), b.end(), ev, KeyGreater{});
+    b.insert(it, ev);
+    ++size_;
+    // An arrival on an already-passed day must drag the walk back, or the
+    // ring would serve later days first.
+    if (day_of(ts) < cur_day_) reposition_to(ts);
+  }
+
+  Event* peek_min() {
+    if (size_ == 0) return nullptr;
+    return buckets_[locate_min()].back();
+  }
+
+  Event* pop_min() {
+    if (size_ == 0) return nullptr;
+    std::vector<Event*>& b = buckets_[locate_min()];
+    Event* ev = b.back();
+    b.pop_back();
+    --size_;
+    if (HP_UNLIKELY(buckets_.size() > kMinBuckets &&
+                    size_ < buckets_.size() / 2)) {
+      resize(buckets_.size() / 2);
+    }
+    return ev;
+  }
+
+  // Remove a specific pending envelope. Returns false if absent.
+  bool erase(Event* ev) {
+    std::vector<Event*>& b = buckets_[bucket_of(ev->key.ts)];
+    const auto [lo, hi] = std::equal_range(b.begin(), b.end(), ev,
+                                           KeyGreater{});
+    for (auto it = lo; it != hi; ++it) {
+      if (*it == ev) {
+        b.erase(it);
+        --size_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void clear() noexcept {
+    buckets_.assign(kMinBuckets, {});
+    size_ = 0;
+    width_ = 1.0;
+    cur_day_ = 0;
+    cur_bucket_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 16;
+  static constexpr double kMinWidth = 1e-12;
+
+  struct KeyGreater {
+    bool operator()(const Event* a, const Event* b) const noexcept {
+      return b->key < a->key;
+    }
+  };
+
+  std::uint64_t day_of(Time ts) const noexcept {
+    const double d = ts / width_;
+    return d <= 0.0 ? std::uint64_t{0} : static_cast<std::uint64_t>(d);
+  }
+  std::size_t bucket_of(Time ts) const noexcept {
+    return static_cast<std::size_t>(day_of(ts) % buckets_.size());
+  }
+
+  void reposition_to(Time ts) noexcept {
+    cur_day_ = day_of(ts);
+    cur_bucket_ = static_cast<std::size_t>(cur_day_ % buckets_.size());
+  }
+
+  // Advance the ring walk to the bucket holding the global minimum and
+  // return its index. Caller guarantees size_ > 0.
+  std::size_t locate_min() {
+    for (std::size_t lap = 0; lap < buckets_.size(); ++lap) {
+      const std::vector<Event*>& b = buckets_[cur_bucket_];
+      if (!b.empty() && day_of(b.back()->key.ts) <= cur_day_) {
+        return cur_bucket_;
+      }
+      ++cur_day_;
+      cur_bucket_ = (cur_bucket_ + 1) % buckets_.size();
+    }
+    // Sparse calendar: nothing due within a full year of the position.
+    // Direct search, then teleport the position to the winner.
+    std::size_t best = buckets_.size();
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i].empty()) continue;
+      if (best == buckets_.size() ||
+          buckets_[i].back()->key < buckets_[best].back()->key) {
+        best = i;
+      }
+    }
+    reposition_to(buckets_[best].back()->key.ts);
+    return best;
+  }
+
+  void resize(std::size_t nbuckets) {
+    std::vector<Event*> all;
+    all.reserve(size_);
+    for (std::vector<Event*>& b : buckets_) {
+      all.insert(all.end(), b.begin(), b.end());
+      b.clear();
+    }
+    // Re-derive the day width from the live span so a bucket holds ~one
+    // event on average; a degenerate span (all equal ts) keeps width 1.
+    double lo = 0.0, hi = 0.0;
+    if (!all.empty()) {
+      lo = hi = all.front()->key.ts;
+      for (const Event* ev : all) {
+        lo = std::min(lo, ev->key.ts);
+        hi = std::max(hi, ev->key.ts);
+      }
+    }
+    const double span = hi - lo;
+    width_ = span > 0.0
+                 ? std::max(span / static_cast<double>(all.size()), kMinWidth)
+                 : 1.0;
+    buckets_.assign(nbuckets, {});
+    for (Event* ev : all) {
+      std::vector<Event*>& b = buckets_[bucket_of(ev->key.ts)];
+      const auto it = std::lower_bound(b.begin(), b.end(), ev, KeyGreater{});
+      b.insert(it, ev);
+    }
+    reposition_to(lo);
+  }
+
+  std::vector<std::vector<Event*>> buckets_;  // each sorted descending by key
+  std::size_t size_ = 0;
+  double width_ = 1.0;
+  std::uint64_t cur_day_ = 0;   // ring walk position, in days since t=0
+  std::size_t cur_bucket_ = 0;  // == cur_day_ % buckets_.size()
+};
+
+}  // namespace hp::des

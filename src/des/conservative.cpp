@@ -136,6 +136,7 @@ ConservativeEngine::ConservativeEngine(Model& model, EngineConfig cfg,
   for (std::uint32_t pe = 0; pe < cfg_.num_pes; ++pe) {
     pes_.push_back(std::make_unique<PeData>());
     pes_.back()->id = pe;
+    pes_.back()->pending.configure(cfg_.queue_kind);
   }
   local_min_.resize(cfg_.num_pes, kTimeInf);
 }
@@ -149,7 +150,7 @@ void ConservativeEngine::run_pe(PeData& pe) {
     // Publish the local floor; PE 0 computes the window.
     pe.probe.switch_to(Phase::GvtBarrier);
     local_min_[pe.id] =
-        pe.pending.empty() ? kTimeInf : (*pe.pending.begin())->key.ts;
+        pe.pending.empty() ? kTimeInf : pe.pending.peek_min()->key.ts;
     barrier_.arrive_and_wait();
     if (pe.id == 0) {
       Time floor = kTimeInf;
@@ -171,10 +172,9 @@ void ConservativeEngine::run_pe(PeData& pe) {
     // during processing are picked up by the min-pop).
     pe.probe.switch_to(Phase::Forward);
     const Time wend = window_end_.load(std::memory_order_relaxed);
-    while (!pe.pending.empty()) {
-      Event* ev = *pe.pending.begin();
+    while (Event* ev = pe.pending.peek_min()) {
       if (ev->key.ts >= wend || ev->key.ts > cfg_.end_time) break;
-      pe.pending.erase(pe.pending.begin());
+      pe.pending.pop_min();
       ev->status = EventStatus::Processed;
       ctx.begin_event(ev);
       model_.forward(*states_[ev->key.dst_lp], *ev, ctx);
@@ -202,7 +202,8 @@ void ConservativeEngine::run_pe(PeData& pe) {
     pe.series.push(obs::GvtRoundSample{
         pe.local_rounds, obs::monotonic_ns() - epoch_ns_, wend - lookahead_,
         processed_delta, processed_delta, inbox_depth, pe.pool.allocated(),
-        static_cast<std::uint64_t>(std::max<std::int64_t>(0, pe.pool.live()))});
+        static_cast<std::uint64_t>(std::max<std::int64_t>(0, pe.pool.live())),
+        0, pe.pool.pool_bytes()});
     ++pe.local_rounds;
     pe.processed_at_last_window = pe.metrics.at(Counter::Processed);
   }
@@ -245,8 +246,10 @@ RunStats ConservativeEngine::run() {
     pe->metrics.at(Counter::PoolEnvelopes) = pe->pool.allocated();
     pe->metrics.at(Counter::PoolLiveEnvelopes) = static_cast<std::uint64_t>(
         std::max<std::int64_t>(0, pe->pool.live()));
-    pe->metrics.at(Counter::PoolPeakLive) = static_cast<std::uint64_t>(
-        std::max<std::int64_t>(0, pe->pool.peak_live()));
+    pe->metrics.at(Counter::PoolPeakLive) =
+        static_cast<std::uint64_t>(pe->pool.peak_live());
+    pe->metrics.at(Counter::PoolSlabs) = pe->pool.slabs_allocated();
+    pe->metrics.at(Counter::PoolBytes) = pe->pool.pool_bytes();
     m.per_pe.push_back(pe->metrics);
   }
   m.finalize();
@@ -268,6 +271,7 @@ RunStats ConservativeEngine::run() {
       series[i].inbox_depth += other[i].inbox_depth;
       series[i].pool_envelopes += other[i].pool_envelopes;
       series[i].pool_live += other[i].pool_live;
+      series[i].pool_bytes += other[i].pool_bytes;
     }
   }
   m.gvt_series = std::move(series);

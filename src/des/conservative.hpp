@@ -28,12 +28,12 @@
 #include <barrier>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <vector>
 
 #include "des/engine.hpp"
 #include "des/event.hpp"
 #include "des/model.hpp"
+#include "des/pending_set.hpp"
 #include "net/mapping.hpp"
 #include "obs/probe.hpp"
 
@@ -62,15 +62,9 @@ class ConservativeEngine final : public Engine {
   std::uint32_t num_lps() const noexcept override { return cfg_.num_lps; }
 
  private:
-  struct KeyLess {
-    bool operator()(const Event* a, const Event* b) const noexcept {
-      return a->key < b->key;
-    }
-  };
-
   struct alignas(64) PeData {
     std::uint32_t id = 0;
-    std::multiset<Event*, KeyLess> pending;
+    PendingSet pending;
     std::mutex inbox_mu;
     std::vector<Event*> inbox;
     EventPool pool;

@@ -1,6 +1,6 @@
 #pragma once
 
-// Event envelope and per-PE pool.
+// Event envelope and per-PE slab pool.
 //
 // Envelopes are fixed-size: a key, engine bookkeeping, the model's control
 // bitfield (tw_bf analogue), the child list used for anti-message
@@ -8,12 +8,18 @@
 // message struct (the ROSS Msg_Data idiom). Envelopes move between PEs by
 // pointer; ownership transfers on enqueue and the receiving PE eventually
 // frees them into its own pool.
+//
+// The hot layout is deliberately lean: the cold state-saving / lazy-
+// cancellation members (LP snapshot, payload snapshot, saved RNG cursor,
+// stale child list) live behind a single optional side-block (`EventCold`)
+// allocated only when one of those modes actually touches the envelope, so
+// the common-case envelope spans fewer cache lines and slab storage stays
+// dense.
 
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <vector>
 #include <type_traits>
 #include <vector>
 
@@ -26,6 +32,10 @@
 namespace hp::des {
 
 inline constexpr std::size_t kMaxPayload = 96;
+
+// Envelopes per pool slab. Slabs are the pool's only allocation unit: one
+// array-new per 1024 envelopes instead of one heap round trip per envelope.
+inline constexpr std::size_t kSlabEnvelopes = 1024;
 
 enum class EventStatus : std::uint8_t { Free, Pending, Processed };
 
@@ -51,11 +61,30 @@ struct ChildRef {
 };
 static_assert(std::is_trivially_copyable_v<ChildRef>);
 
+// Cold per-envelope state, allocated on demand (Event::cold()):
+//   * stale_children — lazy cancellation keeps the children of the last
+//     rolled-back execution alive until re-execution reuses or cancels them;
+//   * snapshot / payload_snapshot / saved_rng_* — the state-saving ablation
+//     mode's pre-execution snapshots (forward handlers mutate their own
+//     message under the ROSS save-into-the-message idiom, so re-execution
+//     must start from the original bytes).
+// Aggressive-cancellation reverse-computation runs (the default) never
+// allocate one, so the hot envelope stays small.
+struct EventCold {
+  std::vector<ChildRef> stale_children;
+  std::unique_ptr<LpState> snapshot;
+  std::unique_ptr<std::byte[]> payload_snapshot;
+  std::uint64_t saved_rng_state = 0;
+  std::uint64_t saved_rng_draws = 0;
+};
+
 // The envelope doubles as the intrusive node of the lock-free remote inbox
 // (util::MpscQueue); mpsc_next is live only while the envelope is in flight
-// between PEs. Anti-messages travel as envelopes too (is_anti set, key/uid
-// identify the victim, payload unused) so positives and antis share one
-// FIFO channel and one pool.
+// between PEs — or threaded on its pool's free list while the envelope is
+// Free (the two states are disjoint, so the link is safely shared).
+// Anti-messages travel as envelopes too (is_anti set, key/uid identify the
+// victim, payload unused) so positives and antis share one FIFO channel and
+// one pool.
 struct Event : util::MpscNode {
   EventKey key;
   std::uint64_t uid = 0;  // unique send instance id (anti-message identity)
@@ -75,19 +104,20 @@ struct Event : util::MpscNode {
   std::uint32_t cascade = 0;
   std::uint64_t send_wall_ns = 0;
   util::SmallVec<ChildRef, 4> children;
-  // Lazy cancellation: children of the last rolled-back execution, kept
-  // alive until re-execution either re-sends them identically (reuse) or
-  // finishes without them (cancel). Empty outside lazy mode.
-  std::vector<ChildRef> stale_children;
+  // Optional cold side-block; null unless lazy cancellation or state saving
+  // touched this envelope. Reset on free.
+  std::unique_ptr<EventCold> cold_block;
 
-  // State-saving ablation mode only: pre-execution snapshot of the
-  // destination LP's state, the RNG, and the message payload (forward
-  // handlers mutate their own message under the ROSS save-into-the-message
-  // idiom, so re-execution must start from the original bytes).
-  std::unique_ptr<LpState> snapshot;
-  std::unique_ptr<std::byte[]> payload_snapshot;
-  std::uint64_t saved_rng_state = 0;
-  std::uint64_t saved_rng_draws = 0;
+  // Lazily allocated cold state (see EventCold).
+  EventCold& cold() {
+    if (HP_UNLIKELY(cold_block == nullptr)) {
+      cold_block = std::make_unique<EventCold>();
+    }
+    return *cold_block;
+  }
+  bool has_stale_children() const noexcept {
+    return cold_block != nullptr && !cold_block->stale_children.empty();
+  }
 
   alignas(8) std::byte payload[kMaxPayload];
 
@@ -103,20 +133,29 @@ struct Event : util::MpscNode {
   }
 };
 
-// Free-list recycler. Not thread-safe by design: one pool per PE, and
-// cross-PE envelopes are freed into the *receiving* PE's pool (the free list
-// holds non-owning pointers; storage is owned by the allocating pool, and
-// the engine destroys all pools together after the PE threads have joined).
+// Slab recycler. Not thread-safe by design: one pool per PE, and cross-PE
+// envelopes are freed into the *receiving* PE's pool (the free list holds
+// non-owning pointers threaded through the envelopes' own mpsc_next links;
+// storage is owned by the allocating pool's slabs, and the engine destroys
+// all pools together after the PE threads have joined — a pool's free list
+// may point into a sibling's slabs, which is safe because destruction never
+// follows the list).
 //
 // Capacity vs. live: `capacity()` is the high-water storage owned by this
-// pool and never shrinks; `live()` is the current outstanding-envelope count
-// (allocated minus freed *here*) and is the number fossil collection actually
-// drives back down. live() is signed because envelopes migrate: a PE that
-// mostly receives remote events frees more envelopes into its pool than it
-// allocated from it, so its live() goes negative while the sender's stays
-// positive — only the sum (or a single-pool engine) is a memory figure. The
-// optimism flow-control watermarks compare a PE's own live() against its
-// budget, which is exactly the "am I the one over-allocating" question.
+// pool (whole slabs; it never shrinks) and `live()` is the current
+// outstanding-envelope count (allocated minus freed *here*, plus migration
+// adoptions) — the number fossil collection actually drives back down.
+// live() is signed because envelopes migrate: a PE that mostly receives
+// remote events frees more envelopes into its pool than it allocated from
+// it, so its live() goes negative while the sender's stays positive — only
+// the sum (or a single-pool engine) is a memory figure. The optimism
+// flow-control watermarks compare a PE's own live() against its budget,
+// which is exactly the "am I the one over-allocating" question.
+//
+// peak_live() is the allocation-driven high-water only: a KP-migration
+// handoff that adopts envelopes raises live() (the adoptees are real
+// pressure) but not peak_live(), because no storage was allocated here —
+// the adopted-side high-water is tracked separately as peak_adopted().
 class EventPool {
  public:
   EventPool() = default;
@@ -126,55 +165,109 @@ class EventPool {
   Event* allocate() {
     ++live_;
     if (live_ > peak_live_) peak_live_ = live_;
-    if (free_.empty()) {
-      all_.push_back(std::make_unique<Event>());
-      return all_.back().get();
-    }
-    Event* ev = free_.back();
-    free_.pop_back();
+    Event* ev = free_head_;
+    if (HP_UNLIKELY(ev == nullptr)) ev = grow();
+    free_head_ =
+        static_cast<Event*>(ev->mpsc_next.load(std::memory_order_relaxed));
+    ev->mpsc_next.store(nullptr, std::memory_order_relaxed);
+    --free_count_;
     return ev;
   }
 
+  // Scrub the envelope back to a fresh-from-slab state and push it on the
+  // free list. Every engine-written field is cleared so a recycled envelope
+  // is indistinguishable from a new one — a stale send_wall_ns would
+  // fabricate a forensics flow event, a stale parent_uid/send_ts/cv would
+  // leak one event's causality into an unrelated reuse. Debug builds poison
+  // the payload (fresh slabs poison it too) so reads-before-writes surface.
   void free(Event* ev) noexcept {
     --live_;
+    ++free_count_;
+    ev->key = EventKey{};
+    ev->uid = 0;
+    ev->parent_uid = 0;
+    ev->rng_before = 0;
+    ev->send_ts = 0.0;
+    ev->kp = 0;
     ev->status = EventStatus::Free;
     ev->is_anti = false;
-    // Forensics stamps must not survive envelope reuse: a recycled envelope
-    // with a stale send_wall_ns would fabricate a flow event.
+    ev->payload_size = 0;
+    ev->cv = 0;
     ev->cascade = 0;
     ev->send_wall_ns = 0;
     ev->children.clear();
-    ev->stale_children.clear();
-    ev->snapshot.reset();
-    ev->payload_snapshot.reset();
-    free_.push_back(ev);
+    ev->cold_block.reset();
+#ifndef NDEBUG
+    std::memset(ev->payload, kPoisonByte, kMaxPayload);
+#endif
+    ev->mpsc_next.store(free_head_, std::memory_order_relaxed);
+    free_head_ = ev;
   }
 
-  // Envelopes ever backed by this pool's storage (high-water mark).
-  std::size_t capacity() const noexcept { return all_.size(); }
+  // Envelopes backed by this pool's slabs (high-water mark, slab-granular).
+  std::size_t capacity() const noexcept {
+    return slabs_.size() * kSlabEnvelopes;
+  }
   // Historical name for capacity(); kept for existing callers.
-  std::size_t allocated() const noexcept { return all_.size(); }
-  std::size_t free_count() const noexcept { return free_.size(); }
+  std::size_t allocated() const noexcept { return capacity(); }
+  std::size_t free_count() const noexcept { return free_count_; }
+  // Slab-level storage accounting (obs counters slabs_allocated/pool_bytes).
+  std::size_t slabs_allocated() const noexcept { return slabs_.size(); }
+  std::size_t pool_bytes() const noexcept {
+    return slabs_.size() * kSlabEnvelopes * sizeof(Event);
+  }
+
   // KP migration handoff: envelopes that change owner without being freed
   // move their live-count with them, so the flow-control watermarks keep
   // comparing each PE's own pressure against its own budget (the sum across
   // pools is invariant). Positive on the receiving pool, negative on the
-  // sending one.
+  // sending one. Deliberately does NOT touch peak_live_: adoption allocates
+  // nothing, so the allocation high-water must not move (the old behaviour
+  // inflated the receiving pool's memory figure on every handoff).
   void adjust_live(std::int64_t delta) noexcept {
     live_ += delta;
-    if (live_ > peak_live_) peak_live_ = live_;
+    adopted_ += delta;
+    if (adopted_ > peak_adopted_) peak_adopted_ = adopted_;
   }
 
-  // Outstanding allocations netted against frees into this pool (signed —
-  // see the class comment).
+  // Outstanding allocations netted against frees into this pool plus
+  // migration adoptions (signed — see the class comment).
   std::int64_t live() const noexcept { return live_; }
+  // Allocation-driven high-water (never includes migration adoptions; never
+  // negative because it only ratchets up from 0 inside allocate()).
   std::int64_t peak_live() const noexcept { return peak_live_; }
+  // Net envelopes adopted from (positive) or handed to (negative) other
+  // pools by KP migration, and the adopted-side high-water.
+  std::int64_t adopted() const noexcept { return adopted_; }
+  std::int64_t peak_adopted() const noexcept { return peak_adopted_; }
 
  private:
-  std::vector<std::unique_ptr<Event>> all_;
-  std::vector<Event*> free_;
+  static constexpr int kPoisonByte = 0xA5;
+
+  // One array-new per kSlabEnvelopes envelopes; every envelope of the new
+  // slab goes straight onto the intrusive free list, last-to-first so
+  // allocation hands them out in address order (dense early working set).
+  Event* grow() {
+    slabs_.push_back(std::make_unique<Event[]>(kSlabEnvelopes));
+    Event* slab = slabs_.back().get();
+    for (std::size_t i = kSlabEnvelopes; i-- > 0;) {
+#ifndef NDEBUG
+      std::memset(slab[i].payload, kPoisonByte, kMaxPayload);
+#endif
+      slab[i].mpsc_next.store(free_head_, std::memory_order_relaxed);
+      free_head_ = &slab[i];
+    }
+    free_count_ += kSlabEnvelopes;
+    return free_head_;
+  }
+
+  std::vector<std::unique_ptr<Event[]>> slabs_;
+  Event* free_head_ = nullptr;
+  std::size_t free_count_ = 0;
   std::int64_t live_ = 0;
   std::int64_t peak_live_ = 0;
+  std::int64_t adopted_ = 0;
+  std::int64_t peak_adopted_ = 0;
 };
 
 }  // namespace hp::des

@@ -1,0 +1,188 @@
+#pragma once
+
+// Runtime-selected pending-event set shared by all three kernels.
+//
+// One facade over the four interchangeable backends (std::multiset
+// reference, ROSS-style splay tree, ladder queue, calendar queue) so the
+// engines, the queue-ablation bench, and the shared conformance tests all
+// drive the same interface: insert / peek_min / pop_min / erase(ev) /
+// clear / size / empty. Semantics are identical across backends — pops come
+// in full EventKey order, duplicate keys may pop in any relative order, and
+// erase removes exactly the given envelope — so EngineConfig::queue_kind is
+// a pure performance knob and committed results are bit-identical under any
+// choice (tests/test_pending_set.cpp holds every backend to the same
+// multiset oracle).
+//
+// Dispatch is a switch on the kind selected at configure() time: within a
+// run the branch is perfectly predicted, and the backends stay directly
+// usable (the bench times them without the facade too).
+
+#include <memory>
+#include <set>
+
+#include "des/calendar_queue.hpp"
+#include "des/engine.hpp"
+#include "des/event.hpp"
+#include "des/ladder_queue.hpp"
+#include "des/splay_queue.hpp"
+#include "util/macros.hpp"
+
+namespace hp::des {
+
+constexpr const char* queue_name(EngineConfig::QueueKind k) noexcept {
+  switch (k) {
+    case EngineConfig::QueueKind::Multiset: return "multiset";
+    case EngineConfig::QueueKind::Splay: return "splay";
+    case EngineConfig::QueueKind::Ladder: return "ladder";
+    case EngineConfig::QueueKind::Calendar: return "calendar";
+  }
+  __builtin_unreachable();
+}
+
+// STL reference backend, wrapped to the common interface.
+class MultisetQueue {
+ public:
+  bool empty() const noexcept { return set_.empty(); }
+  std::size_t size() const noexcept { return set_.size(); }
+  void insert(Event* ev) { set_.insert(ev); }
+  Event* peek_min() { return set_.empty() ? nullptr : *set_.begin(); }
+  Event* pop_min() {
+    if (set_.empty()) return nullptr;
+    const auto it = set_.begin();
+    Event* ev = *it;
+    set_.erase(it);
+    return ev;
+  }
+  bool erase(Event* ev) {
+    const auto [lo, hi] = set_.equal_range(ev);
+    for (auto it = lo; it != hi; ++it) {
+      if (*it == ev) {
+        set_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+  void clear() noexcept { set_.clear(); }
+
+ private:
+  struct KeyLess {
+    bool operator()(const Event* a, const Event* b) const noexcept {
+      return a->key < b->key;
+    }
+  };
+  std::multiset<Event*, KeyLess> set_;
+};
+
+class PendingSet {
+ public:
+  using Kind = EngineConfig::QueueKind;
+
+  explicit PendingSet(Kind kind = Kind::Ladder) { configure(kind); }
+  PendingSet(const PendingSet&) = delete;
+  PendingSet& operator=(const PendingSet&) = delete;
+  PendingSet(PendingSet&&) = default;
+  PendingSet& operator=(PendingSet&&) = default;
+
+  // Swap the backend. Only valid while empty (engines configure their
+  // queues from EngineConfig before seeding initial events).
+  void configure(Kind kind) {
+    // No backend yet means we are being constructed; otherwise reconfiguring
+    // is only legal while the set is empty.
+    const bool constructed = multiset_ || splay_ || ladder_ || calendar_;
+    HP_ASSERT(!constructed || size() == 0,
+              "PendingSet reconfigured while non-empty");
+    multiset_.reset();
+    splay_.reset();
+    ladder_.reset();
+    calendar_.reset();
+    kind_ = kind;
+    switch (kind_) {
+      case Kind::Multiset:
+        multiset_ = std::make_unique<MultisetQueue>();
+        break;
+      case Kind::Splay:
+        splay_ = std::make_unique<SplayQueue>();
+        break;
+      case Kind::Ladder:
+        ladder_ = std::make_unique<LadderQueue>();
+        break;
+      case Kind::Calendar:
+        calendar_ = std::make_unique<CalendarQueue>();
+        break;
+    }
+  }
+
+  Kind kind() const noexcept { return kind_; }
+  const char* name() const noexcept { return queue_name(kind_); }
+
+  bool empty() const noexcept { return size() == 0; }
+  std::size_t size() const noexcept {
+    switch (kind_) {
+      case Kind::Multiset: return multiset_->size();
+      case Kind::Splay: return splay_->size();
+      case Kind::Ladder: return ladder_->size();
+      case Kind::Calendar: return calendar_->size();
+    }
+    __builtin_unreachable();
+  }
+
+  void insert(Event* ev) {
+    switch (kind_) {
+      case Kind::Multiset: multiset_->insert(ev); return;
+      case Kind::Splay: splay_->insert(ev); return;
+      case Kind::Ladder: ladder_->insert(ev); return;
+      case Kind::Calendar: calendar_->insert(ev); return;
+    }
+    __builtin_unreachable();
+  }
+
+  Event* peek_min() {
+    switch (kind_) {
+      case Kind::Multiset: return multiset_->peek_min();
+      case Kind::Splay: return splay_->peek_min();
+      case Kind::Ladder: return ladder_->peek_min();
+      case Kind::Calendar: return calendar_->peek_min();
+    }
+    __builtin_unreachable();
+  }
+
+  Event* pop_min() {
+    switch (kind_) {
+      case Kind::Multiset: return multiset_->pop_min();
+      case Kind::Splay: return splay_->pop_min();
+      case Kind::Ladder: return ladder_->pop_min();
+      case Kind::Calendar: return calendar_->pop_min();
+    }
+    __builtin_unreachable();
+  }
+
+  bool erase(Event* ev) {
+    switch (kind_) {
+      case Kind::Multiset: return multiset_->erase(ev);
+      case Kind::Splay: return splay_->erase(ev);
+      case Kind::Ladder: return ladder_->erase(ev);
+      case Kind::Calendar: return calendar_->erase(ev);
+    }
+    __builtin_unreachable();
+  }
+
+  void clear() noexcept {
+    switch (kind_) {
+      case Kind::Multiset: multiset_->clear(); return;
+      case Kind::Splay: splay_->clear(); return;
+      case Kind::Ladder: ladder_->clear(); return;
+      case Kind::Calendar: calendar_->clear(); return;
+    }
+    __builtin_unreachable();
+  }
+
+ private:
+  Kind kind_ = Kind::Ladder;
+  std::unique_ptr<MultisetQueue> multiset_;
+  std::unique_ptr<SplayQueue> splay_;
+  std::unique_ptr<LadderQueue> ladder_;
+  std::unique_ptr<CalendarQueue> calendar_;
+};
+
+}  // namespace hp::des

@@ -77,7 +77,7 @@ class SequentialEngine::ICtx final : public InitContext {
 };
 
 SequentialEngine::SequentialEngine(Model& model, EngineConfig cfg)
-    : model_(model), cfg_(cfg) {
+    : model_(model), cfg_(cfg), pending_(cfg.queue_kind) {
   HP_ASSERT(cfg_.num_lps > 0, "num_lps must be positive");
   states_.reserve(cfg_.num_lps);
   rngs_.reserve(cfg_.num_lps);
@@ -111,10 +111,9 @@ RunStats SequentialEngine::run() {
   Ctx ctx(*this);
   std::uint64_t processed = 0;
   const auto t0 = std::chrono::steady_clock::now();
-  while (!pending_.empty()) {
-    Event* ev = *pending_.begin();
+  while (Event* ev = pending_.peek_min()) {
     if (ev->key.ts > cfg_.end_time) break;
-    pending_.erase(pending_.begin());
+    pending_.pop_min();
     ev->rng_before = rngs_[ev->key.dst_lp].draw_count();
     ev->status = EventStatus::Processed;
     ctx.begin_event(ev);
@@ -131,10 +130,12 @@ RunStats SequentialEngine::run() {
   m.total.at(obs::Counter::PoolEnvelopes) = pool_.allocated();
   m.total.at(obs::Counter::PoolLiveEnvelopes) = static_cast<std::uint64_t>(
       std::max<std::int64_t>(0, pool_.live()));
-  m.total.at(obs::Counter::PoolPeakLive) = static_cast<std::uint64_t>(
-      std::max<std::int64_t>(0, pool_.peak_live()));
+  m.total.at(obs::Counter::PoolPeakLive) =
+      static_cast<std::uint64_t>(pool_.peak_live());
+  m.total.at(obs::Counter::PoolSlabs) = pool_.slabs_allocated();
+  m.total.at(obs::Counter::PoolBytes) = pool_.pool_bytes();
   m.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
-  m.final_gvt = pending_.empty() ? kTimeInf : (*pending_.begin())->key.ts;
+  m.final_gvt = pending_.empty() ? kTimeInf : pending_.peek_min()->key.ts;
   if (tracing) {
     m.trace_spans = obs::write_chrome_trace(cfg_.obs.trace_path, epoch_ns,
                                             {&trace}, m.gvt_series)
@@ -142,8 +143,7 @@ RunStats SequentialEngine::run() {
     m.trace_spans_dropped = trace.dropped();
   }
   // Events beyond end_time are never executed; release them.
-  for (Event* ev : pending_) pool_.free(ev);
-  pending_.clear();
+  while (Event* ev = pending_.pop_min()) pool_.free(ev);
   return stats;
 }
 

@@ -6,12 +6,12 @@
 // computable (the buffered flow-control baseline).
 
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "des/engine.hpp"
 #include "des/event.hpp"
 #include "des/model.hpp"
+#include "des/pending_set.hpp"
 
 namespace hp::des {
 
@@ -33,19 +33,13 @@ class SequentialEngine final : public Engine {
   std::uint32_t num_lps() const noexcept override { return cfg_.num_lps; }
 
  private:
-  struct KeyLess {
-    bool operator()(const Event* a, const Event* b) const noexcept {
-      return a->key < b->key;
-    }
-  };
-
   class Ctx;
   class ICtx;
 
   Model& model_;
   EngineConfig cfg_;
   EventPool pool_;
-  std::multiset<Event*, KeyLess> pending_;
+  PendingSet pending_;
   std::vector<std::unique_ptr<LpState>> states_;
   std::vector<util::ReversibleRng> rngs_;
 };

@@ -116,10 +116,10 @@ class TimeWarpEngine::TwCtx final : public Context {
     const bool lazy =
         e_.cfg_.cancellation == EngineConfig::Cancellation::Lazy;
     const std::uint64_t ph = lazy ? payload_hash(*ev) : 0;
-    if (lazy && !cur_->stale_children.empty()) {
+    if (lazy && cur_->has_stale_children()) {
       // Lazy cancellation: a bit-identical child from the rolled-back
       // execution is still alive — adopt it instead of resending.
-      auto& stale = cur_->stale_children;
+      auto& stale = cur_->cold_block->stale_children;
       for (std::size_t i = 0; i < stale.size(); ++i) {
         if (stale[i].key == ev->key && stale[i].payload_hash == ph) {
           cur_->children.push_back(stale[i]);
@@ -370,7 +370,7 @@ void TimeWarpEngine::annihilate(PeData& pe, std::uint64_t uid,
   }
   // A pending event killed before re-execution drags its lazily-kept
   // children down with it.
-  if (!ev->stale_children.empty()) cancel_stale(pe, ev);
+  if (ev->has_stale_children()) cancel_stale(pe, ev);
   HP_ASSERT(pe.pending.erase(ev),
             "PE %u KP %u LP %u t=%.6f: event uid %llu missing from pending "
             "set",
@@ -386,52 +386,110 @@ void TimeWarpEngine::annihilate(PeData& pe, std::uint64_t uid,
 // guarantees the positive is settled at the current owner before any
 // post-handoff anti can chase it there.
 void TimeWarpEngine::cancel_stale(PeData& pe, Event* ev) {
-  for (const ChildRef& c : ev->stale_children) {
-    const std::uint32_t dst = own_.pe_of_lp(c.key.dst_lp);
-    if (dst == pe.id) {
-      if (HP_UNLIKELY(chaos_) && pe.index.find(c.uid) == pe.index.end()) {
-        // Chaos x migration: the victim was delay-parked at a previous owner
-        // and migrated here inside the holdback buffer, never delivered.
-        HP_ASSERT(chaos_kill_held(pe, c.uid),
-                  "PE %u: local cancellation uid %llu found no positive",
-                  pe.id, static_cast<unsigned long long>(c.uid));
-      } else {
-        annihilate(pe, c.uid, ev->kp, pe.id, 0);
-      }
-    } else {
-      send_anti(pe, c, dst);
-    }
-  }
-  ev->stale_children.clear();
+  if (!ev->has_stale_children()) return;
+  auto& stale = ev->cold_block->stale_children;
+  cancel_refs(pe, stale.data(), stale.size(), ev->kp);
+  stale.clear();
 }
 
 void TimeWarpEngine::cancel_children(PeData& pe, Event* ev) {
-  for (const ChildRef& c : ev->children) {
-    const std::uint32_t dst = own_.pe_of_lp(c.key.dst_lp);
-    if (dst == pe.id) {
-      if (HP_UNLIKELY(chaos_) && pe.index.find(c.uid) == pe.index.end()) {
-        // See cancel_stale: a migrated, still-held victim is killed in the
-        // holdback buffer.
-        HP_ASSERT(chaos_kill_held(pe, c.uid),
-                  "PE %u: local cancellation uid %llu found no positive",
-                  pe.id, static_cast<unsigned long long>(c.uid));
-      } else {
-        annihilate(pe, c.uid, ev->kp, pe.id, 0);
-      }
-    } else {
-      send_anti(pe, c, dst);
-    }
-  }
+  cancel_refs(pe, ev->children.begin(), ev->children.size(), ev->kp);
   ev->children.clear();
+}
+
+// Batched cancellation of one dying parent's child list. Remote children get
+// anti tokens (the per-destination outbox already batches those); local
+// victims are collected first and any induced secondary rollbacks are
+// applied as ONE processed-list run per distinct KP, to the earliest victim
+// key, instead of one full re-traversal per victim — the repeated-re-roll
+// pattern the PR-3 cascade forensics flagged.
+//
+// Safe to batch because every event has exactly one parent, so only this
+// call can annihilate these victims (a nested cascade fired by the batched
+// rollback cancels *other* parents' children), and per-LP state is disjoint
+// across KPs, so the order of the per-KP runs is unobservable. Episode
+// *counts* change (one secondary episode per KP rather than per victim);
+// the total of undone events and all committed results do not.
+void TimeWarpEngine::cancel_refs(PeData& pe, const ChildRef* refs,
+                                 std::size_t n, std::uint32_t offender_kp) {
+  util::SmallVec<Event*, 8> victims;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ChildRef& c = refs[i];
+    const std::uint32_t dst = own_.pe_of_lp(c.key.dst_lp);
+    if (dst != pe.id) {
+      send_anti(pe, c, dst);
+      continue;
+    }
+    const auto it = pe.index.find(c.uid);
+    if (HP_UNLIKELY(chaos_) && it == pe.index.end()) {
+      // Chaos x migration: the victim was delay-parked at a previous owner
+      // and migrated here inside the holdback buffer, never delivered.
+      HP_ASSERT(chaos_kill_held(pe, c.uid),
+                "PE %u: local cancellation uid %llu found no positive",
+                pe.id, static_cast<unsigned long long>(c.uid));
+      continue;
+    }
+    // FIFO inboxes guarantee a positive always precedes its anti; locally
+    // the parent's send happened before this cancellation.
+    HP_ASSERT(it != pe.index.end(),
+              "PE %u: local cancellation uid %llu found no positive", pe.id,
+              static_cast<unsigned long long>(c.uid));
+    victims.push_back(it->second);
+  }
+  if (victims.empty()) return;
+
+  // One rollback per distinct victim KP, to the earliest processed victim.
+  struct KpRun {
+    std::uint32_t kp;
+    EventKey key;
+  };
+  util::SmallVec<KpRun, 8> runs;
+  for (Event* v : victims) {
+    if (v->status != EventStatus::Processed) continue;
+    bool merged = false;
+    for (auto& r : runs) {
+      if (r.kp == v->kp) {
+        if (v->key < r.key) r.key = v->key;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) runs.push_back(KpRun{v->kp, v->key});
+  }
+  for (const KpRun& r : runs) {
+    rollback(pe, r.kp, r.key,
+             obs::RollbackCause{obs::RollbackKind::Secondary, offender_kp,
+                                pe.id, pe.cascade_ctx + 1, 0});
+  }
+
+  // Settle: every victim is pending now; a victim killed before
+  // re-execution drags its lazily-kept children down with it.
+  for (Event* v : victims) {
+    HP_ASSERT(v->status == EventStatus::Pending,
+              "PE %u KP %u LP %u t=%.6f: batched rollback left victim uid "
+              "%llu processed",
+              pe.id, v->kp, v->key.dst_lp, v->key.ts,
+              static_cast<unsigned long long>(v->uid));
+    if (v->has_stale_children()) cancel_stale(pe, v);
+    HP_ASSERT(pe.pending.erase(v),
+              "PE %u KP %u LP %u t=%.6f: victim uid %llu missing from "
+              "pending set",
+              pe.id, v->kp, v->key.dst_lp, v->key.ts,
+              static_cast<unsigned long long>(v->uid));
+    pe.index.erase(v->uid);
+    pe.pool.free(v);
+  }
 }
 
 void TimeWarpEngine::undo_event(PeData& pe, Event* ev) {
   const std::uint32_t lp = ev->key.dst_lp;
   if (cfg_.state_saving) {
-    HP_ASSERT(ev->snapshot != nullptr, "missing snapshot in state-saving mode");
-    states_[lp] = std::move(ev->snapshot);
-    std::memcpy(ev->payload, ev->payload_snapshot.get(), kMaxPayload);
-    rngs_[lp].restore(ev->saved_rng_state, ev->saved_rng_draws);
+    HP_ASSERT(ev->cold_block != nullptr && ev->cold_block->snapshot != nullptr,
+              "missing snapshot in state-saving mode");
+    EventCold& cold = *ev->cold_block;
+    states_[lp] = std::move(cold.snapshot);
+    std::memcpy(ev->payload, cold.payload_snapshot.get(), kMaxPayload);
+    rngs_[lp].restore(cold.saved_rng_state, cold.saved_rng_draws);
   } else {
     TwCtx& ctx = *rev_ctx_[pe.id];
     ctx.begin_reverse(ev);
@@ -446,9 +504,10 @@ void TimeWarpEngine::undo_event(PeData& pe, Event* ev) {
               lp, static_cast<unsigned long long>(ev->rng_before),
               static_cast<unsigned long long>(rngs_[lp].draw_count()));
 #ifdef HP_TW_PARANOID
-    HP_ASSERT(ev->snapshot && states_[lp]->equals(*ev->snapshot),
+    HP_ASSERT(ev->cold_block != nullptr && ev->cold_block->snapshot &&
+                  states_[lp]->equals(*ev->cold_block->snapshot),
               "reverse handler did not restore lp %u state exactly", lp);
-    ev->snapshot.reset();
+    ev->cold_block->snapshot.reset();
 #endif
   }
 }
@@ -474,7 +533,8 @@ void TimeWarpEngine::rollback(PeData& pe, std::uint32_t kp_id,
       // Earlier stale leftovers (possible when the event was rolled back,
       // partially re-executed via reuse, and is rolled back again) are
       // already in stale_children; append the current generation.
-      for (const ChildRef& c : ev->children) ev->stale_children.push_back(c);
+      auto& stale = ev->cold().stale_children;
+      for (const ChildRef& c : ev->children) stale.push_back(c);
       ev->children.clear();
     } else {
       cancel_children(pe, ev);
@@ -808,23 +868,24 @@ void TimeWarpEngine::process_one(PeData& pe, Event* ev) {
   ev->status = EventStatus::Processed;
   kps_[ev->kp].processed.push_back(ev);
 #ifdef HP_TW_PARANOID
-  if (!cfg_.state_saving) ev->snapshot = states_[lp]->clone();
+  if (!cfg_.state_saving) ev->cold().snapshot = states_[lp]->clone();
 #endif
   if (cfg_.state_saving) {
-    ev->snapshot = states_[lp]->clone();
-    if (!ev->payload_snapshot) {
-      ev->payload_snapshot = std::make_unique<std::byte[]>(kMaxPayload);
+    EventCold& cold = ev->cold();
+    cold.snapshot = states_[lp]->clone();
+    if (!cold.payload_snapshot) {
+      cold.payload_snapshot = std::make_unique<std::byte[]>(kMaxPayload);
     }
-    std::memcpy(ev->payload_snapshot.get(), ev->payload, kMaxPayload);
-    ev->saved_rng_state = rngs_[lp].raw_state();
-    ev->saved_rng_draws = rngs_[lp].draw_count();
+    std::memcpy(cold.payload_snapshot.get(), ev->payload, kMaxPayload);
+    cold.saved_rng_state = rngs_[lp].raw_state();
+    cold.saved_rng_draws = rngs_[lp].draw_count();
   }
   TwCtx& ctx = *fwd_ctx_[pe.id];
   ctx.begin_forward(ev);
   model_.forward(*states_[lp], *ev, ctx);
   // Lazy cancellation: stale children the re-execution did not reproduce
   // are dead for real now.
-  if (!ev->stale_children.empty()) cancel_stale(pe, ev);
+  if (ev->has_stale_children()) cancel_stale(pe, ev);
   ++pe.metrics.at(Counter::Processed);
   ++pe.processed_since_gvt;
   // Candidate heat for the migration planner: per-KP forward executions
@@ -894,6 +955,7 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
     sl.top_kp_events = top_events;
     sl.pool_live =
         static_cast<std::uint64_t>(std::max<std::int64_t>(0, pe.pool.live()));
+    sl.pool_bytes = pe.pool.pool_bytes();
     sl.throttled = pe.flow_state == PeData::FlowState::Throttled;
     sl.blocked = pe.flow_state == PeData::FlowState::Blocked;
     if (HP_UNLIKELY(mig_on_)) {
@@ -970,7 +1032,7 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
       pe.processed_since_gvt, committed_delta, inbox_depth,
       pe.pool.allocated(),
       static_cast<std::uint64_t>(std::max<std::int64_t>(0, pe.pool.live())),
-      pe.id == 0 ? round_moves : 0});
+      pe.id == 0 ? round_moves : 0, pe.pool.pool_bytes()});
   ++pe.local_rounds;
   pe.committed_at_last_gvt = pe.metrics.at(Counter::Committed);
   pe.processed_since_gvt = 0;
@@ -988,6 +1050,7 @@ void TimeWarpEngine::emit_monitor_record(std::uint64_t round_idx, Time gvt) {
   std::uint32_t top_kp = 0;
   std::uint64_t top_events = 0;
   std::uint64_t pool_live = 0;
+  std::uint64_t pool_bytes = 0;
   std::uint32_t throttled_pes = 0;
   std::uint32_t blocked_pes = 0;
   for (const MonitorSlice& sl : mon_slices_) {
@@ -995,6 +1058,7 @@ void TimeWarpEngine::emit_monitor_record(std::uint64_t round_idx, Time gvt) {
     rolled_back += sl.rolled_back;
     inbox += sl.inbox_depth;
     pool_live += sl.pool_live;
+    pool_bytes += sl.pool_bytes;
     throttled_pes += sl.throttled ? 1 : 0;
     blocked_pes += sl.blocked ? 1 : 0;
     // The global arg-max over per-PE arg-maxes: approximate when one
@@ -1021,6 +1085,7 @@ void TimeWarpEngine::emit_monitor_record(std::uint64_t round_idx, Time gvt) {
   s.top_offender_kp = top_kp;
   s.top_offender_events = top_events;
   s.pool_live = pool_live;
+  s.pool_bytes = pool_bytes;
   s.throttled_pes = throttled_pes;
   s.blocked_pes = blocked_pes;
   // PE 0 reads its own migration replica and the table epoch; both are only
@@ -1351,8 +1416,12 @@ RunStats TimeWarpEngine::run() {
     pe->metrics.at(Counter::PoolEnvelopes) = pe->pool.allocated();
     pe->metrics.at(Counter::PoolLiveEnvelopes) = static_cast<std::uint64_t>(
         std::max<std::int64_t>(0, pe->pool.live()));
-    pe->metrics.at(Counter::PoolPeakLive) = static_cast<std::uint64_t>(
-        std::max<std::int64_t>(0, pe->pool.peak_live()));
+    // peak_live only ratchets up from 0 inside allocate() (migration
+    // adoptions are tracked separately as peak_adopted), so no clamp needed.
+    pe->metrics.at(Counter::PoolPeakLive) =
+        static_cast<std::uint64_t>(pe->pool.peak_live());
+    pe->metrics.at(Counter::PoolSlabs) = pe->pool.slabs_allocated();
+    pe->metrics.at(Counter::PoolBytes) = pe->pool.pool_bytes();
     m.per_pe.push_back(pe->metrics);
   }
   m.finalize();  // the one per-PE -> aggregate reduction
@@ -1403,6 +1472,7 @@ RunStats TimeWarpEngine::run() {
       series[i].pool_envelopes += other[i].pool_envelopes;
       series[i].pool_live += other[i].pool_live;
       series[i].migrations += other[i].migrations;
+      series[i].pool_bytes += other[i].pool_bytes;
     }
   }
   m.gvt_series = std::move(series);

@@ -44,14 +44,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "des/engine.hpp"
 #include "des/event.hpp"
 #include "des/model.hpp"
-#include "des/splay_queue.hpp"
+#include "des/pending_set.hpp"
 #include "net/mapping.hpp"
 #include "obs/forensics.hpp"
 #include "obs/monitor.hpp"
@@ -81,52 +80,6 @@ class TimeWarpEngine final : public Engine {
   std::uint32_t num_lps() const noexcept override { return cfg_.num_lps; }
 
  private:
-  struct KeyLess {
-    bool operator()(const Event* a, const Event* b) const noexcept {
-      return a->key < b->key;
-    }
-  };
-
-  // Pending set with a switchable backend (EngineConfig::QueueKind).
-  class PendingQueue {
-   public:
-    void configure(EngineConfig::QueueKind kind) { use_splay_ = kind == EngineConfig::QueueKind::Splay; }
-    bool empty() const noexcept {
-      return use_splay_ ? splay_.empty() : set_.empty();
-    }
-    void insert(Event* ev) {
-      if (use_splay_) splay_.insert(ev);
-      else set_.insert(ev);
-    }
-    Event* peek_min() {
-      if (use_splay_) return splay_.peek_min();
-      return set_.empty() ? nullptr : *set_.begin();
-    }
-    Event* pop_min() {
-      if (use_splay_) return splay_.pop_min();
-      if (set_.empty()) return nullptr;
-      Event* ev = *set_.begin();
-      set_.erase(set_.begin());
-      return ev;
-    }
-    bool erase(Event* ev) {
-      if (use_splay_) return splay_.erase(ev);
-      auto [lo, hi] = set_.equal_range(ev);
-      for (auto it = lo; it != hi; ++it) {
-        if (*it == ev) {
-          set_.erase(it);
-          return true;
-        }
-      }
-      return false;
-    }
-
-   private:
-    bool use_splay_ = true;
-    SplayQueue splay_;
-    std::multiset<Event*, KeyLess> set_;
-  };
-
   struct KpData {
     std::deque<Event*> processed;  // committed-prefix popped at fossil time
   };
@@ -142,7 +95,7 @@ class TimeWarpEngine final : public Engine {
   struct alignas(64) PeData {
     std::uint32_t id = 0;
     std::vector<std::uint32_t> kps;
-    PendingQueue pending;
+    PendingSet pending;
     // uid -> live envelope (pending or processed) for anti-message matching.
     std::unordered_map<std::uint64_t, Event*> index;
     util::MpscQueue<Event> inbox;
@@ -240,8 +193,10 @@ class TimeWarpEngine final : public Engine {
     std::uint32_t top_kp = 0;
     std::uint64_t top_kp_events = 0;
     // Optimism flow control: this PE's live-envelope count and throttle
-    // state when the slice was published.
+    // state when the slice was published, plus its slab-storage footprint
+    // for the heartbeat's pool_bytes aggregate.
     std::uint64_t pool_live = 0;
+    std::uint64_t pool_bytes = 0;
     bool throttled = false;
     bool blocked = false;
     // Dynamic KP migration: the PE's hottest owned KP since the previous
@@ -296,6 +251,13 @@ class TimeWarpEngine final : public Engine {
                 const obs::RollbackCause& cause);
   void cancel_children(PeData& pe, Event* ev);
   void cancel_stale(PeData& pe, Event* ev);
+  // Shared cancellation core for a dying parent's child list: remote
+  // children get anti tokens immediately, local victims are collected and
+  // applied as ONE batched rollback per distinct KP (to the earliest victim
+  // key) instead of one re-traversal per child — the cascade hot path the
+  // PR-3 forensics flagged. `offender_kp` attributes any induced rollback.
+  void cancel_refs(PeData& pe, const ChildRef* refs, std::size_t n,
+                   std::uint32_t offender_kp);
   void undo_event(PeData& pe, Event* ev);
   void process_one(PeData& pe, Event* ev);
   // Returns true when the run is complete (GVT beyond end time).

@@ -86,6 +86,8 @@ enum class Counter : std::uint8_t {
   PoolEnvelopes,       // event envelope storage capacity (high-water mark)
   PoolLiveEnvelopes,   // outstanding envelopes at end of run (true pressure)
   PoolPeakLive,        // peak outstanding envelopes on one PE (max-reduced)
+  PoolSlabs,           // slabs backing the envelope pool (kSlabEnvelopes each)
+  PoolBytes,           // bytes of slab storage owned by the envelope pool
   InboxBatches,        // chain pushes into peer inboxes
   InboxBatchedItems,   // envelopes across those batches
   MaxInboxBatch,       // largest single batch (reduced by max)
@@ -132,6 +134,8 @@ inline constexpr std::array<CounterDef, kNumCounters> kCounterDefs{{
     {"pool_envelopes", Reduce::Sum},
     {"pool_live_envelopes", Reduce::Sum},
     {"pool_peak_live_envelopes", Reduce::Max},
+    {"pool_slabs", Reduce::Sum},
+    {"pool_bytes", Reduce::Sum},
     {"inbox_batches", Reduce::Sum},
     {"inbox_batched_items", Reduce::Sum},
     {"max_inbox_batch", Reduce::Max},
@@ -197,6 +201,8 @@ struct PeMetrics {
   std::uint64_t pool_envelopes() const noexcept { return at(Counter::PoolEnvelopes); }
   std::uint64_t pool_live_envelopes() const noexcept { return at(Counter::PoolLiveEnvelopes); }
   std::uint64_t pool_peak_live() const noexcept { return at(Counter::PoolPeakLive); }
+  std::uint64_t pool_slabs() const noexcept { return at(Counter::PoolSlabs); }
+  std::uint64_t pool_bytes() const noexcept { return at(Counter::PoolBytes); }
   std::uint64_t inbox_batches() const noexcept { return at(Counter::InboxBatches); }
   std::uint64_t inbox_batched_items() const noexcept { return at(Counter::InboxBatchedItems); }
   std::uint64_t max_inbox_batch() const noexcept { return at(Counter::MaxInboxBatch); }
@@ -231,6 +237,9 @@ struct GvtRoundSample {
   std::uint64_t pool_envelopes = 0; // envelope storage capacity so far
   std::uint64_t pool_live = 0;      // outstanding envelopes at this round
   std::uint64_t migrations = 0;     // KP moves executed this round
+  // Slab bytes owned by the pool(s) at this round. Appended last: samples
+  // are positionally aggregate-initialized at the kernels' push sites.
+  std::uint64_t pool_bytes = 0;
 
   // Fraction of the round's optimism that survived; can exceed 1 when older
   // optimistic work finally commits.

@@ -34,6 +34,7 @@ void MonitorWriter::emit(const MonitorSample& s) {
     w.kv("rollback_rate", s.rollback_rate);
     w.kv("inbox_depth", s.inbox_depth);
     w.kv("pool_live", s.pool_live);
+    w.kv("pool_bytes", s.pool_bytes);
     w.kv("throttled_pes", s.throttled_pes);
     w.kv("blocked_pes", s.blocked_pes);
     w.kv("kp_migrations", s.kp_migrations);

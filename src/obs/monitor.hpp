@@ -41,7 +41,9 @@ struct MonitorSample {
   // Optimism flow control (all zero when no pool budget is configured):
   // outstanding envelopes across all pools at barrier B, and how many PEs
   // were throttled / hard-blocked when they published their round slice.
+  // pool_bytes is the slab storage owned by all pools (always populated).
   std::uint64_t pool_live = 0;
+  std::uint64_t pool_bytes = 0;
   std::uint32_t throttled_pes = 0;
   std::uint32_t blocked_pes = 0;
   // Dynamic KP migration (all zero when EngineConfig::migration is off):

@@ -71,8 +71,9 @@ TEST(MetricsDoc, CoversEveryMonitorKey) {
       "round",         "t_seconds",    "gvt",
       "processed",     "rolled_back",  "event_rate",
       "rollback_rate", "inbox_depth",  "pool_live",
-      "throttled_pes", "blocked_pes",  "kp_migrations",
-      "mapping_epoch", "top_offender_kp", "top_offender_events",
+      "pool_bytes",    "throttled_pes", "blocked_pes",
+      "kp_migrations", "mapping_epoch", "top_offender_kp",
+      "top_offender_events",
   };
   for (const char* k : keys) {
     EXPECT_TRUE(mentions(doc, k))

@@ -78,17 +78,24 @@ TEST(EventPool, RecyclesEnvelopes) {
   EventPool pool;
   Event* a = pool.allocate();
   a->children.push_back(ChildRef{EventKey{}, 0, 0, 0});
-  EXPECT_EQ(pool.allocated(), 1u);
+  // Storage is slab-granular: the first allocation commits a whole slab.
+  EXPECT_EQ(pool.slabs_allocated(), 1u);
+  EXPECT_EQ(pool.allocated(), kSlabEnvelopes);
+  EXPECT_EQ(pool.pool_bytes(), kSlabEnvelopes * sizeof(Event));
+  EXPECT_EQ(pool.free_count(), kSlabEnvelopes - 1);
+  EXPECT_EQ(pool.live(), 1);
   pool.free(a);
-  EXPECT_EQ(pool.free_count(), 1u);
+  EXPECT_EQ(pool.free_count(), kSlabEnvelopes);
+  EXPECT_EQ(pool.live(), 0);
   Event* b = pool.allocate();
-  EXPECT_EQ(b, a) << "pool should recycle the freed envelope";
+  EXPECT_EQ(b, a) << "the free list is LIFO: the freed envelope comes back";
   EXPECT_TRUE(b->children.empty()) << "free must clear the child list";
   EXPECT_EQ(b->status, EventStatus::Free);
-  EXPECT_EQ(pool.allocated(), 1u);
   Event* c = pool.allocate();
   EXPECT_NE(c, b);
-  EXPECT_EQ(pool.allocated(), 2u);
+  // Both fit in the first slab; no new storage.
+  EXPECT_EQ(pool.slabs_allocated(), 1u);
+  EXPECT_EQ(pool.allocated(), kSlabEnvelopes);
   pool.free(b);
   pool.free(c);
 }

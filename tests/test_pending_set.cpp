@@ -1,0 +1,337 @@
+// Shared conformance suite for every pending-set backend.
+//
+// All four backends (multiset reference, splay, ladder, calendar) sit behind
+// the PendingSet facade and must be observably identical: pops come in full
+// EventKey order, duplicate keys are all retrievable (any relative order),
+// erase removes exactly the given envelope, and a long randomized
+// insert/pop/erase interleaving matches a std::multiset oracle step by step.
+// EngineConfig::queue_kind being a pure performance knob rests on this suite.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "des/pending_set.hpp"
+#include "util/rng.hpp"
+
+namespace hp::des {
+namespace {
+
+using Kind = EngineConfig::QueueKind;
+
+EventKey key_of(double ts, std::uint64_t tie, std::uint32_t dst = 0) {
+  return EventKey{ts, tie, 0, dst, 0};
+}
+
+struct KindName {
+  template <class ParamType>
+  std::string operator()(const ::testing::TestParamInfo<ParamType>& info) const {
+    return queue_name(info.param);
+  }
+};
+
+class PendingSetKinds : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(PendingSetKinds, EmptyBehaviour) {
+  PendingSet q(GetParam());
+  EXPECT_STREQ(q.name(), queue_name(GetParam()));
+  EXPECT_EQ(q.kind(), GetParam());
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.peek_min(), nullptr);
+  EXPECT_EQ(q.pop_min(), nullptr);
+}
+
+TEST_P(PendingSetKinds, PopsInKeyOrder) {
+  std::vector<std::unique_ptr<Event>> events;
+  events.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    events.push_back(std::make_unique<Event>());
+    events.back()->key =
+        key_of(((i * 389) % 1000) * 0.25, static_cast<std::uint64_t>(i));
+  }
+  PendingSet q(GetParam());
+  for (auto& ev : events) q.insert(ev.get());
+  EXPECT_EQ(q.size(), 1000u);
+  EventKey last = kMinKey;
+  for (int i = 0; i < 1000; ++i) {
+    Event* ev = q.pop_min();
+    ASSERT_NE(ev, nullptr);
+    EXPECT_TRUE(last < ev->key || last == ev->key)
+        << "out-of-order pop at index " << i;
+    last = ev->key;
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST_P(PendingSetKinds, InterleavedInsertPopStaysSorted) {
+  // Inserts below the current minimum while draining — the pattern rollback
+  // re-insertion produces, and the hard case for bucket/rung structures.
+  std::vector<std::unique_ptr<Event>> events;
+  PendingSet q(GetParam());
+  util::ReversibleRng rng(99);
+  EventKey last = kMinKey;
+  double floor_ts = 0.0;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      events.push_back(std::make_unique<Event>());
+      events.back()->key =
+          key_of(floor_ts + static_cast<double>(rng.integer(0, 50)),
+                 rng.integer(0, 1000));
+      // Keys may be below the last popped key only if >= the floor we track;
+      // generate at/above the previous pop to keep the order contract valid.
+      if (events.back()->key < last) events.back()->key = last;
+      q.insert(events.back().get());
+    }
+    for (int i = 0; i < 7; ++i) {
+      Event* ev = q.pop_min();
+      ASSERT_NE(ev, nullptr);
+      ASSERT_TRUE(last < ev->key || last == ev->key);
+      last = ev->key;
+      floor_ts = ev->key.ts;
+    }
+  }
+  while (Event* ev = q.pop_min()) {
+    ASSERT_TRUE(last < ev->key || last == ev->key);
+    last = ev->key;
+  }
+}
+
+TEST_P(PendingSetKinds, DuplicateKeysAllRetrievable) {
+  Event a, b, c, d;
+  a.key = key_of(5.0, 7);
+  b.key = key_of(5.0, 7);
+  c.key = key_of(5.0, 7);
+  d.key = key_of(1.0, 1);
+  PendingSet q(GetParam());
+  q.insert(&a);
+  q.insert(&b);
+  q.insert(&c);
+  q.insert(&d);
+  EXPECT_EQ(q.pop_min(), &d);
+  std::set<Event*> twins;
+  twins.insert(q.pop_min());
+  twins.insert(q.pop_min());
+  twins.insert(q.pop_min());
+  EXPECT_EQ(twins, (std::set<Event*>{&a, &b, &c}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST_P(PendingSetKinds, EraseExactPointerAmongTwins) {
+  Event a, b, c;
+  a.key = key_of(5.0, 7);
+  b.key = key_of(5.0, 7);
+  c.key = key_of(9.0, 1);
+  PendingSet q(GetParam());
+  q.insert(&a);
+  q.insert(&b);
+  q.insert(&c);
+  EXPECT_TRUE(q.erase(&b));
+  EXPECT_FALSE(q.erase(&b)) << "double erase must fail";
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop_min(), &a);
+  EXPECT_EQ(q.pop_min(), &c);
+}
+
+TEST_P(PendingSetKinds, EraseMissingKeyReturnsFalse) {
+  Event a, ghost;
+  a.key = key_of(5.0, 7);
+  ghost.key = key_of(6.0, 8);
+  PendingSet q(GetParam());
+  q.insert(&a);
+  EXPECT_FALSE(q.erase(&ghost));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+// The anti-message pattern under pressure: many envelopes sharing a handful
+// of full keys, erased by exact pointer while pops are in flight. A backend
+// that resolves erase by key alone (instead of pointer identity) loses the
+// wrong twin here and the later pops surface it.
+TEST_P(PendingSetKinds, DuplicateKeyEraseUnderPressure) {
+  constexpr int kTwinsPerKey = 16;
+  constexpr int kKeys = 8;
+  std::vector<std::unique_ptr<Event>> events;
+  PendingSet q(GetParam());
+  for (int k = 0; k < kKeys; ++k) {
+    for (int t = 0; t < kTwinsPerKey; ++t) {
+      events.push_back(std::make_unique<Event>());
+      events.back()->key = key_of(static_cast<double>(k), 7);
+      q.insert(events.back().get());
+    }
+  }
+  // Erase every odd twin of every key, in a scattered order.
+  util::ReversibleRng rng(7);
+  std::vector<Event*> victims;
+  for (std::size_t i = 1; i < events.size(); i += 2)
+    victims.push_back(events[i].get());
+  for (std::size_t i = victims.size(); i > 1; --i) {
+    const auto j = rng.integer(0, i - 1);
+    std::swap(victims[i - 1], victims[j]);
+  }
+  for (Event* v : victims) ASSERT_TRUE(q.erase(v));
+  for (Event* v : victims) ASSERT_FALSE(q.erase(v));
+  EXPECT_EQ(q.size(), events.size() / 2);
+  // The survivors (even twins) pop in key order, each exactly once.
+  std::set<Event*> popped;
+  EventKey last = kMinKey;
+  while (Event* ev = q.pop_min()) {
+    EXPECT_TRUE(last < ev->key || last == ev->key);
+    last = ev->key;
+    EXPECT_TRUE(popped.insert(ev).second) << "envelope popped twice";
+  }
+  for (std::size_t i = 0; i < events.size(); i += 2) {
+    EXPECT_TRUE(popped.count(events[i].get()))
+        << "surviving twin " << i << " lost";
+  }
+  EXPECT_EQ(popped.size(), events.size() / 2);
+}
+
+TEST_P(PendingSetKinds, ClearResets) {
+  std::vector<std::unique_ptr<Event>> events;
+  for (int i = 0; i < 200; ++i) {
+    events.push_back(std::make_unique<Event>());
+    events.back()->key = key_of(i, static_cast<std::uint64_t>(i));
+  }
+  PendingSet q(GetParam());
+  for (auto& ev : events) q.insert(ev.get());
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  q.insert(events[3].get());
+  EXPECT_EQ(q.pop_min(), events[3].get());
+}
+
+TEST_P(PendingSetKinds, ReconfigureWhileEmptySwapsBackend) {
+  PendingSet q(GetParam());
+  Event a;
+  a.key = key_of(1.0, 1);
+  q.insert(&a);
+  EXPECT_EQ(q.pop_min(), &a);
+  for (const Kind k : kAllQueueKinds) {
+    q.configure(k);
+    EXPECT_EQ(q.kind(), k);
+    q.insert(&a);
+    EXPECT_EQ(q.pop_min(), &a);
+  }
+}
+
+// Randomized differential test against std::multiset as the oracle — the
+// same contract test_splay_queue.cpp runs, applied uniformly to every
+// backend through the facade.
+TEST_P(PendingSetKinds, MatchesMultisetOracle) {
+  struct KeyLess {
+    bool operator()(const Event* a, const Event* b) const {
+      return a->key < b->key;
+    }
+  };
+  util::ReversibleRng rng(GetParam() == Kind::Multiset   ? 11
+                          : GetParam() == Kind::Splay    ? 22
+                          : GetParam() == Kind::Ladder   ? 33
+                                                         : 44);
+  std::vector<std::unique_ptr<Event>> storage;
+  PendingSet q(GetParam());
+  std::multiset<Event*, KeyLess> oracle;
+  std::vector<Event*> live;
+
+  for (int op = 0; op < 20000; ++op) {
+    const auto action = rng.integer(0, 9);
+    if (action <= 4 || live.empty()) {  // insert (biased)
+      // Coarse timestamps force frequent duplicate keys.
+      const double ts = static_cast<double>(rng.integer(0, 40));
+      const std::uint64_t tie = rng.integer(0, 6);
+      storage.push_back(std::make_unique<Event>());
+      storage.back()->key = key_of(ts, tie);
+      Event* ev = storage.back().get();
+      q.insert(ev);
+      oracle.insert(ev);
+      live.push_back(ev);
+    } else if (action <= 7) {  // pop_min
+      Event* got = q.pop_min();
+      ASSERT_FALSE(oracle.empty());
+      ASSERT_NE(got, nullptr);
+      // Any event with the minimal key is acceptable.
+      EXPECT_EQ(got->key, (*oracle.begin())->key);
+      auto [lo, hi] = oracle.equal_range(got);
+      bool found = false;
+      for (auto it = lo; it != hi; ++it) {
+        if (*it == got) {
+          oracle.erase(it);
+          found = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(found);
+      live.erase(std::find(live.begin(), live.end(), got));
+    } else {  // erase random live event
+      const auto idx = rng.integer(0, live.size() - 1);
+      Event* victim = live[idx];
+      ASSERT_TRUE(q.erase(victim));
+      auto [lo, hi] = oracle.equal_range(victim);
+      for (auto it = lo; it != hi; ++it) {
+        if (*it == victim) {
+          oracle.erase(it);
+          break;
+        }
+      }
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    ASSERT_EQ(q.size(), oracle.size());
+    ASSERT_EQ(q.empty(), oracle.empty());
+    if (!oracle.empty()) {
+      ASSERT_EQ(q.peek_min()->key, (*oracle.begin())->key);
+    }
+  }
+  // Drain and verify full ordering.
+  while (!oracle.empty()) {
+    Event* got = q.pop_min();
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->key, (*oracle.begin())->key);
+    auto [lo, hi] = oracle.equal_range(got);
+    for (auto it = lo; it != hi; ++it) {
+      if (*it == got) {
+        oracle.erase(it);
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+// Wide timestamp spread (forces calendar resizes and ladder rung spawns) and
+// then a narrow burst (forces the degenerate all-one-bucket paths).
+TEST_P(PendingSetKinds, SurvivesSkewedTimestampDistributions) {
+  util::ReversibleRng rng(5);
+  std::vector<std::unique_ptr<Event>> storage;
+  PendingSet q(GetParam());
+  for (int i = 0; i < 4000; ++i) {
+    storage.push_back(std::make_unique<Event>());
+    const double ts = (i % 3 == 0)
+                          ? rng.uniform() * 1e6     // wide
+                          : 500.0 + rng.uniform();  // narrow cluster
+    storage.back()->key = key_of(ts, rng.integer(0, 3));
+    q.insert(storage.back().get());
+  }
+  // Identical-timestamp flood (zero span).
+  for (int i = 0; i < 512; ++i) {
+    storage.push_back(std::make_unique<Event>());
+    storage.back()->key = key_of(777.0, 9);
+    q.insert(storage.back().get());
+  }
+  EventKey last = kMinKey;
+  std::size_t popped = 0;
+  while (Event* ev = q.pop_min()) {
+    ASSERT_TRUE(last < ev->key || last == ev->key);
+    last = ev->key;
+    ++popped;
+  }
+  EXPECT_EQ(popped, storage.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PendingSetKinds,
+                         ::testing::ValuesIn(kAllQueueKinds), KindName());
+
+}  // namespace
+}  // namespace hp::des
