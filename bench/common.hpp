@@ -115,11 +115,23 @@ inline bool apply_migration_flags(const util::Cli& cli,
   return cfg.migration.enabled;
 }
 
+// Applies the shared --fc=<spec> flag (buffered flow-control scheme
+// selection; see buffered/flow_control.hpp for the grammar). A malformed
+// spec is a usage error.
+inline void apply_fc_flags(const util::Cli& cli, core::SimulationOptions& o) {
+  if (!cli.has("fc")) return;
+  std::string err;
+  if (!fc::FlowControlConfig::parse(cli.get("fc", ""), o.fc, err)) {
+    cli.usage_error("--fc: " + err);
+  }
+}
+
 inline void finish(util::Table& table, const util::Cli& cli,
                    const std::string& title,
                    const std::vector<obs::MetricsReport>& metrics = {},
                    const std::vector<obs::ModelChannel>& models = {},
-                   const std::map<std::string, double>& headline = {}) {
+                   const std::map<std::string, double>& headline = {},
+                   const std::map<std::string, bool>& verdict = {}) {
   std::cout << title << "\n\n";
   table.print(std::cout);
   if (cli.has("csv")) {
@@ -143,6 +155,14 @@ inline void finish(util::Table& table, const util::Cli& cli,
       // compares these against the committed BENCH_*.json baselines.
       w.key("headline").begin_object();
       for (const auto& [k, v] : headline) w.kv(k, v);
+      w.end_object();
+    }
+    if (!verdict.empty()) {
+      // Named pass/fail claims the bench checked on its own rows (e.g. the
+      // flow-control contrast's expected scheme ordering); CI validates the
+      // shape and greps these for regressions.
+      w.key("verdict").begin_object();
+      for (const auto& [k, v] : verdict) w.kv(k, v);
       w.end_object();
     }
     if (!metrics.empty()) {
@@ -173,6 +193,9 @@ inline std::map<std::string, std::string> common_flags() {
                     "delay:p=0.2,k=2;seed=7 (see des/fault.hpp)"},
           {"migrate", "runtime KP load balancing for Time Warp runs, e.g. "
                       "every=8,imbalance=1.5,max=1 (see des/migration.hpp)"},
+          {"fc", "buffered flow-control scheme for contrast runs, e.g. "
+                 "scheme=wormhole,qcap=4,flit=4,credit_delay=1 (see "
+                 "buffered/flow_control.hpp)"},
           {"seed", "RNG seed for the simulated model"}};
 }
 

@@ -96,6 +96,32 @@ int main(int argc, char** argv) {
     std::printf("%-22s   -> statistics %s\n", "",
                 same ? "IDENTICAL to sequential" : "DIFFER (BUG)");
   }
+  // Buffered flow-control runs ride the same whole-channel comparison: a
+  // repeated run of every scheme must reproduce its ModelChannel (and the
+  // typed report derived from it) bit for bit.
+  std::printf("\n");
+  for (const char* spec : {"scheme=saf,qcap=8,flit=4",
+                           "scheme=vct,qcap=8,flit=4",
+                           "scheme=wormhole,qcap=4,flit=4"}) {
+    auto fo = base;
+    std::string err;
+    if (!hp::fc::FlowControlConfig::parse(spec, fo.fc, err)) {
+      std::printf("fc spec %s rejected: %s\n", spec, err.c_str());
+      all_identical = false;
+      continue;
+    }
+    const auto a = hp::core::run_flow_control(fo);
+    const auto b = hp::core::run_flow_control(fo);
+    const bool same = a.model == b.model && a.report == b.report;
+    all_identical = all_identical && same;
+    char tag[64];
+    std::snprintf(tag, sizeof(tag), "fc %s",
+                  hp::fc::kind_name(fo.fc.scheme));
+    std::printf("%-22s %s\n", tag, a.report.summary_line().c_str());
+    std::printf("%-22s   -> repeated run %s\n", "",
+                same ? "IDENTICAL" : "DIFFERS (BUG)");
+  }
+
   // Repeatability of the parallel run itself.
   auto o = hp::bench::tw_options(n, 0.75, 4, 64);
   o.model.steps = base.model.steps;

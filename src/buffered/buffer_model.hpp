@@ -1,0 +1,89 @@
+#pragma once
+
+// Per-input-channel buffer for the flow-control schemes (the Graphite
+// BufferModel idiom, specialized for the synchronous step simulator): a
+// bounded flit FIFO plus the input's switching state — the output direction
+// the packet currently streaming through this input has been allocated.
+//
+// The buffer never overflows by construction: the upstream router only sends
+// when it holds a credit for a free slot here (see FlowControlScheme), and
+// the push asserts the invariant.
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+
+#include "buffered/flit.hpp"
+#include "net/direction.hpp"
+#include "util/macros.hpp"
+
+namespace hp::fc {
+
+class BufferModel {
+ public:
+  BufferModel() = default;
+  explicit BufferModel(std::uint32_t capacity_flits) : cap_(capacity_flits) {
+    HP_ASSERT(cap_ >= 1, "input buffer needs at least one flit slot");
+  }
+
+  bool empty() const noexcept { return q_.empty(); }
+  std::uint32_t occupancy() const noexcept {
+    return static_cast<std::uint32_t>(q_.size());
+  }
+  std::uint32_t capacity() const noexcept { return cap_; }
+
+  const Flit& front() const {
+    HP_ASSERT(!q_.empty(), "front() on an empty buffer");
+    return q_.front();
+  }
+
+  void push(const Flit& f) {
+    HP_ASSERT(q_.size() < cap_,
+              "buffer overflow: credit accounting let %zu flits into %u slots",
+              q_.size() + 1, cap_);
+    q_.push_back(f);
+  }
+
+  Flit pop() {
+    HP_ASSERT(!q_.empty(), "pop() on an empty buffer");
+    const Flit f = q_.front();
+    q_.pop_front();
+    return f;
+  }
+
+  // Switching state: the output direction allocated to the packet currently
+  // streaming through this input. Set when its head flit wins the output,
+  // cleared when its tail departs.
+  bool route_set() const noexcept { return route_set_; }
+  net::Dir route() const noexcept {
+    HP_ASSERT(route_set_, "route() with no allocated output");
+    return route_;
+  }
+  void set_route(net::Dir d) noexcept {
+    route_ = d;
+    route_set_ = true;
+  }
+  void clear_route() noexcept { route_set_ = false; }
+
+  // True when every flit of the packet at the buffer head is present (the
+  // store-and-forward admission requirement). Flits of one packet travel
+  // contiguously and in order on a link, so the head packet occupies a
+  // prefix of the FIFO; it is complete iff a tail appears within the first
+  // `flits_per_packet` slots.
+  bool head_packet_complete(std::uint32_t flits_per_packet) const noexcept {
+    const std::uint32_t scan =
+        std::min<std::uint32_t>(flits_per_packet, occupancy());
+    for (std::uint32_t i = 0; i < scan; ++i) {
+      if (is_tail(q_[i].type)) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::deque<Flit> q_;
+  std::uint32_t cap_ = 1;
+  net::Dir route_ = net::Dir::North;
+  bool route_set_ = false;
+};
+
+}  // namespace hp::fc

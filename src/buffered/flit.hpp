@@ -1,0 +1,63 @@
+#pragma once
+
+// Flit-level serialization for the buffered flow-control schemes (the
+// Graphite `dividePacket` idiom): a packet is carved into `flits_per_packet`
+// flow-control digits that traverse one link per step. The head flit carries
+// the routing decision; body flits follow the head's established path; the
+// tail releases the path. A one-flit packet is its own head and tail.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/macros.hpp"
+
+namespace hp::fc {
+
+enum class FlitType : std::uint8_t { Head = 0, Body, Tail, HeadTail };
+
+constexpr const char* flit_type_name(FlitType t) noexcept {
+  switch (t) {
+    case FlitType::Head: return "head";
+    case FlitType::Body: return "body";
+    case FlitType::Tail: return "tail";
+    case FlitType::HeadTail: return "head_tail";
+  }
+  return "?";
+}
+
+constexpr bool is_head(FlitType t) noexcept {
+  return t == FlitType::Head || t == FlitType::HeadTail;
+}
+constexpr bool is_tail(FlitType t) noexcept {
+  return t == FlitType::Tail || t == FlitType::HeadTail;
+}
+
+// Every flit carries its packet's identity: routing needs only the
+// destination, and the delivery statistics need the birth step and the
+// source-to-destination shortest distance (recorded at injection).
+struct Flit {
+  FlitType type = FlitType::HeadTail;
+  std::uint32_t dst = 0;
+  std::uint32_t birth_step = 0;
+  std::uint16_t initial_distance = 0;
+};
+
+// Flit type of position `seq` (0-based) in a packet of `flits` flits.
+constexpr FlitType flit_type_at(std::uint32_t seq, std::uint32_t flits) noexcept {
+  if (flits == 1) return FlitType::HeadTail;
+  if (seq == 0) return FlitType::Head;
+  return seq + 1 == flits ? FlitType::Tail : FlitType::Body;
+}
+
+// Packet -> flit division: appends the packet's `flits` flits in wire order.
+inline void divide_packet(std::uint32_t dst, std::uint32_t birth_step,
+                          std::uint16_t initial_distance, std::uint32_t flits,
+                          std::vector<Flit>& out) {
+  HP_ASSERT(flits >= 1, "a packet is at least one flit");
+  for (std::uint32_t seq = 0; seq < flits; ++seq) {
+    out.push_back(Flit{flit_type_at(seq, flits), dst, birth_step,
+                       initial_distance});
+  }
+}
+
+}  // namespace hp::fc

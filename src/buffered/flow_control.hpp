@@ -1,0 +1,308 @@
+#pragma once
+
+// The "with flow control" contrast family: a pluggable FlowControlScheme
+// hierarchy (store-and-forward, virtual cut-through, wormhole) in the
+// Graphite flow_control_scheme.h idiom — an abstract scheme with a
+// parse()/create() factory, per-input BufferModels, flit-level packet
+// serialization (divide_packet), and credit-based buffer management
+// messages as first-class events. This is the class of network the paper's
+// title argues against: sources throttle to downstream buffer state, which
+// under-utilizes links, while hot-potato keeps packets moving with no flow
+// control at all (report Section 1.2.3).
+//
+// Router micro-architecture (shared by all schemes): each router has one
+// bounded flit FIFO per incoming link (BufferModel), one source port holding
+// the router's pending injection packet, and four output links that carry
+// one flit per step. The upstream side of every link tracks credits — free
+// flit slots in the downstream input buffer — decremented on send and
+// returned by an explicit CreditMsg that matures `credit_delay` steps after
+// the downstream router frees the slot. Packets are dimension-order routed
+// (the same one-bend home-run paths the BHW rule uses); a head flit that
+// wins an output owns that link until its tail passes, so a packet's flits
+// never interleave with another's on a link.
+//
+// Scheme differences are confined to the head-flit admission rule:
+//   store-and-forward  — the whole packet must be buffered locally AND the
+//                        downstream buffer must have room for all of it;
+//   virtual cut-through — downstream room for the whole packet, but
+//                        forwarding starts as soon as the head arrives;
+//   wormhole           — one free downstream slot suffices; a blocked head
+//                        stalls the worm in place, holding buffers (and
+//                        links) across multiple routers.
+//
+// Like its predecessor, this is a synchronous two-phase simulator rather
+// than a DES model: within a step every router reads only its own state
+// (credits make downstream occupancy locally visible), arrivals apply at
+// the end of the step, and credit returns mature at future step starts —
+// so the fixed (router, port) iteration order plus a seeded RNG make every
+// scheme bit-deterministic. Statistics flow through obs::ModelChannel in
+// ascending router order (bit-stable double sums), the same reduction /
+// --json / determinism_check surface the hot-potato model uses.
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "buffered/buffer_model.hpp"
+#include "buffered/flit.hpp"
+#include "hotpotato/traffic.hpp"
+#include "net/grid.hpp"
+#include "obs/model_channel.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace hp::fc {
+
+enum class Kind : std::uint8_t {
+  StoreAndForward = 0,
+  VirtualCutThrough,
+  Wormhole,
+};
+
+inline constexpr std::array<Kind, 3> kAllKinds = {
+    Kind::StoreAndForward, Kind::VirtualCutThrough, Kind::Wormhole};
+
+constexpr const char* kind_name(Kind k) noexcept {
+  switch (k) {
+    case Kind::StoreAndForward: return "saf";
+    case Kind::VirtualCutThrough: return "vct";
+    case Kind::Wormhole: return "wormhole";
+  }
+  return "?";
+}
+
+// "saf" | "vct" | "wormhole" -> Kind. Returns false on anything else.
+bool parse_kind(std::string_view name, Kind& out);
+
+// One options struct for the whole family. The scheme half (scheme, qcap,
+// flit, credit_delay) is what the `--fc=` CLI spec parses; the network /
+// workload half mirrors hotpotato::HotPotatoConfig so a buffered run shares
+// core::SimulationOptions with the hot-potato model — core::run_flow_control
+// fills it from opts.model / opts.engine.
+struct FlowControlConfig {
+  // --- scheme knobs (the --fc= spec) ---
+  Kind scheme = Kind::StoreAndForward;
+  std::uint32_t queue_capacity = 8;    // per-input buffer capacity, in flits
+  std::uint32_t flits_per_packet = 1;  // packet serialization length
+  std::uint32_t credit_delay = 1;      // steps for a freed slot to become a
+                                       // usable credit upstream (>= 1)
+
+  // --- network / workload (filled from SimulationOptions by core) ---
+  std::int32_t n = 8;
+  net::GridKind topology = net::GridKind::Torus;
+  double injector_fraction = 0.5;
+  hotpotato::TrafficPattern traffic = hotpotato::TrafficPattern::Uniform;
+  std::uint32_t steps = 100;
+  std::uint64_t seed = 1;
+  std::uint64_t selection_seed = 0x5eedU;
+
+  std::uint32_t num_routers() const noexcept {
+    return static_cast<std::uint32_t>(n) * static_cast<std::uint32_t>(n);
+  }
+
+  // Parses a `--fc=` spec: comma-separated key=value clauses.
+  //
+  //   scheme=wormhole,qcap=4,flit=4,credit_delay=2
+  //
+  // Keys: scheme=<saf|vct|wormhole>, qcap=N (flits, >= 1), flit=N (>= 1),
+  // credit_delay=N (>= 1). An empty spec is valid and keeps the defaults.
+  // Only the scheme half of `out` is touched. Returns false and fills `err`
+  // (never touching `out`) on malformed specs: unknown key, unknown scheme,
+  // non-numeric or zero value, or qcap < flit for saf/vct (those schemes
+  // must be able to buffer a whole packet per hop).
+  static bool parse(std::string_view spec, FlowControlConfig& out,
+                    std::string& err);
+
+  // Canonical spec round-trip (scheme half only).
+  std::string to_string() const;
+};
+
+// Typed view over a channel built by FlowControlScheme::collect_channel —
+// pure derived accessors, no hand-rolled aggregation of its own.
+struct FcReport {
+  std::uint64_t injected = 0;         // packets that entered the network
+  std::uint64_t delivered = 0;        // packets fully absorbed
+  std::uint64_t flits_injected = 0;   // flits sent from source ports
+  std::uint64_t flits_absorbed = 0;   // flits consumed at destinations
+  std::uint64_t flit_moves = 0;       // flit-link traversals
+  std::uint64_t stalls = 0;           // head flits blocked by flow control
+  std::uint64_t credits_returned = 0; // matured CreditMsgs
+  // Sources whose pending packet never entered the network by the horizon,
+  // and the steps those packets had waited by then (derived from final
+  // state, like the hot-potato equivalents).
+  std::uint64_t pending_waiting = 0;
+  double pending_wait_steps = 0.0;
+
+  double delivery_steps_sum = 0.0;    // injection -> tail absorption
+  double delivery_distance_sum = 0.0;
+  double inject_wait_sum = 0.0;
+  double max_inject_wait = 0.0;
+  double max_queue_depth = 0.0;       // deepest input buffer ever (flits)
+  util::Histogram delivery_hist;
+
+  bool operator==(const FcReport&) const = default;
+
+  std::uint64_t in_flight() const noexcept { return injected - delivered; }
+  double avg_delivery_steps() const noexcept {
+    return delivered ? delivery_steps_sum / static_cast<double>(delivered)
+                     : 0.0;
+  }
+  // Mean steps per shortest-path hop (>= flits_per_packet for SAF, ~1 for
+  // cut-through schemes when uncontended).
+  double per_hop_latency() const noexcept {
+    return delivery_distance_sum > 0.0
+               ? delivery_steps_sum / delivery_distance_sum
+               : 0.0;
+  }
+  double avg_inject_wait() const noexcept {
+    return injected ? inject_wait_sum / static_cast<double>(injected) : 0.0;
+  }
+  // Fraction of flit-link slots actually used, over the topology's real
+  // directed link count (a mesh has fewer than kNumDirs per router).
+  double link_utilization(const net::Grid& g, std::uint32_t steps) const noexcept {
+    const double slots = static_cast<double>(g.num_directed_links()) *
+                         static_cast<double>(steps);
+    return slots > 0.0 ? static_cast<double>(flit_moves) / slots : 0.0;
+  }
+
+  std::string summary_line() const;
+};
+
+FcReport report_from_channel(const obs::ModelChannel& ch);
+
+class FlowControlScheme {
+ public:
+  // Factory in the Graphite idiom: one call site per scheme enum entry.
+  // Asserts cfg invariants (qcap >= flit for saf/vct, credit_delay >= 1).
+  static std::unique_ptr<FlowControlScheme> create(
+      const FlowControlConfig& cfg);
+
+  virtual ~FlowControlScheme() = default;
+
+  virtual Kind kind() const noexcept = 0;
+  const char* name() const noexcept { return kind_name(kind()); }
+
+  const FlowControlConfig& config() const noexcept { return cfg_; }
+  const net::Grid& grid() const noexcept { return grid_; }
+
+  // Advance one synchronous step.
+  void step();
+  // Run the configured number of steps and return the channel-derived report.
+  FcReport run();
+
+  // Hand `src` a specific pending packet (test / trace hook). It competes
+  // for links exactly like injector traffic; the router need not be an
+  // injector, and draws no RNG.
+  void seed_packet(std::uint32_t src, std::uint32_t dst);
+
+  std::uint32_t current_step() const noexcept { return step_; }
+  // Structural count of flits resident in input buffers (the conservation
+  // check: equals flits_injected - flits_absorbed at every step boundary).
+  std::uint64_t flits_in_network() const noexcept;
+  std::size_t credit_msgs_pending() const noexcept {
+    return credit_msgs_.size();
+  }
+  // No flits in buffers, no pending packets mid-injection, no credits in
+  // flight: every credit counter has returned to full.
+  bool quiescent() const noexcept;
+
+  // Fold every router's statistics into a fresh channel in ascending router
+  // order (bit-stable double sums; registration is idempotent). Mid-wait
+  // injection accounting is pinned to the current step, so collecting after
+  // run() uses the configured horizon.
+  obs::ModelChannel collect_channel() const;
+  // Convenience: collect_channel + report_from_channel.
+  FcReport report() const { return report_from_channel(collect_channel()); }
+
+ protected:
+  explicit FlowControlScheme(const FlowControlConfig& cfg);
+
+  // Scheme policy, consulted when a head flit asks for an output:
+  // must the whole packet be buffered locally before it may advance?
+  virtual bool requires_full_packet_buffering() const noexcept = 0;
+  // ...and how many downstream credits must be on hand? (flit-count for
+  // packet-granularity schemes, 1 for wormhole)
+  virtual std::uint32_t min_credits_for_head() const noexcept = 0;
+
+ private:
+  struct RouterStats {
+    std::uint64_t injected = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t flits_injected = 0;
+    std::uint64_t flits_absorbed = 0;
+    std::uint64_t flit_moves = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t credits_returned = 0;
+    double delivery_steps_sum = 0.0;
+    double delivery_distance_sum = 0.0;
+    double inject_wait_sum = 0.0;
+    double max_inject_wait = 0.0;
+    bool any_injected = false;
+    std::uint64_t max_queue_depth = 0;
+    util::Histogram delivery_hist;
+  };
+  struct OutputPort {
+    std::uint32_t credits = 0;
+    std::uint8_t owner = kNoOwner;  // input port streaming through this link
+    bool exists = false;            // mesh boundary links are absent
+    bool used_this_step = false;    // one flit per link per step
+  };
+  struct SourcePort {
+    bool has_pending = false;
+    bool launched = false;          // head has entered the network
+    std::uint32_t dst = 0;
+    std::uint32_t pending_since = 0;
+    std::uint32_t birth_step = 0;
+    std::uint16_t distance = 0;
+    std::uint32_t flits_sent = 0;
+    net::Dir route = net::Dir::North;  // locked at launch
+  };
+  struct Node {
+    std::array<BufferModel, net::kNumDirs> in;  // indexed by incoming dir
+    std::array<OutputPort, net::kNumDirs> out;
+    SourcePort src;
+    bool is_injector = false;
+    RouterStats stats;
+  };
+  // Credit-based buffer management as a first-class event: "one flit slot
+  // freed on the buffer `router` feeds through output `out_dir`", usable
+  // from step `due_step`. The delay is constant, so the deque stays sorted
+  // by appending.
+  struct CreditMsg {
+    std::uint32_t due_step = 0;
+    std::uint32_t router = 0;
+    std::uint8_t out_dir = 0;
+  };
+  struct Arrival {
+    std::uint32_t router = 0;
+    std::uint8_t in_dir = 0;
+    Flit flit;
+  };
+
+  static constexpr std::uint8_t kNoOwner = 0xFF;
+  static constexpr std::uint8_t kSourcePort = net::kNumDirs;
+
+  void mature_credits();
+  void process_input_port(std::uint32_t r, net::Dir port,
+                          std::vector<Arrival>& arrivals);
+  void process_source_port(std::uint32_t r, std::vector<Arrival>& arrivals);
+  // Admission check + effects common to both port kinds. Returns true when
+  // the flit moved (caller then pops it from its origin).
+  bool try_send(std::uint32_t r, std::uint8_t from_port, net::Dir out,
+                const Flit& f, bool packet_complete,
+                std::vector<Arrival>& arrivals);
+  void absorb(std::uint32_t dst_router, const Flit& f);
+
+  FlowControlConfig cfg_;
+  net::Grid grid_;
+  std::vector<Node> nodes_;
+  std::deque<CreditMsg> credit_msgs_;
+  util::ReversibleRng rng_;
+  std::uint32_t step_ = 0;
+};
+
+}  // namespace hp::fc

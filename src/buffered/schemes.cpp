@@ -1,0 +1,27 @@
+#include "buffered/schemes.hpp"
+
+#include "util/macros.hpp"
+
+namespace hp::fc {
+
+std::unique_ptr<FlowControlScheme> FlowControlScheme::create(
+    const FlowControlConfig& cfg) {
+  if (cfg.scheme != Kind::Wormhole) {
+    HP_ASSERT(cfg.queue_capacity >= cfg.flits_per_packet,
+              "%s buffers whole packets: qcap %u < flit %u",
+              kind_name(cfg.scheme), cfg.queue_capacity, cfg.flits_per_packet);
+  }
+  switch (cfg.scheme) {
+    case Kind::StoreAndForward:
+      return std::make_unique<StoreAndForwardScheme>(cfg);
+    case Kind::VirtualCutThrough:
+      return std::make_unique<VirtualCutThroughScheme>(cfg);
+    case Kind::Wormhole:
+      return std::make_unique<WormholeScheme>(cfg);
+  }
+  HP_ASSERT(false, "unknown flow-control scheme %d",
+            static_cast<int>(cfg.scheme));
+  return nullptr;
+}
+
+}  // namespace hp::fc

@@ -1,0 +1,68 @@
+#pragma once
+
+// The three concrete flow-control schemes. All router mechanics live in the
+// FlowControlScheme base; each scheme is exactly its head-flit admission
+// policy (see flow_control.hpp for the taxonomy). Most callers never name
+// these types — they go through FlowControlScheme::create(cfg).
+
+#include "buffered/flow_control.hpp"
+
+namespace hp::fc {
+
+// Classic packet switching: a packet advances only once it is entirely
+// buffered at the current hop and the next hop can hold all of it. Per-hop
+// latency is >= flits_per_packet steps, the paper-era baseline the other
+// schemes improve on.
+class StoreAndForwardScheme final : public FlowControlScheme {
+ public:
+  explicit StoreAndForwardScheme(const FlowControlConfig& cfg)
+      : FlowControlScheme(cfg) {}
+  Kind kind() const noexcept override { return Kind::StoreAndForward; }
+
+ protected:
+  bool requires_full_packet_buffering() const noexcept override {
+    return true;
+  }
+  std::uint32_t min_credits_for_head() const noexcept override {
+    return config().flits_per_packet;
+  }
+};
+
+// Virtual cut-through (Kermani & Kleinrock): the head departs as soon as it
+// arrives, pipelining the packet across hops, but still reserves a whole
+// packet's worth of downstream buffering — a blocked packet collapses into
+// one router's buffer instead of blocking links.
+class VirtualCutThroughScheme final : public FlowControlScheme {
+ public:
+  explicit VirtualCutThroughScheme(const FlowControlConfig& cfg)
+      : FlowControlScheme(cfg) {}
+  Kind kind() const noexcept override { return Kind::VirtualCutThrough; }
+
+ protected:
+  bool requires_full_packet_buffering() const noexcept override {
+    return false;
+  }
+  std::uint32_t min_credits_for_head() const noexcept override {
+    return config().flits_per_packet;
+  }
+};
+
+// Wormhole: cut-through latency with flit-granularity buffering — one free
+// downstream slot admits the head. Cheap buffers, but a blocked worm stalls
+// in place holding buffers and link ownership across routers, the coupling
+// that makes wormhole saturate earliest under load (and, with a single VC,
+// lets cyclic worm dependencies deadlock on the torus).
+class WormholeScheme final : public FlowControlScheme {
+ public:
+  explicit WormholeScheme(const FlowControlConfig& cfg)
+      : FlowControlScheme(cfg) {}
+  Kind kind() const noexcept override { return Kind::Wormhole; }
+
+ protected:
+  bool requires_full_packet_buffering() const noexcept override {
+    return false;
+  }
+  std::uint32_t min_credits_for_head() const noexcept override { return 1; }
+};
+
+}  // namespace hp::fc

@@ -46,4 +46,23 @@ SimulationResult run_hotpotato(const SimulationOptions& opts) {
   return result;
 }
 
+FlowControlResult run_flow_control(const SimulationOptions& opts) {
+  fc::FlowControlConfig cfg = opts.fc;
+  cfg.n = opts.model.n;
+  cfg.topology = opts.model.topology;
+  cfg.injector_fraction = opts.model.injector_fraction;
+  cfg.traffic = opts.model.traffic;
+  cfg.steps = opts.model.steps;
+  cfg.selection_seed = opts.model.selection_seed;
+  cfg.seed = opts.engine.seed;
+
+  const std::unique_ptr<fc::FlowControlScheme> scheme =
+      fc::FlowControlScheme::create(cfg);
+  scheme->run();
+  FlowControlResult result;
+  result.model = scheme->collect_channel();
+  result.report = fc::report_from_channel(result.model);
+  return result;
+}
+
 }  // namespace hp::core

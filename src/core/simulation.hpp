@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "buffered/flow_control.hpp"
 #include "des/engine.hpp"
 #include "hotpotato/model.hpp"
 #include "hotpotato/stats.hpp"
@@ -37,6 +38,14 @@ struct SimulationOptions {
   des::EngineConfig engine;
 
   bool block_mapping = true;  // false => linear stripes (ablation)
+
+  // Flow-control contrast knobs (the --fc= spec): which buffered scheme
+  // run_flow_control builds and its buffer/flit/credit geometry. The
+  // network/workload half of fc is ignored here — run_flow_control fills it
+  // from `model` (n, topology, injector_fraction, traffic, steps,
+  // selection_seed) and `engine.seed`, so a buffered run and a hot-potato
+  // run configured by the same options see the same network and workload.
+  fc::FlowControlConfig fc;
 };
 
 struct SimulationResult {
@@ -48,5 +57,16 @@ struct SimulationResult {
 // Run one simulation to completion. Deterministic: the same options produce
 // bit-identical reports on both kernels at any PE/KP count.
 SimulationResult run_hotpotato(const SimulationOptions& opts);
+
+struct FlowControlResult {
+  fc::FcReport report;      // typed view over `model`
+  obs::ModelChannel model;  // same named-metric pipeline as hot-potato runs
+};
+
+// Run the buffered contrast model selected by opts.fc.scheme on the network
+// and workload described by opts.model (the synchronous stepper has no DES
+// kernel, so opts.kernel/engine only contribute engine.seed). Deterministic:
+// the same options produce bit-identical channels.
+FlowControlResult run_flow_control(const SimulationOptions& opts);
 
 }  // namespace hp::core

@@ -15,6 +15,7 @@
 
 #include "des/engine.hpp"
 #include "hotpotato/router_state.hpp"
+#include "net/grid.hpp"
 #include "obs/model_channel.hpp"
 
 namespace hp::hotpotato {
@@ -77,10 +78,20 @@ struct HpReport {
                ? 0.0
                : static_cast<double>(deflections) / static_cast<double>(routed);
   }
-  // Fraction of link-step slots actually used.
+  // Fraction of link-step slots actually used, over the topology's real
+  // directed link count (a mesh has fewer than kNumDirs per router, so the
+  // old 4*num_routers denominator under-reported mesh utilization).
+  double link_utilization(const net::Grid& g,
+                          std::uint32_t steps) const noexcept {
+    const double slots = static_cast<double>(g.num_directed_links()) *
+                         static_cast<double>(steps);
+    return slots == 0.0 ? 0.0 : static_cast<double>(link_claims) / slots;
+  }
+  // Torus-shaped convenience (every router drives kNumDirs links).
   double link_utilization(std::uint32_t num_routers,
                           std::uint32_t steps) const noexcept {
-    const double slots = 4.0 * static_cast<double>(num_routers) *
+    const double slots = static_cast<double>(net::kNumDirs) *
+                         static_cast<double>(num_routers) *
                          static_cast<double>(steps);
     return slots == 0.0 ? 0.0 : static_cast<double>(link_claims) / slots;
   }

@@ -71,6 +71,14 @@ class Grid {
     return available_dirs(id).contains(d);
   }
 
+  // Directed links in the whole network: every router drives kNumDirs links
+  // on a torus (4n^2), while a mesh loses the boundary ones (each of the two
+  // axes has n rows of n-1 bidirectional links: 4n(n-1) directed).
+  constexpr std::uint32_t num_directed_links() const noexcept {
+    const auto un = static_cast<std::uint32_t>(n_);
+    return wraps() ? kNumDirs * un * un : kNumDirs * un * (un - 1);
+  }
+
   // Neighbor across link `d`; the link must exist (see available_dirs).
   constexpr std::uint32_t neighbor(std::uint32_t id, Dir d) const noexcept {
     Coord c = coord_of(id);

@@ -86,7 +86,14 @@ TEST(CliDoc, CoversTheUserFacingFlagSet) {
   const char* flags[] = {
       "--chaos=", "--pool-budget", "--monitor", "--migrate=",
       "--json=",  "--csv=",        "--pes",     "--trace",
+      "--fc=",
   };
+  // ...and the full --fc= grammar: every key and scheme name.
+  for (const char* k : {"scheme=", "qcap=", "flit=", "credit_delay=",
+                        "saf", "vct", "wormhole"}) {
+    EXPECT_TRUE(mentions(doc, k))
+        << "docs/CLI.md does not document --fc= key '" << k << "'";
+  }
   for (const char* f : flags) {
     EXPECT_TRUE(mentions(doc, f))
         << "docs/CLI.md does not document flag '" << f << "'";
@@ -112,6 +119,16 @@ TEST(ArchitectureDoc, WalksTheLayersAndTheRemotePath) {
   for (const char* s : {"rollback", "GVT", "fossil", "migrat", "inbox",
                         "anti-message"}) {
     EXPECT_TRUE(mentions(doc, s)) << "missing lifecycle term '" << s << "'";
+  }
+}
+
+TEST(ArchitectureDoc, DescribesTheFlowControlSchemeFamily) {
+  const std::string doc = read_file("docs/ARCHITECTURE.md");
+  for (const char* s : {"FlowControlScheme", "store-and-forward",
+                        "cut-through", "wormhole", "credit", "flit",
+                        "BufferModel", "run_flow_control"}) {
+    EXPECT_TRUE(mentions(doc, s))
+        << "missing flow-control term '" << s << "'";
   }
 }
 

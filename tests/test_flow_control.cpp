@@ -1,0 +1,200 @@
+// Scheme-conformance suite: every fc scheme on tiny networks against
+// hand-computed delivery / stall / credit traces, plus per-scheme
+// determinism. The traces pin the family's defining latencies:
+//
+//   store-and-forward: d * F steps end to end (full buffering per hop),
+//   cut-through (vct, wormhole): d + F - 1 (head pipelines ahead),
+//
+// for a packet of F flits over d hops (delivery time counts the injection
+// step through the tail-absorption step inclusive), and the credit pipeline:
+// a freed slot becomes a usable upstream credit credit_delay steps later.
+
+#include <gtest/gtest.h>
+
+#include "buffered/schemes.hpp"
+
+namespace hp::fc {
+namespace {
+
+// A quiet network (no injectors) to trace seeded packets through.
+FlowControlConfig quiet(Kind k, std::int32_t n, net::GridKind topo,
+                        std::uint32_t flit, std::uint32_t qcap,
+                        std::uint32_t credit_delay = 1) {
+  FlowControlConfig c;
+  c.scheme = k;
+  c.n = n;
+  c.topology = topo;
+  c.injector_fraction = 0.0;
+  c.steps = 100;
+  c.flits_per_packet = flit;
+  c.queue_capacity = qcap;
+  c.credit_delay = credit_delay;
+  return c;
+}
+
+FcReport trace(const FlowControlConfig& c, std::uint32_t src,
+               std::uint32_t dst, std::uint32_t steps = 60) {
+  const auto s = FlowControlScheme::create(c);
+  s->seed_packet(src, dst);
+  for (std::uint32_t i = 0; i < steps; ++i) s->step();
+  return s->report();
+}
+
+TEST(FcTrace, StoreAndForwardDeliveryIsDistanceTimesFlits) {
+  // Mesh row 0 -> 3: d=3, F=3. Each hop waits for the full packet, so the
+  // packet spends F steps per hop: 9 steps end to end.
+  const auto r =
+      trace(quiet(Kind::StoreAndForward, 4, net::GridKind::Mesh, 3, 4), 0, 3);
+  ASSERT_EQ(r.delivered, 1u);
+  EXPECT_DOUBLE_EQ(r.delivery_steps_sum, 9.0);
+  EXPECT_DOUBLE_EQ(r.delivery_distance_sum, 3.0);
+  // Torus 0 -> 2: d=2 => 6 steps.
+  const auto t =
+      trace(quiet(Kind::StoreAndForward, 4, net::GridKind::Torus, 3, 4), 0, 2);
+  ASSERT_EQ(t.delivered, 1u);
+  EXPECT_DOUBLE_EQ(t.delivery_steps_sum, 6.0);
+}
+
+TEST(FcTrace, CutThroughDeliveryIsDistancePlusFlitsMinusOne) {
+  // The head pipelines ahead of the body: d + F - 1 = 3 + 3 - 1 = 5.
+  for (const Kind k : {Kind::VirtualCutThrough, Kind::Wormhole}) {
+    const auto r = trace(quiet(k, 4, net::GridKind::Mesh, 3, 4), 0, 3);
+    ASSERT_EQ(r.delivered, 1u) << kind_name(k);
+    EXPECT_DOUBLE_EQ(r.delivery_steps_sum, 5.0) << kind_name(k);
+  }
+}
+
+TEST(FcTrace, SingleFlitPacketsCollapseTheFamily) {
+  // F=1: d*F == d + F - 1 == d. All three schemes agree exactly.
+  for (const Kind k : kAllKinds) {
+    const auto r = trace(quiet(k, 4, net::GridKind::Mesh, 1, 2), 0, 3);
+    ASSERT_EQ(r.delivered, 1u) << kind_name(k);
+    EXPECT_DOUBLE_EQ(r.delivery_steps_sum, 3.0) << kind_name(k);
+  }
+}
+
+TEST(FcTrace, StoreAndForwardStallsWaitingForSerialization) {
+  // Torus 0 -> 2 with F=3: the head reaches router 1 after step 1 but must
+  // wait steps 2 and 3 for the body and tail to accumulate — exactly two
+  // stalls, both at router 1.
+  const auto r =
+      trace(quiet(Kind::StoreAndForward, 4, net::GridKind::Torus, 3, 4), 0, 2);
+  ASSERT_EQ(r.delivered, 1u);
+  EXPECT_EQ(r.stalls, 2u);
+}
+
+TEST(FcTrace, WormholeCreditRoundTripGatesTheWorm) {
+  // qcap=1, F=3, d=3: every body/tail flit must wait for the downstream
+  // slot's credit to round-trip, stretching delivery from 5 to 7 steps with
+  // exactly two source stalls.
+  const auto r =
+      trace(quiet(Kind::Wormhole, 4, net::GridKind::Mesh, 3, 1), 0, 3);
+  ASSERT_EQ(r.delivered, 1u);
+  EXPECT_DOUBLE_EQ(r.delivery_steps_sum, 7.0);
+  EXPECT_EQ(r.stalls, 2u);
+  // A slower credit pipeline stretches the same worm further.
+  const auto slow =
+      trace(quiet(Kind::Wormhole, 4, net::GridKind::Mesh, 3, 1, 3), 0, 3);
+  ASSERT_EQ(slow.delivered, 1u);
+  EXPECT_GT(slow.delivery_steps_sum, r.delivery_steps_sum);
+}
+
+TEST(FcTrace, AbsorptionNeedsNoCredits) {
+  // Adjacent destination with qcap=1: absorption consumes flits at the NIC
+  // without buffering, so even a 3-flit worm streams in F steps, stall-free.
+  const auto r =
+      trace(quiet(Kind::Wormhole, 4, net::GridKind::Mesh, 3, 1), 0, 1);
+  ASSERT_EQ(r.delivered, 1u);
+  EXPECT_DOUBLE_EQ(r.delivery_steps_sum, 3.0);
+  EXPECT_EQ(r.stalls, 0u);
+}
+
+TEST(FcTrace, LinkOwnershipSerializesCompetingWorms) {
+  // Two worms contend for router 1's East link: A seeded at 0 (through
+  // router 1) and B seeded at router 1 itself, both headed to 3 (F=3,
+  // wormhole). B wins the output on the first step and A's head must wait
+  // at router 1 until B's tail releases the link — two stalls — after which
+  // A streams through untouched. Flits never interleave, so the traces are
+  // exact: B takes 4 steps (d=2), A takes its uncontended 5 plus B's 2-step
+  // occupancy.
+  const auto s = FlowControlScheme::create(
+      quiet(Kind::Wormhole, 4, net::GridKind::Mesh, 3, 4));
+  s->seed_packet(0, 3);
+  s->seed_packet(1, 3);
+  for (int i = 0; i < 40; ++i) s->step();
+  const FcReport r = s->report();
+  ASSERT_EQ(r.delivered, 2u);
+  EXPECT_DOUBLE_EQ(r.delivery_steps_sum, 4.0 + 7.0);
+  EXPECT_EQ(r.stalls, 2u);
+  // A's three flits queue at router 1 while blocked.
+  EXPECT_DOUBLE_EQ(r.max_queue_depth, 3.0);
+}
+
+TEST(FcTrace, CreditsConserveAndTheNetworkQuiesces) {
+  // After the packet drains, every credit must have returned: 3 flits freed
+  // at each of the two intermediate routers = 6 matured credit messages.
+  for (const Kind k : kAllKinds) {
+    const auto s = FlowControlScheme::create(
+        quiet(k, 4, net::GridKind::Mesh, 3, 4));
+    s->seed_packet(0, 3);
+    for (int i = 0; i < 60; ++i) s->step();
+    const FcReport r = s->report();
+    ASSERT_EQ(r.delivered, 1u) << kind_name(k);
+    EXPECT_EQ(r.flits_injected, 3u) << kind_name(k);
+    EXPECT_EQ(r.flits_absorbed, 3u) << kind_name(k);
+    EXPECT_EQ(r.credits_returned, 6u) << kind_name(k);
+    EXPECT_EQ(s->flits_in_network(), 0u) << kind_name(k);
+    EXPECT_EQ(s->credit_msgs_pending(), 0u) << kind_name(k);
+    EXPECT_TRUE(s->quiescent()) << kind_name(k);
+  }
+}
+
+TEST(FcTrace, ConservationHoldsAtEveryStepBoundary) {
+  for (const Kind k : kAllKinds) {
+    FlowControlConfig c = quiet(k, 6, net::GridKind::Torus, 2, 4);
+    c.injector_fraction = 1.0;
+    const auto s = FlowControlScheme::create(c);
+    for (int i = 0; i < 30; ++i) {
+      s->step();
+      const FcReport r = s->report();
+      ASSERT_EQ(s->flits_in_network(), r.flits_injected - r.flits_absorbed)
+          << kind_name(k) << " at step " << s->current_step();
+    }
+  }
+}
+
+TEST(FcDeterminism, SameSeedSameChannelAcrossTopologiesAndTraffic) {
+  for (const Kind k : kAllKinds) {
+    for (const auto topo : {net::GridKind::Torus, net::GridKind::Mesh}) {
+      for (const auto traffic : {hotpotato::TrafficPattern::Uniform,
+                                 hotpotato::TrafficPattern::Transpose}) {
+        FlowControlConfig c = quiet(k, 6, topo, 2, 4);
+        c.injector_fraction = 0.75;
+        c.traffic = traffic;
+        c.seed = 42;
+        const auto a = FlowControlScheme::create(c);
+        const auto b = FlowControlScheme::create(c);
+        a->run();
+        b->run();
+        EXPECT_EQ(a->collect_channel(), b->collect_channel())
+            << kind_name(k) << " topo=" << static_cast<int>(topo)
+            << " traffic=" << hotpotato::traffic_pattern_name(traffic);
+      }
+    }
+  }
+}
+
+TEST(FcDeterminism, SeedChangesTheWorkload) {
+  FlowControlConfig c = quiet(Kind::Wormhole, 6, net::GridKind::Torus, 2, 4);
+  c.injector_fraction = 0.75;
+  c.seed = 1;
+  const auto a = FlowControlScheme::create(c);
+  c.seed = 2;
+  const auto b = FlowControlScheme::create(c);
+  a->run();
+  b->run();
+  EXPECT_NE(a->collect_channel(), b->collect_channel());
+}
+
+}  // namespace
+}  // namespace hp::fc
