@@ -87,6 +87,28 @@ inline void apply_monitor_flags(const util::Cli& cli, des::EngineConfig& cfg) {
   cfg.obs.monitor_path = cli.get("monitor-out", "");
 }
 
+// Applies the shared --telemetry / --metrics-endpoint=<port|unix:path> /
+// --metrics-out=FILE flags. Bare --telemetry records latency histograms into
+// the final report; an endpoint or output file implies --telemetry and adds
+// live Prometheus exposition (a loopback/unix listener, or a periodically
+// rewritten text file for socket-less CI). Works on every kernel.
+inline void apply_telemetry_flags(const util::Cli& cli,
+                                  des::EngineConfig& cfg) {
+  if (cli.has("telemetry")) cfg.obs.telemetry = true;
+  if (cli.has("metrics-endpoint")) {
+    cfg.obs.metrics_endpoint = cli.get("metrics-endpoint", "");
+    if (cfg.obs.metrics_endpoint.empty()) {
+      cli.usage_error("--metrics-endpoint expects <port> or unix:<path>");
+    }
+  }
+  if (cli.has("metrics-out")) {
+    cfg.obs.metrics_out = cli.get("metrics-out", "");
+    if (cfg.obs.metrics_out.empty()) {
+      cli.usage_error("--metrics-out expects a file path");
+    }
+  }
+}
+
 // Applies the shared --chaos=<spec> flag (deterministic fault injection on
 // the Time Warp remote path; see des/fault.hpp for the grammar). A
 // malformed spec is a usage error. Returns true when a plan was armed so
@@ -189,6 +211,13 @@ inline std::map<std::string, std::string> common_flags() {
           {"monitor", "live heartbeat every N GVT rounds (bare = every round)"},
           {"monitor-out", "append the monitor JSON-lines stream to this file "
                           "instead of stderr"},
+          {"telemetry", "record event-lifecycle latency histograms (queue "
+                        "dwell, commit latency, rollback cost, inbox dwell)"},
+          {"metrics-endpoint", "serve live Prometheus text on <port> "
+                               "(loopback) or unix:<path>; implies "
+                               "--telemetry"},
+          {"metrics-out", "periodically rewrite a Prometheus text snapshot "
+                          "to this file; implies --telemetry"},
           {"chaos", "deterministic fault plan for Time Warp runs, e.g. "
                     "delay:p=0.2,k=2;seed=7 (see des/fault.hpp)"},
           {"migrate", "runtime KP load balancing for Time Warp runs, e.g. "

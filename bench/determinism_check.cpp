@@ -84,6 +84,10 @@ int main(int argc, char** argv) {
     }
     if (migrate) o.engine.migration = mig_probe.migration;
     hp::bench::apply_monitor_flags(cli, o.engine);
+    // Telemetry stamps must never perturb committed state: the stamped Time
+    // Warp runs still have to verify IDENTICAL against the unstamped
+    // sequential reference.
+    hp::bench::apply_telemetry_flags(cli, o.engine);
     const auto tw = hp::core::run_hotpotato(o);
     char tag[64];
     std::snprintf(tag, sizeof(tag), "timewarp %u PE(s)", pes);
@@ -131,6 +135,7 @@ int main(int argc, char** argv) {
     o.engine.fault = chaos_probe.fault;
   }
   if (migrate) o.engine.migration = mig_probe.migration;
+  hp::bench::apply_telemetry_flags(cli, o.engine);
   const auto again = hp::core::run_hotpotato(o);
   const bool repeat = again.model == seq.model && again.report == seq.report;
   all_identical = all_identical && repeat;

@@ -34,6 +34,10 @@ int main(int argc, char** argv) {
       hp::des::EngineConfig ec;
       ec.num_lps = lps;
       ec.end_time = end;
+      // --telemetry / --metrics-out apply to every run of the sweep; the
+      // exposition file ends up holding the last run's final snapshot, which
+      // is what the CI Prometheus smoke greps.
+      hp::bench::apply_telemetry_flags(cli, ec);
       {
         hp::des::PholdModel model(pc);
         hp::des::SequentialEngine seq(model, ec);

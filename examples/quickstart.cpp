@@ -6,6 +6,8 @@
 //               [--trace=trace.json] [--monitor[=interval]]
 //               [--monitor-out=monitor.jsonl] [--chaos=spec]
 //               [--pool-budget=envelopes] [--migrate[=spec]]
+//               [--telemetry] [--metrics-endpoint=port|unix:path]
+//               [--metrics-out=metrics.prom]
 //
 // --trace writes a Chrome/Perfetto phase trace of the run (one track per
 // PE); load it at https://ui.perfetto.dev — see EXPERIMENTS.md.
@@ -19,6 +21,11 @@
 // --migrate (Time Warp only) arms runtime KP load balancing, e.g.
 // --migrate="every=8,imbalance=1.5,max=1" (bare --migrate uses those
 // defaults) — see des/migration.hpp. Committed results are unchanged.
+// --telemetry records event-lifecycle latency histograms (queue dwell,
+// commit latency, rollback cost, inbox dwell); --metrics-endpoint serves
+// them live as Prometheus text on a loopback port or unix socket, and
+// --metrics-out periodically rewrites the same text to a file. Either
+// implies --telemetry. Committed results are unchanged.
 
 #include <cstdio>
 #include <string>
@@ -40,7 +47,12 @@ int main(int argc, char** argv) {
                      {"chaos", "fault plan, e.g. delay:p=0.2,k=2;seed=7"},
                      {"pool-budget", "live-envelope budget per PE (0 = off)"},
                      {"migrate",
-                      "KP load balancing, e.g. every=8,imbalance=1.5,max=1"}});
+                      "KP load balancing, e.g. every=8,imbalance=1.5,max=1"},
+                     {"telemetry", "record latency histograms"},
+                     {"metrics-endpoint",
+                      "serve Prometheus text on <port> or unix:<path>"},
+                     {"metrics-out",
+                      "rewrite a Prometheus snapshot to this file"}});
 
   hp::core::SimulationOptions opts;
   opts.model.n = static_cast<std::int32_t>(cli.get_int("n", 16));
@@ -66,6 +78,19 @@ int main(int argc, char** argv) {
     }
     opts.engine.obs.monitor_interval = static_cast<std::uint32_t>(interval);
     opts.engine.obs.monitor_path = cli.get("monitor-out", "");
+  }
+  if (cli.has("telemetry")) opts.engine.obs.telemetry = true;
+  if (cli.has("metrics-endpoint")) {
+    opts.engine.obs.metrics_endpoint = cli.get("metrics-endpoint", "");
+    if (opts.engine.obs.metrics_endpoint.empty()) {
+      cli.usage_error("--metrics-endpoint expects <port> or unix:<path>");
+    }
+  }
+  if (cli.has("metrics-out")) {
+    opts.engine.obs.metrics_out = cli.get("metrics-out", "");
+    if (opts.engine.obs.metrics_out.empty()) {
+      cli.usage_error("--metrics-out expects a file path");
+    }
   }
   if (cli.has("chaos")) {
     std::string err;
@@ -161,6 +186,17 @@ int main(int argc, char** argv) {
                 opts.engine.obs.monitor_path.empty()
                     ? "stderr"
                     : opts.engine.obs.monitor_path.c_str());
+  }
+  if (result.engine.metrics.telemetry) {
+    const auto& commit = result.engine.metrics.latency_hist(
+        hp::obs::LatencyMetric::CommitLatency);
+    std::printf("  telemetry: commit latency p50 %.1f us, p99 %.1f us over "
+                "%llu samples (%llu dropped)\n",
+                commit.quantile_ns(0.50) * 1e-3,
+                commit.quantile_ns(0.99) * 1e-3,
+                static_cast<unsigned long long>(commit.count()),
+                static_cast<unsigned long long>(
+                    result.engine.metrics.total.telemetry_dropped()));
   }
   if (opts.engine.obs.trace) {
     std::printf("  trace: %llu spans + %llu flow events -> %s (load at "

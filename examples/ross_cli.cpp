@@ -9,11 +9,16 @@
 //
 //   ./ross_cli --n=32 --processors=4 --duration=2560 --probability_i=50
 //              [--absorb_sleeping_packet=1] [--chaos=spec] [--migrate[=spec]]
+//              [--telemetry] [--metrics-endpoint=port|unix:path]
+//              [--metrics-out=metrics.prom]
 //
 // --chaos (Time Warp only) arms deterministic fault injection on the remote
 // event path (see des/fault.hpp); committed results are unchanged.
 // --migrate (Time Warp only) arms runtime KP load balancing (see
 // des/migration.hpp); committed results are unchanged.
+// --telemetry records latency histograms; --metrics-endpoint /
+// --metrics-out expose them live as Prometheus text (either implies
+// --telemetry). Committed results are unchanged.
 
 #include <cstdio>
 #include <string>
@@ -37,7 +42,10 @@ int main(int argc, char** argv) {
        {"monitor", "heartbeat every N GVT rounds (bare = 1)"},
        {"monitor-out", "append monitor stream to this file"},
        {"chaos", "fault plan, e.g. delay:p=0.2,k=2;seed=7"},
-       {"migrate", "KP load balancing, e.g. every=8,imbalance=1.5,max=1"}});
+       {"migrate", "KP load balancing, e.g. every=8,imbalance=1.5,max=1"},
+       {"telemetry", "record latency histograms"},
+       {"metrics-endpoint", "serve Prometheus text on <port> or unix:<path>"},
+       {"metrics-out", "rewrite a Prometheus snapshot to this file"}});
 
   hp::core::SimulationOptions opts;
   opts.model.n = static_cast<std::int32_t>(cli.get_int("n", 32));
@@ -64,6 +72,19 @@ int main(int argc, char** argv) {
     }
     opts.engine.obs.monitor_interval = static_cast<std::uint32_t>(interval);
     opts.engine.obs.monitor_path = cli.get("monitor-out", "");
+  }
+  if (cli.has("telemetry")) opts.engine.obs.telemetry = true;
+  if (cli.has("metrics-endpoint")) {
+    opts.engine.obs.metrics_endpoint = cli.get("metrics-endpoint", "");
+    if (opts.engine.obs.metrics_endpoint.empty()) {
+      cli.usage_error("--metrics-endpoint expects <port> or unix:<path>");
+    }
+  }
+  if (cli.has("metrics-out")) {
+    opts.engine.obs.metrics_out = cli.get("metrics-out", "");
+    if (opts.engine.obs.metrics_out.empty()) {
+      cli.usage_error("--metrics-out expects a file path");
+    }
   }
   if (cli.has("chaos")) {
     std::string err;

@@ -97,6 +97,40 @@ def validate(value, schema, root, path=""):
                 validate(item, schema["items"], root, f"{path}[{i}]")
 
 
+LATENCY_QUANTILE_ORDER = ("p50", "p90", "p99", "p999")
+
+
+def check_latency_blocks(doc, path=""):
+    """Assert quantile monotonicity (p50 <= p90 <= p99 <= p999) in every
+    `latency` block of a bench dump.
+
+    The schema can only say each quantile is a number; the ordering is an
+    invariant of the HDR histogram (cumulative-count walk), so a violation
+    means the summarizer is broken, not the workload.
+    """
+    if isinstance(doc, dict):
+        for key, sub in doc.items():
+            sub_path = f"{path}.{key}" if path else key
+            if key == "latency" and isinstance(sub, dict):
+                for metric, summary in sub.items():
+                    if not isinstance(summary, dict):
+                        continue
+                    qs = [summary.get(q) for q in LATENCY_QUANTILE_ORDER]
+                    if any(not isinstance(q, (int, float)) for q in qs):
+                        continue  # schema validation already flags these
+                    for lo, hi, a, b in zip(LATENCY_QUANTILE_ORDER[:-1],
+                                            LATENCY_QUANTILE_ORDER[1:],
+                                            qs[:-1], qs[1:]):
+                        if a > b:
+                            raise SchemaError(
+                                f"{sub_path}.{metric}",
+                                f"quantiles not monotone: {lo}={a} > {hi}={b}")
+            check_latency_blocks(sub, sub_path)
+    elif isinstance(doc, list):
+        for i, item in enumerate(doc):
+            check_latency_blocks(item, f"{path}[{i}]")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("files", nargs="+", help="bench --json dumps")
@@ -146,6 +180,7 @@ def main():
                 with open(path) as f:
                     doc = json.load(f)
                 validate(doc, schema, schema)
+                check_latency_blocks(doc)
         except (OSError, json.JSONDecodeError, SchemaError) as e:
             print(f"FAIL {path}: {e}", file=sys.stderr)
             failures += 1

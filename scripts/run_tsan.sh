@@ -7,7 +7,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake --preset tsan
-cmake --build build-tsan -j "$(nproc)" --target test_mpsc_queue test_timewarp test_engine_matrix test_chaos test_migration test_event_pool test_pending_set
+cmake --build build-tsan -j "$(nproc)" --target test_mpsc_queue test_timewarp test_engine_matrix test_chaos test_migration test_event_pool test_pending_set test_latency test_obs
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 ./build-tsan/tests/test_mpsc_queue
@@ -25,5 +25,10 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 # suites in the gate so the adjust_live accounting stays clean too.
 ./build-tsan/tests/test_event_pool
 ./build-tsan/tests/test_pending_set
+# Latency telemetry runs a background collector thread draining per-PE SPSC
+# rings while the engines push; the hub unit suite plus the obs equivalence
+# matrix (which runs every engine with telemetry armed) cover that path.
+./build-tsan/tests/test_latency
+./build-tsan/tests/test_obs
 
 echo "TSan: TimeWarp test suite clean."

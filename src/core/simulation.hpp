@@ -34,7 +34,9 @@ struct SimulationOptions {
   // queue_kind, cancellation, obs...). run_hotpotato fills the model-derived
   // fields (num_lps, end_time, mapping) itself; num_kps == 0 selects the
   // report default of 64 KPs. Anything set here reaches the engine without
-  // a renamed mirror field in between.
+  // a renamed mirror field in between — including the latency-telemetry
+  // block (obs.telemetry / obs.metrics_endpoint / obs.metrics_out), which
+  // every kernel honors and which never changes committed results.
   des::EngineConfig engine;
 
   bool block_mapping = true;  // false => linear stripes (ablation)

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/telemetry.hpp"
 #include "util/hash.hpp"
 
 namespace hp::des {
@@ -40,6 +41,7 @@ class ConservativeEngine::Ctx final : public Context {
     ev->send_ts = cur_->key.ts;
     ev->status = EventStatus::Pending;
     ev->cv = 0;
+    if (HP_UNLIKELY(e_.telemetry_)) ev->create_wall_ns = obs::monotonic_ns();
     return ev;
   }
 
@@ -56,6 +58,9 @@ class ConservativeEngine::Ctx final : public Context {
     if (dst_pe == pe_.id) {
       pe_.pending.insert(ev);
     } else {
+      // Inbox-dwell start: the envelope sits parked until the destination's
+      // end-of-window drain (send_wall_ns is otherwise unused here).
+      if (HP_UNLIKELY(e_.telemetry_)) ev->send_wall_ns = obs::monotonic_ns();
       PeData& dst = *e_.pes_[dst_pe];
       std::scoped_lock lock(dst.inbox_mu);
       dst.inbox.push_back(ev);
@@ -91,6 +96,7 @@ class ConsInitCtx final : public InitContext {
     ev->send_ts = 0.0;
     ev->status = EventStatus::Pending;
     ev->cv = 0;
+    if (HP_UNLIKELY(e_.telemetry_)) ev->create_wall_ns = obs::monotonic_ns();
     return ev;
   }
   void commit_schedule_(Event* ev) override {
@@ -176,10 +182,24 @@ void ConservativeEngine::run_pe(PeData& pe) {
       if (ev->key.ts >= wend || ev->key.ts > cfg_.end_time) break;
       pe.pending.pop_min();
       ev->status = EventStatus::Processed;
+      if (HP_UNLIKELY(telemetry_)) {
+        const std::uint64_t now = obs::monotonic_ns();
+        if (ev->create_wall_ns != 0) {
+          hub_->ring(pe.id).try_push(obs::LatencyMetric::QueueDwell,
+                                     now - ev->create_wall_ns);
+        }
+        ev->exec_wall_ns = now;
+      }
       ctx.begin_event(ev);
       model_.forward(*states_[ev->key.dst_lp], *ev, ctx);
       model_.commit(*states_[ev->key.dst_lp], *ev);
       ++pe.metrics.at(Counter::Processed);
+      if (HP_UNLIKELY(telemetry_)) {
+        // Processing commits in place, so commit latency here is the
+        // forward+commit cost (the no-rollback floor of the metric).
+        hub_->ring(pe.id).try_push(obs::LatencyMetric::CommitLatency,
+                                   obs::monotonic_ns() - ev->exec_wall_ns);
+      }
       pe.pool.free(ev);
     }
 
@@ -191,6 +211,18 @@ void ConservativeEngine::run_pe(PeData& pe) {
       obs::PhaseScope drain_phase(pe.probe, Phase::InboxDrain);
       std::scoped_lock lock(pe.inbox_mu);
       inbox_depth = pe.inbox.size();
+      if (HP_UNLIKELY(telemetry_) && !pe.inbox.empty()) {
+        // One clock read per drain batch: every parked envelope left the
+        // sender before the barrier, so `now` bounds all their dwells.
+        const std::uint64_t now = obs::monotonic_ns();
+        for (Event* ev : pe.inbox) {
+          if (ev->send_wall_ns != 0 && now > ev->send_wall_ns) {
+            hub_->ring(pe.id).try_push(obs::LatencyMetric::InboxDwell,
+                                       now - ev->send_wall_ns);
+          }
+          ev->send_wall_ns = 0;
+        }
+      }
       for (Event* ev : pe.inbox) pe.pending.insert(ev);
       pe.inbox.clear();
     }
@@ -210,6 +242,12 @@ void ConservativeEngine::run_pe(PeData& pe) {
 }
 
 RunStats ConservativeEngine::run() {
+  // Telemetry comes up before init_lp so initial schedule()s get creation
+  // stamps (their queue dwell until the first window is real).
+  telemetry_ = cfg_.obs.telemetry_enabled();
+  if (HP_UNLIKELY(telemetry_)) {
+    hub_ = std::make_unique<obs::TelemetryHub>(cfg_.obs, cfg_.num_pes);
+  }
   ConsInitCtx ictx(*this, cfg_.seed);
   for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) {
     ictx.begin_lp(lp);
@@ -243,6 +281,11 @@ RunStats ConservativeEngine::run() {
   for (auto& pe : pes_) {
     // Everything a conservative PE processes commits immediately.
     pe->metrics.at(Counter::Committed) = pe->metrics.at(Counter::Processed);
+    if (HP_UNLIKELY(telemetry_)) {
+      // Producers have joined, so the ring's drop counter is final.
+      pe->metrics.at(Counter::TelemetryDropped) =
+          hub_->ring(pe->id).dropped();
+    }
     pe->metrics.at(Counter::PoolEnvelopes) = pe->pool.allocated();
     pe->metrics.at(Counter::PoolLiveEnvelopes) = static_cast<std::uint64_t>(
         std::max<std::int64_t>(0, pe->pool.live()));
@@ -291,6 +334,18 @@ RunStats ConservativeEngine::run() {
   // conservative window never rolls back and has no straggler causality to
   // attribute, so ObsConfig::forensics/monitor are accepted and ignored here
   // (m.forensics stays empty, no heartbeat is emitted).
+
+  if (HP_UNLIKELY(telemetry_)) {
+    obs::GaugeSnapshot g;
+    g.counters = m.total.counters;
+    g.phase_ns = m.total.phase_ns;
+    g.gvt = m.final_gvt;
+    g.round = m.gvt_rounds;
+    g.wall_seconds = m.wall_seconds;
+    hub_->publish_gauges(g);
+    hub_->finalize_into(m);
+    hub_.reset();
+  }
   return stats;
 }
 

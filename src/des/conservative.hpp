@@ -37,6 +37,10 @@
 #include "net/mapping.hpp"
 #include "obs/probe.hpp"
 
+namespace hp::obs {
+class TelemetryHub;
+}
+
 namespace hp::des {
 
 class ConsInitCtx;
@@ -93,6 +97,11 @@ class ConservativeEngine final : public Engine {
   std::vector<util::ReversibleRng> rngs_;
   std::vector<std::uint32_t> lp_pe_;
   std::vector<std::unique_ptr<PeData>> pes_;
+
+  // Latency telemetry (ObsConfig::telemetry): off => no clock reads in the
+  // window loop; on => per-PE rings feed the hub's histograms only.
+  bool telemetry_ = false;
+  std::unique_ptr<obs::TelemetryHub> hub_;
 
   std::barrier<> barrier_;
   std::vector<Time> local_min_;

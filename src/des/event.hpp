@@ -103,6 +103,12 @@ struct Event : util::MpscNode {
   // forensics are on (it pairs the trace.json flow event); 0 otherwise.
   std::uint32_t cascade = 0;
   std::uint64_t send_wall_ns = 0;
+  // Latency telemetry stamps (ObsConfig::telemetry; 0 when off, so a
+  // telemetry-off run never reads the clock for them): wall-clock ns at
+  // event creation (queue-dwell start) and at forward execution
+  // (commit-latency start, recorded against at fossil collection).
+  std::uint64_t create_wall_ns = 0;
+  std::uint64_t exec_wall_ns = 0;
   util::SmallVec<ChildRef, 4> children;
   // Optional cold side-block; null unless lazy cancellation or state saving
   // touched this envelope. Reset on free.
@@ -195,6 +201,12 @@ class EventPool {
     ev->cv = 0;
     ev->cascade = 0;
     ev->send_wall_ns = 0;
+    // create_wall_ns / exec_wall_ns are deliberately NOT scrubbed: telemetry
+    // reads them only in telemetry-on runs, where every read site follows a
+    // same-lifecycle write (the creation hooks stamp create_wall_ns, the
+    // execution path stamps exec_wall_ns before any commit-latency read), and
+    // telemetry-off runs neither write nor read them — so the scrub would be
+    // two dead stores on the hottest pool primitive.
     ev->children.clear();
     ev->cold_block.reset();
 #ifndef NDEBUG

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "obs/probe.hpp"
+#include "obs/telemetry.hpp"
 #include "util/hash.hpp"
 
 namespace hp::des {
@@ -34,6 +35,7 @@ class SequentialEngine::Ctx final : public Context {
     ev->kp = 0;
     ev->status = EventStatus::Pending;
     ev->cv = 0;
+    if (HP_UNLIKELY(e_.telemetry_)) ev->create_wall_ns = obs::monotonic_ns();
     return ev;
   }
   void commit_send_(Event* ev) override { e_.pending_.insert(ev); }
@@ -66,6 +68,7 @@ class SequentialEngine::ICtx final : public InitContext {
     ev->kp = 0;
     ev->status = EventStatus::Pending;
     ev->cv = 0;
+    if (HP_UNLIKELY(e_.telemetry_)) ev->create_wall_ns = obs::monotonic_ns();
     return ev;
   }
   void commit_schedule_(Event* ev) override { e_.pending_.insert(ev); }
@@ -92,6 +95,13 @@ SequentialEngine::~SequentialEngine() = default;
 RunStats SequentialEngine::run() {
   RunStats stats;
   obs::MetricsReport& m = stats.metrics;
+  // Telemetry comes up before init_lp so the initial schedule()s get
+  // creation stamps too (their queue dwell is real: they sit in the pending
+  // set until the run loop reaches them).
+  telemetry_ = cfg_.obs.telemetry_enabled();
+  if (HP_UNLIKELY(telemetry_)) {
+    hub_ = std::make_unique<obs::TelemetryHub>(cfg_.obs, 1);
+  }
   ICtx ictx(*this, cfg_.seed);
   for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) {
     ictx.begin_lp(lp);
@@ -116,10 +126,38 @@ RunStats SequentialEngine::run() {
     pending_.pop_min();
     ev->rng_before = rngs_[ev->key.dst_lp].draw_count();
     ev->status = EventStatus::Processed;
+    if (HP_UNLIKELY(telemetry_)) {
+      const std::uint64_t now = obs::monotonic_ns();
+      if (ev->create_wall_ns != 0) {
+        hub_->ring(0).try_push(obs::LatencyMetric::QueueDwell,
+                               now - ev->create_wall_ns);
+      }
+      ev->exec_wall_ns = now;
+    }
     ctx.begin_event(ev);
     model_.forward(*states_[ev->key.dst_lp], *ev, ctx);
     model_.commit(*states_[ev->key.dst_lp], *ev);
     ++processed;
+    if (HP_UNLIKELY(telemetry_)) {
+      // Execution and commit coincide here, so commit latency is the
+      // forward+commit cost itself — the sequential floor of the same
+      // metric the optimistic kernel reports.
+      hub_->ring(0).try_push(obs::LatencyMetric::CommitLatency,
+                             obs::monotonic_ns() - ev->exec_wall_ns);
+      if ((processed & 0xFFFFu) == 0) {
+        obs::GaugeSnapshot g;
+        g.counters[static_cast<std::size_t>(obs::Counter::Processed)] =
+            processed;
+        g.counters[static_cast<std::size_t>(obs::Counter::Committed)] =
+            processed;
+        g.gvt = ev->key.ts;
+        g.wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        hub_->publish_gauges(g);
+      }
+    }
     pool_.free(ev);
   }
   const auto t1 = std::chrono::steady_clock::now();
@@ -144,6 +182,19 @@ RunStats SequentialEngine::run() {
   }
   // Events beyond end_time are never executed; release them.
   while (Event* ev = pending_.pop_min()) pool_.free(ev);
+
+  if (HP_UNLIKELY(telemetry_)) {
+    // The loop has exited, so the ring's drop counter is final.
+    m.total.at(obs::Counter::TelemetryDropped) = hub_->ring(0).dropped();
+    obs::GaugeSnapshot g;
+    g.counters = m.total.counters;
+    g.phase_ns = m.total.phase_ns;
+    g.gvt = m.final_gvt;
+    g.wall_seconds = m.wall_seconds;
+    hub_->publish_gauges(g);
+    hub_->finalize_into(m);
+    hub_.reset();
+  }
   return stats;
 }
 

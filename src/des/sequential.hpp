@@ -13,6 +13,10 @@
 #include "des/model.hpp"
 #include "des/pending_set.hpp"
 
+namespace hp::obs {
+class TelemetryHub;
+}
+
 namespace hp::des {
 
 class SequentialEngine final : public Engine {
@@ -42,6 +46,10 @@ class SequentialEngine final : public Engine {
   PendingSet pending_;
   std::vector<std::unique_ptr<LpState>> states_;
   std::vector<util::ReversibleRng> rngs_;
+  // Latency telemetry (ObsConfig::telemetry): off => zero clock reads on
+  // the event loop; on => stamps feed the hub's histograms only.
+  bool telemetry_ = false;
+  std::unique_ptr<obs::TelemetryHub> hub_;
 };
 
 }  // namespace hp::des

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/telemetry.hpp"
 #include "util/hash.hpp"
 
 namespace hp::des {
@@ -90,6 +91,7 @@ class TimeWarpEngine::TwCtx final : public Context {
     ev->kp = e_.lp_kp_[dst_lp];
     ev->status = EventStatus::Pending;
     ev->cv = 0;
+    if (HP_UNLIKELY(e_.telemetry_)) ev->create_wall_ns = obs::monotonic_ns();
     return ev;
   }
 
@@ -245,6 +247,7 @@ Event* TwEngineInitCtx::prepare_schedule_(std::uint32_t dst_lp, Time ts) {
   ev->kp = e_.lp_kp_[dst_lp];
   ev->status = EventStatus::Pending;
   ev->cv = 0;
+  if (HP_UNLIKELY(e_.telemetry_)) ev->create_wall_ns = obs::monotonic_ns();
   return ev;
 }
 
@@ -271,6 +274,15 @@ void TimeWarpEngine::deliver(PeData& pe, Event* ev) {
   HP_ASSERT(!mig_on_ || own_.pe_of_kp(ev->kp) == pe.id,
             "PE %u: delivered event for KP %u owned by PE %u", pe.id, ev->kp,
             own_.pe_of_kp(ev->kp));
+  // Inbox dwell: stage_remote stamped send_wall_ns, so a non-zero stamp
+  // means the envelope crossed PEs (local sends deliver directly with 0).
+  if (HP_UNLIKELY(telemetry_) && ev->send_wall_ns != 0) {
+    const std::uint64_t now = obs::monotonic_ns();
+    if (now > ev->send_wall_ns) {
+      hub_->ring(pe.id).try_push(obs::LatencyMetric::InboxDwell,
+                                 now - ev->send_wall_ns);
+    }
+  }
   KpData& kp = kps_[ev->kp];
   if (!kp.processed.empty() && ev->key < kp.processed.back()->key) {
     // Primary rollback: a straggler positive behind the KP's frontier. The
@@ -295,7 +307,9 @@ void TimeWarpEngine::deliver(PeData& pe, Event* ev) {
 
 void TimeWarpEngine::stage_remote(PeData& pe, std::uint32_t dst_pe,
                                   Event* ev) {
-  if (trace_stamps_) ev->send_wall_ns = obs::monotonic_ns();
+  if (trace_stamps_ || HP_UNLIKELY(telemetry_)) {
+    ev->send_wall_ns = obs::monotonic_ns();
+  }
   OutBatch& b = pe.out[dst_pe];
   ev->mpsc_next.store(nullptr, std::memory_order_relaxed);
   if (b.head == nullptr) {
@@ -525,6 +539,8 @@ void TimeWarpEngine::rollback(PeData& pe, std::uint32_t kp_id,
   const std::uint32_t prev_ctx = pe.cascade_ctx;
   pe.cascade_ctx = cause.cascade;
   std::uint64_t undone = 0;
+  std::uint64_t repair_t0 = 0;
+  if (HP_UNLIKELY(telemetry_)) repair_t0 = obs::monotonic_ns();
   while (!kp.processed.empty() && kp.processed.back()->key >= key) {
     Event* ev = kp.processed.back();
     kp.processed.pop_back();
@@ -545,6 +561,13 @@ void TimeWarpEngine::rollback(PeData& pe, std::uint32_t kp_id,
     ++undone;
   }
   pe.cascade_ctx = prev_ctx;
+  if (HP_UNLIKELY(telemetry_) && undone > 0) {
+    // Per-episode repair cost: undo loop plus the cancellations it fired
+    // (nested episodes double-count their share by design — the histogram
+    // answers "how long does a rollback I land in take", not CPU totals).
+    hub_->ring(pe.id).try_push(obs::LatencyMetric::RollbackCost,
+                               obs::monotonic_ns() - repair_t0);
+  }
 
   // Causality attribution: scalar counters are plain arithmetic and always
   // on; the per-KP heatmaps/cascade histogram are gated inside `forensics`;
@@ -866,6 +889,16 @@ void TimeWarpEngine::process_one(PeData& pe, Event* ev) {
                 : kps_[ev->kp].processed.back()->key.ts);
   ev->rng_before = rngs_[lp].draw_count();
   ev->status = EventStatus::Processed;
+  if (HP_UNLIKELY(telemetry_)) {
+    // Queue dwell is measured from creation, so a rolled-back event's
+    // re-execution reports its full (longer) wait — a real resample.
+    const std::uint64_t now = obs::monotonic_ns();
+    if (ev->create_wall_ns != 0) {
+      hub_->ring(pe.id).try_push(obs::LatencyMetric::QueueDwell,
+                                 now - ev->create_wall_ns);
+    }
+    ev->exec_wall_ns = now;
+  }
   kps_[ev->kp].processed.push_back(ev);
 #ifdef HP_TW_PARANOID
   if (!cfg_.state_saving) ev->cold().snapshot = states_[lp]->clone();
@@ -894,12 +927,22 @@ void TimeWarpEngine::process_one(PeData& pe, Event* ev) {
 }
 
 void TimeWarpEngine::fossil_collect(PeData& pe, Time gvt) {
+  // One clock read per fossil batch: commits inside a batch share `now`, so
+  // telemetry adds O(1) clock cost per GVT round, not per committed event.
+  std::uint64_t now = 0;
   for (std::uint32_t kp_id : pe.kps) {
     auto& dq = kps_[kp_id].processed;
     while (!dq.empty() && dq.front()->key.ts < gvt) {
       Event* ev = dq.front();
       dq.pop_front();
       model_.commit(*states_[ev->key.dst_lp], *ev);
+      if (HP_UNLIKELY(telemetry_) && ev->exec_wall_ns != 0) {
+        if (now == 0) now = obs::monotonic_ns();
+        if (now > ev->exec_wall_ns) {
+          hub_->ring(pe.id).try_push(obs::LatencyMetric::CommitLatency,
+                                     now - ev->exec_wall_ns);
+        }
+      }
       pe.index.erase(ev->uid);
       pe.pool.free(ev);
       ++pe.metrics.at(Counter::Committed);
@@ -986,6 +1029,27 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
         ++mon_rounds_since_emit_ >= std::max(1u, cfg_.obs.monitor_interval)) {
       mon_rounds_since_emit_ = 0;
       emit_monitor_record(round_idx, gvt);
+    }
+    if (HP_UNLIKELY(telemetry_)) {
+      // Live gauges from the round slices PE 0 already owns the right to
+      // read here (see the MonitorSlice comment): a partial counter set —
+      // the full array lands with the final snapshot in run().
+      obs::GaugeSnapshot g;
+      for (const MonitorSlice& sl : mon_slices_) {
+        g.counters[static_cast<std::size_t>(Counter::Processed)] +=
+            sl.processed;
+        g.counters[static_cast<std::size_t>(Counter::RolledBack)] +=
+            sl.rolled_back;
+        g.counters[static_cast<std::size_t>(Counter::PoolLiveEnvelopes)] +=
+            sl.pool_live;
+        g.counters[static_cast<std::size_t>(Counter::PoolBytes)] +=
+            sl.pool_bytes;
+      }
+      g.gvt = gvt;
+      g.round = round_idx;
+      g.wall_seconds =
+          static_cast<double>(obs::monotonic_ns() - epoch_ns_) * 1e-9;
+      hub_->publish_gauges(g);
     }
   }
   pe.probe.switch_to(Phase::Fossil);
@@ -1093,6 +1157,11 @@ void TimeWarpEngine::emit_monitor_record(std::uint64_t round_idx, Time gvt) {
   // emit (and PE 0 writes them itself), so the reads race with nothing.
   s.kp_migrations = pes_[0]->mig_moves_total;
   s.mapping_epoch = own_.epoch();
+  if (HP_UNLIKELY(telemetry_)) {
+    s.has_commit_latency = true;
+    s.commit_latency_p99_us =
+        hub_->quantile_us(obs::LatencyMetric::CommitLatency, 0.99);
+  }
   monitor_->emit(s);
   mon_last_processed_ = processed;
   mon_last_rolled_back_ = rolled_back;
@@ -1327,6 +1396,12 @@ void TimeWarpEngine::run_pe(PeData& pe) {
 }
 
 RunStats TimeWarpEngine::run() {
+  // Telemetry comes up before seeding so the initial schedule()s get
+  // creation stamps (their queue dwell until first execution is real).
+  telemetry_ = cfg_.obs.telemetry_enabled();
+  if (HP_UNLIKELY(telemetry_)) {
+    hub_ = std::make_unique<obs::TelemetryHub>(cfg_.obs, cfg_.num_pes);
+  }
   seed_initial_events();
 
   const bool tracing = cfg_.obs.trace;
@@ -1389,7 +1464,7 @@ RunStats TimeWarpEngine::run() {
       pe->mig_moves_total = 0;
     }
   }
-  slices_on_ = cfg_.obs.monitor || flow_on_ || mig_on_;
+  slices_on_ = cfg_.obs.monitor || flow_on_ || mig_on_ || telemetry_;
   if (cfg_.obs.monitor) {
     monitor_ = std::make_unique<obs::MonitorWriter>(cfg_.obs.monitor_path);
   }
@@ -1413,6 +1488,11 @@ RunStats TimeWarpEngine::run() {
   obs::MetricsReport& m = stats.metrics;
   m.per_pe.reserve(pes_.size());
   for (auto& pe : pes_) {
+    if (HP_UNLIKELY(telemetry_)) {
+      // PE threads have joined, so each ring's drop counter is final.
+      pe->metrics.at(Counter::TelemetryDropped) =
+          hub_->ring(pe->id).dropped();
+    }
     pe->metrics.at(Counter::PoolEnvelopes) = pe->pool.allocated();
     pe->metrics.at(Counter::PoolLiveEnvelopes) = static_cast<std::uint64_t>(
         std::max<std::int64_t>(0, pe->pool.live()));
@@ -1488,6 +1568,21 @@ RunStats TimeWarpEngine::run() {
         cfg_.obs.trace_path, epoch_ns_, buffers, m.gvt_series);
     m.trace_spans = written.spans;
     m.trace_flows = written.flows;
+  }
+
+  if (HP_UNLIKELY(telemetry_)) {
+    // Final gauges carry the full counter/phase arrays (live snapshots are
+    // partial); finalize_into stops the collector, drains the rings one last
+    // time and folds the per-PE histograms into the report.
+    obs::GaugeSnapshot g;
+    g.counters = m.total.counters;
+    g.phase_ns = m.total.phase_ns;
+    g.gvt = m.final_gvt;
+    g.round = m.gvt_rounds;
+    g.wall_seconds = m.wall_seconds;
+    hub_->publish_gauges(g);
+    hub_->finalize_into(m);
+    hub_.reset();
   }
   return stats;
 }

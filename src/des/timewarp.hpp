@@ -58,6 +58,10 @@
 #include "util/mpsc_queue.hpp"
 #include "util/rng.hpp"
 
+namespace hp::obs {
+class TelemetryHub;
+}
+
 namespace hp::des {
 
 class TwEngineInitCtx;
@@ -312,6 +316,13 @@ class TimeWarpEngine final : public Engine {
   // tracing AND forensics are both on; otherwise zero clock reads).
   bool trace_stamps_ = false;
   bool tracing_ = false;
+
+  // Latency telemetry (ObsConfig::telemetry): off => zero clock reads on the
+  // scheduler hot path; on => per-PE lock-free rings feed the hub's
+  // histograms and the exposition endpoint. Stamps never influence event
+  // order, so committed state stays bit-identical either way.
+  bool telemetry_ = false;
+  std::unique_ptr<obs::TelemetryHub> hub_;
 
   // Optimism flow control (pool_budget_envelopes > 0). Watermarks over a
   // PE's own EventPool::live(): soft = pool_soft_fraction * budget enters

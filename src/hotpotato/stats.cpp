@@ -114,18 +114,11 @@ HpReport collect_report(const des::Engine& eng, std::uint32_t horizon_step) {
 }
 
 double HpReport::delivery_percentile(double q) const noexcept {
-  const auto& counts = delivery_hist.counts();
-  std::uint64_t total = 0;
-  for (const auto c : counts) total += c;
-  if (total == 0) return 0.0;
-  const auto target = static_cast<std::uint64_t>(
-      q * static_cast<double>(total));
-  std::uint64_t cum = 0;
-  for (std::size_t i = 0; i < counts.size(); ++i) {
-    cum += counts[i];
-    if (cum > target) return delivery_hist.bin_lo(i);
-  }
-  return delivery_hist.bin_lo(counts.size() - 1);
+  // Routed through the shared interpolating quantile (util::Histogram::
+  // quantile) so the model's percentiles agree with the telemetry layer's:
+  // the old version returned the raw lower bin edge with no interpolation
+  // and was unpinned at the edges.
+  return delivery_hist.quantile(q);
 }
 
 std::string HpReport::summary_line() const {

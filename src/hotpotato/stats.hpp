@@ -96,8 +96,11 @@ struct HpReport {
     return slots == 0.0 ? 0.0 : static_cast<double>(link_claims) / slots;
   }
 
-  // q-quantile of the delivery-time distribution (q in [0,1]); returns the
-  // lower edge of the bin containing the quantile.
+  // q-quantile of the delivery-time distribution, with the shared
+  // interpolated-quantile semantics (util::interpolated_quantile): q is
+  // clamped to [0,1], the empty histogram yields 0, q=0/q=1 pin to the
+  // first/last occupied bin edge, and interior quantiles interpolate
+  // linearly within their bin.
   double delivery_percentile(double q) const noexcept;
 
   std::string summary_line() const;

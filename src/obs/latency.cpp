@@ -1,0 +1,20 @@
+#include "obs/latency.hpp"
+
+#include <vector>
+
+namespace hp::obs {
+
+double LatencyHistogram::quantile_ns(double q) const {
+  // Materialize the occupied buckets only: at 32 sub-buckets per tier a real
+  // latency distribution touches a few dozen of the ~2k buckets, and this
+  // runs at report/heartbeat granularity, never on the hot path.
+  std::vector<util::QuantileBin> bins;
+  for (std::uint32_t i = 0; i < kNumBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    bins.push_back({static_cast<double>(bucket_lo(i)),
+                    static_cast<double>(bucket_hi(i)), counts_[i]});
+  }
+  return util::interpolated_quantile(bins, q);
+}
+
+}  // namespace hp::obs

@@ -1,0 +1,136 @@
+#pragma once
+
+// HDR-style latency histogram for wall-clock event-lifecycle telemetry.
+//
+// LatencyHistogram is a log2-bucketed histogram over uint64 nanosecond
+// values: power-of-two tiers × kSubBuckets fixed sub-buckets, so record()
+// is O(1) (a bit_width and two adds, no allocation, no floating point) and
+// the relative quantization error is bounded by 2 / kSubBuckets (~6% at 32
+// sub-buckets) at every magnitude from 1 ns to the uint64 range. Merging is
+// plain bucket-count addition; the telemetry collector folds per-PE
+// histograms in ascending-PE order (the obs::ModelChannel idiom) so the
+// aggregate is deterministic given the same per-PE contents.
+//
+// Quantile extraction routes through util::interpolated_quantile — the one
+// shared quantile definition in the tree — so the p50/p90/p99/p99.9 this
+// layer reports agree in semantics with the model-side percentiles
+// (HpReport::delivery_percentile).
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "util/stats.hpp"
+
+namespace hp::obs {
+
+// The event-lifecycle latencies the kernels record (docs/METRICS.md
+// "Latency telemetry"). Values are wall-clock nanoseconds and feed
+// histograms only — they never influence event order, so committed results
+// are bit-identical with telemetry on or off.
+enum class LatencyMetric : std::uint8_t {
+  QueueDwell,     // event creation -> delivery into the forward handler
+  CommitLatency,  // forward execution -> GVT commit (fossil collection)
+  RollbackCost,   // wall time of one rollback episode (repair cost)
+  InboxDwell,     // remote send -> inbox drain on the destination PE
+  kCount
+};
+inline constexpr std::size_t kNumLatencyMetrics =
+    static_cast<std::size_t>(LatencyMetric::kCount);
+
+constexpr const char* latency_metric_name(LatencyMetric m) noexcept {
+  switch (m) {
+    case LatencyMetric::QueueDwell: return "queue_dwell_ns";
+    case LatencyMetric::CommitLatency: return "commit_latency_ns";
+    case LatencyMetric::RollbackCost: return "rollback_cost_ns";
+    case LatencyMetric::InboxDwell: return "inbox_dwell_ns";
+    case LatencyMetric::kCount: break;
+  }
+  // Unreachable for valid enumerators; a new metric without a case above is
+  // a compile error in the constant-evaluated coverage test (test_latency).
+  __builtin_unreachable();
+}
+
+// Quantile levels every surface reports (JSON latency block, Prometheus
+// snapshot, monitor heartbeat p99).
+inline constexpr std::array<double, 4> kLatencyQuantiles{0.50, 0.90, 0.99,
+                                                        0.999};
+
+class LatencyHistogram {
+ public:
+  static constexpr std::uint32_t kSubBucketBits = 5;
+  static constexpr std::uint32_t kSubBuckets = 1u << kSubBucketBits;  // 32
+  // Tier 0 resolves [0, kSubBuckets) exactly; tier t >= 1 covers
+  // [kSubBuckets/2 << t, kSubBuckets << t) at granularity 2^t. bit_width of
+  // a uint64 is at most 64, so the top tier is 64 - kSubBucketBits.
+  static constexpr std::uint32_t kNumTiers = 64 - kSubBucketBits + 1;
+  static constexpr std::uint32_t kNumBuckets = kNumTiers * kSubBuckets;
+
+  // O(1), branch-light, allocation-free: tier = how far the value's
+  // magnitude exceeds the sub-bucket range, sub-bucket = the value's top
+  // kSubBucketBits bits. Buckets [t*kSubBuckets, t*kSubBuckets +
+  // kSubBuckets/2) are unused for t >= 1 — a deliberate trade of half the
+  // (tiny) table for an index computation with no per-tier offset table.
+  static constexpr std::uint32_t bucket_of(std::uint64_t v) noexcept {
+    const auto w = static_cast<std::uint32_t>(std::bit_width(v));
+    if (w <= kSubBucketBits) return static_cast<std::uint32_t>(v);
+    const std::uint32_t tier = w - kSubBucketBits;
+    return tier * kSubBuckets + static_cast<std::uint32_t>(v >> tier);
+  }
+  static constexpr std::uint64_t bucket_lo(std::uint32_t idx) noexcept {
+    const std::uint32_t tier = idx / kSubBuckets;
+    const std::uint64_t sub = idx % kSubBuckets;
+    return tier == 0 ? sub : sub << tier;
+  }
+  static constexpr std::uint64_t bucket_hi(std::uint32_t idx) noexcept {
+    const std::uint32_t tier = idx / kSubBuckets;
+    const std::uint64_t sub = idx % kSubBuckets;
+    return tier == 0 ? sub + 1 : (sub + 1) << tier;
+  }
+
+  void record(std::uint64_t ns) noexcept {
+    ++counts_[bucket_of(ns)];
+    ++count_;
+    sum_ns_ += ns;
+    max_ns_ = std::max(max_ns_, ns);
+  }
+
+  // Bucket-count addition; commutative, so any merge order yields the same
+  // histogram — the collector still folds ascending-PE for a deterministic
+  // sum_ns_ (integer, but keep the ModelChannel discipline).
+  void merge(const LatencyHistogram& o) noexcept {
+    for (std::uint32_t i = 0; i < kNumBuckets; ++i) counts_[i] += o.counts_[i];
+    count_ += o.count_;
+    sum_ns_ += o.sum_ns_;
+    max_ns_ = std::max(max_ns_, o.max_ns_);
+  }
+
+  void reset() noexcept { *this = LatencyHistogram{}; }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum_ns() const noexcept { return sum_ns_; }
+  std::uint64_t max_ns() const noexcept { return max_ns_; }
+  double mean_ns() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_ns_) /
+                             static_cast<double>(count_);
+  }
+  const std::array<std::uint64_t, kNumBuckets>& counts() const noexcept {
+    return counts_;
+  }
+
+  // Interpolated quantile in nanoseconds (shared semantics:
+  // util::interpolated_quantile over the occupied buckets).
+  double quantile_ns(double q) const;
+
+  bool operator==(const LatencyHistogram&) const = default;
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ns_ = 0;
+  std::uint64_t max_ns_ = 0;
+};
+
+}  // namespace hp::obs

@@ -53,6 +53,23 @@ void MetricsReport::write_json(util::JsonWriter& w) const {
     w.kv("trace_flows", trace_flows);
   }
   if (monitor_lines > 0) w.kv("monitor_lines", monitor_lines);
+  if (telemetry) {
+    w.key("latency").begin_object();
+    for (std::size_t m = 0; m < kNumLatencyMetrics; ++m) {
+      const LatencyHistogram& h = latency[m];
+      w.key(latency_metric_name(static_cast<LatencyMetric>(m)))
+          .begin_object();
+      w.kv("count", h.count());
+      w.kv("sum_ns", h.sum_ns());
+      w.kv("max_ns", h.max_ns());
+      w.kv("p50", h.quantile_ns(0.50));
+      w.kv("p90", h.quantile_ns(0.90));
+      w.kv("p99", h.quantile_ns(0.99));
+      w.kv("p999", h.quantile_ns(0.999));
+      w.end_object();
+    }
+    w.end_object();
+  }
   if (!forensics.empty()) {
     w.key("forensics");
     forensics.write_json(w);

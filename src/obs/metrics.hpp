@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "obs/forensics.hpp"
+#include "obs/latency.hpp"
 
 namespace hp::util {
 class JsonWriter;
@@ -107,6 +108,7 @@ enum class Counter : std::uint8_t {
   Migrations,          // KP moves received by this PE (dynamic balancing)
   MigratedEvents,      // live envelopes handed over across those moves
   MigrationRounds,     // GVT rounds that executed a migration handoff
+  TelemetryDropped,    // latency samples dropped on telemetry-ring overflow
   kCount
 };
 inline constexpr std::size_t kNumCounters =
@@ -155,6 +157,7 @@ inline constexpr std::array<CounterDef, kNumCounters> kCounterDefs{{
     {"kp_migrations", Reduce::Sum},
     {"migrated_events", Reduce::Sum},
     {"migration_rounds", Reduce::Sum},
+    {"telemetry_dropped", Reduce::Sum},
 }};
 
 constexpr const char* counter_name(Counter c) noexcept {
@@ -216,6 +219,7 @@ struct PeMetrics {
   std::uint64_t kp_migrations() const noexcept { return at(Counter::Migrations); }
   std::uint64_t migrated_events() const noexcept { return at(Counter::MigratedEvents); }
   std::uint64_t migration_rounds() const noexcept { return at(Counter::MigrationRounds); }
+  std::uint64_t telemetry_dropped() const noexcept { return at(Counter::TelemetryDropped); }
 
   bool operator==(const PeMetrics&) const = default;
 };
@@ -333,6 +337,31 @@ struct ObsConfig {
   bool monitor = false;
   std::uint32_t monitor_interval = 1;
   std::string monitor_path;
+  // Latency telemetry (all kernels): wall-clock event-lifecycle latencies
+  // recorded into per-PE lock-free SPSC rings, drained by a background
+  // collector thread into HDR histograms (obs/telemetry.hpp). Off by
+  // default — fully off costs zero clock reads on the hot path. On, the
+  // recorded wall-clock values feed histograms only, never event order, so
+  // committed results stay bit-identical (the determinism_check contract).
+  bool telemetry = false;
+  // Samples per PE ring, rounded up to a power of two. On overflow the hot
+  // path drops the sample and bumps Counter::TelemetryDropped instead of
+  // blocking on the collector.
+  std::uint32_t telemetry_ring_capacity = 1u << 15;
+  // Live Prometheus-text exposition: "<port>" serves HTTP on
+  // 127.0.0.1:<port>, "unix:<path>" on a unix socket; empty = no listener.
+  // Setting it implies telemetry.
+  std::string metrics_endpoint;
+  // Periodic Prometheus-text dump (atomic rewrite every metrics_flush_ms)
+  // for socket-less CI, plus a final dump at end of run. Implies telemetry.
+  std::string metrics_out;
+  std::uint32_t metrics_flush_ms = 500;
+
+  // The effective gate the kernels check: the exposition flags switch
+  // telemetry on even when the bool was left false.
+  bool telemetry_enabled() const noexcept {
+    return telemetry || !metrics_endpoint.empty() || !metrics_out.empty();
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -352,6 +381,14 @@ struct MetricsReport {
   // Merged rollback-forensics heatmaps (empty unless the Time Warp kernel
   // ran with ObsConfig::forensics on).
   RollbackForensics forensics;
+  // Latency telemetry: aggregate HDR histograms per lifecycle metric,
+  // folded from the per-PE histograms in ascending-PE order. `telemetry`
+  // is true iff the run collected them (gates the JSON latency block).
+  bool telemetry = false;
+  std::array<LatencyHistogram, kNumLatencyMetrics> latency{};
+  const LatencyHistogram& latency_hist(LatencyMetric m) const noexcept {
+    return latency[static_cast<std::size_t>(m)];
+  }
 
   // Recompute totals from the per-PE breakdown (no-op when per_pe is empty,
   // i.e. the kernel filled `total` directly).

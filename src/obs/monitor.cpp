@@ -1,6 +1,8 @@
 #include "obs/monitor.hpp"
 
-#include <iostream>
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <sstream>
 
 #include "util/json_writer.hpp"
@@ -10,17 +12,23 @@ namespace hp::obs {
 
 MonitorWriter::MonitorWriter(const std::string& path) {
   if (path.empty()) {
-    out_ = &std::cerr;
+    fd_ = 2;  // stderr
     return;
   }
-  file_.open(path, std::ios::out | std::ios::app);
-  HP_ASSERT(file_.good(), "cannot open monitor stream %s", path.c_str());
-  out_ = &file_;
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  HP_ASSERT(fd_ >= 0, "cannot open monitor stream %s", path.c_str());
+  owns_fd_ = true;
+}
+
+MonitorWriter::~MonitorWriter() {
+  if (owns_fd_) ::close(fd_);
 }
 
 void MonitorWriter::emit(const MonitorSample& s) {
-  // Build the record off-stream so it lands as one write (keeps lines whole
-  // when a monitor file is shared with other processes' appends).
+  // Build the record off-stream so it lands as one write(2): lines stay
+  // whole when a monitor file is shared with other processes' appends, and
+  // every emitted record is already durable if the run dies on the next
+  // instruction — there is no buffered tail to lose on SIGINT/abort.
   std::ostringstream line;
   {
     util::JsonWriter w(line);
@@ -39,6 +47,9 @@ void MonitorWriter::emit(const MonitorSample& s) {
     w.kv("blocked_pes", s.blocked_pes);
     w.kv("kp_migrations", s.kp_migrations);
     w.kv("mapping_epoch", s.mapping_epoch);
+    if (s.has_commit_latency) {
+      w.kv("commit_latency_p99_us", s.commit_latency_p99_us);
+    }
     if (s.has_offender) {
       w.kv("top_offender_kp", s.top_offender_kp);
       w.kv("top_offender_events", s.top_offender_events);
@@ -47,8 +58,14 @@ void MonitorWriter::emit(const MonitorSample& s) {
     }
     w.end_object();
   }
-  (*out_) << line.str() << '\n';
-  out_->flush();
+  std::string text = line.str();
+  text += '\n';
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t n = ::write(fd_, text.data() + off, text.size() - off);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
   ++lines_;
 }
 

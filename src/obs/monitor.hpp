@@ -16,12 +16,14 @@
 // per-PE arg-max with the most events, which under-reports an offender whose
 // damage is spread thinly across victims — good enough for a heartbeat.
 //
-// MonitorWriter appends, so one stream accumulates every run of a sweep; the
-// emitting PE flushes after each line so `tail -f` works mid-run. Only the
-// GVT-round leader writes — there is no cross-thread contention to manage.
+// MonitorWriter appends, so one stream accumulates every run of a sweep.
+// Each record is composed off-stream and handed to the kernel with a single
+// write(2), so every emitted line reaches the file whole even on
+// SIGINT/abort mid-run — an interrupted sweep keeps a schema-valid tail
+// with nothing buffered in userspace to lose. Only the GVT-round leader
+// writes — there is no cross-thread contention to manage.
 
 #include <cstdint>
-#include <fstream>
 #include <string>
 
 namespace hp::obs {
@@ -51,24 +53,31 @@ struct MonitorSample {
   // and the ownership-table version (bumped once per migration round).
   std::uint64_t kp_migrations = 0;
   std::uint64_t mapping_epoch = 0;
+  // Latency telemetry (ObsConfig::telemetry): aggregate p99 of the
+  // deliver->GVT-commit latency so far, in microseconds. Emitted only when
+  // has_commit_latency is set (telemetry off keeps old streams unchanged).
+  bool has_commit_latency = false;
+  double commit_latency_p99_us = 0.0;
 };
 
 class MonitorWriter {
  public:
   // Empty path selects stderr; otherwise the file is opened in append mode.
   explicit MonitorWriter(const std::string& path);
+  ~MonitorWriter();
 
   MonitorWriter(const MonitorWriter&) = delete;
   MonitorWriter& operator=(const MonitorWriter&) = delete;
 
-  // One JSON object per line, flushed immediately.
+  // One JSON object per line, durable immediately (single write(2) per
+  // record, no userspace buffering to flush on abnormal exit).
   void emit(const MonitorSample& s);
 
   std::uint64_t lines() const noexcept { return lines_; }
 
  private:
-  std::ofstream file_;
-  std::ostream* out_ = nullptr;
+  int fd_ = 2;          // stderr unless a path was given
+  bool owns_fd_ = false;
   std::uint64_t lines_ = 0;
 };
 

@@ -86,6 +86,54 @@ class RunningMax {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+// One bin of a binned distribution, as seen by the shared quantile helper:
+// [lo, hi) holding `count` observations, assumed uniformly spread.
+struct QuantileBin {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::uint64_t count = 0;
+};
+
+// The one quantile definition every histogram in the tree routes through
+// (util::Histogram, obs::LatencyHistogram, the hot-potato delivery
+// distribution), so percentiles agree across model and telemetry surfaces:
+//   * empty histogram        -> 0.0
+//   * q <= 0 (or NaN)        -> lower edge of the first occupied bin
+//   * q >= 1                 -> upper edge of the last occupied bin
+//   * otherwise              -> linear interpolation inside the bin holding
+//                               continuous rank q * total
+// Bins must be in ascending order; zero-count bins are skipped.
+inline double interpolated_quantile(const std::vector<QuantileBin>& bins,
+                                    double q) noexcept {
+  std::uint64_t total = 0;
+  for (const QuantileBin& b : bins) total += b.count;
+  if (total == 0) return 0.0;
+  if (!(q > 0.0)) {  // also catches NaN
+    for (const QuantileBin& b : bins) {
+      if (b.count > 0) return b.lo;
+    }
+  }
+  const auto last_hi = [&]() noexcept {
+    for (std::size_t i = bins.size(); i-- > 0;) {
+      if (bins[i].count > 0) return bins[i].hi;
+    }
+    return 0.0;
+  };
+  if (q >= 1.0) return last_hi();
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (const QuantileBin& b : bins) {
+    if (b.count == 0) continue;
+    const double next = cum + static_cast<double>(b.count);
+    if (target <= next) {
+      const double frac = (target - cum) / static_cast<double>(b.count);
+      return b.lo + (b.hi - b.lo) * frac;
+    }
+    cum = next;
+  }
+  return last_hi();  // floating-point slack pushed the rank past the end
+}
+
 // Fixed-width histogram with clamped overflow bin; add/remove reversible.
 class Histogram {
  public:
@@ -118,6 +166,17 @@ class Histogram {
   double bin_width() const noexcept { return width_; }
   double bin_lo(std::size_t i) const noexcept {
     return lo_ + static_cast<double>(i) * width_;
+  }
+  // Interpolated quantile with the shared semantics of
+  // interpolated_quantile above. The clamped underflow/overflow bins
+  // interpolate over a single bin width so the result stays finite.
+  double quantile(double q) const noexcept {
+    std::vector<QuantileBin> bins;
+    bins.reserve(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      bins.push_back({bin_lo(i), bin_lo(i) + width_, counts_[i]});
+    }
+    return interpolated_quantile(bins, q);
   }
   bool operator==(const Histogram&) const = default;
 

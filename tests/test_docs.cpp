@@ -13,6 +13,7 @@
 #include <sstream>
 #include <string>
 
+#include "obs/latency.hpp"
 #include "obs/metrics.hpp"
 
 namespace {
@@ -62,6 +63,18 @@ TEST(MetricsDoc, CoversEveryPhaseTimer) {
   }
 }
 
+// Every latency-telemetry metric key (the JSON latency block and the
+// hp_<name> Prometheus families are both derived from these names).
+TEST(MetricsDoc, CoversEveryLatencyMetric) {
+  const std::string doc = read_file("docs/METRICS.md");
+  for (std::size_t m = 0; m < hp::obs::kNumLatencyMetrics; ++m) {
+    const char* name =
+        hp::obs::latency_metric_name(static_cast<hp::obs::LatencyMetric>(m));
+    EXPECT_TRUE(mentions(doc, name))
+        << "docs/METRICS.md does not document latency metric '" << name << "'";
+  }
+}
+
 // The monitor JSONL record keys (obs/monitor.cpp emit order). Kept as a
 // literal list on purpose: if emit() gains a key, this list and the doc must
 // both move, which is exactly the review nudge we want.
@@ -72,8 +85,8 @@ TEST(MetricsDoc, CoversEveryMonitorKey) {
       "processed",     "rolled_back",  "event_rate",
       "rollback_rate", "inbox_depth",  "pool_live",
       "pool_bytes",    "throttled_pes", "blocked_pes",
-      "kp_migrations", "mapping_epoch", "top_offender_kp",
-      "top_offender_events",
+      "kp_migrations", "mapping_epoch", "commit_latency_p99_us",
+      "top_offender_kp", "top_offender_events",
   };
   for (const char* k : keys) {
     EXPECT_TRUE(mentions(doc, k))
@@ -86,7 +99,8 @@ TEST(CliDoc, CoversTheUserFacingFlagSet) {
   const char* flags[] = {
       "--chaos=", "--pool-budget", "--monitor", "--migrate=",
       "--json=",  "--csv=",        "--pes",     "--trace",
-      "--fc=",
+      "--fc=",    "--telemetry",   "--metrics-endpoint=",
+      "--metrics-out=",
   };
   // ...and the full --fc= grammar: every key and scheme name.
   for (const char* k : {"scheme=", "qcap=", "flit=", "credit_delay=",

@@ -1,0 +1,213 @@
+// Latency telemetry unit tests: the HDR histogram's bucket math and
+// quantiles, the lock-free SPSC sample ring, and the TelemetryHub
+// collector/exposition contract (Prometheus text, metrics-out file,
+// finalize_into fold). The engine-level invariant — committed results are
+// bit-identical with telemetry on or off — is pinned in test_obs and by
+// determinism_check --telemetry; here we pin the pieces.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/latency.hpp"
+#include "obs/telemetry.hpp"
+
+namespace hp::obs {
+namespace {
+
+using Hist = LatencyHistogram;
+
+// Every enumerator has a name (constant-evaluated: a new LatencyMetric
+// without a latency_metric_name case fails to compile here).
+static_assert(latency_metric_name(LatencyMetric::QueueDwell) != nullptr);
+static_assert(latency_metric_name(LatencyMetric::CommitLatency) != nullptr);
+static_assert(latency_metric_name(LatencyMetric::RollbackCost) != nullptr);
+static_assert(latency_metric_name(LatencyMetric::InboxDwell) != nullptr);
+
+// Tier 0 is exact: values below kSubBuckets index themselves.
+static_assert(Hist::bucket_of(0) == 0);
+static_assert(Hist::bucket_of(31) == 31);
+// First value past tier 0: bit_width(32)=6 -> tier 1, sub = 32>>1 = 16.
+static_assert(Hist::bucket_of(32) == Hist::kSubBuckets + 16);
+static_assert(Hist::bucket_of(63) == Hist::kSubBuckets + 31);
+static_assert(Hist::bucket_of(64) == 2 * Hist::kSubBuckets + 16);
+// The top of the uint64 range still lands inside the table.
+static_assert(Hist::bucket_of(~std::uint64_t{0}) < Hist::kNumBuckets);
+
+TEST(LatencyHistogram, BucketEdgesContainTheirValues) {
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{31},
+        std::uint64_t{32}, std::uint64_t{33}, std::uint64_t{1023},
+        std::uint64_t{1024}, std::uint64_t{123456789},
+        std::uint64_t{1} << 40, (std::uint64_t{1} << 40) + 12345,
+        ~std::uint64_t{0} >> 1}) {
+    const std::uint32_t b = Hist::bucket_of(v);
+    EXPECT_LE(Hist::bucket_lo(b), v) << "v=" << v;
+    EXPECT_LT(v, Hist::bucket_hi(b)) << "v=" << v;
+    // The documented quantization bound: bucket width <= lo / 16 for every
+    // tier past the exact one, i.e. ~6% relative error.
+    if (v >= Hist::kSubBuckets) {
+      EXPECT_LE(Hist::bucket_hi(b) - Hist::bucket_lo(b),
+                Hist::bucket_lo(b) / (Hist::kSubBuckets / 2))
+          << "v=" << v;
+    }
+  }
+}
+
+TEST(LatencyHistogram, RecordTracksCountSumMax) {
+  Hist h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile_ns(0.5), 0.0);  // empty -> 0 (shared helper)
+  h.record(10);
+  h.record(20);
+  h.record(1000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum_ns(), 1030u);
+  EXPECT_EQ(h.max_ns(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 1030.0 / 3.0);
+}
+
+TEST(LatencyHistogram, QuantilesAreMonotoneAndBracketed) {
+  Hist h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.record(v);
+  double prev = -1.0;
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const double x = h.quantile_ns(q);
+    EXPECT_GE(x, prev) << "q=" << q;
+    prev = x;
+  }
+  // ~6% quantization error at every level.
+  EXPECT_NEAR(h.quantile_ns(0.50), 5000.0, 0.06 * 5000.0);
+  EXPECT_NEAR(h.quantile_ns(0.99), 9900.0, 0.06 * 9900.0);
+  EXPECT_LE(h.quantile_ns(1.0),
+            static_cast<double>(Hist::bucket_hi(Hist::bucket_of(10000))));
+}
+
+TEST(LatencyHistogram, MergeEqualsRecordingEverythingInOne) {
+  Hist a, b, all;
+  for (std::uint64_t v : {5u, 40u, 700u}) {
+    a.record(v);
+    all.record(v);
+  }
+  for (std::uint64_t v : {1u, 40u, 9000000u}) {
+    b.record(v);
+    all.record(v);
+  }
+  Hist ab = a;
+  ab.merge(b);
+  EXPECT_EQ(ab, all);
+  // Commutative: the fold order cannot change the aggregate.
+  Hist ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ba, ab);
+}
+
+TEST(TelemetryRing, PushDrainRoundTrips) {
+  TelemetryRing ring(8);
+  ring.try_push(LatencyMetric::QueueDwell, 11);
+  ring.try_push(LatencyMetric::CommitLatency, 22);
+  std::vector<TelemetrySample> got;
+  EXPECT_EQ(ring.drain([&](const TelemetrySample& s) { got.push_back(s); }),
+            2u);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].value_ns, 11u);
+  EXPECT_EQ(got[0].metric,
+            static_cast<std::uint32_t>(LatencyMetric::QueueDwell));
+  EXPECT_EQ(got[1].value_ns, 22u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  // Drained ring is empty.
+  EXPECT_EQ(ring.drain([](const TelemetrySample&) {}), 0u);
+}
+
+TEST(TelemetryRing, OverflowDropsAndCountsInsteadOfBlocking) {
+  TelemetryRing ring(4);  // capacity rounds to a power of two (4)
+  ASSERT_EQ(ring.capacity(), 4u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ring.try_push(LatencyMetric::QueueDwell, i);
+  }
+  EXPECT_EQ(ring.dropped(), 6u);
+  std::size_t drained = ring.drain([](const TelemetrySample&) {});
+  EXPECT_EQ(drained, 4u);
+  // Space freed: pushes succeed again and the drop counter stays put.
+  ring.try_push(LatencyMetric::QueueDwell, 99);
+  EXPECT_EQ(ring.drain([](const TelemetrySample&) {}), 1u);
+  EXPECT_EQ(ring.dropped(), 6u);
+}
+
+TEST(TelemetryHub, FinalizeFoldsRingsIntoTheReport) {
+  ObsConfig cfg;
+  cfg.telemetry = true;
+  TelemetryHub hub(cfg, 2);
+  hub.ring(0).try_push(LatencyMetric::CommitLatency, 100);
+  hub.ring(0).try_push(LatencyMetric::QueueDwell, 7);
+  hub.ring(1).try_push(LatencyMetric::CommitLatency, 300);
+  MetricsReport report;
+  hub.finalize_into(report);
+  EXPECT_TRUE(report.telemetry);
+  EXPECT_EQ(report.latency_hist(LatencyMetric::CommitLatency).count(), 2u);
+  EXPECT_EQ(report.latency_hist(LatencyMetric::CommitLatency).sum_ns(), 400u);
+  EXPECT_EQ(report.latency_hist(LatencyMetric::QueueDwell).count(), 1u);
+  EXPECT_EQ(report.latency_hist(LatencyMetric::RollbackCost).count(), 0u);
+  EXPECT_EQ(report.total.telemetry_dropped(), 0u);  // hub never touches it
+  // quantile_us reports in microseconds over the folded aggregate.
+  EXPECT_GT(hub.quantile_us(LatencyMetric::CommitLatency, 0.99), 0.0);
+  EXPECT_LT(hub.quantile_us(LatencyMetric::CommitLatency, 0.99), 1.0);
+}
+
+TEST(TelemetryHub, RendersThePrometheusContract) {
+  ObsConfig cfg;
+  cfg.telemetry = true;
+  TelemetryHub hub(cfg, 1);
+  hub.ring(0).try_push(LatencyMetric::CommitLatency, 1234);
+  GaugeSnapshot g;
+  g.gvt = 42.0;
+  g.round = 7;
+  g.counters[static_cast<std::size_t>(Counter::Processed)] = 100;
+  hub.publish_gauges(g);
+  MetricsReport report;
+  hub.finalize_into(report);  // drains the ring into the histograms
+
+  const std::string text = hub.render_prometheus();
+  for (const char* needle :
+       {"# TYPE hp_telemetry_dropped counter", "hp_telemetry_dropped 0",
+        "# TYPE hp_gvt gauge", "hp_gvt 42", "hp_gvt_round 7",
+        "hp_processed_events 100",
+        "# TYPE hp_commit_latency_ns histogram",
+        "hp_commit_latency_ns_bucket{le=\"+Inf\"} 1",
+        "hp_commit_latency_ns_sum 1234", "hp_commit_latency_ns_count 1",
+        "# TYPE hp_commit_latency_ns_quantile gauge",
+        "hp_commit_latency_ns_quantile{q=\"0.99\"}",
+        "# TYPE hp_queue_dwell_ns histogram",
+        "hp_queue_dwell_ns_count 0"}) {
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "missing '" << needle << "' in:\n" << text;
+  }
+}
+
+TEST(TelemetryHub, MetricsOutHoldsAFinalSnapshot) {
+  ObsConfig cfg;
+  cfg.telemetry = true;
+  cfg.metrics_out = ::testing::TempDir() + "latency_metrics_out.prom";
+  std::remove(cfg.metrics_out.c_str());
+  {
+    TelemetryHub hub(cfg, 1);
+    hub.ring(0).try_push(LatencyMetric::InboxDwell, 555);
+    MetricsReport report;
+    hub.finalize_into(report);
+  }
+  std::ifstream f(cfg.metrics_out);
+  ASSERT_TRUE(f.good()) << "metrics-out file missing";
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("# TYPE hp_inbox_dwell_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("hp_inbox_dwell_ns_count 1"), std::string::npos);
+  std::remove(cfg.metrics_out.c_str());
+}
+
+}  // namespace
+}  // namespace hp::obs

@@ -281,6 +281,8 @@ TEST(MetricsInvariants, ResultsBitIdenticalAcrossObsSettings) {
   monitor_on.monitor = true;
   monitor_on.monitor_interval = 2;
   monitor_on.monitor_path = ::testing::TempDir() + "obs_equiv_monitor.jsonl";
+  obs::ObsConfig telemetry_on;
+  telemetry_on.telemetry = true;
 
   const KernelRun seq = run_kernel(des::EngineKind::Sequential, 1, all_off);
   for (const des::EngineKind kind : des::kAllEngineKinds) {
@@ -289,18 +291,33 @@ TEST(MetricsInvariants, ResultsBitIdenticalAcrossObsSettings) {
     const KernelRun off = run_kernel(kind, pes, all_off);
     const KernelRun no_forensics = run_kernel(kind, pes, forensics_off);
     const KernelRun monitored = run_kernel(kind, pes, monitor_on);
+    const KernelRun telemetered = run_kernel(kind, pes, telemetry_on);
     EXPECT_EQ(on.digest, seq.digest) << des::kind_name(kind) << " obs on";
     EXPECT_EQ(off.digest, seq.digest) << des::kind_name(kind) << " obs off";
     EXPECT_EQ(no_forensics.digest, seq.digest)
         << des::kind_name(kind) << " forensics off";
     EXPECT_EQ(monitored.digest, seq.digest)
         << des::kind_name(kind) << " monitor on";
+    EXPECT_EQ(telemetered.digest, seq.digest)
+        << des::kind_name(kind) << " telemetry on";
     EXPECT_EQ(on.stats.committed_events(), seq.stats.committed_events());
     EXPECT_EQ(off.stats.committed_events(), seq.stats.committed_events());
     EXPECT_EQ(no_forensics.stats.committed_events(),
               seq.stats.committed_events());
     EXPECT_EQ(monitored.stats.committed_events(),
               seq.stats.committed_events());
+    EXPECT_EQ(telemetered.stats.committed_events(),
+              seq.stats.committed_events());
+    // The telemetry run really collected: every kernel commits, so the
+    // commit-latency histogram must be populated and its report flagged.
+    EXPECT_TRUE(telemetered.stats.metrics.telemetry) << des::kind_name(kind);
+    EXPECT_GT(telemetered.stats.metrics
+                  .latency_hist(obs::LatencyMetric::CommitLatency)
+                  .count(),
+              0u)
+        << des::kind_name(kind);
+    // ...while the other runs carry no latency block at all.
+    EXPECT_FALSE(off.stats.metrics.telemetry) << des::kind_name(kind);
     // Forensics off leaves the heatmaps empty — nothing was allocated.
     EXPECT_TRUE(no_forensics.stats.metrics.forensics.empty())
         << des::kind_name(kind);
@@ -421,6 +438,109 @@ TEST(Monitor, OtherKernelsAcceptAndIgnoreTheFlag) {
     const KernelRun r = run_kernel(kind, pes, cfg);
     EXPECT_EQ(r.stats.metrics.monitor_lines, 0u) << des::kind_name(kind);
     EXPECT_GT(r.stats.committed_events(), 0u) << des::kind_name(kind);
+  }
+  std::remove(cfg.monitor_path.c_str());
+}
+
+// Interval boundary: an interval beyond the run's round count means the
+// heartbeat never fires — no lines, no file side effects, run unaffected.
+TEST(Monitor, IntervalBeyondRunEmitsNothing) {
+  obs::ObsConfig cfg;
+  cfg.monitor = true;
+  cfg.monitor_interval = 1000000;
+  cfg.monitor_path = ::testing::TempDir() + "obs_monitor_never.jsonl";
+  std::remove(cfg.monitor_path.c_str());
+  const KernelRun r = run_kernel(des::EngineKind::TimeWarp, 4, cfg);
+  EXPECT_LT(r.stats.metrics.gvt_rounds, 1000000u);  // premise of the test
+  EXPECT_EQ(r.stats.metrics.monitor_lines, 0u);
+  EXPECT_GT(r.stats.committed_events(), 0u);
+  std::ifstream f(cfg.monitor_path);
+  if (f.good()) {  // writer may create the (empty) file on open
+    std::string rest;
+    std::getline(f, rest);
+    EXPECT_TRUE(rest.empty());
+  }
+  std::remove(cfg.monitor_path.c_str());
+}
+
+// Interval boundary: 0 is clamped to 1 (every round) rather than dividing
+// by zero or never emitting.
+TEST(Monitor, ZeroIntervalMeansEveryRound) {
+  obs::ObsConfig cfg;
+  cfg.monitor = true;
+  cfg.monitor_interval = 0;
+  cfg.monitor_path = ::testing::TempDir() + "obs_monitor_zero.jsonl";
+  std::remove(cfg.monitor_path.c_str());
+  const KernelRun r = run_kernel(des::EngineKind::TimeWarp, 4, cfg);
+  EXPECT_EQ(r.stats.metrics.monitor_lines, r.stats.metrics.gvt_rounds);
+  EXPECT_GT(r.stats.metrics.monitor_lines, 0u);
+  std::remove(cfg.monitor_path.c_str());
+}
+
+// MonitorWriter opens in append mode on purpose: one stream accumulates a
+// whole sweep, and every line in the combined file is still a whole,
+// parseable record (each is a single write(2)).
+TEST(Monitor, AppendModeAccumulatesWholeLinesAcrossRuns) {
+  obs::ObsConfig cfg;
+  cfg.monitor = true;
+  cfg.monitor_interval = 2;
+  cfg.monitor_path = ::testing::TempDir() + "obs_monitor_append.jsonl";
+  std::remove(cfg.monitor_path.c_str());
+  const KernelRun first = run_kernel(des::EngineKind::TimeWarp, 4, cfg);
+  const KernelRun second = run_kernel(des::EngineKind::TimeWarp, 2, cfg);
+  std::ifstream f(cfg.monitor_path);
+  ASSERT_TRUE(f.good());
+  std::size_t lines = 0;
+  for (std::string line; std::getline(f, line);) {
+    if (line.empty()) continue;
+    ++lines;
+    // Partial-stream validation: whatever prefix of the stream exists must
+    // be whole records — balanced braces, object per line.
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_EQ(std::count(line.begin(), line.end(), '{'),
+              std::count(line.begin(), line.end(), '}'));
+  }
+  EXPECT_EQ(lines, first.stats.metrics.monitor_lines +
+                       second.stats.metrics.monitor_lines);
+  std::remove(cfg.monitor_path.c_str());
+}
+
+// With telemetry armed the heartbeat carries the live commit-latency p99;
+// without it the key is absent so pre-telemetry streams are unchanged.
+TEST(Monitor, CommitLatencyKeyTracksTelemetry) {
+  obs::ObsConfig cfg;
+  cfg.monitor = true;
+  cfg.monitor_path = ::testing::TempDir() + "obs_monitor_latency.jsonl";
+
+  std::remove(cfg.monitor_path.c_str());
+  cfg.telemetry = true;
+  const KernelRun with = run_kernel(des::EngineKind::TimeWarp, 4, cfg);
+  ASSERT_GT(with.stats.metrics.monitor_lines, 0u);
+  {
+    std::ifstream f(cfg.monitor_path);
+    ASSERT_TRUE(f.good());
+    std::size_t tagged = 0, lines = 0;
+    for (std::string line; std::getline(f, line);) {
+      if (line.empty()) continue;
+      ++lines;
+      if (line.find("\"commit_latency_p99_us\":") != std::string::npos) {
+        ++tagged;
+      }
+    }
+    EXPECT_EQ(tagged, lines) << "telemetry on: every record carries the p99";
+  }
+
+  std::remove(cfg.monitor_path.c_str());
+  cfg.telemetry = false;
+  const KernelRun without = run_kernel(des::EngineKind::TimeWarp, 4, cfg);
+  ASSERT_GT(without.stats.metrics.monitor_lines, 0u);
+  {
+    std::ifstream f(cfg.monitor_path);
+    ASSERT_TRUE(f.good());
+    for (std::string line; std::getline(f, line);) {
+      EXPECT_EQ(line.find("commit_latency_p99_us"), std::string::npos);
+    }
   }
   std::remove(cfg.monitor_path.c_str());
 }
@@ -549,6 +669,27 @@ TEST(MetricsReport, WriteJsonEmitsCountersPhasesAndSeries) {
   EXPECT_NE(j.find("\"per_pe\""), std::string::npos);
   EXPECT_NE(j.find("\"gvt_series\""), std::string::npos);
   EXPECT_NE(j.find("\"commit_yield\""), std::string::npos);
+  // No telemetry in this run: the latency block must be absent so older
+  // consumers of the dump see an unchanged shape.
+  EXPECT_EQ(j.find("\"latency\""), std::string::npos);
+}
+
+TEST(MetricsReport, WriteJsonEmitsLatencyBlockWhenTelemetryRan) {
+  obs::ObsConfig cfg;
+  cfg.telemetry = true;
+  const KernelRun r = run_kernel(des::EngineKind::TimeWarp, 2, cfg);
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  r.stats.metrics.write_json(w);
+  EXPECT_TRUE(w.done());
+  const std::string j = os.str();
+  for (const char* key :
+       {"\"latency\"", "\"queue_dwell_ns\"", "\"commit_latency_ns\"",
+        "\"rollback_cost_ns\"", "\"inbox_dwell_ns\"", "\"count\"",
+        "\"sum_ns\"", "\"max_ns\"", "\"p50\"", "\"p90\"", "\"p99\"",
+        "\"p999\"", "\"telemetry_dropped\""}) {
+    EXPECT_NE(j.find(key), std::string::npos) << key;
+  }
 }
 
 }  // namespace

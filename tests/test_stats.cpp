@@ -128,6 +128,55 @@ TEST(Histogram, ZeroWidthDoesNotOverflow) {
   EXPECT_EQ(h.counts()[0] + h.counts()[1] + h.counts()[2], 2u);
 }
 
+// The shared quantile definition (util::interpolated_quantile) that every
+// histogram routes through — edge cases pinned here once so the model-side
+// percentiles and the latency telemetry cannot drift apart.
+TEST(InterpolatedQuantile, EmptyDistributionIsZero) {
+  EXPECT_DOUBLE_EQ(interpolated_quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(
+      interpolated_quantile({{0.0, 1.0, 0}, {1.0, 2.0, 0}}, 0.5), 0.0);
+}
+
+TEST(InterpolatedQuantile, ClampsToOccupiedEdges) {
+  // Zero-count bins flank the data: q<=0 must return the first OCCUPIED
+  // bin's lower edge, q>=1 the last OCCUPIED bin's upper edge.
+  const std::vector<QuantileBin> bins{
+      {0.0, 1.0, 0}, {1.0, 2.0, 4}, {2.0, 3.0, 4}, {3.0, 4.0, 0}};
+  EXPECT_DOUBLE_EQ(interpolated_quantile(bins, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(interpolated_quantile(bins, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(interpolated_quantile(bins, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(interpolated_quantile(bins, 2.0), 3.0);
+  // NaN takes the q<=0 branch (deterministic, no UB).
+  EXPECT_DOUBLE_EQ(
+      interpolated_quantile(bins, std::numeric_limits<double>::quiet_NaN()),
+      1.0);
+}
+
+TEST(InterpolatedQuantile, LinearInterpolationInsideABin) {
+  // 10 observations uniform over [0,10): the median rank 5 sits at the
+  // midpoint of the second bin ([5,10) holding ranks 5..10).
+  const std::vector<QuantileBin> bins{{0.0, 5.0, 5}, {5.0, 10.0, 5}};
+  EXPECT_DOUBLE_EQ(interpolated_quantile(bins, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interpolated_quantile(bins, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(interpolated_quantile(bins, 0.75), 7.5);
+  // Quantiles are monotone in q by construction.
+  double prev = -1.0;
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const double v = interpolated_quantile(bins, q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(Histogram, QuantileUsesTheSharedDefinition) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty -> 0
+  for (int i = 0; i < 10; ++i) h.add(15.0);  // all in bin [10,20)
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 15.0);
+}
+
 TEST(Summary, WelfordMatchesClosedForm) {
   Summary s;
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
