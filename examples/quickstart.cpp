@@ -31,8 +31,10 @@
 #include <string>
 
 #include "core/simulation.hpp"
+#include "des/checkpoint.hpp"
 #include "des/fault.hpp"
 #include "des/migration.hpp"
+#include "des/watchdog.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -40,6 +42,7 @@ int main(int argc, char** argv) {
                     {{"n", "torus dimension (N x N routers)"},
                      {"inject", "fraction of routers injecting (0..1)"},
                      {"steps", "simulated time steps"},
+                     {"seed", "workload RNG seed (default 1)"},
                      {"pes", "1 = sequential kernel, >1 = Time Warp"},
                      {"trace", "write a Chrome/Perfetto trace to this path"},
                      {"monitor", "heartbeat every N GVT rounds (bare = 1)"},
@@ -52,12 +55,22 @@ int main(int argc, char** argv) {
                      {"metrics-endpoint",
                       "serve Prometheus text on <port> or unix:<path>"},
                      {"metrics-out",
-                      "rewrite a Prometheus snapshot to this file"}});
+                      "rewrite a Prometheus snapshot to this file"},
+                     {"checkpoint",
+                      "crash safety, e.g. every=100000,dir=checkpoints"},
+                     {"restore", "resume from a checkpoint image or dir"},
+                     {"watchdog", "stall detector, e.g. timeout=5000,poll=50"}});
 
   hp::core::SimulationOptions opts;
   opts.model.n = static_cast<std::int32_t>(cli.get_int("n", 16));
   opts.model.injector_fraction = cli.get_double("inject", 0.5);
   opts.model.steps = static_cast<std::uint32_t>(cli.get_int("steps", 200));
+  const auto seed = cli.get_int("seed", 1);
+  if (seed <= 0) {
+    cli.usage_error("--seed expects a positive integer, got " +
+                    std::to_string(seed));
+  }
+  opts.engine.seed = static_cast<std::uint64_t>(seed);
   const auto pes = static_cast<std::uint32_t>(cli.get_int("pes", 1));
   if (pes > 1) {
     opts.kernel = hp::core::Kernel::TimeWarp;
@@ -131,6 +144,27 @@ int main(int argc, char** argv) {
     opts.engine.pool_budget_envelopes = static_cast<std::uint64_t>(budget);
   }
 
+  if (cli.has("checkpoint")) {
+    std::string err;
+    if (!hp::des::CheckpointConfig::parse(cli.get("checkpoint", ""),
+                                          opts.engine.checkpoint, err)) {
+      cli.usage_error("--checkpoint: " + err);
+    }
+  }
+  if (cli.has("restore")) {
+    opts.engine.restore_path = cli.get("restore", "");
+    if (opts.engine.restore_path.empty()) {
+      cli.usage_error("--restore expects a checkpoint file or directory");
+    }
+  }
+  if (cli.has("watchdog")) {
+    std::string err;
+    if (!hp::des::WatchdogConfig::parse(cli.get("watchdog", ""),
+                                        opts.engine.watchdog, err)) {
+      cli.usage_error("--watchdog: " + err);
+    }
+  }
+
   const auto result = hp::core::run_hotpotato(opts);
   const auto& r = result.report;
 
@@ -172,6 +206,12 @@ int main(int argc, char** argv) {
       std::printf("  top offender: KP %u caused %llu rolled-back events\n",
                   top.first, static_cast<unsigned long long>(top.second));
     }
+  }
+  if (result.engine.metrics.total.checkpoints_written() > 0) {
+    std::printf("  checkpoints: %llu image(s) -> %s\n",
+                static_cast<unsigned long long>(
+                    result.engine.metrics.total.checkpoints_written()),
+                opts.engine.checkpoint.dir.c_str());
   }
   if (result.engine.kp_migrations() > 0) {
     std::printf("  migrations: %llu KP move(s), %llu event(s) re-homed\n",

@@ -10,7 +10,8 @@
 //   ./ross_cli --n=32 --processors=4 --duration=2560 --probability_i=50
 //              [--absorb_sleeping_packet=1] [--chaos=spec] [--migrate[=spec]]
 //              [--telemetry] [--metrics-endpoint=port|unix:path]
-//              [--metrics-out=metrics.prom]
+//              [--metrics-out=metrics.prom] [--checkpoint=spec]
+//              [--restore=path] [--watchdog=spec]
 //
 // --chaos (Time Warp only) arms deterministic fault injection on the remote
 // event path (see des/fault.hpp); committed results are unchanged.
@@ -19,13 +20,19 @@
 // --telemetry records latency histograms; --metrics-endpoint /
 // --metrics-out expose them live as Prometheus text (either implies
 // --telemetry). Committed results are unchanged.
+// --checkpoint / --restore / --watchdog are the crash-safety trio (see
+// des/checkpoint.hpp and des/watchdog.hpp): periodic committed-state images,
+// resume from an image, and a stall detector that fails loudly (exit 86).
+// A restored run finishes with bit-identical model statistics.
 
 #include <cstdio>
 #include <string>
 
 #include "core/simulation.hpp"
+#include "des/checkpoint.hpp"
 #include "des/fault.hpp"
 #include "des/migration.hpp"
+#include "des/watchdog.hpp"
 #include "hotpotato/packet.hpp"
 #include "util/cli.hpp"
 
@@ -45,7 +52,10 @@ int main(int argc, char** argv) {
        {"migrate", "KP load balancing, e.g. every=8,imbalance=1.5,max=1"},
        {"telemetry", "record latency histograms"},
        {"metrics-endpoint", "serve Prometheus text on <port> or unix:<path>"},
-       {"metrics-out", "rewrite a Prometheus snapshot to this file"}});
+       {"metrics-out", "rewrite a Prometheus snapshot to this file"},
+       {"checkpoint", "crash safety, e.g. every=100000,dir=checkpoints"},
+       {"restore", "resume from a checkpoint image or dir"},
+       {"watchdog", "stall detector, e.g. timeout=5000,poll=50"}});
 
   hp::core::SimulationOptions opts;
   opts.model.n = static_cast<std::int32_t>(cli.get_int("n", 32));
@@ -112,6 +122,26 @@ int main(int argc, char** argv) {
     if (pes <= 1) {
       cli.usage_error("--migrate requires the Time Warp kernel "
                       "(--processors > 1)");
+    }
+  }
+  if (cli.has("checkpoint")) {
+    std::string err;
+    if (!hp::des::CheckpointConfig::parse(cli.get("checkpoint", ""),
+                                          opts.engine.checkpoint, err)) {
+      cli.usage_error("--checkpoint: " + err);
+    }
+  }
+  if (cli.has("restore")) {
+    opts.engine.restore_path = cli.get("restore", "");
+    if (opts.engine.restore_path.empty()) {
+      cli.usage_error("--restore expects a checkpoint file or directory");
+    }
+  }
+  if (cli.has("watchdog")) {
+    std::string err;
+    if (!hp::des::WatchdogConfig::parse(cli.get("watchdog", ""),
+                                        opts.engine.watchdog, err)) {
+      cli.usage_error("--watchdog: " + err);
     }
   }
 

@@ -7,7 +7,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake --preset tsan
-cmake --build build-tsan -j "$(nproc)" --target test_mpsc_queue test_timewarp test_engine_matrix test_chaos test_migration test_event_pool test_pending_set test_latency test_obs
+cmake --build build-tsan -j "$(nproc)" --target test_mpsc_queue test_timewarp test_engine_matrix test_chaos test_migration test_event_pool test_pending_set test_latency test_obs test_checkpoint quickstart
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 ./build-tsan/tests/test_mpsc_queue
@@ -30,5 +30,19 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 # matrix (which runs every engine with telemetry armed) cover that path.
 ./build-tsan/tests/test_latency
 ./build-tsan/tests/test_obs
+# Checkpointing rolls every KP back to the GVT fence, quiesces in-flight
+# traffic and serializes from a single PE while the others are parked; the
+# watchdog adds a polling monitor thread over relaxed-atomic beacons. Both
+# must stay race-free.
+./build-tsan/tests/test_checkpoint
+
+# Former cancellation-race repro (sub-ULP LadderQueue bucket geometry): long
+# 4-PE runs that historically tripped HP_ASSERT pe.pending.erase(v) after
+# thousands of GVT rounds. Five seeds keep the schedule-dependent window
+# covered; any relapse shows up as an assert or a TSan report here.
+for seed in 1 3 11 23 29; do
+  ./build-tsan/examples/quickstart --n=32 --steps=4000 --pes=4 \
+    --seed="$seed" > /dev/null
+done
 
 echo "TSan: TimeWarp test suite clean."

@@ -1,0 +1,126 @@
+#pragma once
+
+// Deterministic checkpoint/restore at committed-state boundaries.
+//
+// A checkpoint image is the engine-agnostic committed cut of a run at a
+// fence timestamp F: for every LP its state bytes and RNG cursor after all
+// committed events with key < {F,0,0,0,0}, plus every pending event with
+// key >= that fence (full EventKey + send timestamp + payload, so the
+// causal tiebreak chain is preserved verbatim). Nothing engine-specific is
+// stored — an image written by the sequential kernel restores into Time
+// Warp and vice versa, and a restored run finishes bit-identical to the
+// uninterrupted one (the model-statistics oracle in the tests).
+//
+// Each engine decides where such a cut exists:
+//   * sequential — between any two processed events;
+//   * conservative — at the window-top barrier (all inboxes drained);
+//   * Time Warp — during GVT commit, after rolling every KP back to the
+//     fence and quiescing in-flight traffic (see timewarp.cpp).
+//
+// On disk: a fixed header (magic, version, payload size, FNV-1a checksum)
+// followed by the little-endian payload. Files are written to a temporary
+// name and renamed into place, so a crash mid-write never leaves a
+// plausible-but-truncated image; readers verify the checksum and reject
+// corrupt files with an error message instead of aborting.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "des/time.hpp"
+#include "util/bytes.hpp"
+
+namespace hp::util {
+class ReversibleRng;
+}  // namespace hp::util
+
+namespace hp::des {
+
+class LpState;
+
+// --checkpoint=every=N[,dir=PATH] — write an image each time N more events
+// have been committed globally since the previous image (N is a floor: the
+// engine checkpoints at the first commit boundary at or past the threshold).
+struct CheckpointConfig {
+  std::uint64_t every = 0;  // committed events between images; 0 = disabled
+  std::string dir = "checkpoints";
+
+  bool enabled() const noexcept { return every > 0; }
+
+  // Parses "every=N[,dir=PATH]". Returns false and sets `err` on malformed
+  // input without touching `out`.
+  static bool parse(std::string_view spec, CheckpointConfig& out,
+                    std::string& err);
+  std::string to_string() const;
+  bool operator==(const CheckpointConfig&) const = default;
+};
+
+// A pending event at the cut. uid / parent linkage / children are NOT
+// stored: a pending event has no children yet, and anti-message identity is
+// meaningless across a restore boundary (nothing that could cancel a
+// restored event survives the cut) — restore mints fresh uids.
+struct CheckpointEventRecord {
+  EventKey key;
+  Time send_ts = 0.0;
+  std::vector<std::uint8_t> payload;
+};
+
+// One LP's committed state: the model bytes (LpState::serialize) and the
+// RNG stream position (raw state + draw count, so rollback accounting keeps
+// working after restore).
+struct CheckpointLpRecord {
+  std::uint64_t rng_state = 0;
+  std::uint64_t rng_draws = 0;
+  std::vector<std::uint8_t> state;
+};
+
+struct CheckpointImage {
+  std::uint64_t seed = 0;       // must match the restoring run's config
+  std::uint32_t num_lps = 0;    // ditto
+  Time fence = 0.0;             // everything < {fence,0,0,0,0} is inside
+  Time end_time = 0.0;          // original run horizon (must match)
+  std::uint64_t committed = 0;  // events committed at the cut (baseline)
+  std::vector<CheckpointLpRecord> lps;      // indexed by LP id
+  std::vector<CheckpointEventRecord> events;  // pending at the cut
+
+  void encode(util::ByteSink& sink) const;
+  // Returns false and sets `err` on a malformed payload (sticky-failure
+  // reads — never aborts on corrupt input).
+  bool decode(util::ByteSource& src, std::string& err);
+};
+
+// Writes `image` to dir/ckpt-<seq>.hpck via tmp+rename. Creates the
+// directory if needed. On success returns true and sets `path_out` to the
+// final path; on failure returns false with `err` set.
+bool write_checkpoint(const CheckpointImage& image, const std::string& dir,
+                      std::uint64_t seq, std::string& path_out,
+                      std::string& err);
+
+// Reads and verifies one image file (header, checksum, payload decode).
+bool read_checkpoint(const std::string& path, CheckpointImage& image,
+                     std::string& err);
+
+// Resolves a --restore argument: a file path is returned as-is (if it
+// exists); a directory is scanned for the highest-sequence ckpt-*.hpck.
+// Returns "" if nothing suitable exists.
+std::string find_latest_checkpoint(const std::string& path_or_dir);
+
+// Resolves, reads and validates an image against the restoring run's
+// configuration (seed, LP count, horizon — a mismatch would silently break
+// the bit-identity guarantee, so it is an error, not a warning).
+bool load_checkpoint_for_restore(const std::string& path_or_dir,
+                                 std::uint64_t seed, std::uint32_t num_lps,
+                                 Time end_time, CheckpointImage& image,
+                                 std::string& err);
+
+// Engine-shared record helpers: capture one LP's committed state, and apply
+// a record back onto a freshly make_state'd LP (aborts on a record the
+// model's deserialize rejects — a corrupt-but-checksum-valid image is a
+// bug, not an input).
+CheckpointLpRecord make_lp_record(const LpState& state,
+                                  const util::ReversibleRng& rng);
+void apply_lp_record(const CheckpointLpRecord& rec, std::uint32_t lp,
+                     LpState& state, util::ReversibleRng& rng);
+
+}  // namespace hp::des

@@ -1,9 +1,13 @@
 #include "des/conservative.hpp"
 
+#include <bit>
 #include <chrono>
+#include <cstring>
+#include <optional>
 #include <thread>
 
 #include "obs/telemetry.hpp"
+#include "util/failure.hpp"
 #include "util/hash.hpp"
 
 namespace hp::des {
@@ -145,6 +149,9 @@ ConservativeEngine::ConservativeEngine(Model& model, EngineConfig cfg,
     pes_.back()->pending.configure(cfg_.queue_kind);
   }
   local_min_.resize(cfg_.num_pes, kTimeInf);
+  local_max_ts_.resize(cfg_.num_pes, kTimeNegInf);
+  local_processed_.resize(cfg_.num_pes, 0);
+  wd_beacons_ = std::make_unique<PeBeacon[]>(cfg_.num_pes);
 }
 
 ConservativeEngine::~ConservativeEngine() = default;
@@ -153,30 +160,75 @@ void ConservativeEngine::run_pe(PeData& pe) {
   Ctx ctx(*this, pe);
   pe.probe.begin(Phase::GvtBarrier);
   for (;;) {
-    // Publish the local floor; PE 0 computes the window.
+    // Publish the local floor (plus the checkpoint reductions: local max
+    // processed timestamp and processed count); PE 0 computes the window.
     pe.probe.switch_to(Phase::GvtBarrier);
+    wd_beacons_[pe.id].set_phase(BeaconPhase::GvtBarrier);
     local_min_[pe.id] =
         pe.pending.empty() ? kTimeInf : pe.pending.peek_min()->key.ts;
+    local_max_ts_[pe.id] = pe.max_processed_ts;
+    local_processed_[pe.id] = pe.metrics.at(Counter::Processed);
+    wd_beacons_[pe.id].processed.store(local_processed_[pe.id],
+                                       std::memory_order_relaxed);
+    wd_beacons_[pe.id].committed.store(local_processed_[pe.id],
+                                       std::memory_order_relaxed);
+    wd_beacons_[pe.id].pending.store(pe.pending.size(),
+                                     std::memory_order_relaxed);
     barrier_.arrive_and_wait();
     if (pe.id == 0) {
       Time floor = kTimeInf;
+      Time max_ts = kTimeNegInf;
+      std::uint64_t total_processed = 0;
       for (const Time m : local_min_) floor = std::min(floor, m);
+      for (const Time m : local_max_ts_) max_ts = std::max(max_ts, m);
+      for (const std::uint64_t p : local_processed_) total_processed += p;
+      wd_heart_.committed.store(ck_base_committed_ + total_processed,
+                                std::memory_order_relaxed);
+      wd_heart_.rounds.fetch_add(1, std::memory_order_relaxed);
       if (floor > cfg_.end_time) {
         done_.store(true, std::memory_order_relaxed);
+        ck_do_.store(false, std::memory_order_relaxed);
       } else {
+        wd_heart_.gvt_bits.store(std::bit_cast<std::uint64_t>(floor),
+                                 std::memory_order_relaxed);
         window_end_.store(floor + lookahead_, std::memory_order_relaxed);
         windows_.fetch_add(1, std::memory_order_relaxed);
+        // A checkpoint fence must separate everything committed (strictly
+        // below) from everything pending (at or above) — true exactly when
+        // the floor has moved past the highest processed timestamp. If not,
+        // keep running; a later window will present a clean cut.
+        const bool ck = ck_base_committed_ + total_processed >= ck_next_ &&
+                        floor > max_ts;
+        if (ck) {
+          ck_fence_ = floor;
+          ck_committed_ = ck_base_committed_ + total_processed;
+        }
+        ck_do_.store(ck, std::memory_order_relaxed);
       }
     }
     barrier_.arrive_and_wait();
     if (done_.load(std::memory_order_relaxed)) {
       pe.probe.end();
+      wd_beacons_[pe.id].set_phase(BeaconPhase::Done);
       return;
+    }
+    if (ck_do_.load(std::memory_order_relaxed)) {
+      // Stop-the-world serialization: every PE is parked between barriers
+      // with its inbox empty (drained at the previous window's end) and all
+      // processed work committed, so PE 0 can read the global LP/RNG/pending
+      // structures without racing anyone.
+      if (pe.id == 0) {
+        obs::PhaseScope ck_phase(pe.probe, Phase::Checkpoint);
+        wd_beacons_[0].set_phase(BeaconPhase::Checkpoint);
+        write_checkpoint_image();
+      }
+      barrier_.arrive_and_wait();
     }
 
     // Process everything inside the window (key order; same-PE insertions
     // during processing are picked up by the min-pop).
     pe.probe.switch_to(Phase::Forward);
+    wd_beacons_[pe.id].set_phase(BeaconPhase::Execute);
     const Time wend = window_end_.load(std::memory_order_relaxed);
     while (Event* ev = pe.pending.peek_min()) {
       if (ev->key.ts >= wend || ev->key.ts > cfg_.end_time) break;
@@ -193,6 +245,7 @@ void ConservativeEngine::run_pe(PeData& pe) {
       ctx.begin_event(ev);
       model_.forward(*states_[ev->key.dst_lp], *ev, ctx);
       model_.commit(*states_[ev->key.dst_lp], *ev);
+      pe.max_processed_ts = std::max(pe.max_processed_ts, ev->key.ts);
       ++pe.metrics.at(Counter::Processed);
       if (HP_UNLIKELY(telemetry_)) {
         // Processing commits in place, so commit latency here is the
@@ -241,6 +294,47 @@ void ConservativeEngine::run_pe(PeData& pe) {
   }
 }
 
+// PE 0 only, with every other PE parked between barriers: capture the
+// committed cut (all LP states + RNG cursors, every pending event on every
+// PE) at the fence chosen by the window-top reduction.
+void ConservativeEngine::write_checkpoint_image() {
+  CheckpointImage img;
+  img.seed = cfg_.seed;
+  img.num_lps = cfg_.num_lps;
+  img.fence = ck_fence_;
+  img.end_time = cfg_.end_time;
+  img.committed = ck_committed_;
+  img.lps.reserve(cfg_.num_lps);
+  for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) {
+    img.lps.push_back(make_lp_record(*states_[lp], rngs_[lp]));
+  }
+  // The pending sets have no iteration API: drain each into a stage vector,
+  // record, reinsert (same multiset, so window processing is unaffected).
+  for (auto& pe : pes_) {
+    std::vector<Event*> stage;
+    while (Event* p = pe->pending.pop_min()) stage.push_back(p);
+    img.events.reserve(img.events.size() + stage.size());
+    for (const Event* p : stage) {
+      CheckpointEventRecord rec;
+      rec.key = p->key;
+      rec.send_ts = p->send_ts;
+      rec.payload.assign(reinterpret_cast<const std::uint8_t*>(p->payload),
+                         reinterpret_cast<const std::uint8_t*>(p->payload) +
+                             p->payload_size);
+      img.events.push_back(std::move(rec));
+    }
+    for (Event* p : stage) pe->pending.insert(p);
+  }
+  std::string path, err;
+  const bool wrote =
+      write_checkpoint(img, cfg_.checkpoint.dir,
+                       ck_next_ / cfg_.checkpoint.every, path, err);
+  HP_ASSERT(wrote, "%s", err.c_str());
+  ++ck_written_;
+  ck_next_ =
+      (img.committed / cfg_.checkpoint.every + 1) * cfg_.checkpoint.every;
+}
+
 RunStats ConservativeEngine::run() {
   // Telemetry comes up before init_lp so initial schedule()s get creation
   // stamps (their queue dwell until the first window is real).
@@ -248,10 +342,43 @@ RunStats ConservativeEngine::run() {
   if (HP_UNLIKELY(telemetry_)) {
     hub_ = std::make_unique<obs::TelemetryHub>(cfg_.obs, cfg_.num_pes);
   }
-  ConsInitCtx ictx(*this, cfg_.seed);
-  for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) {
-    ictx.begin_lp(lp);
-    model_.init_lp(lp, ictx);
+  // Fresh run seeds the initial events; a restored run reinstates the
+  // committed cut from the image instead (see des/checkpoint.hpp).
+  const bool restoring = !cfg_.restore_path.empty();
+  if (restoring) {
+    CheckpointImage image;
+    std::string err;
+    const bool loaded =
+        load_checkpoint_for_restore(cfg_.restore_path, cfg_.seed,
+                                    cfg_.num_lps, cfg_.end_time, image, err);
+    HP_ASSERT(loaded, "%s", err.c_str());
+    for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) {
+      apply_lp_record(image.lps[lp], lp, *states_[lp], rngs_[lp]);
+    }
+    for (const CheckpointEventRecord& rec : image.events) {
+      PeData& pe = *pes_[lp_pe_[rec.key.dst_lp]];
+      Event* ev = pe.pool.allocate();
+      ev->key = rec.key;
+      ev->send_ts = rec.send_ts;
+      ev->status = EventStatus::Pending;
+      ev->payload_size = static_cast<std::uint16_t>(rec.payload.size());
+      if (!rec.payload.empty()) {
+        std::memcpy(ev->payload, rec.payload.data(), rec.payload.size());
+      }
+      if (HP_UNLIKELY(telemetry_)) ev->create_wall_ns = obs::monotonic_ns();
+      pe.pending.insert(ev);
+    }
+    ck_base_committed_ = image.committed;
+  } else {
+    ConsInitCtx ictx(*this, cfg_.seed);
+    for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) {
+      ictx.begin_lp(lp);
+      model_.init_lp(lp, ictx);
+    }
+  }
+  if (cfg_.checkpoint.enabled()) {
+    ck_next_ = (ck_base_committed_ / cfg_.checkpoint.every + 1) *
+               cfg_.checkpoint.every;
   }
 
   const bool tracing = cfg_.obs.trace;
@@ -262,6 +389,12 @@ RunStats ConservativeEngine::run() {
                      cfg_.obs.phase_timers);
   }
   epoch_ns_ = obs::monotonic_ns();
+
+  WatchdogScope wd_scope{"conservative", &wd_heart_, wd_beacons_.get(),
+                         cfg_.num_pes};
+  util::ScopedFailureDump wd_dump(failure_dump_adapter, &wd_scope);
+  std::optional<Watchdog> watchdog;
+  if (cfg_.watchdog.enabled()) watchdog.emplace(cfg_.watchdog, wd_scope);
 
   const auto t0 = std::chrono::steady_clock::now();
   if (cfg_.num_pes == 1) {
@@ -274,10 +407,12 @@ RunStats ConservativeEngine::run() {
     }
   }
   const auto t1 = std::chrono::steady_clock::now();
+  if (watchdog) watchdog->stop();
 
   RunStats stats;
   obs::MetricsReport& m = stats.metrics;
   m.per_pe.reserve(pes_.size());
+  pes_[0]->metrics.at(Counter::Checkpoints) = ck_written_;
   for (auto& pe : pes_) {
     // Everything a conservative PE processes commits immediately.
     pe->metrics.at(Counter::Committed) = pe->metrics.at(Counter::Processed);

@@ -81,6 +81,10 @@ class ConservativeEngine final : public Engine {
     obs::GvtSeriesRing series;
     std::uint64_t local_rounds = 0;
     std::uint64_t processed_at_last_window = 0;
+    // Highest timestamp processed on this PE, published at the window-top
+    // reduction so PE 0 can prove a checkpoint fence (all committed strictly
+    // below it) exists at the current floor.
+    Time max_processed_ts = kTimeNegInf;
   };
 
   class Ctx;
@@ -109,6 +113,22 @@ class ConservativeEngine final : public Engine {
   std::atomic<bool> done_{false};
   std::atomic<std::uint64_t> windows_{0};
   std::uint64_t epoch_ns_ = 0;  // run-start timestamp for series/trace
+
+  // Checkpointing (window-top reductions; see checkpoint_if_due).
+  std::vector<Time> local_max_ts_;
+  std::vector<std::uint64_t> local_processed_;
+  std::atomic<bool> ck_do_{false};
+  std::uint64_t ck_base_committed_ = 0;  // image baseline when restoring
+  std::uint64_t ck_next_ = ~0ull;
+  std::uint64_t ck_written_ = 0;
+  Time ck_fence_ = 0.0;            // written and read by PE 0 only
+  std::uint64_t ck_committed_ = 0;  // ditto
+
+  void write_checkpoint_image();
+
+  // Stall watchdog / fail-fast diagnostics (see des/watchdog.hpp).
+  WatchdogHeart wd_heart_;
+  std::unique_ptr<PeBeacon[]> wd_beacons_;
 };
 
 }  // namespace hp::des

@@ -12,11 +12,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "des/checkpoint.hpp"
 #include "des/fault.hpp"
 #include "des/migration.hpp"
 #include "des/time.hpp"
+#include "des/watchdog.hpp"
 #include "net/mapping.hpp"
 #include "obs/metrics.hpp"
 
@@ -95,6 +98,18 @@ struct EngineConfig {
   // Observability: phase timers, GVT-round series retention, Chrome trace
   // export. Pure bookkeeping — results are bit-identical at any setting.
   obs::ObsConfig obs;
+  // Crash safety: periodically serialize the committed cut of the run to
+  // disk (all kernels; Time Warp checkpoints at GVT commit points). A run
+  // resumed from an image finishes bit-identical to the uninterrupted run.
+  // See des/checkpoint.hpp.
+  CheckpointConfig checkpoint;
+  // Resume from a checkpoint image (file path or directory holding images;
+  // empty = fresh run). seed/num_lps/end_time must match the image.
+  std::string restore_path;
+  // Stall watchdog: declare the run wedged and fail loudly (structured
+  // per-PE dump + exit code des::kStallExitCode) when neither GVT nor the
+  // committed-event count moves for timeout_ms. See des/watchdog.hpp.
+  WatchdogConfig watchdog;
 };
 
 // Structured run statistics. The full breakdown (named counters, per-PE

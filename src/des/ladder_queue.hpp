@@ -28,8 +28,23 @@
 //
 // Duplicate full keys are permitted, as in SplayQueue; among equal keys any
 // pop order is allowed.
+//
+// Rung geometry is ULP-aware: a rung's bucket width never drops below a few
+// ULPs of its own start timestamp (min_width_at). An absolute floor is not
+// enough — at ts ~3e4 the double ULP is ~3.6e-12, so a fixed 1e-12 floor
+// let stacked rungs subdivide below the representable resolution, where the
+// accumulated rounding of fl(start + width*cur) across parent rungs exceeds
+// the +2-bucket coverage slack. Events then landed beyond a rung's nominal
+// range and the filing clamp pushed them behind the consumed frontier:
+// silently leaked when the rung was discarded, or popped out of key order —
+// the root cause of the long-run Time Warp "cancellation race"
+// (pe.pending.erase victim-missing asserts). Two hard invariants back the
+// width rule up: filing into an exhausted rung reopens its last bucket
+// instead of landing behind the frontier, and a rung is never discarded
+// while it still holds events.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -66,7 +81,16 @@ class LadderQueue {
       return;
     }
     for (Rung& r : rungs_) {
-      const std::size_t b = r.target(ts);
+      std::size_t b = r.target(ts);
+      if (b == Rung::kPastCoverage) {
+        // ts is beyond the nominal range of a fully consumed rung (float
+        // slop only — min_width_at makes this unreachable in practice). The
+        // event is >= everything this rung ever held and < every unconsumed
+        // event in coarser rungs, so reopening the last bucket is its only
+        // order-correct home; filing behind the frontier would strand it.
+        r.cur = r.buckets.size() - 1;
+        b = r.cur;
+      }
       if (b != Rung::kBeforeFrontier) {
         r.buckets[b].push_back(ev);
         ++r.count;
@@ -104,7 +128,8 @@ class LadderQueue {
       }
     } else {
       for (Rung& r : rungs_) {
-        const std::size_t bi = r.target(ts);
+        std::size_t bi = r.target(ts);
+        if (bi == Rung::kPastCoverage) bi = r.buckets.size() - 1;
         if (bi != Rung::kBeforeFrontier) {
           if (erase_from(r.buckets[bi], ev)) {
             --r.count;
@@ -166,6 +191,18 @@ class LadderQueue {
   static constexpr std::size_t kChildBuckets = 32;
   static constexpr std::size_t kMaxRungs = 8;
   static constexpr double kMinWidth = 1e-12;
+  // Bucket boundaries are fl(start + width*k); each stacked rung adds up to
+  // half an ULP of rounding to its start, so kMaxRungs levels can drift the
+  // finest geometry by ~4 ULPs. Keeping every width at >= 8 ULPs of its own
+  // start makes the +2-bucket coverage slack (2 widths) dominate that drift,
+  // so the filing walk can never land beyond a rung's range or behind its
+  // frontier. kMinWidth remains the absolute floor near t = 0.
+  static double min_width_at(double t) noexcept {
+    const double mag = std::abs(t);
+    const double ulp =
+        std::nextafter(mag, std::numeric_limits<double>::infinity()) - mag;
+    return std::max(kMinWidth, 8.0 * ulp);
+  }
 
   struct KeyGreater {
     bool operator()(const Event* a, const Event* b) const noexcept {
@@ -176,6 +213,7 @@ class LadderQueue {
   struct Rung {
     static constexpr std::size_t kBeforeFrontier =
         static_cast<std::size_t>(-1);
+    static constexpr std::size_t kPastCoverage = static_cast<std::size_t>(-2);
 
     double start = 0.0;  // timestamp of bucket 0's left edge
     double width = 1.0;
@@ -198,7 +236,13 @@ class LadderQueue {
     std::size_t target(Time ts) const noexcept {
       const double d = (ts - start) / width;
       if (d < static_cast<double>(cur)) return kBeforeFrontier;
-      return std::min(static_cast<std::size_t>(d), buckets.size() - 1);
+      const std::size_t b =
+          std::min(static_cast<std::size_t>(d), buckets.size() - 1);
+      // Clamping below the frontier (only possible when the rung is fully
+      // consumed and ts overshoots its range) must not file the event into
+      // consumed territory — the caller reopens the last bucket instead.
+      if (b < cur) return kPastCoverage;
+      return b;
     }
     std::size_t idx(Time ts) const noexcept {
       const double d = (ts - start) / width;
@@ -234,16 +278,21 @@ class LadderQueue {
       Rung& r = rungs_.back();
       while (r.cur < r.buckets.size() && r.buckets[r.cur].empty()) ++r.cur;
       if (r.cur >= r.buckets.size() || r.count == 0) {
+        HP_ASSERT(r.count == 0,
+                  "ladder rung discarded with %zu events stranded "
+                  "(cur=%zu nb=%zu start=%.17g width=%.3g)",
+                  r.count, r.cur, r.buckets.size(), r.start, r.width);
         rungs_.pop_back();
         continue;
       }
       std::vector<Event*>& b = r.buckets[r.cur];
-      if (b.size() > kSpawnThreshold && r.width > 2.0 * kMinWidth &&
+      const double min_w = min_width_at(r.cur_start());
+      if (b.size() > kSpawnThreshold && r.width > 2.0 * min_w &&
           rungs_.size() < kMaxRungs) {
         Rung child;
         child.start = r.cur_start();
         child.width = std::max(r.width / static_cast<double>(kChildBuckets),
-                               kMinWidth);
+                               min_w);
         const std::size_t nb = std::min<std::size_t>(
             kChildBuckets + 1,
             static_cast<std::size_t>(r.width / child.width) + 2);
@@ -278,7 +327,7 @@ class LadderQueue {
     r.width = std::max((top_max_ - top_min_) /
                            static_cast<double>(std::max<std::size_t>(
                                top_.size(), 1)),
-                       kMinWidth);
+                       min_width_at(top_max_));
     const std::size_t nb = std::min<std::size_t>(
         top_.size() + 2,
         static_cast<std::size_t>((top_max_ - top_min_) / r.width) + 2);

@@ -8,6 +8,11 @@
 
 #include "util/macros.hpp"
 
+namespace hp::util {
+class ByteSink;
+class ByteSource;
+}  // namespace hp::util
+
 namespace hp::des {
 
 class LpState {
@@ -26,6 +31,18 @@ class LpState {
   virtual bool equals(const LpState&) const {
     HP_ASSERT(false, "LpState::equals not implemented for this model");
     return false;
+  }
+
+  // Checkpoint codec: serialize must write every field that affects forward
+  // execution or end-of-run statistics, and deserialize must restore them
+  // bit-exactly (a restored run is required to finish bit-identical to the
+  // uninterrupted one). Optional like clone() — models that never checkpoint
+  // keep the aborting defaults.
+  virtual void serialize(util::ByteSink&) const {
+    HP_ASSERT(false, "LpState::serialize not implemented for this model");
+  }
+  virtual void deserialize(util::ByteSource&) {
+    HP_ASSERT(false, "LpState::deserialize not implemented for this model");
   }
 };
 

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "des/model.hpp"
+#include "util/bytes.hpp"
 
 namespace hp::des {
 
@@ -39,6 +40,16 @@ struct PholdState final : LpState {
     const auto& s = static_cast<const PholdState&>(o);
     return events == s.events && remote_sends == s.remote_sends &&
            order_hash == s.order_hash;
+  }
+  void serialize(util::ByteSink& sink) const override {
+    sink.u64(events);
+    sink.u64(remote_sends);
+    sink.u64(order_hash);
+  }
+  void deserialize(util::ByteSource& src) override {
+    events = src.u64();
+    remote_sends = src.u64();
+    order_hash = src.u64();
   }
 };
 

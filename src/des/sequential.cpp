@@ -1,9 +1,13 @@
 #include "des/sequential.hpp"
 
+#include <bit>
 #include <chrono>
+#include <cstring>
+#include <optional>
 
 #include "obs/probe.hpp"
 #include "obs/telemetry.hpp"
+#include "util/failure.hpp"
 #include "util/hash.hpp"
 
 namespace hp::des {
@@ -102,10 +106,42 @@ RunStats SequentialEngine::run() {
   if (HP_UNLIKELY(telemetry_)) {
     hub_ = std::make_unique<obs::TelemetryHub>(cfg_.obs, 1);
   }
-  ICtx ictx(*this, cfg_.seed);
-  for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) {
-    ictx.begin_lp(lp);
-    model_.init_lp(lp, ictx);
+  // Fresh run: seed the initial events. Restored run: reinstate the
+  // committed cut instead — LP states + RNG cursors from the image, and the
+  // pending events verbatim (full EventKey preserved, so the causal
+  // tiebreak chain — and therefore the processing order — is identical to
+  // the uninterrupted run).
+  CheckpointImage restore_image;
+  const bool restoring = !cfg_.restore_path.empty();
+  if (restoring) {
+    std::string err;
+    const bool loaded =
+        load_checkpoint_for_restore(cfg_.restore_path, cfg_.seed,
+                                    cfg_.num_lps, cfg_.end_time,
+                                    restore_image, err);
+    HP_ASSERT(loaded, "%s", err.c_str());
+    for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) {
+      apply_lp_record(restore_image.lps[lp], lp, *states_[lp], rngs_[lp]);
+    }
+    for (const CheckpointEventRecord& rec : restore_image.events) {
+      Event* ev = pool_.allocate();
+      ev->key = rec.key;
+      ev->send_ts = rec.send_ts;
+      ev->kp = 0;
+      ev->status = EventStatus::Pending;
+      ev->payload_size = static_cast<std::uint16_t>(rec.payload.size());
+      if (!rec.payload.empty()) {
+        std::memcpy(ev->payload, rec.payload.data(), rec.payload.size());
+      }
+      if (HP_UNLIKELY(telemetry_)) ev->create_wall_ns = obs::monotonic_ns();
+      pending_.insert(ev);
+    }
+  } else {
+    ICtx ictx(*this, cfg_.seed);
+    for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) {
+      ictx.begin_lp(lp);
+      model_.init_lp(lp, ictx);
+    }
   }
 
   // No per-PE breakdown: the single execution stream fills `total` directly
@@ -118,11 +154,77 @@ RunStats SequentialEngine::run() {
   const std::uint64_t epoch_ns = obs::monotonic_ns();
   probe.begin(obs::Phase::Forward);
 
+  // Crash-safety plumbing: progress beacons for the stall watchdog and the
+  // fail-fast diagnostic dump, plus the committed-count checkpoint trigger.
+  // The committed baseline of a restored run counts the image's events so
+  // checkpoint sequence numbers stay monotonic across restores.
+  WatchdogHeart wd_heart;
+  PeBeacon wd_beacon;
+  WatchdogScope wd_scope{"sequential", &wd_heart, &wd_beacon, 1};
+  util::ScopedFailureDump wd_dump(failure_dump_adapter, &wd_scope);
+  std::optional<Watchdog> watchdog;
+  if (cfg_.watchdog.enabled()) watchdog.emplace(cfg_.watchdog, wd_scope);
+  wd_beacon.set_phase(BeaconPhase::Execute);
+  const bool ck_on = cfg_.checkpoint.enabled();
+  const std::uint64_t committed_base = restoring ? restore_image.committed : 0;
+  std::uint64_t ck_next =
+      ck_on ? (committed_base / cfg_.checkpoint.every + 1) *
+                  cfg_.checkpoint.every
+            : ~0ull;
+  std::uint64_t ck_written = 0;
+  Time last_ts = kTimeNegInf;
+
   Ctx ctx(*this);
   std::uint64_t processed = 0;
   const auto t0 = std::chrono::steady_clock::now();
   while (Event* ev = pending_.peek_min()) {
     if (ev->key.ts > cfg_.end_time) break;
+    // Checkpoint at the first strict timestamp increase past the committed
+    // threshold: with everything processed so far at ts < ev->key.ts, the
+    // cut "committed < {fence,0,0,0,0} <= pending" exists with fence =
+    // ev->key.ts (the pending minimum), which is exactly what the image
+    // format requires.
+    if (HP_UNLIKELY(committed_base + processed >= ck_next) &&
+        ev->key.ts > last_ts) {
+      probe.begin(obs::Phase::Checkpoint);
+      wd_beacon.set_phase(BeaconPhase::Checkpoint);
+      CheckpointImage img;
+      img.seed = cfg_.seed;
+      img.num_lps = cfg_.num_lps;
+      img.fence = ev->key.ts;
+      img.end_time = cfg_.end_time;
+      img.committed = committed_base + processed;
+      img.lps.reserve(cfg_.num_lps);
+      for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) {
+        img.lps.push_back(make_lp_record(*states_[lp], rngs_[lp]));
+      }
+      // The pending set has no iteration API: drain into a stage vector,
+      // serialize, reinsert (identical multiset, so order is unaffected).
+      std::vector<Event*> stage;
+      while (Event* p = pending_.pop_min()) stage.push_back(p);
+      img.events.reserve(stage.size());
+      for (const Event* p : stage) {
+        CheckpointEventRecord rec;
+        rec.key = p->key;
+        rec.send_ts = p->send_ts;
+        rec.payload.assign(
+            reinterpret_cast<const std::uint8_t*>(p->payload),
+            reinterpret_cast<const std::uint8_t*>(p->payload) +
+                p->payload_size);
+        img.events.push_back(std::move(rec));
+      }
+      std::string path, err;
+      const bool wrote =
+          write_checkpoint(img, cfg_.checkpoint.dir,
+                           ck_next / cfg_.checkpoint.every, path, err);
+      HP_ASSERT(wrote, "%s", err.c_str());
+      ++ck_written;
+      for (Event* p : stage) pending_.insert(p);
+      ck_next = (img.committed / cfg_.checkpoint.every + 1) *
+                cfg_.checkpoint.every;
+      probe.begin(obs::Phase::Forward);
+      wd_beacon.set_phase(BeaconPhase::Execute);
+    }
     pending_.pop_min();
     ev->rng_before = rngs_[ev->key.dst_lp].draw_count();
     ev->status = EventStatus::Processed;
@@ -137,7 +239,16 @@ RunStats SequentialEngine::run() {
     ctx.begin_event(ev);
     model_.forward(*states_[ev->key.dst_lp], *ev, ctx);
     model_.commit(*states_[ev->key.dst_lp], *ev);
+    last_ts = ev->key.ts;
     ++processed;
+    if (HP_UNLIKELY((processed & 1023u) == 0)) {
+      wd_heart.gvt_bits.store(std::bit_cast<std::uint64_t>(ev->key.ts),
+                              std::memory_order_relaxed);
+      wd_heart.committed.store(processed, std::memory_order_relaxed);
+      wd_beacon.processed.store(processed, std::memory_order_relaxed);
+      wd_beacon.committed.store(processed, std::memory_order_relaxed);
+      wd_beacon.pending.store(pending_.size(), std::memory_order_relaxed);
+    }
     if (HP_UNLIKELY(telemetry_)) {
       // Execution and commit coincide here, so commit latency is the
       // forward+commit cost itself — the sequential floor of the same
@@ -162,9 +273,12 @@ RunStats SequentialEngine::run() {
   }
   const auto t1 = std::chrono::steady_clock::now();
   probe.end();
+  wd_beacon.set_phase(BeaconPhase::Done);
+  if (watchdog) watchdog->stop();
 
   m.total.at(obs::Counter::Processed) = processed;
   m.total.at(obs::Counter::Committed) = processed;
+  m.total.at(obs::Counter::Checkpoints) = ck_written;
   m.total.at(obs::Counter::PoolEnvelopes) = pool_.allocated();
   m.total.at(obs::Counter::PoolLiveEnvelopes) = static_cast<std::uint64_t>(
       std::max<std::int64_t>(0, pool_.live()));

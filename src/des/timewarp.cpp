@@ -1,10 +1,14 @@
 #include "des/timewarp.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
+#include <cstring>
+#include <optional>
 #include <thread>
 
 #include "obs/telemetry.hpp"
+#include "util/failure.hpp"
 #include "util/hash.hpp"
 
 namespace hp::des {
@@ -755,6 +759,21 @@ void TimeWarpEngine::chaos_release(PeData& pe, bool all) {
   }
 }
 
+// Same restart-the-scan discipline as chaos_release: a delivery can trigger
+// cancellations that erase arbitrary holdback entries, so take one envelope
+// off the front at a time until the buffer is empty.
+void TimeWarpEngine::chaos_deliver_all_held(PeData& pe) {
+  while (!pe.chaos_held.empty()) {
+    Event* ev = pe.chaos_held.front().ev;
+    pe.chaos_held.erase(pe.chaos_held.begin());
+    if (ev->is_anti) {
+      chaos_deliver_anti(pe, ev);
+    } else {
+      deliver(pe, ev);
+    }
+  }
+}
+
 bool TimeWarpEngine::stall_active(const PeData& pe) const noexcept {
   const FaultPlan& f = cfg_.fault;
   return f.stall_pe == pe.id && f.stall_rounds > 0 &&
@@ -770,7 +789,10 @@ bool TimeWarpEngine::chaos_hit(double prob, std::uint64_t uid) const noexcept {
 }
 
 Event* TimeWarpEngine::next_event(PeData& pe) {
-  if (HP_UNLIKELY(chaos_) && stall_active(pe)) return nullptr;
+  if (HP_UNLIKELY(chaos_) && stall_active(pe)) {
+    wd_beacons_[pe.id].set_phase(BeaconPhase::Stalled);
+    return nullptr;
+  }
   Event* ev = pe.pending.peek_min();
   if (ev == nullptr) return nullptr;
   if (ev->key.ts > cfg_.end_time) return nullptr;
@@ -807,6 +829,7 @@ void TimeWarpEngine::update_flow_control(PeData& pe) {
     case PeData::FlowState::Throttled:
       if (HP_UNLIKELY(live >= pool_hard_)) {
         pe.flow_state = PeData::FlowState::Blocked;
+        wd_beacons_[pe.id].set_phase(BeaconPhase::Blocked);
         ++pe.metrics.at(Counter::HardBlocks);
         // Only fossil collection sheds live envelopes, so force a GVT round
         // now instead of waiting for a progress/idle trigger.
@@ -822,7 +845,10 @@ void TimeWarpEngine::update_flow_control(PeData& pe) {
       }
       break;
     case PeData::FlowState::Blocked:
-      if (live < pool_hard_) pe.flow_state = PeData::FlowState::Throttled;
+      if (live < pool_hard_) {
+        pe.flow_state = PeData::FlowState::Throttled;
+        wd_beacons_[pe.id].set_phase(BeaconPhase::Execute);
+      }
       break;
   }
 }
@@ -956,6 +982,7 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
             "(%zu dirty)",
             pe.id, pe.out_dirty.size());
   pe.probe.switch_to(Phase::GvtBarrier);
+  wd_beacons_[pe.id].set_phase(BeaconPhase::GvtBarrier);
   // Barrier A: everybody stops sending/processing.
   bar_a_.arrive_and_wait();
   if (pe.id == 0) {
@@ -991,6 +1018,7 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
     MonitorSlice& sl = mon_slices_[pe.id];
     sl.processed = pe.metrics.at(Counter::Processed);
     sl.rolled_back = pe.metrics.at(Counter::RolledBack);
+    sl.committed = pe.committed_at_last_gvt;
     sl.inbox_depth = inbox_depth;
     const auto [top_kp, top_events] = pe.forensics.top_offender();
     sl.has_top = top_events > 0;
@@ -1025,6 +1053,19 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
     const std::uint64_t round_idx =
         gvt_rounds_.fetch_add(1, std::memory_order_relaxed);
     shared_gvt_.store(gvt, std::memory_order_relaxed);
+    // Progress heart for the stall watchdog: GVT and the committed count
+    // (slice-summed when slices are live, PE 0's own otherwise — any
+    // monotone proxy works, the watchdog only asks "did it move").
+    std::uint64_t wd_committed = ck_base_committed_;
+    if (slices_on_) {
+      for (const MonitorSlice& sl : mon_slices_) wd_committed += sl.committed;
+    } else {
+      wd_committed += pe.committed_at_last_gvt;
+    }
+    wd_heart_.gvt_bits.store(std::bit_cast<std::uint64_t>(gvt),
+                             std::memory_order_relaxed);
+    wd_heart_.committed.store(wd_committed, std::memory_order_relaxed);
+    wd_heart_.rounds.store(round_idx + 1, std::memory_order_relaxed);
     if (monitor_ != nullptr &&
         ++mon_rounds_since_emit_ >= std::max(1u, cfg_.obs.monitor_interval)) {
       mon_rounds_since_emit_ = 0;
@@ -1053,7 +1094,21 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
     }
   }
   pe.probe.switch_to(Phase::Fossil);
+  wd_beacons_[pe.id].set_phase(BeaconPhase::Fossil);
   fossil_collect(pe, gvt);
+  {
+    // Per-PE progress beacon for the stall dump: a handful of relaxed
+    // stores once per GVT round, nothing on the event hot path.
+    PeBeacon& b = wd_beacons_[pe.id];
+    b.processed.store(pe.metrics.at(Counter::Processed),
+                      std::memory_order_relaxed);
+    b.committed.store(pe.metrics.at(Counter::Committed),
+                      std::memory_order_relaxed);
+    b.pending.store(pe.pending.size(), std::memory_order_relaxed);
+    b.inbox.store(inbox_depth, std::memory_order_relaxed);
+    const auto [wd_kp, wd_kp_events] = pe.forensics.top_offender();
+    b.top_kp.store(wd_kp_events > 0 ? wd_kp : ~0u, std::memory_order_relaxed);
+  }
   const std::uint64_t committed_delta =
       pe.metrics.at(Counter::Committed) - pe.committed_at_last_gvt;
   if (cfg_.adaptive_gvt && pe.processed_since_gvt > 0) {
@@ -1077,6 +1132,16 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
   if (HP_UNLIKELY(flow_on_)) update_flow_window(pe, gvt);
   if (HP_UNLIKELY(chaos_) && stall_active(pe)) {
     ++pe.metrics.at(Counter::ChaosStallRounds);
+  }
+  // Checkpoint trigger: every input is identical on every PE — the
+  // barrier-global gvt, the slice-summed committed count (published between
+  // barriers A and B, read after B) and ck_next_ (written only by PE 0
+  // between checkpoint barriers) — so the branch is all-or-none and the
+  // barriers inside checkpoint_round always pair up.
+  if (HP_UNLIKELY(ck_on_) && gvt <= cfg_.end_time) {
+    std::uint64_t committed = ck_base_committed_;
+    for (const MonitorSlice& sl : mon_slices_) committed += sl.committed;
+    if (committed >= ck_next_) checkpoint_round(pe, gvt);
   }
   // Dynamic KP migration piggybacks on the round: every PE plans identically
   // from the slices and the affected PEs execute the handoff in lockstep.
@@ -1102,7 +1167,143 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
   pe.processed_since_gvt = 0;
   pe.idle_iters = 0;
   pe.probe.switch_to(Phase::Forward);
+  wd_beacons_[pe.id].set_phase(BeaconPhase::Execute);
   return gvt > cfg_.end_time;
+}
+
+// Checkpoint at the GVT fence. Entered by every PE in the same round, after
+// fossil collection, so the committed prefix is exactly the events below
+// `gvt` and a cut "committed < {gvt,0,0,0,0} <= pending" exists once the
+// optimistic suffix is unwound. The protocol:
+//
+//   1. Fence. Every PE rolls each owned KP back to {gvt,0,0,0,0}. Fossil
+//      collection already claimed everything below the fence, so this undoes
+//      *all* remaining processed events using the engine's own rollback
+//      machinery — reverse handlers, state-saving snapshots and lazy stale
+//      bookkeeping all behave exactly as they do for a straggler.
+//   2. Quiesce. The sweep's cancellations put anti tokens in flight, and a
+//      fault plan may still hold envelopes hostage. Loop (kill stale
+//      children in lazy mode, drain the inbox, force-deliver the holdback,
+//      flush) between barriers until a full round moves nothing — the same
+//      vote pattern as the migration handoff — then assert the fence
+//      invariant: processed deques empty, holdback empty.
+//   3. Serialize. Each PE drains its pending set (key order) into its
+//      stage; PE 0, with every other PE parked at the barrier, captures the
+//      globally-indexed LP states/RNG cursors plus all staged events and
+//      writes the image; the exit barrier releases everyone to reinsert and
+//      resume forward execution.
+//
+// Committed results are bit-identical with checkpointing on or off: the
+// sweep only rolls back optimistic work, which re-executes afterwards.
+void TimeWarpEngine::checkpoint_round(PeData& pe, Time gvt) {
+  obs::PhaseScope phase(pe.probe, Phase::Checkpoint);
+  wd_beacons_[pe.id].set_phase(BeaconPhase::Checkpoint);
+
+  const EventKey fence{gvt, 0, 0, 0, 0};
+  for (std::uint32_t kp_id : pe.kps) {
+    if (kps_[kp_id].processed.empty()) continue;
+    rollback(pe, kp_id, fence,
+             obs::RollbackCause{obs::RollbackKind::Primary, kp_id, pe.id,
+                                pe.cascade_ctx + 1, 0});
+    HP_ASSERT(kps_[kp_id].processed.empty(),
+              "PE %u KP %u: checkpoint fence rollback left %zu processed "
+              "events above gvt=%.6f",
+              pe.id, kp_id, kps_[kp_id].processed.size(), gvt);
+  }
+  flush_outboxes(pe);
+
+  while (true) {
+    bar_a_.arrive_and_wait();
+    if (pe.id == 0) ck_again_.store(false, std::memory_order_relaxed);
+    bar_b_.arrive_and_wait();
+    if (cfg_.cancellation == EngineConfig::Cancellation::Lazy) {
+      // Stale children are speculative sends of rolled-back executions kept
+      // alive for reuse; they are not part of the state at the fence, so
+      // kill them for real. Collect uids first: a cancellation can free
+      // other events on this PE (nested stale chains), so re-look each one
+      // up and skip the ones that died along the way.
+      std::vector<std::uint64_t> stale_owners;
+      for (const auto& [uid, ev] : pe.index) {
+        if (ev->status == EventStatus::Pending && ev->has_stale_children()) {
+          stale_owners.push_back(uid);
+        }
+      }
+      for (std::uint64_t uid : stale_owners) {
+        auto it = pe.index.find(uid);
+        if (it != pe.index.end()) cancel_stale(pe, it->second);
+      }
+    }
+    drain_inbox(pe);
+    if (HP_UNLIKELY(chaos_)) chaos_deliver_all_held(pe);
+    const bool sent = !pe.out_dirty.empty();
+    flush_outboxes(pe);
+    if (sent || !pe.inbox.empty_hint()) {
+      ck_again_.store(true, std::memory_order_relaxed);
+    }
+    bar_a_.arrive_and_wait();
+    if (!ck_again_.load(std::memory_order_relaxed)) break;
+  }
+
+  for (std::uint32_t kp_id : pe.kps) {
+    HP_ASSERT(kps_[kp_id].processed.empty(),
+              "PE %u KP %u: quiesced checkpoint has %zu re-processed events",
+              pe.id, kp_id, kps_[kp_id].processed.size());
+  }
+  HP_ASSERT(pe.chaos_held.empty(),
+            "PE %u: %zu chaos-held envelopes survived the checkpoint quiesce",
+            pe.id, pe.chaos_held.size());
+
+  std::vector<Event*>& stage = ck_stage_[pe.id];
+  stage.clear();
+  while (Event* p = pe.pending.pop_min()) stage.push_back(p);
+  bar_b_.arrive_and_wait();
+  if (pe.id == 0) {
+    CheckpointImage img;
+    img.seed = cfg_.seed;
+    img.num_lps = cfg_.num_lps;
+    img.fence = gvt;
+    img.end_time = cfg_.end_time;
+    // All PEs are parked at the barriers around this block, so reading
+    // their counters, stages and the global LP states races with nothing.
+    std::uint64_t committed = ck_base_committed_;
+    for (const auto& other : pes_) {
+      committed += other->metrics.at(Counter::Committed);
+    }
+    img.committed = committed;
+    img.lps.reserve(cfg_.num_lps);
+    for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) {
+      img.lps.push_back(make_lp_record(*states_[lp], rngs_[lp]));
+    }
+    std::size_t total = 0;
+    for (const auto& st : ck_stage_) total += st.size();
+    img.events.reserve(total);
+    for (const auto& st : ck_stage_) {
+      for (const Event* p : st) {
+        CheckpointEventRecord rec;
+        rec.key = p->key;
+        rec.send_ts = p->send_ts;
+        rec.payload.assign(
+            reinterpret_cast<const std::uint8_t*>(p->payload),
+            reinterpret_cast<const std::uint8_t*>(p->payload) +
+                p->payload_size);
+        img.events.push_back(std::move(rec));
+      }
+    }
+    std::string path, err;
+    const bool wrote = write_checkpoint(img, cfg_.checkpoint.dir,
+                                        ck_next_ / cfg_.checkpoint.every,
+                                        path, err);
+    HP_ASSERT(wrote, "%s", err.c_str());
+    ++pe.metrics.at(Counter::Checkpoints);
+    // Advance the trigger threshold off the exact committed count; the exit
+    // barrier publishes it to the other PEs' next trigger reads.
+    ck_next_ =
+        (img.committed / cfg_.checkpoint.every + 1) * cfg_.checkpoint.every;
+  }
+  bar_a_.arrive_and_wait();
+  for (Event* p : stage) pe.pending.insert(p);
+  stage.clear();
+  wd_beacons_[pe.id].set_phase(BeaconPhase::GvtBarrier);
 }
 
 void TimeWarpEngine::emit_monitor_record(std::uint64_t round_idx, Time gvt) {
@@ -1393,6 +1594,7 @@ void TimeWarpEngine::run_pe(PeData& pe) {
   pe.probe.switch_to(Phase::Fossil);
   fossil_collect(pe, kTimeInf);
   pe.probe.end();
+  wd_beacons_[pe.id].set_phase(BeaconPhase::Done);
 }
 
 RunStats TimeWarpEngine::run() {
@@ -1402,7 +1604,48 @@ RunStats TimeWarpEngine::run() {
   if (HP_UNLIKELY(telemetry_)) {
     hub_ = std::make_unique<obs::TelemetryHub>(cfg_.obs, cfg_.num_pes);
   }
-  seed_initial_events();
+  // A restored run starts from the image's committed cut instead of the
+  // model's initial events: LP states + RNG cursors verbatim, and every
+  // pending event re-routed through the ownership table with a fresh
+  // init-space uid (anti-message identity is meaningless across the cut —
+  // nothing that could cancel a restored event survives it).
+  CheckpointImage restore_image;
+  const bool restoring = !cfg_.restore_path.empty();
+  if (restoring) {
+    std::string err;
+    const bool loaded =
+        load_checkpoint_for_restore(cfg_.restore_path, cfg_.seed,
+                                    cfg_.num_lps, cfg_.end_time,
+                                    restore_image, err);
+    HP_ASSERT(loaded, "%s", err.c_str());
+    for (std::uint32_t lp = 0; lp < cfg_.num_lps; ++lp) {
+      apply_lp_record(restore_image.lps[lp], lp, *states_[lp], rngs_[lp]);
+    }
+    std::uint64_t restore_uid = 0;
+    for (const CheckpointEventRecord& rec : restore_image.events) {
+      PeData& dst = *pes_[own_.pe_of_lp(rec.key.dst_lp)];
+      Event* ev = dst.pool.allocate();
+      ev->key = rec.key;
+      ev->uid = ++restore_uid;  // init space: disjoint from PE-minted uids
+      ev->send_ts = rec.send_ts;
+      ev->kp = lp_kp_[rec.key.dst_lp];
+      ev->status = EventStatus::Pending;
+      ev->cv = 0;
+      ev->payload_size = static_cast<std::uint16_t>(rec.payload.size());
+      if (!rec.payload.empty()) {
+        std::memcpy(ev->payload, rec.payload.data(), rec.payload.size());
+      }
+      if (HP_UNLIKELY(telemetry_)) ev->create_wall_ns = obs::monotonic_ns();
+      dst.pending.insert(ev);
+      auto [it, ok] = dst.index.emplace(ev->uid, ev);
+      HP_ASSERT(ok, "duplicate restored event uid %llu",
+                static_cast<unsigned long long>(ev->uid));
+      (void)it;
+    }
+    ck_base_committed_ = restore_image.committed;
+  } else {
+    seed_initial_events();
+  }
 
   const bool tracing = cfg_.obs.trace;
   tracing_ = tracing;
@@ -1464,13 +1707,32 @@ RunStats TimeWarpEngine::run() {
       pe->mig_moves_total = 0;
     }
   }
-  slices_on_ = cfg_.obs.monitor || flow_on_ || mig_on_ || telemetry_;
+  ck_on_ = cfg_.checkpoint.enabled();
+  if (ck_on_) {
+    ck_stage_.assign(cfg_.num_pes, {});
+    ck_next_ = (ck_base_committed_ / cfg_.checkpoint.every + 1) *
+               cfg_.checkpoint.every;
+  }
+  slices_on_ = cfg_.obs.monitor || flow_on_ || mig_on_ || telemetry_ || ck_on_;
   if (cfg_.obs.monitor) {
     monitor_ = std::make_unique<obs::MonitorWriter>(cfg_.obs.monitor_path);
   }
   if (slices_on_) mon_slices_.assign(cfg_.num_pes, MonitorSlice{});
   epoch_ns_ = obs::monotonic_ns();
   mon_last_ns_ = epoch_ns_;
+
+  // Crash-safety plumbing: per-PE progress beacons for the stall watchdog
+  // and the fail-fast diagnostic dump (registered for the whole run, so an
+  // HP_ASSERT inside any PE thread prints the same per-PE block).
+  wd_beacons_ = std::make_unique<PeBeacon[]>(cfg_.num_pes);
+  WatchdogScope wd_scope{"timewarp", &wd_heart_, wd_beacons_.get(),
+                         cfg_.num_pes};
+  util::ScopedFailureDump wd_dump(failure_dump_adapter, &wd_scope);
+  std::optional<Watchdog> watchdog;
+  if (cfg_.watchdog.enabled()) watchdog.emplace(cfg_.watchdog, wd_scope);
+  for (std::uint32_t p = 0; p < cfg_.num_pes; ++p) {
+    wd_beacons_[p].set_phase(BeaconPhase::Execute);
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   if (cfg_.num_pes == 1) {
@@ -1483,6 +1745,7 @@ RunStats TimeWarpEngine::run() {
     }
   }
   const auto t1 = std::chrono::steady_clock::now();
+  if (watchdog) watchdog->stop();
 
   RunStats stats;
   obs::MetricsReport& m = stats.metrics;

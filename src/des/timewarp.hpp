@@ -192,6 +192,7 @@ class TimeWarpEngine final : public Engine {
   struct alignas(64) MonitorSlice {
     std::uint64_t processed = 0;    // cumulative forward executions
     std::uint64_t rolled_back = 0;  // cumulative events undone
+    std::uint64_t committed = 0;    // cumulative commits as of the last round
     std::uint64_t inbox_depth = 0;  // envelopes seen at this round's barrier
     bool has_top = false;
     std::uint32_t top_kp = 0;
@@ -232,6 +233,10 @@ class TimeWarpEngine final : public Engine {
   // Release held envelopes whose round has come (and all of them when the
   // run is over and `all` is set — those are freed, not delivered).
   void chaos_release(PeData& pe, bool all);
+  // Checkpoint quiesce only: force-deliver every held envelope regardless of
+  // its release round. The fence must serialize in-flight work, so freeing
+  // (what chaos_release(all=true) does) would be wrong here.
+  void chaos_deliver_all_held(PeData& pe);
   bool stall_active(const PeData& pe) const noexcept;
   // Per-envelope fault decision: hash of (plan seed, uid) against `prob`,
   // so an envelope's fate does not depend on drain timing.
@@ -266,6 +271,12 @@ class TimeWarpEngine final : public Engine {
   void process_one(PeData& pe, Event* ev);
   // Returns true when the run is complete (GVT beyond end time).
   bool gvt_round(PeData& pe);
+  // Checkpoint at the GVT fence, entered from gvt_round by every PE in the
+  // same round (the trigger reads only barrier-published slice data): roll
+  // every owned KP back to {gvt,0,0,0,0}, quiesce the traffic the sweep put
+  // in flight, drain pending into the per-PE stage, PE 0 serializes while
+  // the others park at a barrier, then everybody reinserts and resumes.
+  void checkpoint_round(PeData& pe, Time gvt);
   // Dynamic KP migration, called inside gvt_round after the global minimum
   // is known: every PE plans identically from the round slices, then the
   // affected PEs execute the stop-the-world handoff (quiescence loop,
@@ -352,6 +363,23 @@ class TimeWarpEngine final : public Engine {
   std::vector<std::vector<Event*>> mig_stage_;
   std::vector<std::vector<PeData::HeldEnvelope>> mig_stage_held_;
   std::atomic<bool> mig_again_{false};
+
+  // Checkpointing (cfg.checkpoint.enabled()). ck_next_ is the committed-count
+  // threshold for the next image: written only by PE 0 between the barriers
+  // of a checkpoint round and read by every PE at the trigger check, which
+  // the same barriers order after the write. ck_stage_ is indexed by PE and
+  // touched only by its owner — except during PE 0's serialize, which runs
+  // with every other PE parked. ck_again_ is the quiesce-loop vote flag.
+  bool ck_on_ = false;
+  std::uint64_t ck_base_committed_ = 0;  // image baseline when restoring
+  std::uint64_t ck_next_ = ~0ull;
+  std::atomic<bool> ck_again_{false};
+  std::vector<std::vector<Event*>> ck_stage_;
+
+  // Stall watchdog / fail-fast diagnostics (see des/watchdog.hpp). Beacons
+  // are relaxed atomics each PE updates about itself once per GVT round.
+  WatchdogHeart wd_heart_;
+  std::unique_ptr<PeBeacon[]> wd_beacons_;
 
   // Live monitor (null unless ObsConfig::monitor). Slices are per-PE; the
   // mon_last_* bookkeeping is touched only by PE 0.

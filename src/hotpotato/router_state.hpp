@@ -9,6 +9,7 @@
 
 #include "des/lp_state.hpp"
 #include "net/direction.hpp"
+#include "util/bytes.hpp"
 #include "util/stats.hpp"
 
 namespace hp::hotpotato {
@@ -60,6 +61,78 @@ struct RouterState final : des::LpState {
 
   bool equals(const des::LpState& o) const override {
     return *this == static_cast<const RouterState&>(o);
+  }
+
+  // Checkpoint codec. Field order is the declaration order above; the
+  // histogram layout (lo/width/bins) is fixed by make_state, so only the
+  // counts travel. Every field here feeds either forward execution or the
+  // end-of-run report, so all of them must round-trip bit-exactly.
+  void serialize(util::ByteSink& sink) const override {
+    for (const std::uint32_t s : link_claim_step) sink.u32(s);
+    sink.u8(is_injector ? 1 : 0);
+    sink.u8(has_pending ? 1 : 0);
+    sink.u32(pending_since_step);
+    sink.u16(pend_dst_row);
+    sink.u16(pend_dst_col);
+    sink.u64(delivery_steps.count());
+    sink.f64(delivery_steps.sum());
+    sink.u64(delivery_distance.count());
+    sink.f64(delivery_distance.sum());
+    sink.u64(delivery_hist.counts().size());
+    for (const std::uint64_t c : delivery_hist.counts()) sink.u64(c);
+    sink.u64(inject_wait.count());
+    sink.f64(inject_wait.sum());
+    sink.f64(max_inject_wait.value());
+    sink.u64(arrivals);
+    sink.u64(routed);
+    sink.u64(deflections);
+    for (const std::uint64_t c : routed_by_prio) sink.u64(c);
+    sink.u64(upgrades_to_active);
+    sink.u64(upgrades_to_excited);
+    sink.u64(promotions_to_running);
+    sink.u64(demotions_to_active);
+    sink.u64(injected);
+    sink.u64(delivered);
+    sink.u64(link_claims);
+  }
+
+  void deserialize(util::ByteSource& src) override {
+    for (std::uint32_t& s : link_claim_step) s = src.u32();
+    is_injector = src.u8() != 0;
+    has_pending = src.u8() != 0;
+    pending_since_step = src.u32();
+    pend_dst_row = src.u16();
+    pend_dst_col = src.u16();
+    {
+      const std::uint64_t c = src.u64();
+      delivery_steps.restore(c, src.f64());
+    }
+    {
+      const std::uint64_t c = src.u64();
+      delivery_distance.restore(c, src.f64());
+    }
+    {
+      const std::uint64_t bins = src.u64();
+      std::vector<std::uint64_t> counts(bins, 0);
+      for (std::uint64_t& c : counts) c = src.u64();
+      if (src.ok()) delivery_hist.restore_counts(counts);
+    }
+    {
+      const std::uint64_t c = src.u64();
+      inject_wait.restore(c, src.f64());
+    }
+    max_inject_wait.restore(src.f64());
+    arrivals = src.u64();
+    routed = src.u64();
+    deflections = src.u64();
+    for (std::uint64_t& c : routed_by_prio) c = src.u64();
+    upgrades_to_active = src.u64();
+    upgrades_to_excited = src.u64();
+    promotions_to_running = src.u64();
+    demotions_to_active = src.u64();
+    injected = src.u64();
+    delivered = src.u64();
+    link_claims = src.u64();
   }
 
   // pend_dst_* / pending_since_step are only meaningful while has_pending:

@@ -48,6 +48,7 @@ enum class Phase : std::uint8_t {
   Idle,        // no executable work (window closed / starved / spinning)
   Throttled,   // optimism flow control capping this PE (soft/hard watermark)
   Migrate,     // KP migration handoff: quiescence drain + state transfer
+  Checkpoint,  // checkpoint fence rollback, quiescence and serialization
   kCount
 };
 inline constexpr std::size_t kNumPhases = static_cast<std::size_t>(Phase::kCount);
@@ -62,6 +63,7 @@ constexpr const char* phase_name(Phase p) noexcept {
     case Phase::Idle: return "idle";
     case Phase::Throttled: return "throttled";
     case Phase::Migrate: return "migrate";
+    case Phase::Checkpoint: return "checkpoint";
     case Phase::kCount: break;
   }
   // Unreachable for valid enumerators; a new phase without a case above is a
@@ -109,6 +111,7 @@ enum class Counter : std::uint8_t {
   MigratedEvents,      // live envelopes handed over across those moves
   MigrationRounds,     // GVT rounds that executed a migration handoff
   TelemetryDropped,    // latency samples dropped on telemetry-ring overflow
+  Checkpoints,         // checkpoint images written (PE 0 / sequential only)
   kCount
 };
 inline constexpr std::size_t kNumCounters =
@@ -158,6 +161,7 @@ inline constexpr std::array<CounterDef, kNumCounters> kCounterDefs{{
     {"migrated_events", Reduce::Sum},
     {"migration_rounds", Reduce::Sum},
     {"telemetry_dropped", Reduce::Sum},
+    {"checkpoints_written", Reduce::Sum},
 }};
 
 constexpr const char* counter_name(Counter c) noexcept {
@@ -220,6 +224,7 @@ struct PeMetrics {
   std::uint64_t migrated_events() const noexcept { return at(Counter::MigratedEvents); }
   std::uint64_t migration_rounds() const noexcept { return at(Counter::MigrationRounds); }
   std::uint64_t telemetry_dropped() const noexcept { return at(Counter::TelemetryDropped); }
+  std::uint64_t checkpoints_written() const noexcept { return at(Counter::Checkpoints); }
 
   bool operator==(const PeMetrics&) const = default;
 };

@@ -1,0 +1,59 @@
+#include "util/failure.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace hp::util {
+namespace {
+
+constexpr int kSlots = 8;
+
+// Slot lifecycle: fn is nullptr (free) -> kClaimed (ctx being published) ->
+// the real callback. fail_fast skips claimed-but-unpublished slots, so a
+// registration racing a failure can never run a callback with a stale ctx.
+const FailureDumpFn kClaimed = reinterpret_cast<FailureDumpFn>(1);
+
+struct Slot {
+  std::atomic<FailureDumpFn> fn{nullptr};
+  std::atomic<void*> ctx{nullptr};
+};
+
+Slot g_slots[kSlots];
+std::atomic<bool> g_dumping{false};
+
+}  // namespace
+
+int register_failure_dump(FailureDumpFn fn, void* ctx) noexcept {
+  for (int i = 0; i < kSlots; ++i) {
+    FailureDumpFn expected = nullptr;
+    if (g_slots[i].fn.compare_exchange_strong(expected, kClaimed,
+                                              std::memory_order_acq_rel)) {
+      g_slots[i].ctx.store(ctx, std::memory_order_relaxed);
+      g_slots[i].fn.store(fn, std::memory_order_release);
+      return i;
+    }
+  }
+  return -1;
+}
+
+void unregister_failure_dump(int slot) noexcept {
+  if (slot < 0 || slot >= kSlots) return;
+  g_slots[slot].fn.store(nullptr, std::memory_order_release);
+  g_slots[slot].ctx.store(nullptr, std::memory_order_relaxed);
+}
+
+void fail_fast() noexcept {
+  // Recursion guard: if a dump itself fails (or two threads fail at once),
+  // the second entry goes straight to abort instead of re-running dumps.
+  if (!g_dumping.exchange(true, std::memory_order_acq_rel)) {
+    for (int i = 0; i < kSlots; ++i) {
+      const FailureDumpFn fn = g_slots[i].fn.load(std::memory_order_acquire);
+      if (fn != nullptr && fn != kClaimed) {
+        fn(g_slots[i].ctx.load(std::memory_order_relaxed));
+      }
+    }
+  }
+  std::abort();
+}
+
+}  // namespace hp::util

@@ -1,0 +1,45 @@
+#pragma once
+
+// Structured failure handling: a tiny registry of diagnostic dump callbacks
+// that run exactly once on the way down, then abort.
+//
+// HP_ASSERT routes through fail_fast() so an invariant violation inside an
+// engine produces the same per-PE diagnostic dump the stall watchdog emits
+// (phase, pending/inbox depths, last GVT) before the process dies, instead
+// of just a file:line. Engines register a dump for the duration of run() and
+// unregister on the way out.
+//
+// Callbacks must be async-crash-safe: the process state is suspect when they
+// run, so they should read only atomics / plain memory they own and write
+// with snprintf + write(2), never allocate or lock.
+
+#include <cstdint>
+
+namespace hp::util {
+
+using FailureDumpFn = void (*)(void* ctx);
+
+// Registers `fn(ctx)` to run when fail_fast() fires. Returns a slot id for
+// unregister_failure_dump, or -1 if all slots are taken (the dump is simply
+// not registered; failure handling still aborts).
+int register_failure_dump(FailureDumpFn fn, void* ctx) noexcept;
+void unregister_failure_dump(int slot) noexcept;
+
+// Runs every registered dump (once — reentrant calls skip straight to
+// abort so a crashing dump cannot loop), then aborts the process.
+[[noreturn]] void fail_fast() noexcept;
+
+// RAII helper so engines cannot leak a registration on early return.
+class ScopedFailureDump {
+ public:
+  ScopedFailureDump(FailureDumpFn fn, void* ctx) noexcept
+      : slot_(register_failure_dump(fn, ctx)) {}
+  ~ScopedFailureDump() { unregister_failure_dump(slot_); }
+  ScopedFailureDump(const ScopedFailureDump&) = delete;
+  ScopedFailureDump& operator=(const ScopedFailureDump&) = delete;
+
+ private:
+  int slot_;
+};
+
+}  // namespace hp::util

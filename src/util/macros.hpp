@@ -10,9 +10,18 @@
 #define HP_LIKELY(x) __builtin_expect(!!(x), 1)
 #define HP_UNLIKELY(x) __builtin_expect(!!(x), 0)
 
+namespace hp::util {
+// Defined in util/failure.cpp: runs any registered diagnostic dumps (engines
+// register one during run()) and then aborts. Declared here so HP_ASSERT can
+// route through it without pulling failure.hpp into every translation unit.
+[[noreturn]] void fail_fast() noexcept;
+}  // namespace hp::util
+
 // Always-on assertion. The DES engine relies on invariants (event ordering,
 // annihilation matching, pool discipline) whose violation must abort rather
-// than produce plausible-but-wrong statistics.
+// than produce plausible-but-wrong statistics. Failure routes through
+// fail_fast() so registered engine dumps (per-PE phase, queue depths, last
+// GVT) land on stderr before the process dies.
 #define HP_ASSERT(cond, ...)                                               \
   do {                                                                     \
     if (HP_UNLIKELY(!(cond))) {                                            \
@@ -20,6 +29,6 @@
                    __LINE__, #cond);                                       \
       std::fprintf(stderr, "  " __VA_ARGS__);                              \
       std::fprintf(stderr, "\n");                                          \
-      std::abort();                                                        \
+      ::hp::util::fail_fast();                                             \
     }                                                                      \
   } while (0)

@@ -56,6 +56,12 @@ class Tally {
     count_ += o.count_;
     sum_ += o.sum_;
   }
+  // Checkpoint restore: reinstate a previously observed (count, sum) pair
+  // bit-exactly. Only ever fed values read back from a serialized Tally.
+  void restore(std::uint64_t count, double sum) noexcept {
+    count_ = count;
+    sum_ = sum;
+  }
   std::uint64_t count() const noexcept { return count_; }
   double sum() const noexcept { return sum_; }
   double mean() const noexcept {
@@ -78,6 +84,9 @@ class RunningMax {
     return prev;
   }
   void pop(double stashed_prev) noexcept { max_ = stashed_prev; }
+  // Checkpoint restore (see Tally::restore). -inf round-trips through the
+  // serialized bit pattern, so a never-pushed maximum is preserved.
+  void restore(double v) noexcept { max_ = v; }
   void merge(const RunningMax& o) noexcept { max_ = std::max(max_, o.max_); }
   double value() const noexcept { return max_; }
   bool operator==(const RunningMax&) const = default;
@@ -160,6 +169,16 @@ class Histogram {
               "(lo %g vs %g, width %g vs %g, bins %zu vs %zu)",
               lo_, o.lo_, width_, o.width_, counts_.size(), o.counts_.size());
     for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+  }
+  // Checkpoint restore: overwrite the bin counts with serialized values. The
+  // layout (lo, width, bin count) is fixed by the model at construction, so
+  // a restored image must agree with it — mismatch means the checkpoint came
+  // from a different model configuration.
+  void restore_counts(const std::vector<std::uint64_t>& counts) noexcept {
+    HP_ASSERT(counts.size() == counts_.size(),
+              "Histogram::restore_counts layout mismatch (%zu vs %zu bins)",
+              counts.size(), counts_.size());
+    counts_ = counts;
   }
   const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
   double lo() const noexcept { return lo_; }

@@ -18,6 +18,7 @@
 #include "des/engine.hpp"
 #include "des/fault.hpp"
 #include "des/phold.hpp"
+#include "des/watchdog.hpp"
 
 namespace hp::des {
 namespace {
@@ -349,6 +350,61 @@ TEST(FlowControl, BudgetedRunIsRepeatable) {
   std::unique_ptr<Engine> b = make_engine(EngineKind::TimeWarp, m2, ec);
   b->run();
   EXPECT_EQ(PholdModel::digest(*a), PholdModel::digest(*b));
+}
+
+// --------------------------------------------------- watchdog x PE stalls
+//
+// The watchdog must tell two fates apart: a FaultPlan stall that ends on
+// its own (the stalled PE keeps joining GVT barriers, the frontier keeps
+// moving, the run completes) and a genuinely wedged PE (nothing moves for
+// the whole timeout). The first must never escalate; the second must fail
+// loudly with the structured dump and the distinct exit code.
+
+TEST(WatchdogChaos, BenignStallCompletesWithoutEscalation) {
+  PholdConfig pc = flow::phold_config();
+  EngineConfig ec = flow::engine_config();
+
+  PholdModel ms(pc);
+  std::unique_ptr<Engine> seq = make_engine(EngineKind::Sequential, ms, ec);
+  seq->run();
+
+  std::string err;
+  ASSERT_TRUE(FaultPlan::parse("stall:pe=1,rounds=6,at=2", ec.fault, err))
+      << err;
+  // Generous bound: the stall is long in GVT rounds but short on the wall
+  // clock, so a correct watchdog sees continuous progress.
+  ASSERT_TRUE(WatchdogConfig::parse("timeout=60000,poll=20", ec.watchdog,
+                                    err))
+      << err;
+  PholdModel m(pc);
+  std::unique_ptr<Engine> tw = make_engine(EngineKind::TimeWarp, m, ec);
+  const RunStats tstats = tw->run();
+
+  EXPECT_EQ(PholdModel::digest(*seq), PholdModel::digest(*tw));
+  EXPECT_GT(tstats.metrics.total.at(Counter::ChaosStallRounds), 0u)
+      << "the stall never fired, so this proved nothing";
+}
+
+TEST(WatchdogChaosDeathTest, WedgedPeDumpsDiagnosticsAndExits86) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  PholdConfig pc = flow::phold_config();
+  EngineConfig ec = flow::engine_config();
+  std::string err;
+  // A stall window that outlives any plausible test runtime: GVT can never
+  // pass the wedged PE's published minimum, so the frontier goes flat.
+  ASSERT_TRUE(
+      FaultPlan::parse("stall:pe=1,rounds=1000000000,at=2", ec.fault, err))
+      << err;
+  ASSERT_TRUE(WatchdogConfig::parse("timeout=500,poll=20", ec.watchdog, err))
+      << err;
+
+  EXPECT_EXIT(
+      {
+        PholdModel m(pc);
+        std::unique_ptr<Engine> tw = make_engine(EngineKind::TimeWarp, m, ec);
+        tw->run();
+      },
+      ::testing::ExitedWithCode(kStallExitCode), "stall watchdog");
 }
 
 }  // namespace

@@ -100,13 +100,18 @@ TEST(CliDoc, CoversTheUserFacingFlagSet) {
       "--chaos=", "--pool-budget", "--monitor", "--migrate=",
       "--json=",  "--csv=",        "--pes",     "--trace",
       "--fc=",    "--telemetry",   "--metrics-endpoint=",
-      "--metrics-out=",
+      "--metrics-out=", "--checkpoint=", "--restore=", "--watchdog=",
   };
   // ...and the full --fc= grammar: every key and scheme name.
   for (const char* k : {"scheme=", "qcap=", "flit=", "credit_delay=",
                         "saf", "vct", "wormhole"}) {
     EXPECT_TRUE(mentions(doc, k))
         << "docs/CLI.md does not document --fc= key '" << k << "'";
+  }
+  // ...and the crash-safety trio's grammar keys plus the distinct exit code.
+  for (const char* k : {"every=", "dir=", "timeout=", "poll=", "86"}) {
+    EXPECT_TRUE(mentions(doc, k))
+        << "docs/CLI.md does not document crash-safety key '" << k << "'";
   }
   for (const char* f : flags) {
     EXPECT_TRUE(mentions(doc, f))
@@ -133,6 +138,18 @@ TEST(ArchitectureDoc, WalksTheLayersAndTheRemotePath) {
   for (const char* s : {"rollback", "GVT", "fossil", "migrat", "inbox",
                         "anti-message"}) {
     EXPECT_TRUE(mentions(doc, s)) << "missing lifecycle term '" << s << "'";
+  }
+}
+
+TEST(ArchitectureDoc, DescribesCheckpointRestoreAndFailureHandling) {
+  const std::string doc = read_file("docs/ARCHITECTURE.md");
+  for (const char* s :
+       {"Checkpoint/restore protocol", "Failure handling", "fence",
+        "quiesce", "CheckpointImage", "FNV-1a", "tmp", "rename",
+        "WatchdogHeart", "PeBeacon", "fail_fast", "exit code",
+        "min_width_at", "ULP"}) {
+    EXPECT_TRUE(mentions(doc, s))
+        << "missing checkpoint/failure term '" << s << "'";
   }
 }
 

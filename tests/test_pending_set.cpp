@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
+#include <random>
 #include <set>
 #include <string>
 #include <vector>
@@ -328,6 +330,94 @@ TEST_P(PendingSetKinds, SurvivesSkewedTimestampDistributions) {
     ++popped;
   }
   EXPECT_EQ(popped, storage.size());
+}
+
+// Regression for the long-run Time Warp "cancellation race"
+// (pe.pending.erase victim-missing asserts at --pes=4 --n=32 --steps=4000).
+// Root cause: the ladder queue's fixed 1e-12 minimum rung width is below the
+// double ULP at engine-scale timestamps (~7.3e-12 at ts ~3.3e4), so a deep
+// rung cascade over an ULP-spaced cluster subdivides past the representable
+// resolution; accumulated fl(start + width*cur) rounding then exceeded the
+// +2-bucket coverage slack and the filing clamp pushed events behind the
+// consumed frontier — silently leaked or popped out of key order.
+//
+// This drives the exact failing geometry deterministically: a 2000-event
+// spread that makes rung 0 ~1.4e-8 wide, a 550-event cluster within a few
+// ULPs that cascades to the minimum width, then a sweep drain inserting
+// ULP-offset events and erasing near the frontier at every stage of rung
+// consumption, differentially checked against a multiset oracle. On the
+// unfixed ladder this trips an ULP-level pop inversion (got ts one ULP above
+// want) or a leaked erase within a few hundred operations.
+TEST_P(PendingSetKinds, UlpClusterCascadeMatchesOracle) {
+  struct KeyLess {
+    bool operator()(const Event* a, const Event* b) const {
+      return a->key < b->key;
+    }
+  };
+  for (const double base : {32772.09, 32833.46, 17000.0}) {
+    std::mt19937 rng(1);
+    std::vector<std::unique_ptr<Event>> storage;
+    PendingSet q(GetParam());
+    std::multiset<Event*, KeyLess> oracle;
+    const double ulp = std::nextafter(base, 1e308) - base;
+    std::uint64_t tie = 0;
+    const auto mk = [&](double ts) {
+      storage.push_back(std::make_unique<Event>());
+      Event* ev = storage.back().get();
+      ev->key = key_of(ts, ++tie);
+      q.insert(ev);
+      oracle.insert(ev);
+    };
+    const auto pop_check = [&]() {
+      Event* got = q.pop_min();
+      ASSERT_FALSE(oracle.empty());
+      ASSERT_NE(got, nullptr) << "pop_min lost an event (leak)";
+      ASSERT_EQ(got->key.ts, (*oracle.begin())->key.ts)
+          << "pop order diverged from oracle at base " << base;
+      auto [lo, hi] = oracle.equal_range(got);
+      const auto it = std::find(lo, hi, got);
+      ASSERT_NE(it, hi);
+      oracle.erase(it);
+    };
+    const double span = 3.6e-4;
+    for (int i = 0; i < 2000; ++i) {
+      mk(base + span * static_cast<double>(rng() % 100000) / 100000.0);
+    }
+    const double tc = base + span * 0.11;
+    for (int i = 0; i < 400; ++i) mk(tc);
+    for (int i = 0; i < 150; ++i) {
+      mk(tc + static_cast<double>(static_cast<int>(rng() % 13) - 6) * ulp);
+    }
+    // Drain up to the cluster edge — drives the rung cascade.
+    while (!oracle.empty() && (*oracle.begin())->key.ts < tc - 8.0 * ulp) {
+      ASSERT_NO_FATAL_FAILURE(pop_check());
+    }
+    // Sweep drain: ULP-offset inserts and near-frontier erases at every
+    // stage of rung consumption — the rollback/annihilation pattern.
+    int budget = 2500, k = 0, er = 0;
+    while (!oracle.empty()) {
+      ASSERT_NO_FATAL_FAILURE(pop_check());
+      if (budget > 0 && !oracle.empty()) {
+        const double front = (*oracle.begin())->key.ts;
+        mk(front + static_cast<double>(k % 13) * ulp);
+        ++k;
+        --budget;
+        if (++er % 5 == 0) {
+          auto it = oracle.begin();
+          std::advance(it, static_cast<long>(
+                               rng() % std::min<std::size_t>(oracle.size(),
+                                                             24)));
+          Event* victim = *it;
+          ASSERT_TRUE(q.erase(victim))
+              << "pending event vanished before erase (leak) at ts "
+              << victim->key.ts;
+          oracle.erase(it);
+        }
+      }
+      ASSERT_EQ(q.size(), oracle.size());
+    }
+    EXPECT_EQ(q.pop_min(), nullptr);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKinds, PendingSetKinds,
