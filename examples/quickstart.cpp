@@ -6,6 +6,7 @@
 //               [--trace=trace.json] [--monitor[=interval]]
 //               [--monitor-out=monitor.jsonl] [--chaos=spec]
 //               [--pool-budget=envelopes] [--migrate[=spec]]
+//               [--gvt=mode=barrier|epoch[,interval=N]]
 //               [--telemetry] [--metrics-endpoint=port|unix:path]
 //               [--metrics-out=metrics.prom]
 //
@@ -21,6 +22,9 @@
 // --migrate (Time Warp only) arms runtime KP load balancing, e.g.
 // --migrate="every=8,imbalance=1.5,max=1" (bare --migrate uses those
 // defaults) — see des/migration.hpp. Committed results are unchanged.
+// --gvt (Time Warp only) selects the GVT algorithm, e.g.
+// --gvt=mode=epoch,interval=512 — see docs/GVT.md. Committed results are
+// bit-identical under either mode.
 // --telemetry records event-lifecycle latency histograms (queue dwell,
 // commit latency, rollback cost, inbox dwell); --metrics-endpoint serves
 // them live as Prometheus text on a loopback port or unix socket, and
@@ -51,6 +55,8 @@ int main(int argc, char** argv) {
                      {"pool-budget", "live-envelope budget per PE (0 = off)"},
                      {"migrate",
                       "KP load balancing, e.g. every=8,imbalance=1.5,max=1"},
+                     {"gvt",
+                      "GVT algorithm, e.g. mode=epoch[,interval=N]"},
                      {"telemetry", "record latency histograms"},
                      {"metrics-endpoint",
                       "serve Prometheus text on <port> or unix:<path>"},
@@ -129,6 +135,15 @@ int main(int argc, char** argv) {
     }
     if (pes <= 1) {
       cli.usage_error("--migrate requires the Time Warp kernel (--pes > 1)");
+    }
+  }
+  if (cli.has("gvt")) {
+    std::string err;
+    if (!hp::des::parse_gvt_spec(cli.get("gvt", ""), opts.engine, err)) {
+      cli.usage_error("--gvt: " + err);
+    }
+    if (pes <= 1) {
+      cli.usage_error("--gvt requires the Time Warp kernel (--pes > 1)");
     }
   }
   if (cli.has("pool-budget")) {

@@ -7,7 +7,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake --preset tsan
-cmake --build build-tsan -j "$(nproc)" --target test_mpsc_queue test_timewarp test_engine_matrix test_chaos test_migration test_event_pool test_pending_set test_latency test_obs test_checkpoint quickstart
+cmake --build build-tsan -j "$(nproc)" --target test_mpsc_queue test_timewarp test_engine_matrix test_chaos test_migration test_event_pool test_pending_set test_latency test_obs test_checkpoint test_gvt_epoch quickstart
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 ./build-tsan/tests/test_mpsc_queue
@@ -35,6 +35,11 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 # watchdog adds a polling monitor thread over relaxed-atomic beacons. Both
 # must stay race-free.
 ./build-tsan/tests/test_checkpoint
+# Epoch-based GVT replaces the round barriers with relaxed-atomic slot
+# publishes, pop-time receive credits and a CAS-serialized close: the whole
+# happens-before chain (cut release -> close acquire -> bookkeeping -> ack)
+# must hold under real PE threads.
+./build-tsan/tests/test_gvt_epoch
 
 # Former cancellation-race repro (sub-ULP LadderQueue bucket geometry): long
 # 4-PE runs that historically tripped HP_ASSERT pe.pending.erase(v) after
@@ -43,6 +48,13 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 for seed in 1 3 11 23 29; do
   ./build-tsan/examples/quickstart --n=32 --steps=4000 --pes=4 \
     --seed="$seed" > /dev/null
+done
+
+# The same long-horizon runs under the asynchronous epoch algorithm: the
+# schedule-dependent close/cross interleavings only show up at scale.
+for seed in 1 11 29; do
+  ./build-tsan/examples/quickstart --n=32 --steps=4000 --pes=4 \
+    --seed="$seed" --gvt=mode=epoch > /dev/null
 done
 
 echo "TSan: TimeWarp test suite clean."

@@ -314,6 +314,18 @@ void TimeWarpEngine::stage_remote(PeData& pe, std::uint32_t dst_pe,
   if (trace_stamps_ || HP_UNLIKELY(telemetry_)) {
     ev->send_wall_ns = obs::monotonic_ns();
   }
+  if (HP_UNLIKELY(epoch_mode_)) {
+    // Transient-message accounting: tag with the sender's current epoch and
+    // record the send in this epoch's running count/minimum (published into
+    // the EpochSlot at the next cut). Antis are counted too — conservative
+    // (an anti's key is its victim's, never below the sender's frontier) and
+    // required, since the receiver cannot tell tokens from positives when it
+    // credits the receive counter at pop time. Low 2 bits suffice at the
+    // receiver (epoch spread <= 1), so the u32 truncation is harmless.
+    ev->epoch = static_cast<std::uint32_t>(pe.local_epoch);
+    ++pe.cur_epoch_sent;
+    pe.cur_epoch_sendmin = std::min(pe.cur_epoch_sendmin, ev->key.ts);
+  }
   OutBatch& b = pe.out[dst_pe];
   ev->mpsc_next.store(nullptr, std::memory_order_relaxed);
   if (b.head == nullptr) {
@@ -604,6 +616,13 @@ void TimeWarpEngine::drain_inbox(PeData& pe) {
     return;
   }
   while (Event* ev = pe.inbox.pop()) {
+    if (HP_UNLIKELY(epoch_mode_)) {
+      // Credit the sender's epoch at the moment the envelope leaves the
+      // channel — before any annihilation/delivery side effects — so every
+      // send staged under tag e is eventually matched and epoch e can close.
+      ep_slots_[pe.id].recvd[ev->epoch & 3].fetch_add(
+          1, std::memory_order_relaxed);
+    }
     if (ev->is_anti) {
       const std::uint64_t uid = ev->uid;
       // The anti's key is the victim child's key, so key.src_lp is the LP of
@@ -633,6 +652,15 @@ void TimeWarpEngine::drain_inbox_chaos(PeData& pe) {
   const FaultPlan& f = cfg_.fault;
   const Time gvt = shared_gvt_.load(std::memory_order_relaxed);
   while (Event* ev = pe.inbox.pop()) {
+    if (HP_UNLIKELY(epoch_mode_)) {
+      // Same pop-time credit as the fault-free drain. Envelopes the plan
+      // parks afterwards are already counted — correct, because a held
+      // envelope is out of the channel and bounds GVT through the holdback
+      // walk at the next cut instead. Dup-anti copies below are minted
+      // locally (never staged), so they never touch either counter.
+      ep_slots_[pe.id].recvd[ev->epoch & 3].fetch_add(
+          1, std::memory_order_relaxed);
+    }
     if (ev->is_anti) {
       // Antis never pass their positives: deliver buffered positives first.
       chaos_flush_run(pe);
@@ -832,7 +860,11 @@ void TimeWarpEngine::update_flow_control(PeData& pe) {
         wd_beacons_[pe.id].set_phase(BeaconPhase::Blocked);
         ++pe.metrics.at(Counter::HardBlocks);
         // Only fossil collection sheds live envelopes, so force a GVT round
-        // now instead of waiting for a progress/idle trigger.
+        // now instead of waiting for a progress/idle trigger. The same flag
+        // drives both algorithms: in barrier mode every PE parks in the next
+        // gvt_round; in epoch mode every PE cuts over at its next pump and
+        // the resulting close runs fossil — a blocked PE keeps pumping (it
+        // never parks), so the forced close cannot deadlock against it.
         if (!gvt_request_.exchange(true, std::memory_order_relaxed)) {
           ++pe.metrics.at(Counter::GvtPoolTriggers);
         }
@@ -976,6 +1008,44 @@ void TimeWarpEngine::fossil_collect(PeData& pe, Time gvt) {
   }
 }
 
+// Fill this PE's MonitorSlice. Shared by both GVT algorithms; the modes
+// differ only in when the writes are safe — between barriers A and B in
+// barrier mode, at an epoch cut in epoch mode (where the close-serialization
+// ack gate keeps the slice stable until every close-side reader is done).
+// Epoch cuts pass inbox_depth 0: there is no quiescent point to walk the
+// inbox non-destructively, so the depth is simply not observed there.
+void TimeWarpEngine::publish_slice(PeData& pe, std::uint64_t inbox_depth) {
+  MonitorSlice& sl = mon_slices_[pe.id];
+  sl.processed = pe.metrics.at(Counter::Processed);
+  sl.rolled_back = pe.metrics.at(Counter::RolledBack);
+  sl.committed = pe.committed_at_last_gvt;
+  sl.inbox_depth = inbox_depth;
+  const auto [top_kp, top_events] = pe.forensics.top_offender();
+  sl.has_top = top_events > 0;
+  sl.top_kp = top_kp;
+  sl.top_kp_events = top_events;
+  sl.pool_live =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(0, pe.pool.live()));
+  sl.pool_bytes = pe.pool.pool_bytes();
+  sl.throttled = pe.flow_state == PeData::FlowState::Throttled;
+  sl.blocked = pe.flow_state == PeData::FlowState::Blocked;
+  if (HP_UNLIKELY(mig_on_)) {
+    // Publish this PE's hottest owned KP since the previous decision round
+    // so every PE can run the identical planner over the slices alone.
+    sl.owned_kps = static_cast<std::uint32_t>(pe.kps.size());
+    sl.has_cand = false;
+    sl.mig_cand_kp = 0;
+    sl.mig_cand_score = 0;
+    for (std::uint32_t kp_id : pe.kps) {
+      if (kp_processed_[kp_id] > sl.mig_cand_score) {
+        sl.has_cand = true;
+        sl.mig_cand_kp = kp_id;
+        sl.mig_cand_score = kp_processed_[kp_id];
+      }
+    }
+  }
+}
+
 bool TimeWarpEngine::gvt_round(PeData& pe) {
   HP_ASSERT(pe.out_dirty.empty(),
             "PE %u: outbound batches must be flushed before a GVT round "
@@ -1010,41 +1080,11 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
     }
   }
   local_min_[pe.id] = local;
-  if (slices_on_) {
-    // Publish this PE's round slice before barrier B. PE 0 reads all slices
-    // after it for the monitor heartbeat, and every PE reads them for the
-    // flow-control signal (nobody can reach the next round's slice writes
-    // until all readers pass the next barrier A, so the reads are race-free).
-    MonitorSlice& sl = mon_slices_[pe.id];
-    sl.processed = pe.metrics.at(Counter::Processed);
-    sl.rolled_back = pe.metrics.at(Counter::RolledBack);
-    sl.committed = pe.committed_at_last_gvt;
-    sl.inbox_depth = inbox_depth;
-    const auto [top_kp, top_events] = pe.forensics.top_offender();
-    sl.has_top = top_events > 0;
-    sl.top_kp = top_kp;
-    sl.top_kp_events = top_events;
-    sl.pool_live =
-        static_cast<std::uint64_t>(std::max<std::int64_t>(0, pe.pool.live()));
-    sl.pool_bytes = pe.pool.pool_bytes();
-    sl.throttled = pe.flow_state == PeData::FlowState::Throttled;
-    sl.blocked = pe.flow_state == PeData::FlowState::Blocked;
-    if (HP_UNLIKELY(mig_on_)) {
-      // Publish this PE's hottest owned KP since the previous decision round
-      // so every PE can run the identical planner over the slices alone.
-      sl.owned_kps = static_cast<std::uint32_t>(pe.kps.size());
-      sl.has_cand = false;
-      sl.mig_cand_kp = 0;
-      sl.mig_cand_score = 0;
-      for (std::uint32_t kp_id : pe.kps) {
-        if (kp_processed_[kp_id] > sl.mig_cand_score) {
-          sl.has_cand = true;
-          sl.mig_cand_kp = kp_id;
-          sl.mig_cand_score = kp_processed_[kp_id];
-        }
-      }
-    }
-  }
+  // Publish this PE's round slice before barrier B. PE 0 reads all slices
+  // after it for the monitor heartbeat, and every PE reads them for the
+  // flow-control signal (nobody can reach the next round's slice writes
+  // until all readers pass the next barrier A, so the reads are race-free).
+  if (slices_on_) publish_slice(pe, inbox_depth);
   // Barrier B: minima published; everybody computes the same global min.
   bar_b_.arrive_and_wait();
   Time gvt = kTimeInf;
@@ -1168,6 +1208,311 @@ bool TimeWarpEngine::gvt_round(PeData& pe) {
   pe.idle_iters = 0;
   pe.probe.switch_to(Phase::Forward);
   wd_beacons_[pe.id].set_phase(BeaconPhase::Execute);
+  return gvt > cfg_.end_time;
+}
+
+// ---------------------------------------------------------------------------
+// Epoch GVT (cfg.gvt_mode == Epoch; protocol narrative in docs/GVT.md).
+//
+// Mattern-style asynchronous rounds in place of the two barriers: PEs keep
+// executing optimistically the whole time. The gvt_request_ flag — set by
+// exactly the same interval / idle-backoff / pool-pressure triggers as
+// barrier mode — now means "cut over to the next epoch at your next loop
+// iteration" instead of "park at barrier A". At a cut a PE publishes its
+// reduction contribution for the epoch it is leaving (local minimum over
+// pending + chaos-held, count and minimum timestamp of its remote sends)
+// into its EpochSlot and moves on without waiting for anybody.
+//
+// Epoch e closes when (a) every PE has crossed past it, so all slot fields
+// for e are final, and (b) the global number of epoch-e sends equals the
+// global number of epoch-e receives — the transient-message condition; every
+// envelope carries its sender's epoch, and receivers credit the matching
+// counter the moment they pop it. Then
+//
+//   GVT_e = min over PEs of min(localmin_e, sendmin_e)
+//
+// is a valid GVT: anything a PE held at its cut is >= its localmin; anything
+// in flight is tag e (>= that sender's sendmin) or tag e+1 (whose sends are
+// bounded below by GVT_e by induction — a PE in e+1 only executes/sends at
+// or above what it held at its cut); and no tag <= e-1 survives (close of
+// e-1 required all of its sends matched). The closing PE CASes ep_closed_
+// forward and takes the global side effects; every PE then applies the
+// per-close bookkeeping (fossil, flow window, checkpoint/migration rounds,
+// series) from its own loop, in order, and acks. The ack gate — a PE may
+// enter epoch m only once close m-2 is fully acked — serializes closes,
+// bounds the cross-PE epoch spread to one (so a 4-slot receive ring and
+// single-buffered slots suffice), and keeps the monitor slices stable for
+// every close-side reader. GVT timing changes commit latency and memory,
+// never event order, so committed state is bit-identical to barrier mode.
+// ---------------------------------------------------------------------------
+
+bool TimeWarpEngine::epoch_pump(PeData& pe) {
+  // 1. Apply won closes in order. The acquire pairs with the winner's
+  // release CAS, publishing ep_gvt_bits_ and every slot/slice field behind
+  // it. Each close's bookkeeping can itself end the run.
+  std::uint64_t closed = ep_closed_.load(std::memory_order_acquire);
+  while (closed > pe.ep_done) {
+    if (epoch_close_bookkeeping(pe, pe.ep_done + 1)) return true;
+    closed = ep_closed_.load(std::memory_order_acquire);
+  }
+  // 2. Cut over when a round is requested and the ack gate allows entering
+  // epoch m = local+1 (close m-2 fully acked; trivially open for m <= 2).
+  // The gate includes this PE's own ack, so step 1 always runs first.
+  if (gvt_request_.load(std::memory_order_relaxed)) {
+    const std::uint64_t m = pe.local_epoch + 1;
+    if (m <= 2 || ep_acks_total_.load(std::memory_order_acquire) >=
+                      (m - 2) * cfg_.num_pes) {
+      epoch_cross(pe);
+    }
+  }
+  // 3. Poll the close condition, throttled — only worth anything while an
+  // epoch older than this PE's own is still open (closing e needs every PE
+  // past it, this one included).
+  if (pe.local_epoch > ep_closed_.load(std::memory_order_relaxed) + 1 &&
+      ++pe.ep_poll >= 8) {
+    pe.ep_poll = 0;
+    try_close_epoch(pe);
+  }
+  return false;
+}
+
+void TimeWarpEngine::epoch_cross(PeData& pe) {
+  HP_ASSERT(pe.out_dirty.empty(),
+            "PE %u: outbound batches must be flushed before an epoch cut "
+            "(%zu dirty)",
+            pe.id, pe.out_dirty.size());
+  obs::PhaseScope phase(pe.probe, Phase::GvtEpoch);
+  EpochSlot& slot = ep_slots_[pe.id];
+  const std::uint64_t e = pe.local_epoch;
+  // Local minimum over everything this PE holds: the pending set plus the
+  // fault injector's holdback (parked envelopes are in-flight work nothing
+  // may commit past, exactly as in the barrier walk). No inbox walk — what
+  // is still in the channel is covered by its sender's sendmin/send count.
+  Event* pmin = pe.pending.peek_min();
+  Time local = pmin == nullptr ? kTimeInf : pmin->key.ts;
+  if (HP_UNLIKELY(chaos_)) {
+    for (const PeData::HeldEnvelope& h : pe.chaos_held) {
+      local = std::min(local, h.ev->key.ts);
+    }
+  }
+  slot.localmin_bits.store(std::bit_cast<std::uint64_t>(local),
+                           std::memory_order_relaxed);
+  slot.sendmin_bits.store(std::bit_cast<std::uint64_t>(pe.cur_epoch_sendmin),
+                          std::memory_order_relaxed);
+  slot.sent.store(pe.cur_epoch_sent, std::memory_order_relaxed);
+  // Recycle the ring slot for tag e+3. It cannot be live: receiving tag e+3
+  // requires some PE in epoch e+3, which requires every PE past e+1 — but
+  // this PE is only now leaving e. Same-thread ordering (only the owner
+  // credits its own ring) makes the reset safe against its own later pops.
+  slot.recvd[(e + 3) & 3].store(0, std::memory_order_relaxed);
+  pe.cur_epoch_sent = 0;
+  pe.cur_epoch_sendmin = kTimeInf;
+  // The slice this close's readers (flow window, checkpoint trigger,
+  // migration planner, monitor) will consume; stable until the ack gate
+  // re-opens because the next overwrite is the cut into e+2.
+  if (slices_on_) publish_slice(pe, /*inbox_depth=*/0);
+  // Publish: every slot field for epoch e is final once crossed reads e+1.
+  slot.crossed.store(e + 1, std::memory_order_release);
+  pe.local_epoch = e + 1;
+  // Liveness tick for the stall watchdog: a long-but-progressing epoch
+  // keeps GVT and the committed count flat, but crossings keep happening.
+  wd_heart_.activity.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TimeWarpEngine::try_close_epoch(PeData& pe) {
+  const std::uint64_t e = ep_closed_.load(std::memory_order_relaxed) + 1;
+  if (pe.local_epoch <= e) return;  // not past it ourselves yet
+  // (a) Every PE crossed past e? The acquire pairs with epoch_cross's
+  // release store, making all slot fields for epoch e visible and final.
+  for (std::uint32_t p = 0; p < cfg_.num_pes; ++p) {
+    if (ep_slots_[p].crossed.load(std::memory_order_acquire) < e + 1) return;
+  }
+  // (b) All epoch-e sends matched by receives? Relaxed sums are sound
+  // because both counters are monotone within the epoch and the send side
+  // is final: observed_recv <= true_recv <= true_sent == observed_sent, so
+  // observed equality implies true equality. On failure the gap (>= 0) is
+  // the in-flight envelope count — latch the peak for the obs series.
+  std::uint64_t sent = 0;
+  std::uint64_t recvd = 0;
+  Time g = kTimeInf;
+  for (std::uint32_t p = 0; p < cfg_.num_pes; ++p) {
+    EpochSlot& s = ep_slots_[p];
+    sent += s.sent.load(std::memory_order_relaxed);
+    recvd += s.recvd[e & 3].load(std::memory_order_relaxed);
+    g = std::min(g, std::bit_cast<Time>(
+                        s.localmin_bits.load(std::memory_order_relaxed)));
+    g = std::min(g, std::bit_cast<Time>(
+                        s.sendmin_bits.load(std::memory_order_relaxed)));
+  }
+  if (recvd != sent) {
+    const std::uint64_t gap = sent - recvd;
+    std::uint64_t cur = ep_inflight_peak_.load(std::memory_order_relaxed);
+    while (gap > cur && !ep_inflight_peak_.compare_exchange_weak(
+                            cur, gap, std::memory_order_relaxed)) {
+    }
+    return;
+  }
+  // Concurrent evaluators of the same epoch compute the identical g (the
+  // inputs are final), so racing stores agree; a single value slot suffices
+  // because the ack gate forbids evaluating e+1 until every PE read close e.
+  ep_gvt_bits_.store(std::bit_cast<std::uint64_t>(g),
+                     std::memory_order_relaxed);
+  std::uint64_t expect = e - 1;
+  if (!ep_closed_.compare_exchange_strong(expect, e, std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+    return;  // somebody else won this close with the same g
+  }
+  // Winner-only global side effects — the epoch-mode mirror of PE 0's block
+  // between barriers in gvt_round.
+  const std::uint64_t round_idx =
+      gvt_rounds_.fetch_add(1, std::memory_order_relaxed);
+  shared_gvt_.store(g, std::memory_order_relaxed);
+  gvt_request_.store(false, std::memory_order_relaxed);
+  ++pe.metrics.at(Counter::GvtEpochCloses);
+  const std::uint64_t peak =
+      ep_inflight_peak_.exchange(0, std::memory_order_relaxed);
+  ep_inflight_last_.store(peak, std::memory_order_relaxed);
+  std::uint64_t& peak_metric = pe.metrics.at(Counter::GvtEpochInflightPeak);
+  peak_metric = std::max(peak_metric, peak);
+  // Progress heart for the stall watchdog. The slices are readable here for
+  // the same reason bookkeeping may read them: every PE crossed (acquire
+  // above), and nobody overwrites before the acks complete.
+  std::uint64_t wd_committed = ck_base_committed_;
+  if (slices_on_) {
+    for (const MonitorSlice& sl : mon_slices_) wd_committed += sl.committed;
+  } else {
+    wd_committed += pe.committed_at_last_gvt;
+  }
+  wd_heart_.gvt_bits.store(std::bit_cast<std::uint64_t>(g),
+                           std::memory_order_relaxed);
+  wd_heart_.committed.store(wd_committed, std::memory_order_relaxed);
+  wd_heart_.rounds.store(round_idx + 1, std::memory_order_relaxed);
+}
+
+bool TimeWarpEngine::epoch_close_bookkeeping(PeData& pe, std::uint64_t e) {
+  HP_ASSERT(pe.ep_done + 1 == e, "PE %u: close bookkeeping out of order "
+            "(done %llu, applying %llu)",
+            pe.id, static_cast<unsigned long long>(pe.ep_done),
+            static_cast<unsigned long long>(e));
+  obs::PhaseScope phase(pe.probe, Phase::GvtEpoch);
+  // The winner's release CAS on ep_closed_ (acquired by our caller) ordered
+  // this read after its ep_gvt_bits_ store; the single slot is stable until
+  // every PE acks this close, which includes us.
+  const Time gvt =
+      std::bit_cast<Time>(ep_gvt_bits_.load(std::memory_order_relaxed));
+  wd_beacons_[pe.id].set_phase(BeaconPhase::Fossil);
+  {
+    obs::PhaseScope fossil_phase(pe.probe, Phase::Fossil);
+    fossil_collect(pe, gvt);
+  }
+  {
+    // Per-PE progress beacon, as in gvt_round (no quiescent inbox walk in
+    // epoch mode, so the inbox depth reads 0 here).
+    PeBeacon& b = wd_beacons_[pe.id];
+    b.processed.store(pe.metrics.at(Counter::Processed),
+                      std::memory_order_relaxed);
+    b.committed.store(pe.metrics.at(Counter::Committed),
+                      std::memory_order_relaxed);
+    b.pending.store(pe.pending.size(), std::memory_order_relaxed);
+    b.inbox.store(0, std::memory_order_relaxed);
+    const auto [wd_kp, wd_kp_events] = pe.forensics.top_offender();
+    b.top_kp.store(wd_kp_events > 0 ? wd_kp : ~0u, std::memory_order_relaxed);
+  }
+  const std::uint64_t committed_delta =
+      pe.metrics.at(Counter::Committed) - pe.committed_at_last_gvt;
+  if (cfg_.adaptive_gvt && pe.processed_since_gvt > 0) {
+    // Identical commit-yield steering to gvt_round; the "round" is now the
+    // span between consecutive closes.
+    const double yield_ratio =
+        std::min(1.0, static_cast<double>(committed_delta) /
+                          static_cast<double>(pe.processed_since_gvt));
+    const std::uint32_t floor_interval =
+        std::min(kGvtMinInterval, std::max(1u, cfg_.gvt_interval_events));
+    if (yield_ratio < kShrinkYield) {
+      pe.effective_gvt_interval =
+          std::max(floor_interval, pe.effective_gvt_interval / 2);
+    } else if (yield_ratio > kGrowYield) {
+      pe.effective_gvt_interval = std::min(
+          std::max(1u, cfg_.gvt_interval_events), pe.effective_gvt_interval * 2);
+    }
+  }
+  if (HP_UNLIKELY(flow_on_)) update_flow_window(pe, gvt);
+  if (HP_UNLIKELY(chaos_) && stall_active(pe)) {
+    ++pe.metrics.at(Counter::ChaosStallRounds);
+  }
+  // Checkpoint and migration rounds anchor to the close exactly as they
+  // anchor to the barrier round: every PE applies every close in order with
+  // identical replicated trigger inputs (the cut-published slices, ck_next_,
+  // the per-close local_rounds counter), so the all-or-none branches still
+  // hold and the barriers inside the rounds pair up — the PEs simply gather
+  // at them from their own loops instead of from a shared round. Traffic the
+  // quiesce loops move is tagged e+1 (every PE is in e+1 throughout, the ack
+  // gate holds e+2 shut) and drains pop-count as usual, so the next close's
+  // accounting stays balanced.
+  if (HP_UNLIKELY(ck_on_) && gvt <= cfg_.end_time) {
+    std::uint64_t committed = ck_base_committed_;
+    for (const MonitorSlice& sl : mon_slices_) committed += sl.committed;
+    if (committed >= ck_next_) checkpoint_round(pe, gvt);
+  }
+  std::uint64_t round_moves = 0;
+  if (HP_UNLIKELY(mig_on_)) {
+    const std::uint64_t before = pe.mig_moves_total;
+    do_migration_round(pe, gvt);
+    round_moves = pe.mig_moves_total - before;
+  }
+  // This PE's slice of the round sample. Closes are totally ordered and
+  // applied by every PE, so local_rounds agrees across PEs and the rings
+  // stay index-aligned for run()'s merge. The two epoch columns are PE-0
+  // scoped in the merged series (not summed): wall time this epoch stayed
+  // open, and the close's latched in-flight peak.
+  const std::uint64_t now_ns = obs::monotonic_ns();
+  const std::uint64_t opened_ns =
+      pe.ep_last_close_ns == 0 ? epoch_ns_ : pe.ep_last_close_ns;
+  pe.series.push(obs::GvtRoundSample{
+      pe.local_rounds, now_ns - epoch_ns_, gvt,
+      pe.processed_since_gvt, committed_delta, /*inbox_depth=*/0,
+      pe.pool.allocated(),
+      static_cast<std::uint64_t>(std::max<std::int64_t>(0, pe.pool.live())),
+      pe.id == 0 ? round_moves : 0, pe.pool.pool_bytes(),
+      now_ns - opened_ns,
+      ep_inflight_last_.load(std::memory_order_relaxed)});
+  pe.ep_last_close_ns = now_ns;
+  if (pe.id == 0) {
+    if (monitor_ != nullptr &&
+        ++mon_rounds_since_emit_ >= std::max(1u, cfg_.obs.monitor_interval)) {
+      mon_rounds_since_emit_ = 0;
+      emit_monitor_record(e - 1, gvt);
+    }
+    if (HP_UNLIKELY(telemetry_)) {
+      obs::GaugeSnapshot g;
+      for (const MonitorSlice& sl : mon_slices_) {
+        g.counters[static_cast<std::size_t>(Counter::Processed)] +=
+            sl.processed;
+        g.counters[static_cast<std::size_t>(Counter::RolledBack)] +=
+            sl.rolled_back;
+        g.counters[static_cast<std::size_t>(Counter::PoolLiveEnvelopes)] +=
+            sl.pool_live;
+        g.counters[static_cast<std::size_t>(Counter::PoolBytes)] +=
+            sl.pool_bytes;
+      }
+      g.gvt = gvt;
+      g.round = e - 1;
+      g.wall_seconds = static_cast<double>(now_ns - epoch_ns_) * 1e-9;
+      g.gvt_mode = 1;
+      g.epoch = e;
+      g.in_flight = ep_inflight_last_.load(std::memory_order_relaxed);
+      hub_->publish_gauges(g);
+    }
+  }
+  ++pe.local_rounds;
+  pe.committed_at_last_gvt = pe.metrics.at(Counter::Committed);
+  pe.processed_since_gvt = 0;
+  pe.idle_iters = 0;
+  wd_beacons_[pe.id].set_phase(BeaconPhase::Execute);
+  pe.ep_done = e;
+  // Ack LAST (release): the cut into e+2 — which overwrites the slots and
+  // slices this close read — acquire-gates on the full ack count.
+  ep_acks_total_.fetch_add(1, std::memory_order_release);
   return gvt > cfg_.end_time;
 }
 
@@ -1363,6 +1708,14 @@ void TimeWarpEngine::emit_monitor_record(std::uint64_t round_idx, Time gvt) {
     s.commit_latency_p99_us =
         hub_->quantile_us(obs::LatencyMetric::CommitLatency, 0.99);
   }
+  s.gvt_mode = gvt_mode_name(cfg_.gvt_mode);
+  if (epoch_mode_) {
+    // Epoch-mode emits happen from close bookkeeping, where round_idx is
+    // the closed epoch minus one; the in-flight count is the close's
+    // latched peak of unmatched sends.
+    s.epoch = round_idx + 1;
+    s.in_flight = ep_inflight_last_.load(std::memory_order_relaxed);
+  }
   monitor_->emit(s);
   mon_last_processed_ = processed;
   mon_last_rolled_back_ = rolled_back;
@@ -1550,7 +1903,13 @@ void TimeWarpEngine::run_pe(PeData& pe) {
     // staged ever survives past this point, so gvt_round's quiescence
     // invariant holds by construction.
     flush_outboxes(pe);
-    if (gvt_request_.load(std::memory_order_relaxed)) {
+    if (HP_UNLIKELY(epoch_mode_)) {
+      // Asynchronous GVT: apply won closes, cut over if a round is
+      // requested, poll the close condition — and keep executing. No
+      // barrier, no `continue`; the whole point is that the request flag no
+      // longer stops this PE.
+      if (epoch_pump(pe)) break;
+    } else if (gvt_request_.load(std::memory_order_relaxed)) {
       if (gvt_round(pe)) break;
       continue;
     }
@@ -1714,6 +2073,12 @@ RunStats TimeWarpEngine::run() {
                cfg_.checkpoint.every;
   }
   slices_on_ = cfg_.obs.monitor || flow_on_ || mig_on_ || telemetry_ || ck_on_;
+  epoch_mode_ = cfg_.gvt_mode == EngineConfig::GvtMode::Epoch;
+  if (epoch_mode_) {
+    // Value-initialization runs the slot initializers: crossed = 1 (every PE
+    // starts inside epoch 1), counters and the receive ring at zero.
+    ep_slots_ = std::make_unique<EpochSlot[]>(cfg_.num_pes);
+  }
   if (cfg_.obs.monitor) {
     monitor_ = std::make_unique<obs::MonitorWriter>(cfg_.obs.monitor_path);
   }
@@ -1843,6 +2208,9 @@ RunStats TimeWarpEngine::run() {
     g.gvt = m.final_gvt;
     g.round = m.gvt_rounds;
     g.wall_seconds = m.wall_seconds;
+    g.gvt_mode = epoch_mode_ ? 1 : 0;
+    g.epoch = epoch_mode_ ? ep_closed_.load(std::memory_order_relaxed) : 0;
+    g.in_flight = 0;  // run over; every send is matched
     hub_->publish_gauges(g);
     hub_->finalize_into(m);
     hub_.reset();

@@ -39,6 +39,7 @@
 // without barrier storms). adaptive_gvt=false restores the fixed
 // gvt_interval_events / 256-spin thresholds.
 
+#include <array>
 #include <atomic>
 #include <barrier>
 #include <cstdint>
@@ -181,6 +182,38 @@ class TimeWarpEngine final : public Engine {
     std::vector<std::uint64_t> mig_prev_rolled_back;
     std::uint64_t mig_decisions = 0;
     std::uint64_t mig_moves_total = 0;
+
+    // Epoch GVT (active only when cfg.gvt_mode == Epoch). local_epoch is the
+    // epoch this PE is currently executing in (numbered from 1); ep_done is
+    // the highest close whose bookkeeping this PE has already applied.
+    // cur_epoch_sent / cur_epoch_sendmin accumulate this epoch's remote-send
+    // count and minimum send timestamp until the next cut publishes them
+    // into the PE's EpochSlot. ep_poll throttles close-condition polls;
+    // ep_last_close_ns feeds the epoch-duration series column.
+    std::uint64_t local_epoch = 1;
+    std::uint64_t ep_done = 0;
+    std::uint64_t cur_epoch_sent = 0;
+    Time cur_epoch_sendmin = kTimeInf;
+    std::uint32_t ep_poll = 0;
+    std::uint64_t ep_last_close_ns = 0;
+  };
+
+  // Epoch-GVT reduction slot, one per PE, written by its owner at each epoch
+  // cut and read by whichever PE evaluates the close condition. `crossed` is
+  // the publication flag (release store after the other fields): slot fields
+  // describe epoch e once crossed >= e+1. `recvd` is a 4-deep ring indexed
+  // by envelope tag & 3 — the close-serialization ack gate bounds the epoch
+  // spread across PEs to one, so live tags span at most {n-1, n, n+1} while
+  // a PE is in epoch n and slot (n+2)&3 is dead and safe to reset at the
+  // crossing into n. Counters are monotone within an epoch, which is what
+  // makes the relaxed sum-equality close test sound (observed recv <= true
+  // recv <= true sent == observed sent once every PE has crossed).
+  struct alignas(64) EpochSlot {
+    std::atomic<std::uint64_t> crossed{1};       // PE has entered this epoch
+    std::atomic<std::uint64_t> localmin_bits{0}; // min(pending, chaos-held)
+    std::atomic<std::uint64_t> sendmin_bits{0};  // min ts of epoch sends
+    std::atomic<std::uint64_t> sent{0};          // epoch remote-send count
+    std::array<std::atomic<std::uint64_t>, 4> recvd{};  // by tag & 3
   };
 
   // One cache line per PE of per-round state, written between GVT barriers A
@@ -271,6 +304,31 @@ class TimeWarpEngine final : public Engine {
   void process_one(PeData& pe, Event* ev);
   // Returns true when the run is complete (GVT beyond end time).
   bool gvt_round(PeData& pe);
+  // Epoch GVT (cfg.gvt_mode == Epoch): the per-iteration pump replacing the
+  // barrier-mode `if (gvt_request_) gvt_round()` branch. Applies any closes
+  // other PEs have already won (epoch_close_bookkeeping, in order), crosses
+  // into the next epoch when the request flag is up and the ack gate allows,
+  // and polls the close condition (throttled). Returns true when a close's
+  // GVT passed the end time and this PE is done.
+  bool epoch_pump(PeData& pe);
+  // Publish this PE's epoch-e reduction contribution (local minimum over
+  // pending + chaos-held, send count/minimum) into its EpochSlot and enter
+  // epoch e+1. Also publishes the monitor slice — the ack gate keeps it
+  // stable until every PE finished the bookkeeping that reads it.
+  void epoch_cross(PeData& pe);
+  // Evaluate the close condition for the oldest open epoch: every PE crossed
+  // past it and global sends == global receives for its tag. The winner CASes
+  // ep_closed_ forward and takes the global side-effects (shared GVT, round
+  // count, request-flag clear).
+  void try_close_epoch(PeData& pe);
+  // Per-PE bookkeeping for a won close of epoch `e` — the epoch-mode mirror
+  // of gvt_round's post-barrier-B tail: fossil, flow window, checkpoint and
+  // migration rounds, series/monitor, pacing resets. Acks the close last so
+  // crossings into e+2 (which overwrite slot e's fields) wait for every
+  // reader. Returns true when gvt ends the run.
+  bool epoch_close_bookkeeping(PeData& pe, std::uint64_t e);
+  // Fill this PE's MonitorSlice (shared between barrier and epoch modes).
+  void publish_slice(PeData& pe, std::uint64_t inbox_depth);
   // Checkpoint at the GVT fence, entered from gvt_round by every PE in the
   // same round (the trigger reads only barrier-published slice data): roll
   // every owned KP back to {gvt,0,0,0,0}, quiesce the traffic the sweep put
@@ -322,6 +380,22 @@ class TimeWarpEngine final : public Engine {
   std::atomic<std::uint64_t> gvt_rounds_{0};
   std::atomic<Time> shared_gvt_{0.0};
   std::uint64_t epoch_ns_ = 0;  // run-start timestamp for series/trace
+
+  // Epoch GVT (cfg.gvt_mode == Epoch; see docs/GVT.md). ep_closed_ is the
+  // highest epoch whose close has been won (monotone, CAS-advanced by the
+  // winning PE); ep_gvt_bits_ carries that close's GVT — a single slot
+  // suffices because the ack gate forbids closing e+1 before every PE
+  // finished reading close e. ep_acks_total_ counts per-PE bookkeeping
+  // completions (close e fully applied once it reaches e * num_pes), which
+  // gates crossings into e+2. The inflight pair feeds the obs series: peak
+  // unmatched sends observed while polling, latched per close.
+  bool epoch_mode_ = false;
+  std::unique_ptr<EpochSlot[]> ep_slots_;
+  std::atomic<std::uint64_t> ep_closed_{0};
+  std::atomic<std::uint64_t> ep_gvt_bits_{0};
+  std::atomic<std::uint64_t> ep_acks_total_{0};
+  std::atomic<std::uint64_t> ep_inflight_peak_{0};
+  std::atomic<std::uint64_t> ep_inflight_last_{0};
 
   // Stamp remote sends with wall time for trace flow events (only when
   // tracing AND forensics are both on; otherwise zero clock reads).

@@ -35,6 +35,7 @@ TEST(DocsTree, CoreDocumentsExistAndAreNonTrivial) {
   const char* files[] = {
       "README.md",          "DESIGN.md",        "EXPERIMENTS.md",
       "docs/ARCHITECTURE.md", "docs/METRICS.md", "docs/CLI.md",
+      "docs/GVT.md",
   };
   for (const char* f : files) {
     EXPECT_GT(read_file(f).size(), 500u) << f << " is missing or trivial";
@@ -85,7 +86,8 @@ TEST(MetricsDoc, CoversEveryMonitorKey) {
       "processed",     "rolled_back",  "event_rate",
       "rollback_rate", "inbox_depth",  "pool_live",
       "pool_bytes",    "throttled_pes", "blocked_pes",
-      "kp_migrations", "mapping_epoch", "commit_latency_p99_us",
+      "kp_migrations", "mapping_epoch", "gvt_mode",
+      "epoch",         "in_flight",    "commit_latency_p99_us",
       "top_offender_kp", "top_offender_events",
   };
   for (const char* k : keys) {
@@ -101,7 +103,13 @@ TEST(CliDoc, CoversTheUserFacingFlagSet) {
       "--json=",  "--csv=",        "--pes",     "--trace",
       "--fc=",    "--telemetry",   "--metrics-endpoint=",
       "--metrics-out=", "--checkpoint=", "--restore=", "--watchdog=",
+      "--gvt=",
   };
+  // ...and the full --gvt= grammar: both algorithm names and both keys.
+  for (const char* k : {"mode=", "barrier", "epoch", "interval="}) {
+    EXPECT_TRUE(mentions(doc, k))
+        << "docs/CLI.md does not document --gvt= key '" << k << "'";
+  }
   // ...and the full --fc= grammar: every key and scheme name.
   for (const char* k : {"scheme=", "qcap=", "flit=", "credit_delay=",
                         "saf", "vct", "wormhole"}) {
@@ -150,6 +158,19 @@ TEST(ArchitectureDoc, DescribesCheckpointRestoreAndFailureHandling) {
         "min_width_at", "ULP"}) {
     EXPECT_TRUE(mentions(doc, s))
         << "missing checkpoint/failure term '" << s << "'";
+  }
+}
+
+// The GVT protocol document: both algorithms, the transient-message
+// accounting that makes the asynchronous close sound, and the rounds that
+// anchor to a close.
+TEST(GvtDoc, DescribesBothAlgorithmsAndTheAccountingArgument) {
+  const std::string doc = read_file("docs/GVT.md");
+  for (const char* s :
+       {"barrier", "epoch", "Mattern", "transient", "cut", "send",
+        "receive", "in flight", "fossil", "checkpoint", "migration",
+        "commit", "ack", "monotone", "gvt_mode"}) {
+    EXPECT_TRUE(mentions(doc, s)) << "missing GVT term '" << s << "'";
   }
 }
 
